@@ -1,0 +1,71 @@
+//! One benchmark per paper **figure** (plus the three ablations): each runs
+//! the exact harness code that regenerates that figure, at the tiny scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mltc_experiments::{Outputs, Scale};
+use mltc_scene::WorkloadParams;
+
+fn tiny() -> Scale {
+    Scale { name: "tiny", params: WorkloadParams::tiny() }
+}
+
+fn outputs() -> Outputs {
+    Outputs::quiet(std::env::temp_dir().join("mltc_bench_figures"))
+}
+
+macro_rules! figure_bench {
+    ($fn_name:ident, $exp:path, $label:literal) => {
+        fn $fn_name(c: &mut Criterion) {
+            let scale = tiny();
+            let out = outputs();
+            let mut g = c.benchmark_group("figures");
+            g.sample_size(10);
+            g.warm_up_time(std::time::Duration::from_secs(1));
+            g.measurement_time(std::time::Duration::from_secs(3));
+            g.bench_function($label, |b| b.iter(|| $exp(&scale, &out)));
+            g.finish();
+        }
+    };
+}
+
+figure_bench!(bench_fig3, mltc_experiments::fig3, "fig3_expected_working_set");
+figure_bench!(bench_fig4, mltc_experiments::fig4, "fig4_minimum_memory");
+figure_bench!(bench_fig5, mltc_experiments::fig5, "fig5_total_vs_new_memory");
+figure_bench!(bench_fig6, mltc_experiments::fig6, "fig6_l1_bandwidth");
+figure_bench!(bench_fig9, mltc_experiments::fig9, "fig9_l1_miss_rates");
+figure_bench!(bench_fig10, mltc_experiments::fig10, "fig10_bandwidth_with_l2");
+figure_bench!(bench_fig11, mltc_experiments::fig11, "fig11_tlb_hit_rates");
+figure_bench!(bench_fig12, mltc_experiments::fig12, "fig12_snapshots");
+figure_bench!(
+    bench_ablate_replacement,
+    mltc_experiments::ablate_replacement,
+    "ablate_replacement_policy"
+);
+figure_bench!(bench_ablate_zprepass, mltc_experiments::ablate_zprepass, "ablate_zprepass");
+figure_bench!(bench_ablate_sector, mltc_experiments::ablate_sector, "ablate_sector_mapping");
+figure_bench!(bench_future, mltc_experiments::future_workloads, "future_workloads");
+figure_bench!(bench_storage, mltc_experiments::ablate_storage, "ablate_storage_format");
+figure_bench!(bench_traversal, mltc_experiments::ablate_traversal, "ablate_traversal_order");
+figure_bench!(bench_tile_sweep, mltc_experiments::l2_tile_sweep, "l2_tile_sweep");
+figure_bench!(bench_assoc, mltc_experiments::l1_assoc_sweep, "l1_assoc_sweep");
+
+criterion_group!(
+    benches,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig9,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12,
+    bench_ablate_replacement,
+    bench_ablate_zprepass,
+    bench_ablate_sector,
+    bench_future,
+    bench_storage,
+    bench_traversal,
+    bench_tile_sweep,
+    bench_assoc
+);
+criterion_main!(benches);

@@ -1,0 +1,162 @@
+//! Micro-benchmarks of the simulator's hot paths: address translation, L1
+//! probes, L2 accesses, clock victim search, TLB lookups, filter expansion
+//! and rasterizer fill rate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mltc_core::{L1Config, L1TextureCache, L2Cache, L2Config};
+use mltc_math::{Vec2, Vec4};
+use mltc_raster::{ClipVertex, RasterMode, Rasterizer};
+use mltc_texture::{
+    synth, MipPyramid, PageTableLayout, TextureId, TextureRegistry, TilingConfig,
+};
+use mltc_trace::{filter_taps, FilterMode, PixelRequest};
+
+fn registry() -> TextureRegistry {
+    let mut reg = TextureRegistry::new();
+    reg.load(
+        "t",
+        MipPyramid::from_image(synth::checkerboard(512, 8, [200, 40, 40], [240, 240, 240])),
+    );
+    reg
+}
+
+fn bench_translation(c: &mut Criterion) {
+    let reg = registry();
+    let layout = PageTableLayout::new(&reg, TilingConfig::PAPER_DEFAULT);
+    let tid = TextureId::from_index(0);
+    let mut g = c.benchmark_group("address");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("translate_uvm_to_tid_l2_l1", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(97);
+            let u = i % 512;
+            let v = (i / 512) % 512;
+            black_box(layout.translate(tid, u, v, 0).unwrap())
+        })
+    });
+    g.bench_function("page_table_index", |b| {
+        let addr = layout.translate(tid, 100, 200, 0).unwrap();
+        b.iter(|| black_box(layout.page_table_index(black_box(&addr))))
+    });
+    g.finish();
+}
+
+fn bench_l1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("l1");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("hit_path_16kb", |b| {
+        let mut l1 = L1TextureCache::new(L1Config::kb(16));
+        let tid = TextureId::from_index(0);
+        l1.access(tid, 0, 0, 0);
+        b.iter(|| black_box(l1.access(tid, 0, black_box(1), black_box(2))))
+    });
+    g.bench_function("streaming_scanline_2kb", |b| {
+        let mut l1 = L1TextureCache::new(L1Config::kb(2));
+        let tid = TextureId::from_index(0);
+        let mut x = 0u32;
+        b.iter(|| {
+            x = (x + 1) % 512;
+            black_box(l1.access(tid, 0, x, 7))
+        })
+    });
+    g.finish();
+}
+
+fn bench_l2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("l2");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("full_hit", |b| {
+        let mut l2 = L2Cache::new(L2Config::mb(2), TilingConfig::PAPER_DEFAULT, 4096);
+        l2.access(7, 3);
+        b.iter(|| black_box(l2.access(black_box(7), black_box(3))))
+    });
+    g.bench_function("thrashing_miss_with_clock_search", |b| {
+        // 64-block cache cycled over 128 pages: every access is a full miss
+        // and runs the clock sweep.
+        let tiling = TilingConfig::PAPER_DEFAULT;
+        let mut l2 = L2Cache::new(
+            L2Config { size_bytes: 64 * tiling.l2().cache_bytes(), ..L2Config::mb(2) },
+            tiling,
+            128,
+        );
+        let mut pt = 0u32;
+        b.iter(|| {
+            pt = (pt + 1) % 128;
+            black_box(l2.access(pt, 0))
+        })
+    });
+    g.finish();
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tlb");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("16_entry_lookup", |b| {
+        let mut tlb = mltc_cache::RoundRobinTlb::new(16);
+        for k in 0..16 {
+            tlb.access(k);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 20;
+            black_box(tlb.access(k))
+        })
+    });
+    g.finish();
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("filter");
+    g.throughput(Throughput::Elements(1));
+    let dims = |m: u32| ((512u32 >> m).max(1), (512u32 >> m).max(1));
+    for mode in [FilterMode::Point, FilterMode::Bilinear, FilterMode::Trilinear] {
+        g.bench_function(mode.name(), |b| {
+            let mut i = 0u32;
+            b.iter(|| {
+                i = i.wrapping_add(13);
+                let req = PixelRequest {
+                    tid: TextureId::from_index(0),
+                    u: (i % 512) as f32 + 0.3,
+                    v: (i % 509) as f32 + 0.7,
+                    lod: (i % 5) as f32 * 0.37,
+                };
+                black_box(filter_taps(&req, mode, 10, dims))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_rasterizer(c: &mut Criterion) {
+    let reg = registry();
+    let mut g = c.benchmark_group("rasterizer");
+    // One full-screen quad at 256x256 = 65536 fragments per iteration.
+    g.throughput(Throughput::Elements(256 * 256));
+    g.bench_function("fill_rate_trace_bilinear", |b| {
+        let mut r = Rasterizer::new(256, 256, FilterMode::Bilinear, RasterMode::Trace, &reg);
+        let v = |x: f32, y: f32, u: f32, vv: f32| ClipVertex {
+            pos: Vec4::new(x, y, 0.0, 1.0),
+            uv: Vec2::new(u, vv),
+        };
+        let tid = TextureId::from_index(0);
+        b.iter(|| {
+            r.begin_frame(0);
+            r.draw_triangle(&v(-1.0, -1.0, 0.0, 0.0), &v(1.0, -1.0, 1.0, 0.0), &v(1.0, 1.0, 1.0, 1.0), tid);
+            r.draw_triangle(&v(-1.0, -1.0, 0.0, 0.0), &v(1.0, 1.0, 1.0, 1.0), &v(-1.0, 1.0, 0.0, 1.0), tid);
+            black_box(r.finish_frame().pixels_rendered)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_translation,
+    bench_l1,
+    bench_l2,
+    bench_tlb,
+    bench_filter,
+    bench_rasterizer
+);
+criterion_main!(benches);

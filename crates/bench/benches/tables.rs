@@ -1,0 +1,49 @@
+//! One benchmark per paper **table**: each runs the exact harness code that
+//! regenerates that table (at the tiny scale, so the suite stays fast).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mltc_experiments::{Outputs, Scale};
+use mltc_scene::WorkloadParams;
+
+fn tiny() -> Scale {
+    Scale { name: "tiny", params: WorkloadParams::tiny() }
+}
+
+fn outputs() -> Outputs {
+    Outputs::quiet(std::env::temp_dir().join("mltc_bench_tables"))
+}
+
+macro_rules! table_bench {
+    ($fn_name:ident, $exp:path, $label:literal) => {
+        fn $fn_name(c: &mut Criterion) {
+            let scale = tiny();
+            let out = outputs();
+            let mut g = c.benchmark_group("tables");
+            g.sample_size(10);
+            g.warm_up_time(std::time::Duration::from_secs(1));
+            g.measurement_time(std::time::Duration::from_secs(3));
+            g.bench_function($label, |b| b.iter(|| $exp(&scale, &out)));
+            g.finish();
+        }
+    };
+}
+
+table_bench!(bench_table1, mltc_experiments::table1, "table1_workload_statistics");
+table_bench!(bench_table2, mltc_experiments::table2, "table2_l1_hit_rates");
+table_bench!(bench_table3, mltc_experiments::table3, "table3_bandwidth");
+table_bench!(bench_table4, mltc_experiments::table4, "table4_structure_sizes");
+table_bench!(bench_table5_6, mltc_experiments::table5_6, "table5_6_l2_hit_rates");
+table_bench!(bench_table7, mltc_experiments::table7, "table7_fractional_advantage");
+table_bench!(bench_table8, mltc_experiments::table8, "table8_tlb_hit_rates");
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_table2,
+    bench_table3,
+    bench_table4,
+    bench_table5_6,
+    bench_table7,
+    bench_table8
+);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Criterion benchmarks for the `mltc` workspace.
+//!
+//! Three suites (run with `cargo bench -p mltc-bench`):
+//!
+//! * `micro` — simulator hot paths: ⟨u,v,m⟩ → ⟨tid,L2,L1⟩ translation, L1
+//!   probes, L2 accesses (full hit and clock-swept miss), TLB lookups,
+//!   filter-tap expansion, rasterizer fill rate;
+//! * `tables` — one benchmark per paper table (1–8), each executing the
+//!   harness code that regenerates it;
+//! * `figures` — one benchmark per paper figure (3–12) and per ablation.
+//!
+//! This crate intentionally has no library API.

@@ -1,0 +1,111 @@
+//! A fast, deterministic hasher for hot block-set bookkeeping.
+//!
+//! The statistics passes in `mltc-trace` insert tens of millions of packed
+//! block addresses into hash sets per run; `std`'s default SipHash is
+//! needlessly slow (and randomly seeded) for that. This is the well-known
+//! Firefox "Fx" multiply-rotate hash — not cryptographic, but fast and
+//! deterministic, which also keeps experiment output bit-stable.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate hasher (FxHash).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, w: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ w).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_one(v: u64) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_u64(v);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_one(42), hash_one(42));
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_hashes() {
+        // Not guaranteed in general, but must hold for small neighbours.
+        let hs: std::collections::HashSet<u64> = (0..1000).map(hash_one).collect();
+        assert_eq!(hs.len(), 1000);
+    }
+
+    #[test]
+    fn set_and_map_work() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        m.insert(1, 2);
+        assert_eq!(m[&1], 2);
+    }
+
+    #[test]
+    fn byte_writes_cover_remainder_path() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 4]);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

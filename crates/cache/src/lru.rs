@@ -1,0 +1,229 @@
+//! True-LRU replacement list (intrusive doubly-linked, O(1) operations).
+
+/// A true least-recently-used replacement list over `blocks` physical
+/// slots, with the same owner-tracking interface as [`crate::ClockList`] —
+/// the exact-LRU alternative the paper's clock algorithm approximates
+/// (§5.1: "We a priori expect LRU page replacement to be a good choice …
+/// we have chosen to study L2 texture caching with LRU approximated by the
+/// 'clock' algorithm").
+///
+/// Head = least recently used, tail = most recently used; all operations
+/// are O(1) via an intrusive doubly-linked list.
+///
+/// ```
+/// use mltc_cache::LruList;
+/// let mut lru = LruList::new(2);
+/// let a = lru.find_victim();
+/// lru.assign(a, 10);
+/// let b = lru.find_victim();
+/// lru.assign(b, 20);
+/// lru.touch(a);
+/// assert_eq!(lru.find_victim(), b, "b is now least recent");
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruList {
+    prev: Vec<u32>,
+    next: Vec<u32>,
+    owners: Vec<u32>, // 0 = free
+    head: u32,
+    tail: u32,
+}
+
+const NIL: u32 = u32::MAX;
+
+impl LruList {
+    /// Creates a list of `blocks` free slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is zero.
+    pub fn new(blocks: usize) -> Self {
+        assert!(blocks > 0, "replacement list needs at least one block");
+        let n = blocks as u32;
+        let prev = (0..n).map(|i| if i == 0 { NIL } else { i - 1 }).collect();
+        let next = (0..n).map(|i| if i + 1 == n { NIL } else { i + 1 }).collect();
+        Self { prev, next, owners: vec![0; blocks], head: 0, tail: n - 1 }
+    }
+
+    /// Number of slots tracked.
+    pub fn len(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// Always `false`: the constructor rejects empty lists.
+    pub fn is_empty(&self) -> bool {
+        self.owners.is_empty()
+    }
+
+    fn unlink(&mut self, b: u32) {
+        let (p, n) = (self.prev[b as usize], self.next[b as usize]);
+        if p == NIL {
+            self.head = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n == NIL {
+            self.tail = p;
+        } else {
+            self.prev[n as usize] = p;
+        }
+    }
+
+    fn push_tail(&mut self, b: u32) {
+        self.prev[b as usize] = self.tail;
+        self.next[b as usize] = NIL;
+        if self.tail != NIL {
+            self.next[self.tail as usize] = b;
+        } else {
+            self.head = b;
+        }
+        self.tail = b;
+    }
+
+    fn push_head(&mut self, b: u32) {
+        self.next[b as usize] = self.head;
+        self.prev[b as usize] = NIL;
+        if self.head != NIL {
+            self.prev[self.head as usize] = b;
+        } else {
+            self.tail = b;
+        }
+        self.head = b;
+    }
+
+    /// Marks slot `b` most recently used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn touch(&mut self, b: usize) {
+        assert!(b < self.owners.len());
+        let b = b as u32;
+        if self.tail != b {
+            self.unlink(b);
+            self.push_tail(b);
+        }
+    }
+
+    /// Returns the least recently used slot (does not advance state; callers
+    /// follow up with [`LruList::assign`]).
+    pub fn find_victim(&mut self) -> usize {
+        self.head as usize
+    }
+
+    /// Records that slot `b` is now owned by the 1-based index `t_index`
+    /// and marks it most recently used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_index` is zero (reserved for "free").
+    pub fn assign(&mut self, b: usize, t_index: u32) {
+        assert!(t_index != 0, "t_index 0 is reserved for free blocks");
+        self.owners[b] = t_index;
+        self.touch(b);
+    }
+
+    /// The 1-based owner of slot `b`, or `None` if free.
+    pub fn owner(&self, b: usize) -> Option<u32> {
+        (self.owners[b] != 0).then_some(self.owners[b])
+    }
+
+    /// Frees slot `b` and moves it to the LRU position so it is reused
+    /// before any occupied slot is evicted.
+    pub fn release(&mut self, b: usize) {
+        self.owners[b] = 0;
+        let b = b as u32;
+        if self.head != b {
+            self.unlink(b);
+            self.push_head(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_free_slots_in_order() {
+        let mut lru = LruList::new(3);
+        let picks: Vec<usize> = (0..3)
+            .map(|i| {
+                let v = lru.find_victim();
+                lru.assign(v, i + 1);
+                v
+            })
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn evicts_least_recent() {
+        let mut lru = LruList::new(2);
+        lru.assign(0, 1);
+        lru.assign(1, 2);
+        lru.touch(0);
+        assert_eq!(lru.find_victim(), 1);
+    }
+
+    #[test]
+    fn touch_tail_is_noop() {
+        let mut lru = LruList::new(2);
+        lru.assign(0, 1);
+        lru.assign(1, 2);
+        lru.touch(1); // already MRU
+        assert_eq!(lru.find_victim(), 0);
+    }
+
+    #[test]
+    fn release_moves_to_head() {
+        let mut lru = LruList::new(3);
+        for i in 0..3 {
+            lru.assign(i, (i + 1) as u32);
+        }
+        lru.release(2);
+        assert_eq!(lru.find_victim(), 2, "freed slot reused before evictions");
+        assert_eq!(lru.owner(2), None);
+    }
+
+    #[test]
+    fn owner_roundtrip() {
+        let mut lru = LruList::new(2);
+        assert_eq!(lru.owner(0), None);
+        lru.assign(0, 42);
+        assert_eq!(lru.owner(0), Some(42));
+    }
+
+    #[test]
+    fn single_slot_cycles() {
+        let mut lru = LruList::new(1);
+        lru.assign(0, 1);
+        assert_eq!(lru.find_victim(), 0);
+        lru.assign(0, 2);
+        assert_eq!(lru.owner(0), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_slots_rejected() {
+        let _ = LruList::new(0);
+    }
+
+    #[test]
+    fn exhaustive_order_matches_reference() {
+        // Random-ish touch sequence vs a VecDeque reference model.
+        let n = 5;
+        let mut lru = LruList::new(n);
+        for i in 0..n {
+            lru.assign(i, (i + 1) as u32);
+        }
+        let mut reference: std::collections::VecDeque<usize> = (0..n).collect();
+        let seq = [3usize, 0, 4, 3, 1, 2, 2, 0, 4, 1, 3];
+        for &b in &seq {
+            lru.touch(b);
+            reference.retain(|&x| x != b);
+            reference.push_back(b);
+        }
+        assert_eq!(lru.find_victim(), reference[0]);
+    }
+}

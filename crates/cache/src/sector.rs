@@ -1,0 +1,127 @@
+//! Sector-mapping presence bits.
+
+/// Per-page sub-block presence bits for *sector mapping* (paper §5.2).
+///
+/// Rather than downloading a full L2 block on a miss, the architecture
+/// downloads only the L1 sub-block that missed, leaving the remaining
+/// sub-blocks vacant to be fetched on demand; one bit per sub-block records
+/// which sectors are resident. A 32×32-texel L2 block of 4×4 L1 sub-blocks
+/// needs 64 bits, the maximum supported.
+///
+/// ```
+/// use mltc_cache::SectorBits;
+/// let mut s = SectorBits::empty();
+/// assert!(!s.get(5));
+/// s.set(5);
+/// assert!(s.get(5));
+/// assert_eq!(s.count(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SectorBits(u64);
+
+impl SectorBits {
+    /// All sectors vacant.
+    #[inline]
+    pub const fn empty() -> Self {
+        Self(0)
+    }
+
+    /// All of the first `n` sectors resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn full(n: u32) -> Self {
+        assert!(n <= 64);
+        if n == 64 {
+            Self(u64::MAX)
+        } else {
+            Self((1u64 << n) - 1)
+        }
+    }
+
+    /// Is sector `i` resident?
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `i >= 64`.
+    #[inline]
+    pub fn get(self, i: u16) -> bool {
+        debug_assert!(i < 64);
+        self.0 & (1u64 << i) != 0
+    }
+
+    /// Marks sector `i` resident.
+    #[inline]
+    pub fn set(&mut self, i: u16) {
+        debug_assert!(i < 64);
+        self.0 |= 1u64 << i;
+    }
+
+    /// Clears all sectors (page reallocated to a new virtual block).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.0 = 0;
+    }
+
+    /// Number of resident sectors.
+    #[inline]
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// True if no sector is resident.
+    #[inline]
+    pub fn is_clear(self) -> bool {
+        self.0 == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty() {
+        let s = SectorBits::empty();
+        assert!(s.is_clear());
+        assert_eq!(s.count(), 0);
+        for i in 0..64 {
+            assert!(!s.get(i));
+        }
+    }
+
+    #[test]
+    fn set_get_independent_bits() {
+        let mut s = SectorBits::empty();
+        s.set(0);
+        s.set(63);
+        assert!(s.get(0) && s.get(63));
+        assert!(!s.get(1) && !s.get(62));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn set_is_idempotent() {
+        let mut s = SectorBits::empty();
+        s.set(7);
+        s.set(7);
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = SectorBits::full(16);
+        assert_eq!(s.count(), 16);
+        s.clear();
+        assert!(s.is_clear());
+    }
+
+    #[test]
+    fn full_boundary_cases() {
+        assert_eq!(SectorBits::full(0).count(), 0);
+        assert_eq!(SectorBits::full(64).count(), 64);
+        assert_eq!(SectorBits::full(4).count(), 4);
+        assert!(!SectorBits::full(4).get(4));
+    }
+}

@@ -1,0 +1,253 @@
+//! N-way set-associative tag array with per-set LRU replacement.
+
+use crate::HitStats;
+
+/// Result of a [`SetAssocCache::access`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the tag was already resident.
+    pub hit: bool,
+    /// On a miss that replaced a valid line, the evicted tag.
+    pub evicted: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    /// LRU timestamp; larger = more recently used.
+    stamp: u64,
+}
+
+/// An N-way set-associative cache holding `u64` tags, with true LRU
+/// replacement within each set.
+///
+/// The caller computes the set index (hashing policy is part of the
+/// architecture under study, not of the substrate): the paper's L1 texture
+/// cache indexes with bit-interleaved block coordinates (Hakura's "6D
+/// blocked representation"), which `mltc-core` implements on top of this
+/// type.
+///
+/// ```
+/// use mltc_cache::SetAssocCache;
+/// let mut c = SetAssocCache::new(2, 2);
+/// c.access(1, 0);
+/// c.access(2, 0);
+/// c.access(1, 0);          // refresh tag 1
+/// let r = c.access(3, 0);  // evicts LRU tag 2
+/// assert_eq!(r.evicted, Some(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    lines: Vec<Line>,
+    sets: usize,
+    ways: usize,
+    tick: u64,
+    stats: HitStats,
+}
+
+impl SetAssocCache {
+    /// Creates a cache of `sets` sets × `ways` ways, all lines invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && ways > 0, "cache must have at least one line");
+        Self {
+            lines: vec![Line { tag: 0, valid: false, stamp: 0 }; sets * ways],
+            sets,
+            ways,
+            tick: 0,
+            stats: HitStats::default(),
+        }
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    #[inline]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total line count.
+    #[inline]
+    pub fn line_count(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Looks up `tag` in set `set` and installs it on a miss (LRU victim).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `set >= sets()`.
+    #[inline]
+    pub fn access(&mut self, tag: u64, set: usize) -> AccessResult {
+        debug_assert!(set < self.sets, "set index {set} out of range");
+        self.tick += 1;
+        let base = set * self.ways;
+        let set_lines = &mut self.lines[base..base + self.ways];
+
+        let mut victim = 0usize;
+        let mut victim_stamp = u64::MAX;
+        for (i, line) in set_lines.iter_mut().enumerate() {
+            if line.valid && line.tag == tag {
+                line.stamp = self.tick;
+                self.stats.record(true);
+                return AccessResult { hit: true, evicted: None };
+            }
+            // Prefer invalid lines; otherwise the oldest stamp.
+            let key = if line.valid { line.stamp } else { 0 };
+            if key < victim_stamp {
+                victim_stamp = key;
+                victim = i;
+            }
+        }
+
+        let line = &mut set_lines[victim];
+        let evicted = line.valid.then_some(line.tag);
+        *line = Line { tag, valid: true, stamp: self.tick };
+        self.stats.record(false);
+        AccessResult { hit: false, evicted }
+    }
+
+    /// Non-mutating lookup: is `tag` resident in `set`?
+    pub fn probe(&self, tag: u64, set: usize) -> bool {
+        let base = set * self.ways;
+        self.lines[base..base + self.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates every line whose tag satisfies `pred` (used when an L2
+    /// victim's sub-blocks must be shot down from L1 in inclusive designs;
+    /// the paper's design is non-inclusive, so this exists for ablations).
+    pub fn invalidate_matching<F: Fn(u64) -> bool>(&mut self, pred: F) -> usize {
+        let mut n = 0;
+        for line in &mut self.lines {
+            if line.valid && pred(line.tag) {
+                line.valid = false;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Invalidates everything.
+    pub fn flush(&mut self) {
+        for line in &mut self.lines {
+            line.valid = false;
+        }
+    }
+
+    /// Lifetime hit/miss counters.
+    #[inline]
+    pub fn stats(&self) -> HitStats {
+        self.stats
+    }
+
+    /// Resets the hit/miss counters (contents untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = SetAssocCache::new(4, 2);
+        assert!(!c.access(7, 1).hit);
+        assert!(c.access(7, 1).hit);
+        assert_eq!(c.stats().accesses, 2);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = SetAssocCache::new(1, 2);
+        c.access(1, 0);
+        c.access(2, 0);
+        c.access(1, 0); // 2 is now LRU
+        let r = c.access(3, 0);
+        assert_eq!(r.evicted, Some(2));
+        assert!(c.probe(1, 0));
+        assert!(c.probe(3, 0));
+        assert!(!c.probe(2, 0));
+    }
+
+    #[test]
+    fn invalid_lines_fill_before_eviction() {
+        let mut c = SetAssocCache::new(1, 4);
+        for t in 0..4 {
+            assert_eq!(c.access(t, 0).evicted, None);
+        }
+        assert!(c.access(99, 0).evicted.is_some());
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = SetAssocCache::new(2, 1);
+        c.access(1, 0);
+        c.access(2, 1);
+        assert!(c.probe(1, 0));
+        assert!(c.probe(2, 1));
+        assert!(!c.probe(1, 1));
+    }
+
+    #[test]
+    fn same_tag_different_sets_are_distinct_lines() {
+        let mut c = SetAssocCache::new(2, 1);
+        c.access(5, 0);
+        assert!(!c.access(5, 1).hit);
+    }
+
+    #[test]
+    fn flush_invalidates_all() {
+        let mut c = SetAssocCache::new(2, 2);
+        c.access(1, 0);
+        c.access(2, 1);
+        c.flush();
+        assert!(!c.probe(1, 0));
+        assert!(!c.probe(2, 1));
+    }
+
+    #[test]
+    fn invalidate_matching_counts() {
+        let mut c = SetAssocCache::new(1, 4);
+        for t in 0..4 {
+            c.access(t, 0);
+        }
+        let n = c.invalidate_matching(|t| t % 2 == 0);
+        assert_eq!(n, 2);
+        assert!(c.probe(1, 0));
+        assert!(!c.probe(2, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one line")]
+    fn zero_ways_rejected() {
+        let _ = SetAssocCache::new(4, 0);
+    }
+
+    #[test]
+    fn working_set_within_capacity_stays_resident() {
+        let mut c = SetAssocCache::new(8, 2);
+        // 16 distinct tags spread across 8 sets, 2 per set: fits exactly.
+        for round in 0..4 {
+            for i in 0..16u64 {
+                let r = c.access(i, (i % 8) as usize);
+                if round > 0 {
+                    assert!(r.hit, "tag {i} should be resident in round {round}");
+                }
+            }
+        }
+    }
+}

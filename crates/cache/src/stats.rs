@@ -1,0 +1,101 @@
+//! Hit/miss accounting.
+
+/// Running hit/miss counters with convenience rate accessors.
+///
+/// ```
+/// let mut s = mltc_cache::HitStats::default();
+/// s.record(true);
+/// s.record(false);
+/// assert_eq!(s.hit_rate(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HitStats {
+    /// Total accesses observed.
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+}
+
+impl HitStats {
+    /// Records one access.
+    #[inline]
+    pub fn record(&mut self, hit: bool) {
+        self.accesses += 1;
+        self.hits += hit as u64;
+    }
+
+    /// Misses observed.
+    #[inline]
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+
+    /// Hit rate in `[0, 1]`; zero accesses count as rate 0.
+    #[inline]
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Miss rate in `[0, 1]`; zero accesses count as rate 0.
+    #[inline]
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses as f64
+        }
+    }
+
+    /// Resets both counters to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Accumulates another counter into this one.
+    pub fn merge(&mut self, other: &HitStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_rates_are_zero() {
+        let s = HitStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn rates_sum_to_one() {
+        let mut s = HitStats::default();
+        for i in 0..10 {
+            s.record(i % 3 == 0);
+        }
+        assert!((s.hit_rate() + s.miss_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(s.hits, 4);
+        assert_eq!(s.misses(), 6);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = HitStats { accesses: 10, hits: 5 };
+        let b = HitStats { accesses: 2, hits: 2 };
+        a.merge(&b);
+        assert_eq!(a, HitStats { accesses: 12, hits: 7 });
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut s = HitStats { accesses: 3, hits: 1 };
+        s.reset();
+        assert_eq!(s, HitStats::default());
+    }
+}

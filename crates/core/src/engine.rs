@@ -1,0 +1,480 @@
+//! The transaction-accurate multi-level cache simulator (paper §3.3, §5.3).
+
+use crate::{L1Config, L1TextureCache, L2Cache, L2Config, L2Outcome};
+use mltc_cache::RoundRobinTlb;
+use mltc_texture::{PageTableLayout, TextureId, TextureRegistry, TilingConfig};
+use mltc_trace::{filter_taps, FrameTrace};
+
+/// Full configuration of a simulated architecture.
+///
+/// * `l2: None` models the **pull** architecture (L1 misses download L1
+///   tiles straight from host memory over AGP);
+/// * `l2: Some(..)` models the proposed **multi-level** architecture.
+///
+/// ```
+/// use mltc_core::EngineConfig;
+/// let pull = EngineConfig::default();
+/// assert!(pull.l2.is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// On-chip L1 texture cache.
+    pub l1: L1Config,
+    /// Optional local-memory L2 cache.
+    pub l2: Option<L2Config>,
+    /// Texture page-table TLB entries; `0` disables TLB modelling. Only
+    /// meaningful when an L2 is present (§5.4.3).
+    pub tlb_entries: usize,
+    /// L2 block / L1 sub-block tiling.
+    pub tiling: TilingConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            l1: L1Config::default(),
+            l2: None,
+            tlb_entries: 0,
+            tiling: TilingConfig::PAPER_DEFAULT,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Short human-readable description (used as series labels in the
+    /// experiment harness).
+    pub fn label(&self) -> String {
+        let l1kb = self.l1.size_bytes / 1024;
+        match self.l2 {
+            None => format!("{l1kb} KB L1, no L2"),
+            Some(l2) => format!("{l1kb} KB L1, {} MB L2", l2.size_bytes >> 20),
+        }
+    }
+}
+
+/// Per-frame traffic and hit counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameCounters {
+    /// Texel lookups presented to the L1.
+    pub l1_accesses: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L2 full hits (conditional on L1 miss).
+    pub l2_full_hits: u64,
+    /// L2 partial hits.
+    pub l2_partial_hits: u64,
+    /// L2 full misses.
+    pub l2_full_misses: u64,
+    /// Bytes downloaded from host memory over AGP.
+    pub host_bytes: u64,
+    /// Bytes moved through local L2 cache memory (reads on full hits,
+    /// writes on downloads).
+    pub l2_local_bytes: u64,
+    /// TLB lookups (one per L1 miss when a TLB is modelled).
+    pub tlb_accesses: u64,
+    /// TLB hits.
+    pub tlb_hits: u64,
+}
+
+impl FrameCounters {
+    /// L1 hit rate.
+    pub fn l1_hit_rate(&self) -> f64 {
+        rate(self.l1_hits, self.l1_accesses)
+    }
+
+    /// L1 miss rate.
+    pub fn l1_miss_rate(&self) -> f64 {
+        1.0 - self.l1_hit_rate()
+    }
+
+    /// L2 full-hit rate given an L1 miss.
+    pub fn l2_full_hit_rate(&self) -> f64 {
+        rate(self.l2_full_hits, self.l2_accesses())
+    }
+
+    /// L2 partial-hit rate given an L1 miss.
+    pub fn l2_partial_hit_rate(&self) -> f64 {
+        rate(self.l2_partial_hits, self.l2_accesses())
+    }
+
+    /// L1 misses presented to the L2.
+    pub fn l2_accesses(&self) -> u64 {
+        self.l2_full_hits + self.l2_partial_hits + self.l2_full_misses
+    }
+
+    /// TLB hit rate.
+    pub fn tlb_hit_rate(&self) -> f64 {
+        rate(self.tlb_hits, self.tlb_accesses)
+    }
+
+    /// Host download traffic in megabytes.
+    pub fn host_mb(&self) -> f64 {
+        self.host_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Accumulates another frame's counters.
+    pub fn merge(&mut self, o: &FrameCounters) {
+        self.l1_accesses += o.l1_accesses;
+        self.l1_hits += o.l1_hits;
+        self.l2_full_hits += o.l2_full_hits;
+        self.l2_partial_hits += o.l2_partial_hits;
+        self.l2_full_misses += o.l2_full_misses;
+        self.host_bytes += o.host_bytes;
+        self.l2_local_bytes += o.l2_local_bytes;
+        self.tlb_accesses += o.tlb_accesses;
+        self.tlb_hits += o.tlb_hits;
+    }
+}
+
+fn rate(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// The simulator: one architecture configuration replaying texel accesses.
+///
+/// Control flow per texel (the paper's Fig. 7): compute the virtual block
+/// address (step A); probe L1 (B); on a miss consult the page table —
+/// through the TLB when modelled — and either serve from L2 (C/D), download
+/// the missing L1 sub-block from host into L2 and L1 in parallel (F), or
+/// run block replacement first (E). Without an L2, every L1 miss downloads
+/// an L1 tile from host memory (pull architecture).
+#[derive(Debug)]
+pub struct SimEngine {
+    cfg: EngineConfig,
+    layout: PageTableLayout,
+    /// Per-tid mip dims for filter expansion (`None` = deleted texture).
+    dims: Vec<Option<Vec<(u32, u32)>>>,
+    l1: L1TextureCache,
+    l2: Option<L2Cache>,
+    tlb: Option<RoundRobinTlb>,
+    current: FrameCounters,
+    frames: Vec<FrameCounters>,
+}
+
+impl SimEngine {
+    /// Builds an engine for the textures of `registry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an L2 is configured but the registry holds no textures
+    /// (the page table would be empty), or on an invalid L1 geometry.
+    pub fn new(cfg: EngineConfig, registry: &TextureRegistry) -> Self {
+        let layout = PageTableLayout::new(registry, cfg.tiling);
+        let mut dims = vec![None; registry.issued_count()];
+        for (tid, pyr) in registry.iter() {
+            dims[tid.index() as usize] =
+                Some(pyr.iter().map(|l| (l.width(), l.height())).collect());
+        }
+        let l2 = cfg.l2.map(|c| L2Cache::new(c, cfg.tiling, layout.entry_count()));
+        let tlb = (cfg.tlb_entries > 0).then(|| RoundRobinTlb::new(cfg.tlb_entries));
+        Self {
+            cfg,
+            layout,
+            dims,
+            l1: L1TextureCache::new(cfg.l1),
+            l2,
+            tlb,
+            current: FrameCounters::default(),
+            frames: Vec::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.cfg
+    }
+
+    /// Simulates one texel read: `(u, v)` are in-bounds texel coordinates of
+    /// mip level `m` of `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds for coordinate checks) if the texture is
+    /// unknown or the coordinates are out of range.
+    #[inline]
+    pub fn access_texel(&mut self, tid: TextureId, m: u32, u: u32, v: u32) {
+        self.current.l1_accesses += 1;
+        if self.l1.access(tid, m, u, v) {
+            self.current.l1_hits += 1;
+            return;
+        }
+
+        let l1_bytes = self.cfg.l1.line_bytes() as u64;
+        match &mut self.l2 {
+            None => {
+                // Pull architecture: L1 tile straight from host memory.
+                self.current.host_bytes += l1_bytes;
+            }
+            Some(l2) => {
+                let addr = self
+                    .layout
+                    .translate(tid, u, v, m)
+                    .expect("texel access to texture unknown to the engine");
+                let pt_index = self.layout.page_table_index(&addr);
+                if let Some(tlb) = &mut self.tlb {
+                    self.current.tlb_accesses += 1;
+                    if tlb.access(pt_index as u64) {
+                        self.current.tlb_hits += 1;
+                    }
+                }
+                let l2_block_bytes = self.cfg.tiling.l2().cache_bytes() as u64;
+                match l2.access(pt_index, addr.l1) {
+                    L2Outcome::FullHit => {
+                        self.current.l2_full_hits += 1;
+                        self.current.l2_local_bytes += l1_bytes;
+                    }
+                    L2Outcome::PartialHit => {
+                        self.current.l2_partial_hits += 1;
+                        // Downloaded into L2 and L1 in parallel (step F).
+                        self.current.host_bytes += l1_bytes;
+                        self.current.l2_local_bytes += l1_bytes;
+                    }
+                    L2Outcome::FullMiss => {
+                        self.current.l2_full_misses += 1;
+                        let dl = if l2.config().sector_mapping { l1_bytes } else { l2_block_bytes };
+                        self.current.host_bytes += dl;
+                        self.current.l2_local_bytes += dl;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Replays a whole frame trace (expanding each pixel request through the
+    /// trace's filter mode) and closes the frame.
+    pub fn run_frame(&mut self, trace: &FrameTrace) {
+        for req in &trace.requests {
+            let dims = self
+                .dims
+                .get(req.tid.index() as usize)
+                .and_then(|d| d.as_ref())
+                .expect("trace references texture unknown to the engine");
+            let levels = dims.len() as u32;
+            let taps = filter_taps(req, trace.filter, levels, |m| dims[m as usize]);
+            for tap in &taps {
+                self.access_texel(req.tid, tap.m, tap.u, tap.v);
+            }
+        }
+        self.end_frame();
+    }
+
+    /// Closes the current frame: pushes its counters and starts a new one.
+    pub fn end_frame(&mut self) {
+        self.frames.push(self.current);
+        self.current = FrameCounters::default();
+    }
+
+    /// Counters of the most recently completed frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frame has been completed yet.
+    pub fn frame_stats(&self) -> &FrameCounters {
+        self.frames.last().expect("no completed frames")
+    }
+
+    /// Per-frame counters for all completed frames.
+    pub fn frames(&self) -> &[FrameCounters] {
+        &self.frames
+    }
+
+    /// Sum of all completed frames.
+    pub fn totals(&self) -> FrameCounters {
+        let mut t = FrameCounters::default();
+        for f in &self.frames {
+            t.merge(f);
+        }
+        t
+    }
+
+    /// The L2 cache, when configured (for clock statistics etc.).
+    pub fn l2(&self) -> Option<&L2Cache> {
+        self.l2.as_ref()
+    }
+
+    /// Deletes a texture mid-run: deallocates its page-table entries and
+    /// releases its L2 blocks. (L1 lines age out naturally; the design is
+    /// non-inclusive.)
+    pub fn delete_texture(&mut self, tid: TextureId) {
+        if let (Some(l2), Some(tstart), Some(tlen)) =
+            (&mut self.l2, self.layout.tstart(tid), self.layout.tlen(tid))
+        {
+            l2.deallocate_texture(tstart, tlen);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mltc_texture::{synth, MipPyramid};
+    use mltc_trace::{FilterMode, PixelRequest};
+
+    fn registry(n: usize, dim: u32) -> TextureRegistry {
+        let mut reg = TextureRegistry::new();
+        for i in 0..n {
+            reg.load(
+                format!("t{i}"),
+                MipPyramid::from_image(synth::checkerboard(dim, 4, [0; 3], [255; 3])),
+            );
+        }
+        reg
+    }
+
+    fn sweep(engine: &mut SimEngine, tid: TextureId, dim: u32) {
+        for v in 0..dim {
+            for u in 0..dim {
+                engine.access_texel(tid, 0, u, v);
+            }
+        }
+        engine.end_frame();
+    }
+
+    #[test]
+    fn pull_downloads_every_l1_miss() {
+        let reg = registry(1, 64);
+        let mut e = SimEngine::new(
+            EngineConfig { l1: L1Config::kb(2), ..EngineConfig::default() },
+            &reg,
+        );
+        sweep(&mut e, TextureId::from_index(0), 64);
+        let f = e.frame_stats();
+        assert_eq!(f.l1_accesses, 64 * 64);
+        let misses = f.l1_accesses - f.l1_hits;
+        assert_eq!(f.host_bytes, misses * 64);
+        assert_eq!(f.l2_accesses(), 0);
+        assert_eq!(f.l2_local_bytes, 0);
+    }
+
+    #[test]
+    fn l2_absorbs_interframe_reuse() {
+        let reg = registry(1, 128);
+        let cfg = EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(2)),
+            ..EngineConfig::default()
+        };
+        let mut e = SimEngine::new(cfg, &reg);
+        sweep(&mut e, TextureId::from_index(0), 128);
+        sweep(&mut e, TextureId::from_index(0), 128);
+        let first = e.frames()[0];
+        let second = e.frames()[1];
+        assert!(first.host_bytes > 0);
+        assert_eq!(second.host_bytes, 0, "second frame served entirely from L2");
+        assert!(second.l2_full_hit_rate() > 0.999);
+        assert!(second.l2_local_bytes > 0);
+    }
+
+    #[test]
+    fn partial_hits_download_sub_blocks_on_demand() {
+        let reg = registry(1, 64);
+        let cfg = EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(2)),
+            ..EngineConfig::default()
+        };
+        let mut e = SimEngine::new(cfg, &reg);
+        // Touch one texel per L2 block: full misses only.
+        for by in 0..4u32 {
+            for bx in 0..4u32 {
+                e.access_texel(TextureId::from_index(0), 0, bx * 16, by * 16);
+            }
+        }
+        e.end_frame();
+        let f1 = e.frames()[0];
+        assert_eq!(f1.l2_full_misses, 16);
+        assert_eq!(f1.l2_partial_hits, 0);
+        // Now touch a different sub-block of each: partial hits.
+        for by in 0..4u32 {
+            for bx in 0..4u32 {
+                e.access_texel(TextureId::from_index(0), 0, bx * 16 + 8, by * 16 + 8);
+            }
+        }
+        e.end_frame();
+        let f2 = e.frames()[1];
+        assert_eq!(f2.l2_partial_hits, 16);
+        assert_eq!(f2.l2_full_misses, 0);
+        assert_eq!(f2.host_bytes, 16 * 64);
+    }
+
+    #[test]
+    fn without_sector_mapping_misses_cost_whole_blocks() {
+        let reg = registry(1, 64);
+        let cfg = EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config { sector_mapping: false, ..L2Config::mb(2) }),
+            ..EngineConfig::default()
+        };
+        let mut e = SimEngine::new(cfg, &reg);
+        e.access_texel(TextureId::from_index(0), 0, 0, 0);
+        e.end_frame();
+        assert_eq!(e.frame_stats().host_bytes, 1024, "full 16x16x4B block downloaded");
+    }
+
+    #[test]
+    fn tlb_counters_track_l1_misses() {
+        let reg = registry(2, 64);
+        let cfg = EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(2)),
+            tlb_entries: 2,
+            ..EngineConfig::default()
+        };
+        let mut e = SimEngine::new(cfg, &reg);
+        sweep(&mut e, TextureId::from_index(0), 64);
+        let f = e.frame_stats();
+        let misses = f.l1_accesses - f.l1_hits;
+        assert_eq!(f.tlb_accesses, misses);
+        assert!(f.tlb_hits <= f.tlb_accesses);
+        assert!(f.tlb_hits > 0, "sequential blocks re-hit the TLB");
+    }
+
+    #[test]
+    fn run_frame_expands_filter_footprints() {
+        let reg = registry(1, 64);
+        let mut e = SimEngine::new(EngineConfig::default(), &reg);
+        let mut t = FrameTrace::new(0, 8, 8, FilterMode::Trilinear);
+        t.push(PixelRequest { tid: TextureId::from_index(0), u: 8.0, v: 8.0, lod: 0.5 });
+        e.run_frame(&t);
+        assert_eq!(e.frame_stats().l1_accesses, 8, "trilinear = 8 taps");
+    }
+
+    #[test]
+    fn totals_accumulate_frames() {
+        let reg = registry(1, 64);
+        let mut e = SimEngine::new(EngineConfig::default(), &reg);
+        sweep(&mut e, TextureId::from_index(0), 64);
+        sweep(&mut e, TextureId::from_index(0), 64);
+        let t = e.totals();
+        assert_eq!(t.l1_accesses, 2 * 64 * 64);
+        assert_eq!(e.frames().len(), 2);
+    }
+
+    #[test]
+    fn delete_texture_releases_l2_blocks() {
+        let reg = registry(2, 64);
+        let cfg = EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(2)),
+            ..EngineConfig::default()
+        };
+        let mut e = SimEngine::new(cfg, &reg);
+        sweep(&mut e, TextureId::from_index(0), 64);
+        let used = e.l2().unwrap().blocks_in_use();
+        assert!(used > 0);
+        e.delete_texture(TextureId::from_index(0));
+        assert_eq!(e.l2().unwrap().blocks_in_use(), 0);
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        let pull = EngineConfig { l1: L1Config::kb(2), ..EngineConfig::default() };
+        assert_eq!(pull.label(), "2 KB L1, no L2");
+        let ml = EngineConfig { l1: L1Config::kb(2), l2: Some(L2Config::mb(4)), ..pull };
+        assert_eq!(ml.label(), "2 KB L1, 4 MB L2");
+    }
+}

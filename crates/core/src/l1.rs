@@ -1,0 +1,306 @@
+//! The on-chip L1 texture cache (paper §2.3, §3.3).
+
+use mltc_cache::{HitStats, SetAssocCache};
+use mltc_texture::{L1BlockKey, TextureId, TileSize};
+
+/// How texture lines are shaped in host memory and therefore in the cache.
+///
+/// Hakura's study (which §2.3 builds on) compares *tiled* storage (square
+/// texel blocks per cache line) against conventional *linear* scanline
+/// storage; the paper adopts tiled storage. `Linear` keeps the same line
+/// size but shapes it as a 1-texel-tall run, for the storage-format
+/// ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StorageFormat {
+    /// Square tiles (the paper's choice).
+    #[default]
+    Tiled,
+    /// Scanline runs of texels (tile.texel_count() x 1).
+    Linear,
+}
+
+/// Configuration of the L1 texture cache.
+///
+/// Following the paper (§2.3), the line size equals the tile size, the
+/// default tile is 4×4 texels of 32 bits (64-byte lines), and associativity
+/// defaults to 2-way — "Hakura … argues that 2-way set associative is of
+/// sufficient associativity to avoid conflict misses with trilinear
+/// interpolation. We follow Hakura's lead."
+///
+/// ```
+/// use mltc_core::L1Config;
+/// let c = L1Config::kb(2);
+/// assert_eq!(c.lines(), 32);
+/// assert_eq!(c.sets(), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L1Config {
+    /// Total capacity in bytes (must be a power of two ≥ one line).
+    pub size_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Tile (= line) size.
+    pub tile: TileSize,
+    /// Line shape: square tiles or linear scanline runs (§2.3 ablation).
+    pub storage: StorageFormat,
+}
+
+impl L1Config {
+    /// A `kb`-kilobyte, 2-way, 4×4-tile cache (the paper's configurations
+    /// are 2 KB "low end" and 16 KB "high end").
+    pub const fn kb(kb: usize) -> Self {
+        Self { size_bytes: kb * 1024, ways: 2, tile: TileSize::X4, storage: StorageFormat::Tiled }
+    }
+
+    /// Line size in bytes (tile texels × 4 bytes).
+    #[inline]
+    pub const fn line_bytes(&self) -> usize {
+        self.tile.cache_bytes()
+    }
+
+    /// Number of lines.
+    #[inline]
+    pub const fn lines(&self) -> usize {
+        self.size_bytes / self.line_bytes()
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub const fn sets(&self) -> usize {
+        self.lines() / self.ways
+    }
+}
+
+impl Default for L1Config {
+    fn default() -> Self {
+        Self::kb(16)
+    }
+}
+
+/// Interleaves the low 16 bits of `x` and `y` (Morton order).
+#[inline]
+fn morton16(x: u32, y: u32) -> u32 {
+    fn spread(mut v: u32) -> u32 {
+        v &= 0xffff;
+        v = (v | (v << 8)) & 0x00ff_00ff;
+        v = (v | (v << 4)) & 0x0f0f_0f0f;
+        v = (v | (v << 2)) & 0x3333_3333;
+        v = (v | (v << 1)) & 0x5555_5555;
+        v
+    }
+    spread(x) | (spread(y) << 1)
+}
+
+/// The L1 texture cache: an N-way set-associative cache of L1 texture tiles
+/// tagged by their virtual block identity and indexed by bit-interleaved
+/// tile coordinates — Hakura's "6D blocked representation" for collision
+/// avoidance, which the paper adopts by making L1 tags "the same
+/// ⟨tid, L2, L1⟩ used for L2 virtual addresses" (§3.3).
+///
+/// Per §3.3, the tag calculation is *fixed across all simulated L2 tile
+/// sizes* so that L1 behaviour does not vary within an L2 parameter sweep:
+/// tags here are the tiling-independent [`L1BlockKey`] (texture, mip level,
+/// tile column, tile row), which is in one-to-one correspondence with
+/// ⟨tid, L2, L1⟩ for any fixed L2 tile size.
+///
+/// ```
+/// use mltc_core::{L1Config, L1TextureCache};
+/// use mltc_texture::TextureId;
+/// let mut l1 = L1TextureCache::new(L1Config::kb(2));
+/// let t = TextureId::from_index(0);
+/// assert!(!l1.access(t, 0, 0, 0)); // cold miss
+/// assert!(l1.access(t, 0, 3, 3));  // same 4x4 tile
+/// ```
+#[derive(Debug, Clone)]
+pub struct L1TextureCache {
+    cache: SetAssocCache,
+    cfg: L1Config,
+    set_mask: u32,
+}
+
+impl L1TextureCache {
+    /// Builds the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration yields zero sets or a non-power-of-two
+    /// set count (hardware indexes sets with address bits).
+    pub fn new(cfg: L1Config) -> Self {
+        let sets = cfg.sets();
+        assert!(sets > 0, "L1 of {} bytes has no sets", cfg.size_bytes);
+        assert!(sets.is_power_of_two(), "L1 set count {sets} must be a power of two");
+        Self { cache: SetAssocCache::new(sets, cfg.ways), cfg, set_mask: sets as u32 - 1 }
+    }
+
+    /// The configuration.
+    #[inline]
+    pub fn config(&self) -> L1Config {
+        self.cfg
+    }
+
+    /// Computes the set index for a tile: Morton-interleaved tile
+    /// coordinates XOR-folded down to the set bits (so distant tiles
+    /// contribute too, not just the immediate neighbourhood), perturbed by
+    /// mip level and texture id so that coincident tiles of different
+    /// levels/textures spread across sets.
+    #[inline]
+    fn set_index(&self, tid: TextureId, m: u32, bx: u32, by: u32) -> usize {
+        // Mip level and texture id are multiplicatively spread over all bits
+        // so coincident tiles of different levels/textures don't pile into
+        // neighbouring sets.
+        let mut h = morton16(bx, by)
+            ^ m.wrapping_mul(0x85eb_ca6b)
+            ^ tid.index().wrapping_mul(0x9e37_79b1).rotate_right(16);
+        let bits = (self.set_mask + 1).trailing_zeros().max(1);
+        let mut shift = bits;
+        while shift < 32 {
+            h ^= h >> shift;
+            shift += bits;
+        }
+        (h & self.set_mask) as usize
+    }
+
+    /// Looks up the texel `(u, v)` of mip level `m` of `tid` (texel
+    /// coordinates within the level) and returns whether its line hit.
+    /// On a miss, the line is installed (the caller models the download).
+    #[inline]
+    pub fn access(&mut self, tid: TextureId, m: u32, u: u32, v: u32) -> bool {
+        let (bx, by) = match self.cfg.storage {
+            StorageFormat::Tiled => {
+                let s = self.cfg.tile.shift();
+                (u >> s, v >> s)
+            }
+            // A line holds the same texel count, but 1 texel tall.
+            StorageFormat::Linear => (u >> (2 * self.cfg.tile.shift()), v),
+        };
+        let tag = L1BlockKey::from_block_coords(tid, m, bx, by).packed();
+        let set = self.set_index(tid, m, bx, by);
+        self.cache.access(tag, set).hit
+    }
+
+    /// Lifetime hit/miss counters.
+    #[inline]
+    pub fn stats(&self) -> HitStats {
+        self.cache.stats()
+    }
+
+    /// Resets counters (contents untouched).
+    pub fn reset_stats(&mut self) {
+        self.cache.reset_stats();
+    }
+
+    /// Invalidates the whole cache.
+    pub fn flush(&mut self) {
+        self.cache.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TextureId {
+        TextureId::from_index(i)
+    }
+
+    #[test]
+    fn config_arithmetic() {
+        let c = L1Config::kb(16);
+        assert_eq!(c.line_bytes(), 64);
+        assert_eq!(c.lines(), 256);
+        assert_eq!(c.sets(), 128);
+    }
+
+    #[test]
+    fn same_tile_hits_different_tile_misses() {
+        let mut l1 = L1TextureCache::new(L1Config::kb(2));
+        assert!(!l1.access(t(0), 0, 0, 0));
+        assert!(l1.access(t(0), 0, 1, 2));
+        assert!(!l1.access(t(0), 0, 4, 0), "next tile to the right");
+        assert!(!l1.access(t(0), 0, 0, 4), "next tile below");
+    }
+
+    #[test]
+    fn mip_levels_do_not_alias() {
+        let mut l1 = L1TextureCache::new(L1Config::kb(2));
+        assert!(!l1.access(t(0), 0, 0, 0));
+        assert!(!l1.access(t(0), 1, 0, 0));
+        assert!(l1.access(t(0), 0, 0, 0));
+        assert!(l1.access(t(0), 1, 0, 0));
+    }
+
+    #[test]
+    fn textures_do_not_alias() {
+        let mut l1 = L1TextureCache::new(L1Config::kb(2));
+        assert!(!l1.access(t(0), 0, 0, 0));
+        assert!(!l1.access(t(1), 0, 0, 0));
+        assert!(l1.access(t(0), 0, 0, 0));
+    }
+
+    #[test]
+    fn scanline_sweep_within_capacity_only_compulsory_misses() {
+        // A 32-texel-wide scanline touches 8 tiles per band; with Morton
+        // set indexing they fit the 2 KB cache without conflicts, so rows
+        // 1-3 of each 4-row band hit entirely.
+        let mut l1 = L1TextureCache::new(L1Config::kb(2));
+        for v in 0..8u32 {
+            for u in 0..32u32 {
+                l1.access(t(0), 0, u, v);
+            }
+        }
+        // Misses: 8 tiles on the first scanline of each of the 2 bands.
+        assert_eq!(l1.stats().misses(), 16);
+    }
+
+    #[test]
+    fn capacity_misses_appear_when_working_set_exceeds_cache() {
+        // A 2D-local working set of 16x16 tiles (16 KB) cycled twice.
+        // 2 KB = 32 lines: cyclic thrash, the second pass misses too.
+        let mut l1 = L1TextureCache::new(L1Config::kb(2));
+        for _ in 0..2 {
+            for i in 0..256u32 {
+                l1.access(t(0), 0, (i % 16) * 4, (i / 16) * 4);
+            }
+        }
+        assert!(l1.stats().hit_rate() < 0.2, "rate={}", l1.stats().hit_rate());
+
+        // 32 KB = 512 lines: Morton indexing maps the 16x16-tile square
+        // conflict-free, so the second pass hits entirely.
+        let mut big = L1TextureCache::new(L1Config::kb(32));
+        for _ in 0..2 {
+            for i in 0..256u32 {
+                big.access(t(0), 0, (i % 16) * 4, (i / 16) * 4);
+            }
+        }
+        assert_eq!(big.stats().hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn morton_interleave_spreads_neighbours() {
+        // 2x2 neighbouring tiles land in 4 distinct sets.
+        let l1 = L1TextureCache::new(L1Config::kb(2));
+        let mut sets = std::collections::HashSet::new();
+        for by in 0..2 {
+            for bx in 0..2 {
+                sets.insert(l1.set_index(t(0), 0, bx, by));
+            }
+        }
+        assert_eq!(sets.len(), 4);
+    }
+
+    #[test]
+    fn flush_forgets_contents_keeps_stats() {
+        let mut l1 = L1TextureCache::new(L1Config::kb(2));
+        l1.access(t(0), 0, 0, 0);
+        l1.flush();
+        assert!(!l1.access(t(0), 0, 0, 0));
+        assert_eq!(l1.stats().accesses, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_rejected() {
+        // 3 KB / 64 B / 2 = 24 sets.
+        let _ = L1TextureCache::new(L1Config { size_bytes: 3072, ..L1Config::kb(2) });
+    }
+}

@@ -1,0 +1,540 @@
+//! The L2 texture cache: virtual-memory-style caching of texture blocks
+//! (paper §5.1–5.2 and the Appendix pseudo-code).
+//!
+//! The working-set results of §4.2 call for an L2 cache of megabytes; a
+//! fully associative cache of that size is infeasible, and hashing for a
+//! direct-mapped or set-associative organisation would have to capture
+//! temporal as well as spatial locality across textures. The paper instead
+//! treats L2 texture caching as virtual memory: a **texture page table**
+//! (`t_table[]`) maps virtual blocks ⟨tid, L2⟩ to physical blocks in L2
+//! cache memory, a **block replacement list** (`BRL[]`) runs the clock
+//! algorithm to approximate LRU, and **sector mapping** downloads only the
+//! L1 sub-block that missed, marking it in a per-page bit vector.
+
+use mltc_cache::{ClockList, ClockStats, LruList, SectorBits};
+use mltc_texture::TilingConfig;
+use std::fmt;
+
+/// L2 block replacement policy.
+///
+/// The paper uses clock ("a simple and robust algorithm that is still used
+/// in practice", §5.1) and calls for investigating alternatives to avoid
+/// "pesky" behaviour (§6); true LRU and FIFO are provided for that ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplacementPolicy {
+    /// Second-chance clock over the BRL (the paper's choice).
+    #[default]
+    Clock,
+    /// True least-recently-used.
+    Lru,
+    /// First-in first-out (allocation order).
+    Fifo,
+}
+
+impl fmt::Display for ReplacementPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ReplacementPolicy::Clock => "clock",
+            ReplacementPolicy::Lru => "lru",
+            ReplacementPolicy::Fifo => "fifo",
+        })
+    }
+}
+
+/// L2 cache configuration.
+///
+/// ```
+/// use mltc_core::L2Config;
+/// let c = L2Config::mb(2);
+/// assert_eq!(c.size_bytes, 2 << 20);
+/// assert!(c.sector_mapping);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L2Config {
+    /// Capacity of L2 cache memory in bytes (32-bit texels).
+    pub size_bytes: usize,
+    /// Replacement policy.
+    pub policy: ReplacementPolicy,
+    /// When `true` (the paper's design), only the missing L1 sub-block is
+    /// downloaded on a miss; when `false`, the whole L2 block is downloaded
+    /// and all sectors marked resident (ablation C).
+    pub sector_mapping: bool,
+}
+
+impl L2Config {
+    /// A `mb`-megabyte clock-replaced sector-mapped cache (the paper studies
+    /// 2, 4 and 8 MB).
+    pub const fn mb(mb: usize) -> Self {
+        Self { size_bytes: mb << 20, policy: ReplacementPolicy::Clock, sector_mapping: true }
+    }
+}
+
+/// Outcome of one L2 access (given an L1 miss).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L2Outcome {
+    /// The virtual L2 block has a physical block *and* the wanted L1
+    /// sub-block is resident: serve from local memory (paper step D → yes).
+    FullHit,
+    /// The block is allocated but the sub-block is vacant: download one L1
+    /// sub-block from host memory into L2 (and L1 in parallel) (step F).
+    PartialHit,
+    /// No physical block: run replacement, allocate, then download (step E).
+    FullMiss,
+}
+
+/// L2 access counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct L2Stats {
+    /// Full hits.
+    pub full_hits: u64,
+    /// Partial hits (block allocated, sector vacant).
+    pub partial_hits: u64,
+    /// Full misses (block replacement ran).
+    pub full_misses: u64,
+}
+
+impl L2Stats {
+    /// Total accesses (= L1 misses presented to the L2).
+    pub fn accesses(&self) -> u64 {
+        self.full_hits + self.partial_hits + self.full_misses
+    }
+
+    /// Full-hit rate conditioned on an L1 miss having occurred — the paper
+    /// reports L2 rates "as a conditional probability" (§5.4.2, fn. 5).
+    pub fn full_hit_rate(&self) -> f64 {
+        if self.accesses() == 0 { 0.0 } else { self.full_hits as f64 / self.accesses() as f64 }
+    }
+
+    /// Partial-hit rate conditioned on an L1 miss.
+    pub fn partial_hit_rate(&self) -> f64 {
+        if self.accesses() == 0 { 0.0 } else { self.partial_hits as f64 / self.accesses() as f64 }
+    }
+}
+
+/// A texture page table entry: the physical block number (`0` = none
+/// allocated, else 1-based) and the sector presence bits.
+#[derive(Debug, Clone, Copy, Default)]
+struct PtEntry {
+    l2_block: u32,
+    sector: SectorBits,
+}
+
+/// Replacement machinery behind a common interface.
+#[derive(Debug, Clone)]
+enum Replacer {
+    Clock(ClockList),
+    Lru(LruList),
+    Fifo(FifoList),
+}
+
+impl Replacer {
+    fn new(policy: ReplacementPolicy, blocks: usize) -> Self {
+        match policy {
+            ReplacementPolicy::Clock => Replacer::Clock(ClockList::new(blocks)),
+            ReplacementPolicy::Lru => Replacer::Lru(LruList::new(blocks)),
+            ReplacementPolicy::Fifo => Replacer::Fifo(FifoList::new(blocks)),
+        }
+    }
+
+    #[inline]
+    fn touch(&mut self, b: usize) {
+        match self {
+            Replacer::Clock(c) => c.touch(b),
+            Replacer::Lru(l) => l.touch(b),
+            Replacer::Fifo(_) => {}
+        }
+    }
+
+    fn find_victim(&mut self) -> usize {
+        match self {
+            Replacer::Clock(c) => c.find_victim(),
+            Replacer::Lru(l) => l.find_victim(),
+            Replacer::Fifo(f) => f.find_victim(),
+        }
+    }
+
+    fn assign(&mut self, b: usize, t_index: u32) {
+        match self {
+            Replacer::Clock(c) => c.assign(b, t_index),
+            Replacer::Lru(l) => l.assign(b, t_index),
+            Replacer::Fifo(f) => f.assign(b, t_index),
+        }
+    }
+
+    fn owner(&self, b: usize) -> Option<u32> {
+        match self {
+            Replacer::Clock(c) => c.owner(b),
+            Replacer::Lru(l) => l.owner(b),
+            Replacer::Fifo(f) => f.owner(b),
+        }
+    }
+
+    fn release(&mut self, b: usize) {
+        match self {
+            Replacer::Clock(c) => c.release(b),
+            Replacer::Lru(l) => l.release(b),
+            Replacer::Fifo(f) => f.release(b),
+        }
+    }
+}
+
+/// FIFO by allocation order.
+#[derive(Debug, Clone)]
+struct FifoList {
+    free: Vec<u32>,
+    queue: std::collections::VecDeque<u32>,
+    owners: Vec<u32>,
+}
+
+impl FifoList {
+    fn new(blocks: usize) -> Self {
+        Self {
+            free: (0..blocks as u32).rev().collect(),
+            queue: std::collections::VecDeque::with_capacity(blocks),
+            owners: vec![0; blocks],
+        }
+    }
+
+    fn find_victim(&mut self) -> usize {
+        if let Some(b) = self.free.pop() {
+            b as usize
+        } else {
+            self.queue.pop_front().expect("FIFO queue empty with no free blocks") as usize
+        }
+    }
+
+    fn assign(&mut self, b: usize, t_index: u32) {
+        self.owners[b] = t_index;
+        self.queue.push_back(b as u32);
+    }
+
+    fn owner(&self, b: usize) -> Option<u32> {
+        (self.owners[b] != 0).then_some(self.owners[b])
+    }
+
+    fn release(&mut self, b: usize) {
+        self.owners[b] = 0;
+        self.queue.retain(|&x| x != b as u32);
+        self.free.push(b as u32);
+    }
+}
+
+/// The L2 texture cache.
+///
+/// Physical texture data is not stored — this is a transaction-accurate
+/// (not cycle-accurate) simulator, as in §3.3; only the page table, sector
+/// bits and replacement state are modelled, which fully determine hits,
+/// misses and traffic.
+///
+/// ```
+/// use mltc_core::{L2Cache, L2Config, L2Outcome};
+/// use mltc_texture::TilingConfig;
+///
+/// // 4 KB cache of 16x16 blocks = 4 physical blocks; 10-entry page table.
+/// let mut l2 = L2Cache::new(
+///     L2Config { size_bytes: 4096, ..L2Config::mb(2) },
+///     TilingConfig::PAPER_DEFAULT, 10);
+/// assert_eq!(l2.access(3, 0), L2Outcome::FullMiss);
+/// assert_eq!(l2.access(3, 0), L2Outcome::FullHit);
+/// assert_eq!(l2.access(3, 1), L2Outcome::PartialHit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct L2Cache {
+    cfg: L2Config,
+    tiling: TilingConfig,
+    t_table: Vec<PtEntry>,
+    replacer: Replacer,
+    blocks: usize,
+    stats: L2Stats,
+}
+
+impl L2Cache {
+    /// Builds an L2 cache with `page_table_entries` page-table slots (one
+    /// per L2 block of every texture in system memory — see
+    /// [`mltc_texture::PageTableLayout::entry_count`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured size holds zero L2 blocks or the page table
+    /// is empty.
+    pub fn new(cfg: L2Config, tiling: TilingConfig, page_table_entries: u32) -> Self {
+        let block_bytes = tiling.l2().cache_bytes();
+        let blocks = cfg.size_bytes / block_bytes;
+        assert!(blocks > 0, "L2 of {} bytes holds no {} blocks", cfg.size_bytes, tiling.l2());
+        assert!(page_table_entries > 0, "empty texture page table");
+        Self {
+            cfg,
+            tiling,
+            t_table: vec![PtEntry::default(); page_table_entries as usize],
+            replacer: Replacer::new(cfg.policy, blocks),
+            blocks,
+            stats: L2Stats::default(),
+        }
+    }
+
+    /// Configuration.
+    #[inline]
+    pub fn config(&self) -> L2Config {
+        self.cfg
+    }
+
+    /// Tiling configuration (L2 block and L1 sub-block sizes).
+    #[inline]
+    pub fn tiling(&self) -> TilingConfig {
+        self.tiling
+    }
+
+    /// Number of physical blocks.
+    #[inline]
+    pub fn block_count(&self) -> usize {
+        self.blocks
+    }
+
+    /// Number of physical blocks currently allocated to virtual blocks.
+    pub fn blocks_in_use(&self) -> usize {
+        (0..self.blocks).filter(|&b| self.replacer.owner(b).is_some()).count()
+    }
+
+    /// Presents an L1 miss for page-table entry `pt_index` (= `tstart + L2`)
+    /// and L1 sub-block `l1_sub`; runs the control flow of the paper's
+    /// Fig. 7 steps C–F and returns what happened.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pt_index` is out of page-table range or `l1_sub` exceeds
+    /// the tiling's sub-blocks-per-block.
+    pub fn access(&mut self, pt_index: u32, l1_sub: u16) -> L2Outcome {
+        assert!((l1_sub as u32) < self.tiling.l1_per_l2(), "sub-block {l1_sub} out of range");
+        let ti = pt_index as usize;
+        let entry = self.t_table[ti];
+
+        if entry.l2_block != 0 {
+            // Step C yes: a physical block is allocated.
+            let b = (entry.l2_block - 1) as usize;
+            let resident = !self.cfg.sector_mapping || entry.sector.get(l1_sub);
+            self.replacer.touch(b);
+            if resident {
+                self.stats.full_hits += 1;
+                L2Outcome::FullHit
+            } else {
+                // Step D no → F: download the missing sub-block.
+                self.t_table[ti].sector.set(l1_sub);
+                self.stats.partial_hits += 1;
+                L2Outcome::PartialHit
+            }
+        } else {
+            // Step E: find a victim, steal its block, allocate, download.
+            let b = self.replacer.find_victim();
+            if let Some(old) = self.replacer.owner(b) {
+                // Clear the victim's ownership via its t_index (1-based).
+                self.t_table[(old - 1) as usize] = PtEntry::default();
+            }
+            self.replacer.assign(b, pt_index + 1);
+            let mut sector = SectorBits::empty();
+            if self.cfg.sector_mapping {
+                sector.set(l1_sub);
+            } else {
+                sector = SectorBits::full(self.tiling.l1_per_l2());
+            }
+            self.t_table[ti] = PtEntry { l2_block: b as u32 + 1, sector };
+            self.stats.full_misses += 1;
+            L2Outcome::FullMiss
+        }
+    }
+
+    /// Deallocates the page-table entries `tstart .. tstart + tlen` of a
+    /// deleted texture, releasing any physical blocks they own (§5.2's
+    /// deallocation walk).
+    pub fn deallocate_texture(&mut self, tstart: u32, tlen: u32) {
+        for ti in tstart..tstart + tlen {
+            let entry = self.t_table[ti as usize];
+            if entry.l2_block != 0 {
+                self.replacer.release((entry.l2_block - 1) as usize);
+                self.t_table[ti as usize] = PtEntry::default();
+            }
+        }
+    }
+
+    /// Access counters.
+    #[inline]
+    pub fn stats(&self) -> L2Stats {
+        self.stats
+    }
+
+    /// Clock victim-search statistics (zeroes for non-clock policies).
+    pub fn clock_stats(&self) -> ClockStats {
+        match &self.replacer {
+            Replacer::Clock(c) => c.stats(),
+            _ => ClockStats::default(),
+        }
+    }
+
+    /// Resets counters (contents untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = L2Stats::default();
+        if let Replacer::Clock(c) = &mut self.replacer {
+            c.reset_stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_l2(blocks: usize, policy: ReplacementPolicy, entries: u32) -> L2Cache {
+        let tiling = TilingConfig::PAPER_DEFAULT; // 1 KB blocks
+        L2Cache::new(
+            L2Config { size_bytes: blocks * 1024, policy, sector_mapping: true },
+            tiling,
+            entries,
+        )
+    }
+
+    #[test]
+    fn miss_hit_partial_sequence() {
+        let mut l2 = small_l2(4, ReplacementPolicy::Clock, 16);
+        assert_eq!(l2.access(0, 0), L2Outcome::FullMiss);
+        assert_eq!(l2.access(0, 0), L2Outcome::FullHit);
+        assert_eq!(l2.access(0, 5), L2Outcome::PartialHit);
+        assert_eq!(l2.access(0, 5), L2Outcome::FullHit);
+        let s = l2.stats();
+        assert_eq!((s.full_misses, s.partial_hits, s.full_hits), (1, 1, 2));
+    }
+
+    #[test]
+    fn conditional_rates() {
+        let mut l2 = small_l2(4, ReplacementPolicy::Clock, 16);
+        l2.access(0, 0);
+        l2.access(0, 0);
+        l2.access(0, 1);
+        l2.access(1, 0);
+        let s = l2.stats();
+        assert_eq!(s.accesses(), 4);
+        assert!((s.full_hit_rate() - 0.25).abs() < 1e-12);
+        assert!((s.partial_hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replacement_clears_victims_page_entry() {
+        let mut l2 = small_l2(2, ReplacementPolicy::Lru, 16);
+        l2.access(0, 0);
+        l2.access(1, 0);
+        l2.access(2, 0); // evicts pt 0 (LRU)
+        assert_eq!(l2.access(1, 0), L2Outcome::FullHit);
+        assert_eq!(l2.access(0, 0), L2Outcome::FullMiss, "victim must have been unmapped");
+    }
+
+    #[test]
+    fn lru_keeps_recently_touched() {
+        let mut l2 = small_l2(2, ReplacementPolicy::Lru, 16);
+        l2.access(0, 0);
+        l2.access(1, 0);
+        l2.access(0, 1); // partial hit touches block of pt 0
+        l2.access(2, 0); // should evict pt 1
+        assert_eq!(l2.access(0, 0), L2Outcome::FullHit);
+        assert_eq!(l2.access(1, 0), L2Outcome::FullMiss);
+    }
+
+    #[test]
+    fn fifo_ignores_recency() {
+        let mut l2 = small_l2(2, ReplacementPolicy::Fifo, 16);
+        l2.access(0, 0);
+        l2.access(1, 0);
+        l2.access(0, 1); // touch pt 0 — FIFO doesn't care
+        l2.access(2, 0); // evicts pt 0 (first allocated)
+        assert_eq!(l2.access(1, 0), L2Outcome::FullHit);
+        assert_eq!(l2.access(0, 0), L2Outcome::FullMiss);
+    }
+
+    #[test]
+    fn clock_gives_second_chance() {
+        let mut l2 = small_l2(2, ReplacementPolicy::Clock, 16);
+        l2.access(0, 0);
+        l2.access(1, 0);
+        // Both active; a miss sweeps, clears both, takes block 0 (pt 0).
+        l2.access(2, 0);
+        assert_eq!(l2.access(1, 0), L2Outcome::FullHit, "pt 1 got its second chance");
+    }
+
+    #[test]
+    fn sector_mapping_off_loads_whole_block() {
+        let tiling = TilingConfig::PAPER_DEFAULT;
+        let mut l2 = L2Cache::new(
+            L2Config { size_bytes: 4096, policy: ReplacementPolicy::Clock, sector_mapping: false },
+            tiling,
+            16,
+        );
+        assert_eq!(l2.access(0, 0), L2Outcome::FullMiss);
+        assert_eq!(l2.access(0, 15), L2Outcome::FullHit, "all sectors resident after a miss");
+    }
+
+    #[test]
+    fn working_set_within_capacity_has_no_steady_state_misses() {
+        let mut l2 = small_l2(8, ReplacementPolicy::Clock, 8);
+        for round in 0..3 {
+            for pt in 0..8u32 {
+                for sub in 0..16u16 {
+                    let out = l2.access(pt, sub);
+                    if round > 0 {
+                        assert_eq!(out, L2Outcome::FullHit, "round {round} pt {pt} sub {sub}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thrashing_when_working_set_exceeds_capacity() {
+        let mut l2 = small_l2(2, ReplacementPolicy::Lru, 8);
+        // Cyclic sweep over 4 virtual blocks through 2 physical: LRU worst case.
+        let mut misses = 0;
+        for _ in 0..5 {
+            for pt in 0..4u32 {
+                if l2.access(pt, 0) == L2Outcome::FullMiss {
+                    misses += 1;
+                }
+            }
+        }
+        assert_eq!(misses, 20, "every access must miss under cyclic LRU thrash");
+    }
+
+    #[test]
+    fn deallocate_texture_frees_blocks() {
+        let mut l2 = small_l2(4, ReplacementPolicy::Clock, 16);
+        l2.access(0, 0);
+        l2.access(1, 0);
+        assert_eq!(l2.blocks_in_use(), 2);
+        l2.deallocate_texture(0, 2);
+        assert_eq!(l2.blocks_in_use(), 0);
+        assert_eq!(l2.access(0, 0), L2Outcome::FullMiss);
+    }
+
+    #[test]
+    fn blocks_in_use_tracks_allocation() {
+        let mut l2 = small_l2(4, ReplacementPolicy::Clock, 16);
+        assert_eq!(l2.blocks_in_use(), 0);
+        for pt in 0..6u32 {
+            l2.access(pt, 0);
+        }
+        assert_eq!(l2.blocks_in_use(), 4, "capacity caps the allocation");
+        assert_eq!(l2.block_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sub_block_bounds_checked() {
+        let mut l2 = small_l2(2, ReplacementPolicy::Clock, 4);
+        let _ = l2.access(0, 16); // 16x16/4x4 has sub-blocks 0..16
+    }
+
+    #[test]
+    fn lru_release_reuses_block_first() {
+        let mut l2 = small_l2(2, ReplacementPolicy::Lru, 8);
+        l2.access(0, 0);
+        l2.access(1, 0);
+        l2.deallocate_texture(0, 1); // free pt 0's block
+        l2.access(2, 0); // must take the freed block, not evict pt 1
+        assert_eq!(l2.access(1, 0), L2Outcome::FullHit);
+    }
+}

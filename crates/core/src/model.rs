@@ -1,0 +1,192 @@
+//! Analytic models: expected working set (§4.1), implementation structure
+//! sizes (§5.4.1, Table 4) and the simple performance model (§5.4.2,
+//! Table 7).
+
+use mltc_texture::TilingConfig;
+
+/// Expected inter-frame working set in **bytes** (paper §4.1, Fig. 3):
+///
+/// `W = (R · d · 4) / utilization`
+///
+/// where `R` is the screen resolution in pixels, `d` the depth complexity,
+/// 4 the bytes per (32-bit) texel, and *utilization* the ratio of texel
+/// fetches to texels in the downloaded blocks (above 1 when texels are
+/// re-used, below 1 under internal fragmentation).
+///
+/// # Panics
+///
+/// Panics if `utilization` is not positive.
+///
+/// ```
+/// // 1024x768, depth 1, utilization 0.5 => 6 MB.
+/// let w = mltc_core::model::expected_working_set(1024 * 768, 1.0, 0.5);
+/// assert!((w / (1 << 20) as f64 - 6.0).abs() < 0.01);
+/// ```
+pub fn expected_working_set(resolution_pixels: u64, depth_complexity: f64, utilization: f64) -> f64 {
+    assert!(utilization > 0.0, "utilization must be positive");
+    resolution_pixels as f64 * depth_complexity * 4.0 / utilization
+}
+
+/// The fractional advantage `f` of the L2 caching architecture (§5.4.2):
+/// the ratio of the L2 architecture's cost on an L1 miss to the pull
+/// architecture's cost on an L1 miss,
+///
+/// `f = c − (c − ½)·h2_full − (c − 1)·h2_partial`
+///
+/// with `c = t2miss / t3` the cost of a full L2 miss relative to an L1
+/// download (the paper assumes `c = 8` for Table 7), and the L2 hit rates
+/// conditional on an L1 miss. `f < 1` means the L2 architecture wins.
+///
+/// The derivation assumes a full L2 hit costs half an L1 download
+/// (`t2full = ½·t3`, local memory at 2× host bandwidth) and a partial hit
+/// costs the same as an L1 download (`t2partial = t3`).
+///
+/// ```
+/// // Perfect full-hitting L2: every miss costs half a download.
+/// assert_eq!(mltc_core::model::fractional_advantage(8.0, 1.0, 0.0), 0.5);
+/// // No L2 hits at all: every L1 miss costs a full L2 miss.
+/// assert_eq!(mltc_core::model::fractional_advantage(8.0, 0.0, 0.0), 8.0);
+/// ```
+pub fn fractional_advantage(c: f64, h2_full: f64, h2_partial: f64) -> f64 {
+    c - (c - 0.5) * h2_full - (c - 1.0) * h2_partial
+}
+
+/// Average texel access time of the pull architecture (§5.4.2):
+/// `A_pull = t1 + (1 − h1)·t3`.
+pub fn avg_access_time_pull(h1: f64, t1: f64, t3: f64) -> f64 {
+    t1 + (1.0 - h1) * t3
+}
+
+/// Average texel access time of the L2 caching architecture (§5.4.2):
+/// `A_L2 = t1 + (1 − h1)·f·t3`.
+pub fn avg_access_time_l2(h1: f64, t1: f64, t3: f64, f: f64) -> f64 {
+    t1 + (1.0 - h1) * f * t3
+}
+
+/// Memory requirements of the L2 caching structures (§5.4.1, Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StructureSizes {
+    /// Texture page table bytes (one entry per L2 block of host texture).
+    pub page_table_bytes: u64,
+    /// BRL active bits only (kept in on-chip SRAM).
+    pub brl_active_bytes: u64,
+    /// BRL without active bits (the `t_index` fields, in external DRAM).
+    pub brl_t_index_bytes: u64,
+}
+
+/// Computes [`StructureSizes`] for an L2 cache of `l2_bytes` serving
+/// `host_texture_bytes` of texture in system memory (measured at the
+/// 32-bit cache depth, as in Table 4), under `tiling`.
+///
+/// Per the paper's assumptions: `t_table[]` and `BRL[]` entries are aligned
+/// on 16-bit boundaries; a page-table entry holds a 16-bit `l2_block` plus
+/// one sector bit per L1 sub-block (rounded up to 16-bit words); a BRL
+/// entry's `t_index` is 32 bits.
+///
+/// ```
+/// use mltc_core::model::structure_sizes;
+/// use mltc_texture::TilingConfig;
+/// // Table 4, middle column: 2 MB L2, 32 MB host texture, 16x16 tiles.
+/// let s = structure_sizes(2 << 20, 32 << 20, TilingConfig::PAPER_DEFAULT);
+/// assert_eq!(s.page_table_bytes, 128 << 10);
+/// assert_eq!(s.brl_active_bytes, 256);
+/// assert_eq!(s.brl_t_index_bytes, 8 << 10);
+/// ```
+pub fn structure_sizes(l2_bytes: u64, host_texture_bytes: u64, tiling: TilingConfig) -> StructureSizes {
+    let block_bytes = tiling.l2().cache_bytes() as u64;
+    let entries = host_texture_bytes / block_bytes;
+    let sector_words = (tiling.l1_per_l2() as u64).div_ceil(16);
+    let entry_bytes = 2 + 2 * sector_words;
+    let blocks = l2_bytes / block_bytes;
+    StructureSizes {
+        page_table_bytes: entries * entry_bytes,
+        brl_active_bytes: blocks.div_ceil(8),
+        brl_t_index_bytes: blocks * 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mltc_texture::{TileSize, TilingConfig};
+
+    #[test]
+    fn expected_working_set_matches_formula() {
+        // Fig. 3 sanity: 1024x768, d=3, utilization 0.25 -> 36 MB.
+        let w = expected_working_set(1024 * 768, 3.0, 0.25);
+        assert!((w - 36.0 * (1 << 20) as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn higher_utilization_means_smaller_working_set() {
+        let lo = expected_working_set(1 << 20, 2.0, 0.1);
+        let hi = expected_working_set(1 << 20, 2.0, 5.0);
+        assert!(hi < lo);
+        assert!((lo / hi - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_utilization_rejected() {
+        let _ = expected_working_set(100, 1.0, 0.0);
+    }
+
+    #[test]
+    fn fractional_advantage_paper_extremes() {
+        // All partial hits: every miss costs exactly one download.
+        assert_eq!(fractional_advantage(8.0, 0.0, 1.0), 1.0);
+        // Table 7 regime: high full-hit rates give f well below 1 even at c=8.
+        let f = fractional_advantage(8.0, 0.95, 0.04);
+        assert!(f < 1.0, "f = {f}");
+    }
+
+    #[test]
+    fn fractional_advantage_is_linear_in_rates() {
+        let f1 = fractional_advantage(8.0, 0.5, 0.0);
+        let f2 = fractional_advantage(8.0, 0.0, 0.5);
+        // Full hits save more than partial hits.
+        assert!(f1 < f2);
+    }
+
+    #[test]
+    fn access_times_agree_when_f_is_one() {
+        let (h1, t1, t3) = (0.97, 1.0, 10.0);
+        let a = avg_access_time_pull(h1, t1, t3);
+        let b = avg_access_time_l2(h1, t1, t3, 1.0);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l2_wins_when_f_below_one() {
+        let (h1, t1, t3) = (0.97, 1.0, 10.0);
+        assert!(avg_access_time_l2(h1, t1, t3, 0.6) < avg_access_time_pull(h1, t1, t3));
+    }
+
+    #[test]
+    fn table4_page_table_column() {
+        // Table 4 page-table rows (16x16 tiles): host texture -> KB.
+        for (host_mb, expect_kb) in [(16u64, 64u64), (32, 128), (64, 256), (256, 1024), (1024, 4096)] {
+            let s = structure_sizes(2 << 20, host_mb << 20, TilingConfig::PAPER_DEFAULT);
+            assert_eq!(s.page_table_bytes, expect_kb << 10, "{host_mb} MB host");
+        }
+    }
+
+    #[test]
+    fn table4_brl_rows() {
+        for (l2_mb, active, t_index_kb) in [(2u64, 256u64, 8u64), (4, 512, 16), (8, 1024, 32)] {
+            let s = structure_sizes(l2_mb << 20, 32 << 20, TilingConfig::PAPER_DEFAULT);
+            assert_eq!(s.brl_active_bytes, active, "{l2_mb} MB L2");
+            assert_eq!(s.brl_t_index_bytes, t_index_kb << 10, "{l2_mb} MB L2");
+        }
+    }
+
+    #[test]
+    fn structure_sizes_respect_tiling() {
+        // 32x32 blocks of 4x4 sub-blocks: 64 sector bits = 4 words -> 10-byte
+        // entries, and 4 KB blocks -> quarter as many entries.
+        let t = TilingConfig::new(TileSize::X32, TileSize::X4).unwrap();
+        let s = structure_sizes(2 << 20, 32 << 20, t);
+        assert_eq!(s.page_table_bytes, (32 << 20) / 4096 * 10);
+        assert_eq!(s.brl_active_bytes, 512 / 8);
+    }
+}

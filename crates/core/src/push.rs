@@ -1,0 +1,149 @@
+//! The push-architecture baseline (paper §1, §4.2).
+
+use mltc_texture::{TextureId, TextureRegistry};
+
+/// Model of the traditional **push** architecture: whole textures live in
+/// dedicated local accelerator memory at their original depth, and the
+/// application downloads/replaces them at frame boundaries.
+///
+/// Following §4.2, the memory requirement assumes "textures are replaced in
+/// local memory only at frame boundaries, but that the application has a
+/// perfect replacement algorithm (i.e. that it can predict exactly the
+/// textures required in the upcoming frame)" — so the per-frame minimum is
+/// the total size of the textures touched during that frame. Downloads
+/// charge the textures that were *not* resident the previous frame (the
+/// most charitable possible schedule; the paper declines to report push
+/// bandwidth because it depends on the application's replacement and
+/// packing algorithms, so treat this as a lower bound).
+///
+/// ```
+/// use mltc_core::PushArchitecture;
+/// use mltc_texture::{synth, MipPyramid, TextureRegistry};
+/// let mut reg = TextureRegistry::new();
+/// let a = reg.load("a", MipPyramid::from_image(synth::checkerboard(64, 4, [0;3], [255;3])));
+/// let mut push = PushArchitecture::new(&reg);
+/// let f = push.frame(&[a]);
+/// assert_eq!(f.memory_bytes, f.download_bytes); // everything is new
+/// let f = push.frame(&[a]);
+/// assert_eq!(f.download_bytes, 0); // perfect re-use
+/// ```
+#[derive(Debug, Clone)]
+pub struct PushArchitecture {
+    /// Host byte size per tid (original depth, full pyramid).
+    sizes: Vec<u64>,
+    resident: Vec<bool>,
+}
+
+/// Per-frame push-architecture requirements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushFrame {
+    /// Minimum local texture memory this frame (perfect replacement).
+    pub memory_bytes: u64,
+    /// Bytes downloaded at the frame boundary (textures newly resident).
+    pub download_bytes: u64,
+}
+
+impl PushArchitecture {
+    /// Builds the model over a registry's textures.
+    pub fn new(registry: &TextureRegistry) -> Self {
+        let mut sizes = vec![0u64; registry.issued_count()];
+        for (tid, pyr) in registry.iter() {
+            sizes[tid.index() as usize] = pyr.byte_size() as u64;
+        }
+        Self { resident: vec![false; sizes.len()], sizes }
+    }
+
+    /// Advances one frame given the set of textures it touches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tid is out of range for the registry this was built on.
+    pub fn frame(&mut self, touched: &[TextureId]) -> PushFrame {
+        let mut memory = 0u64;
+        let mut download = 0u64;
+        let mut now = vec![false; self.resident.len()];
+        for tid in touched {
+            let i = tid.index() as usize;
+            if now[i] {
+                continue; // duplicate tid in the touched list
+            }
+            now[i] = true;
+            memory += self.sizes[i];
+            if !self.resident[i] {
+                download += self.sizes[i];
+            }
+        }
+        self.resident = now;
+        PushFrame { memory_bytes: memory, download_bytes: download }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mltc_texture::{synth, MipPyramid};
+
+    fn setup() -> (TextureRegistry, Vec<TextureId>) {
+        let mut reg = TextureRegistry::new();
+        let tids = (0..3)
+            .map(|i| {
+                reg.load(
+                    format!("t{i}"),
+                    MipPyramid::from_image(synth::checkerboard(64, 4, [0; 3], [255; 3])),
+                )
+            })
+            .collect();
+        (reg, tids)
+    }
+
+    #[test]
+    fn first_frame_downloads_everything() {
+        let (reg, tids) = setup();
+        let size = reg.pyramid(tids[0]).unwrap().byte_size() as u64;
+        let mut push = PushArchitecture::new(&reg);
+        let f = push.frame(&[tids[0], tids[1]]);
+        assert_eq!(f.memory_bytes, 2 * size);
+        assert_eq!(f.download_bytes, 2 * size);
+    }
+
+    #[test]
+    fn steady_state_needs_no_downloads() {
+        let (reg, tids) = setup();
+        let mut push = PushArchitecture::new(&reg);
+        push.frame(&[tids[0], tids[1]]);
+        let f = push.frame(&[tids[0], tids[1]]);
+        assert_eq!(f.download_bytes, 0);
+        assert!(f.memory_bytes > 0);
+    }
+
+    #[test]
+    fn returning_texture_is_downloaded_again() {
+        let (reg, tids) = setup();
+        let size = reg.pyramid(tids[0]).unwrap().byte_size() as u64;
+        let mut push = PushArchitecture::new(&reg);
+        push.frame(&[tids[0]]);
+        push.frame(&[tids[1]]); // t0 replaced
+        let f = push.frame(&[tids[0]]);
+        assert_eq!(f.download_bytes, size);
+    }
+
+    #[test]
+    fn duplicate_tids_counted_once() {
+        let (reg, tids) = setup();
+        let size = reg.pyramid(tids[0]).unwrap().byte_size() as u64;
+        let mut push = PushArchitecture::new(&reg);
+        let f = push.frame(&[tids[0], tids[0], tids[0]]);
+        assert_eq!(f.memory_bytes, size);
+    }
+
+    #[test]
+    fn empty_frame_frees_everything() {
+        let (reg, tids) = setup();
+        let mut push = PushArchitecture::new(&reg);
+        push.frame(&[tids[0]]);
+        let f = push.frame(&[]);
+        assert_eq!(f.memory_bytes, 0);
+        let f = push.frame(&[tids[0]]);
+        assert!(f.download_bytes > 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Experiment runner binary.
+//!
+//! ```text
+//! experiments <id>... [--quick|--default|--full] [--out <dir>]
+//! experiments all [--default]
+//! experiments list
+//! ```
+
+use mltc_experiments::{find_experiment, Outputs, Scale, EXPERIMENTS};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: experiments <id>... [--quick|--default|--full] [--out <dir>]\n\
+         \n\
+         ids: all, list, {}",
+        EXPERIMENTS.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(", ")
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+
+    let mut scale = Scale::default_scale();
+    let mut out_dir = "results".to_string();
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" | "--default" | "--full" => {
+                scale = Scale::from_flag(&a).expect("known flag");
+            }
+            "--out" => match it.next() {
+                Some(d) => out_dir = d,
+                None => return usage(),
+            },
+            "list" => {
+                for (n, _) in EXPERIMENTS {
+                    println!("{n}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => return usage(),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        return usage();
+    }
+
+    let outputs = Outputs::new(&out_dir);
+    println!(
+        "# mltc experiments — scale: {} ({}x{})",
+        scale.name, scale.params.width, scale.params.height
+    );
+
+    let run_list: Vec<&str> = if ids.iter().any(|i| i == "all") {
+        EXPERIMENTS.iter().map(|(n, _)| *n).filter(|n| *n != "calibrate").collect()
+    } else {
+        ids.iter().map(String::as_str).collect()
+    };
+
+    for id in run_list {
+        match find_experiment(id) {
+            Some(f) => {
+                let start = std::time::Instant::now();
+                println!("\n### running {id} ...");
+                f(&scale, &outputs);
+                println!("### {id} done in {:.1}s", start.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("unknown experiment: {id}");
+                return usage();
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,106 @@
+//! Analytic experiments: Fig. 3 and Table 4 (no simulation required).
+
+use crate::{Outputs, Scale, TextTable};
+use mltc_core::model;
+use mltc_texture::TilingConfig;
+
+/// **Fig. 3** — expected inter-frame working set `W` as a function of
+/// resolution, depth complexity and block utilization (§4.1).
+pub fn fig3(_scale: &Scale, out: &Outputs) {
+    let resolutions: [(&str, u64); 5] = [
+        ("640x480", 640 * 480),
+        ("800x600", 800 * 600),
+        ("1024x768", 1024 * 768),
+        ("1280x1024", 1280 * 1024),
+        ("1600x1200", 1600 * 1200),
+    ];
+    let utils = [0.1, 0.25, 0.5, 1.0, 5.0];
+    let mut headers = vec!["resolution".to_string(), "depth".to_string()];
+    headers.extend(utils.iter().map(|u| format!("W_MB(util={u})")));
+    let mut t = TextTable::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
+    for (name, pixels) in resolutions {
+        for d in [1.0f64, 2.0, 3.0] {
+            let mut row = vec![name.to_string(), format!("{d}")];
+            for u in utils {
+                let w = model::expected_working_set(pixels, d, u);
+                row.push(format!("{:.1}", w / (1 << 20) as f64));
+            }
+            t.row(row);
+        }
+    }
+    out.table("fig3", "Fig. 3 — expected inter-frame working set W (MB)", &t);
+    out.note("Paper: W < 64 MB for utilization >= 0.25 at reasonable depth/resolution; \
+              W < 16 MB at utilization >= 0.5 and depth 1.");
+}
+
+/// **Table 4** — memory requirements of the L2 caching structures, for
+/// 16×16 L2 tiles of 4×4 sub-blocks (§5.4.1).
+pub fn table4(_scale: &Scale, out: &Outputs) {
+    let tiling = TilingConfig::PAPER_DEFAULT;
+    let l2_sizes = [2u64, 4, 8];
+
+    let mut t = TextTable::new(&["structure", "2 MB L2", "4 MB L2", "8 MB L2", "paper"]);
+    let host_rows: [(u64, &str); 5] = [
+        (16, "64 KB"),
+        (32, "128 KB"),
+        (64, "256 KB"),
+        (256, "1024 KB"),
+        (1024, "4096 KB"),
+    ];
+    for (host_mb, paper) in host_rows {
+        let mut row = vec![format!("page table, {host_mb} MB host texture")];
+        for l2 in l2_sizes {
+            let s = model::structure_sizes(l2 << 20, host_mb << 20, tiling);
+            row.push(format!("{} KB", s.page_table_bytes >> 10));
+        }
+        row.push(paper.to_string());
+        t.row(row);
+    }
+    let mut active = vec!["BRL active bits only".to_string()];
+    let mut sans = vec!["BRL sans active bits".to_string()];
+    for l2 in l2_sizes {
+        let s = model::structure_sizes(l2 << 20, 32 << 20, tiling);
+        active.push(format!("{:.2} KB", s.brl_active_bytes as f64 / 1024.0));
+        sans.push(format!("{} KB", s.brl_t_index_bytes >> 10));
+    }
+    active.push(".25 / .5 / 1 KB".to_string());
+    sans.push("8 / 16 / 32 KB".to_string());
+    t.row(active);
+    t.row(sans);
+
+    out.table("table4", "Table 4 — memory requirements of L2 caching structures", &t);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outputs() -> (Outputs, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!("mltc_analytic_{}", std::process::id()));
+        (Outputs::quiet(&dir), dir)
+    }
+
+    #[test]
+    fn fig3_and_table4_produce_csvs() {
+        let (out, dir) = outputs();
+        fig3(&Scale::quick(), &out);
+        table4(&Scale::quick(), &out);
+        let fig3_csv = std::fs::read_to_string(dir.join("fig3.csv")).unwrap();
+        assert_eq!(fig3_csv.lines().count(), 1 + 15, "5 resolutions x 3 depths");
+        let t4 = std::fs::read_to_string(dir.join("table4.csv")).unwrap();
+        // Page-table size depends only on host texture capacity (not L2 size).
+        assert!(t4.contains("\"page table, 32 MB host texture\",128 KB,128 KB,128 KB"));
+        assert!(t4.contains("BRL sans active bits,8 KB,16 KB,32 KB"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fig3_matches_paper_shape() {
+        // At 1024x768, d = 1, util = 0.5 the paper puts W under 16 MB.
+        let w = model::expected_working_set(1024 * 768, 1.0, 0.5);
+        assert!(w < 16.0 * (1 << 20) as f64);
+        // And under 64 MB for util 0.25 at depth 3.
+        let w = model::expected_working_set(1024 * 768, 3.0, 0.25);
+        assert!(w < 64.0 * (1 << 20) as f64);
+    }
+}

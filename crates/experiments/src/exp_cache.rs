@@ -1,0 +1,304 @@
+//! Cache-simulation experiments: Figs. 9–10 and Tables 2, 3, 5–7 (§5.3–5.4).
+
+use crate::runner::{engine_run, pct};
+use crate::{Outputs, Scale, TextTable};
+use mltc_core::{model, EngineConfig, L1Config, L2Config, SimEngine};
+use mltc_scene::Workload;
+use mltc_trace::FilterMode;
+
+/// The L1 size sweep of Fig. 9 / Table 2 (KB).
+const L1_SIZES_KB: [usize; 5] = [2, 4, 8, 16, 32];
+
+fn l1_sweep_configs() -> Vec<EngineConfig> {
+    L1_SIZES_KB
+        .iter()
+        .map(|&kb| EngineConfig { l1: L1Config::kb(kb), ..EngineConfig::default() })
+        .collect()
+}
+
+/// The architecture comparison set of Fig. 10 / Table 3.
+fn arch_configs() -> Vec<EngineConfig> {
+    let base = EngineConfig::default();
+    vec![
+        EngineConfig { l1: L1Config::kb(2), ..base },
+        EngineConfig { l1: L1Config::kb(16), ..base },
+        EngineConfig { l1: L1Config::kb(2), l2: Some(L2Config::mb(2)), ..base },
+        EngineConfig { l1: L1Config::kb(2), l2: Some(L2Config::mb(4)), ..base },
+        EngineConfig { l1: L1Config::kb(2), l2: Some(L2Config::mb(8)), ..base },
+    ]
+}
+
+/// **Fig. 9** — per-frame L1 miss rate by cache size (Village).
+pub fn fig9(scale: &Scale, out: &Outputs) {
+    let village = scale.village();
+    for filter in [FilterMode::Bilinear, FilterMode::Trilinear] {
+        let engines = engine_run(&village, filter, &l1_sweep_configs(), false);
+        let mut per_frame = TextTable::new(
+            &std::iter::once("frame".to_string())
+                .chain(L1_SIZES_KB.iter().map(|kb| format!("miss_{kb}KB")))
+                .collect::<Vec<_>>()
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>(),
+        );
+        for f in 0..village.frame_count as usize {
+            let mut row = vec![f.to_string()];
+            for e in &engines {
+                row.push(format!("{:.4}", e.frames()[f].l1_miss_rate()));
+            }
+            per_frame.row(row);
+        }
+        let csv = out.artefact_path(&format!("fig9_{}_frames.csv", filter.name()));
+        std::fs::write(&csv, per_frame.csv_string()).expect("write per-frame csv");
+
+        let mut t = TextTable::new(&["L1 size", "avg miss %", "peak miss %"]);
+        for (e, kb) in engines.iter().zip(L1_SIZES_KB) {
+            let peak =
+                e.frames().iter().map(|f| f.l1_miss_rate()).fold(0.0f64, f64::max);
+            t.row(vec![
+                format!("{kb} KB"),
+                pct(1.0 - e.totals().l1_hit_rate()),
+                pct(peak),
+            ]);
+        }
+        out.table(
+            &format!("fig9_{}", filter.name()),
+            &format!("Fig. 9 — L1 miss rate by cache size (Village, {filter})"),
+            &t,
+        );
+        out.note(&format!("  per-frame series: {}", csv.display()));
+    }
+    out.note("Paper: 16 KB hits almost as well as 32 KB; even 2 KB peaks below \
+              ~4% (bilinear) / ~5% (trilinear).");
+}
+
+/// **Table 2** — average L1 hit rates, bilinear and trilinear (Village).
+pub fn table2(scale: &Scale, out: &Outputs) {
+    let village = scale.village();
+    let bl = engine_run(&village, FilterMode::Bilinear, &l1_sweep_configs(), false);
+    let tl = engine_run(&village, FilterMode::Trilinear, &l1_sweep_configs(), false);
+    let mut t = TextTable::new(&["L1 size", "BL hit rate %", "TL hit rate %"]);
+    for ((b, l), kb) in bl.iter().zip(&tl).zip(L1_SIZES_KB) {
+        t.row(vec![
+            format!("{kb} KB"),
+            pct(b.totals().l1_hit_rate()),
+            pct(l.totals().l1_hit_rate()),
+        ]);
+    }
+    out.table("table2", "Table 2 — average L1 hit rates (Village)", &t);
+}
+
+/// **Fig. 10** — per-frame download bandwidth with and without L2 cache
+/// (trilinear; 2/16 KB L1 alone, 2 KB L1 + 2/4/8 MB L2 of 16×16 tiles).
+pub fn fig10(scale: &Scale, out: &Outputs) {
+    for w in [scale.village(), scale.city()] {
+        let engines = engine_run(&w, FilterMode::Trilinear, &arch_configs(), false);
+        let labels: Vec<String> = engines.iter().map(|e| e.config().label()).collect();
+        let mut headers = vec!["frame".to_string()];
+        headers.extend(labels.iter().cloned());
+        let mut per_frame =
+            TextTable::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
+        for f in 0..w.frame_count as usize {
+            let mut row = vec![f.to_string()];
+            for e in &engines {
+                row.push(format!("{:.3}", e.frames()[f].host_mb()));
+            }
+            per_frame.row(row);
+        }
+        let csv = out.artefact_path(&format!("fig10_{}_frames.csv", w.name));
+        std::fs::write(&csv, per_frame.csv_string()).expect("write per-frame csv");
+
+        let mut t = TextTable::new(&["architecture", "avg MB/frame", "MB/s @30Hz"]);
+        for e in &engines {
+            let avg = e.totals().host_mb() / w.frame_count as f64;
+            t.row(vec![e.config().label(), format!("{avg:.2}"), format!("{:.0}", avg * 30.0)]);
+        }
+        out.table(
+            &format!("fig10_{}", w.name),
+            &format!("Fig. 10 ({}) — download bandwidth with/without L2", w.name),
+            &t,
+        );
+        out.note(&format!("  per-frame series: {}", csv.display()));
+    }
+    out.note("Paper (Village): 2 KB L1 alone needs ~1.6 GB/s at 30 Hz, 16 KB alone ~475 MB/s; \
+              a 2 MB L2 under a 2 KB L1 cuts it to ~92 MB/s (5x-18x saving).");
+}
+
+/// **Table 3** — average AGP / system-memory bandwidth (MB/frame), bilinear
+/// and trilinear, with and without L2.
+pub fn table3(scale: &Scale, out: &Outputs) {
+    let mut t = TextTable::new(&["workload", "architecture", "BL MB/frame", "TL MB/frame"]);
+    for w in [scale.village(), scale.city()] {
+        let bl = engine_run(&w, FilterMode::Bilinear, &arch_configs(), false);
+        let tl = engine_run(&w, FilterMode::Trilinear, &arch_configs(), false);
+        for (b, l) in bl.iter().zip(&tl) {
+            t.row(vec![
+                w.name.to_string(),
+                b.config().label(),
+                format!("{:.2}", b.totals().host_mb() / w.frame_count as f64),
+                format!("{:.2}", l.totals().host_mb() / w.frame_count as f64),
+            ]);
+        }
+    }
+    out.table("table3", "Table 3 — average download bandwidth (MB/frame)", &t);
+}
+
+/// One measured hit-rate row: workload, filter, L1 hit rate, conditional L2
+/// full / partial hit rates.
+pub(crate) struct HitRates {
+    pub workload: &'static str,
+    pub filter: FilterMode,
+    pub h1: f64,
+    pub h2_full: f64,
+    pub h2_partial: f64,
+}
+
+pub(crate) fn measure_hit_rates(scale: &Scale) -> Vec<HitRates> {
+    let cfg = EngineConfig {
+        l1: L1Config::kb(2),
+        l2: Some(L2Config::mb(2)),
+        ..EngineConfig::default()
+    };
+    let mut rows = Vec::new();
+    for w in [scale.village(), scale.city()] {
+        for filter in [FilterMode::Bilinear, FilterMode::Trilinear] {
+            let engines = engine_run(&w, filter, std::slice::from_ref(&cfg), false);
+            let tot = engines[0].totals();
+            rows.push(HitRates {
+                workload: if w.name == "village" { "village" } else { "city" },
+                filter,
+                h1: tot.l1_hit_rate(),
+                h2_full: tot.l2_full_hit_rate(),
+                h2_partial: tot.l2_partial_hit_rate(),
+            });
+        }
+    }
+    rows
+}
+
+/// **Tables 5–6** — measured L1 hit rate and conditional L2 full/partial
+/// hit rates (2 KB L1 + 2 MB L2, 16×16 tiles).
+pub fn table5_6(scale: &Scale, out: &Outputs) {
+    let mut t = TextTable::new(&["workload", "filter", "L1 hit %", "L2 full hit %", "L2 partial hit %"]);
+    for r in measure_hit_rates(scale) {
+        t.row(vec![
+            r.workload.to_string(),
+            r.filter.to_string(),
+            pct(r.h1),
+            pct(r.h2_full),
+            pct(r.h2_partial),
+        ]);
+    }
+    out.table(
+        "table5_6",
+        "Tables 5-6 — measured L1/L2 hit rates (2 KB L1, 2 MB L2)",
+        &t,
+    );
+    out.note("L2 rates are conditional on an L1 miss (paper fn. 5); inclusion is not \
+              guaranteed between the levels.");
+}
+
+/// **Table 7** — fractional advantage `f` of L2 caching (`c = 8`), plus a
+/// sensitivity sweep over `c`.
+pub fn table7(scale: &Scale, out: &Outputs) {
+    let rates = measure_hit_rates(scale);
+    let mut t = TextTable::new(&["workload", "filter", "f (c=2)", "f (c=4)", "f (c=8)", "f (c=16)"]);
+    for r in &rates {
+        let mut row = vec![r.workload.to_string(), r.filter.to_string()];
+        for c in [2.0, 4.0, 8.0, 16.0] {
+            row.push(format!("{:.3}", model::fractional_advantage(c, r.h2_full, r.h2_partial)));
+        }
+        t.row(row);
+    }
+    out.table("table7", "Table 7 — fractional advantage f of L2 caching", &t);
+    out.note("f < 1 means the L2 architecture beats the pull architecture on L1 misses; \
+              the paper reports f < 1 even at c = 8.");
+}
+
+/// **Performance model** (§5.4.2) — predicted average texel access times
+/// for the pull and L2 architectures from the measured hit rates, with
+/// `t1 = 1` cycle, an L1-miss download cost `t3 = 8`, and a full L2 miss
+/// bounded by `c = 8` downloads (the paper's assumption).
+pub fn perf_model(scale: &Scale, out: &Outputs) {
+    let rates = measure_hit_rates(scale);
+    let (t1, t3, c) = (1.0, 8.0, 8.0);
+    let mut t = TextTable::new(&[
+        "workload", "filter", "h1 %", "f (c=8)", "A_pull", "A_L2", "speedup",
+    ]);
+    for r in &rates {
+        let f = model::fractional_advantage(c, r.h2_full, r.h2_partial);
+        let a_pull = model::avg_access_time_pull(r.h1, t1, t3);
+        let a_l2 = model::avg_access_time_l2(r.h1, t1, t3, f);
+        t.row(vec![
+            r.workload.to_string(),
+            r.filter.to_string(),
+            pct(r.h1),
+            format!("{f:.3}"),
+            format!("{a_pull:.3}"),
+            format!("{a_l2:.3}"),
+            format!("{:.2}x", a_pull / a_l2),
+        ]);
+    }
+    out.table("perf_model", "Performance model (§5.4.2) — average texel access time", &t);
+    out.note("A = t1 + (1-h1)*f*t3 cycles per texel; f < 1 means the L2 architecture's \
+              L1 misses are cheaper on average than the pull architecture's.");
+}
+
+/// Shared assertion helper for integration tests: bandwidth must shrink
+/// monotonically as the architecture gains cache.
+pub fn host_bytes_by_architecture(w: &Workload, filter: FilterMode) -> Vec<(String, u64)> {
+    let engines = engine_run(w, filter, &arch_configs(), false);
+    engines
+        .iter()
+        .map(|e: &SimEngine| (e.config().label(), e.totals().host_bytes))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mltc_scene::WorkloadParams;
+
+    fn tiny_scale() -> Scale {
+        Scale { name: "tiny", params: WorkloadParams::tiny() }
+    }
+
+    #[test]
+    fn architecture_set_matches_paper() {
+        let cfgs = arch_configs();
+        assert_eq!(cfgs.len(), 5);
+        assert!(cfgs[0].l2.is_none() && cfgs[1].l2.is_none());
+        assert_eq!(cfgs[4].l2.unwrap().size_bytes, 8 << 20);
+    }
+
+    #[test]
+    fn table2_runs_and_orders_hit_rates() {
+        let dir = std::env::temp_dir().join(format!("mltc_cache_{}", std::process::id()));
+        let out = Outputs::quiet(&dir);
+        table2(&tiny_scale(), &out);
+        let csv = std::fs::read_to_string(dir.join("table2.csv")).unwrap();
+        assert_eq!(csv.lines().count(), 1 + 5);
+        // Hit rates must be non-decreasing with L1 size.
+        let rates: Vec<f64> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(1).unwrap().parse().unwrap())
+            .collect();
+        for pair in rates.windows(2) {
+            assert!(pair[1] >= pair[0] - 0.5, "bigger L1 must not hit much worse: {rates:?}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hit_rate_measurement_is_sane() {
+        let rows = measure_hit_rates(&tiny_scale());
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.h1 > 0.5 && r.h1 <= 1.0, "{} h1 = {}", r.workload, r.h1);
+            assert!(r.h2_full + r.h2_partial <= 1.0 + 1e-9);
+            let f = model::fractional_advantage(8.0, r.h2_full, r.h2_partial);
+            assert!(f < 8.0);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Texture page-table TLB experiments: Fig. 11 and Table 8 (§5.4.3).
+
+use crate::runner::{engine_run, pct};
+use crate::{Outputs, Scale, TextTable};
+use mltc_core::{EngineConfig, L1Config, L2Config};
+use mltc_trace::FilterMode;
+
+/// TLB entry counts studied by the paper.
+const TLB_ENTRIES: [usize; 5] = [1, 2, 4, 8, 16];
+
+fn tlb_configs() -> Vec<EngineConfig> {
+    TLB_ENTRIES
+        .iter()
+        .map(|&n| EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(2)),
+            tlb_entries: n,
+            ..EngineConfig::default()
+        })
+        .collect()
+}
+
+/// **Fig. 11** — per-frame texture-page-table TLB hit rates for the Village
+/// as a function of entry count (trilinear, 2 KB L1 + 2 MB L2, 16×16 tiles,
+/// round-robin replacement).
+pub fn fig11(scale: &Scale, out: &Outputs) {
+    let village = scale.village();
+    let engines = engine_run(&village, FilterMode::Trilinear, &tlb_configs(), false);
+
+    let headers: Vec<String> = std::iter::once("frame".to_string())
+        .chain(TLB_ENTRIES.iter().map(|n| format!("hit_{n}e")))
+        .collect();
+    let mut per_frame = TextTable::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
+    for f in 0..village.frame_count as usize {
+        let mut row = vec![f.to_string()];
+        for e in &engines {
+            row.push(format!("{:.4}", e.frames()[f].tlb_hit_rate()));
+        }
+        per_frame.row(row);
+    }
+    let csv = out.artefact_path("fig11_frames.csv");
+    std::fs::write(&csv, per_frame.csv_string()).expect("write per-frame csv");
+
+    let mut t = TextTable::new(&["TLB entries", "avg hit rate %"]);
+    for (e, n) in engines.iter().zip(TLB_ENTRIES) {
+        t.row(vec![n.to_string(), pct(e.totals().tlb_hit_rate())]);
+    }
+    out.table("fig11", "Fig. 11 — texture page-table TLB hit rates (Village, trilinear)", &t);
+    out.note(&format!("  per-frame series: {}", csv.display()));
+}
+
+/// **Table 8** — average TLB hit rates for the Village and City (bilinear).
+pub fn table8(scale: &Scale, out: &Outputs) {
+    let mut t = TextTable::new(&[
+        "TLB entries",
+        "village hit %",
+        "city hit %",
+        "paper village",
+        "paper city",
+    ]);
+    let village = engine_run(&scale.village(), FilterMode::Bilinear, &tlb_configs(), false);
+    let city = engine_run(&scale.city(), FilterMode::Bilinear, &tlb_configs(), false);
+    let paper = [("36%", "36%"), ("63%", "63%"), ("74%", "75%"), ("81%", "82%"), ("91%", "92%")];
+    for (i, n) in TLB_ENTRIES.iter().enumerate() {
+        t.row(vec![
+            n.to_string(),
+            pct(village[i].totals().tlb_hit_rate()),
+            pct(city[i].totals().tlb_hit_rate()),
+            paper[i].0.to_string(),
+            paper[i].1.to_string(),
+        ]);
+    }
+    out.table("table8", "Table 8 — average TLB hit rates (bilinear)", &t);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mltc_scene::WorkloadParams;
+
+    #[test]
+    fn tlb_hit_rate_grows_with_entries() {
+        let scale = Scale { name: "tiny", params: WorkloadParams::tiny() };
+        let engines =
+            engine_run(&scale.village(), FilterMode::Bilinear, &tlb_configs(), false);
+        let rates: Vec<f64> = engines.iter().map(|e| e.totals().tlb_hit_rate()).collect();
+        for pair in rates.windows(2) {
+            assert!(pair[1] >= pair[0] - 0.02, "more entries should hit more: {rates:?}");
+        }
+        assert!(rates[4] > rates[0], "16 entries must beat 1: {rates:?}");
+        assert!(rates[4] > 0.5, "a 16-entry TLB should hit most of the time: {rates:?}");
+    }
+
+    #[test]
+    fn fig11_writes_series() {
+        let dir = std::env::temp_dir().join(format!("mltc_tlb_{}", std::process::id()));
+        let out = Outputs::quiet(&dir);
+        let scale = Scale { name: "tiny", params: WorkloadParams::tiny() };
+        fig11(&scale, &out);
+        let csv = std::fs::read_to_string(dir.join("fig11.csv")).unwrap();
+        assert_eq!(csv.lines().count(), 1 + 5);
+        assert!(dir.join("fig11_frames.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,46 @@
+//! Fig. 12 — shaded snapshots of the workloads.
+
+use crate::{Outputs, Scale, TextTable};
+use mltc_trace::FilterMode;
+
+/// **Fig. 12** — renders shaded snapshots of both animations at four points
+/// along each path, as binary PPM images in the results directory.
+pub fn fig12(scale: &Scale, out: &Outputs) {
+    let mut t = TextTable::new(&["workload", "frame", "file"]);
+    for w in [scale.village(), scale.city()] {
+        for q in 0..4u32 {
+            let frame = (w.frame_count - 1) * q / 3;
+            let fb = w.render_snapshot(frame, FilterMode::Bilinear);
+            let path = out.artefact_path(&format!("fig12_{}_{frame:04}.ppm", w.name));
+            fb.save_ppm(&path).expect("write ppm snapshot");
+            t.row(vec![w.name.to_string(), frame.to_string(), path.display().to_string()]);
+        }
+    }
+    out.table("fig12", "Fig. 12 — animation snapshots (PPM)", &t);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mltc_scene::WorkloadParams;
+
+    #[test]
+    fn snapshots_are_valid_ppms() {
+        let dir = std::env::temp_dir().join(format!("mltc_fig12_{}", std::process::id()));
+        let out = Outputs::quiet(&dir);
+        let scale = Scale { name: "tiny", params: WorkloadParams::tiny() };
+        fig12(&scale, &out);
+        let mut count = 0;
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let p = entry.unwrap().path();
+            if p.extension().is_some_and(|e| e == "ppm") {
+                let bytes = std::fs::read(&p).unwrap();
+                assert!(bytes.starts_with(b"P6\n"), "{p:?} is not a PPM");
+                assert!(bytes.len() > 64 * 48, "{p:?} too small");
+                count += 1;
+            }
+        }
+        assert_eq!(count, 8, "4 snapshots per workload");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,154 @@
+//! Shared run machinery: rasterize once, simulate many configurations.
+
+use crossbeam::channel::bounded;
+use mltc_core::{EngineConfig, SimEngine};
+use mltc_scene::Workload;
+use mltc_trace::{FilterMode, FrameStatsCollector, FrameTrace, FrameWorkingSet, WorkloadSummary};
+use std::sync::Arc;
+
+/// Renders the whole animation with point sampling and collects the §4
+/// per-frame working-set statistics.
+pub fn stats_run(workload: &Workload) -> (Vec<FrameWorkingSet>, WorkloadSummary) {
+    let mut collector = FrameStatsCollector::new(workload.registry());
+    let mut frames = Vec::with_capacity(workload.frame_count as usize);
+    workload.render_animation(FilterMode::Point, false, |t| {
+        frames.push(collector.process_frame(&t));
+    });
+    let summary = WorkloadSummary::from_frames(&frames, workload.width, workload.height);
+    (frames, summary)
+}
+
+/// Renders the animation once and replays every frame through each cache
+/// configuration — one worker thread per configuration, frames streamed in
+/// order over bounded channels (the paper's rasterize-once, trace-driven
+/// methodology, parallelised across the *configurations*, never across
+/// frames: cache state must carry between frames to capture inter-frame
+/// locality).
+///
+/// `zprepass` applies the §6 z-buffer-before-texture ablation to the
+/// generated traces.
+///
+/// Returns one finished [`SimEngine`] per configuration, in input order.
+pub fn engine_run(
+    workload: &Workload,
+    filter: FilterMode,
+    configs: &[EngineConfig],
+    zprepass: bool,
+) -> Vec<SimEngine> {
+    engine_run_traversal(workload, filter, configs, zprepass, mltc_raster::Traversal::Scanline)
+}
+
+/// [`engine_run`] with an explicit fragment traversal order (for the
+/// tiled-rasterization ablation of §2.3).
+pub fn engine_run_traversal(
+    workload: &Workload,
+    filter: FilterMode,
+    configs: &[EngineConfig],
+    zprepass: bool,
+    traversal: mltc_raster::Traversal,
+) -> Vec<SimEngine> {
+    std::thread::scope(|scope| {
+        let mut senders = Vec::with_capacity(configs.len());
+        let mut handles = Vec::with_capacity(configs.len());
+        for cfg in configs {
+            let (tx, rx) = bounded::<Arc<FrameTrace>>(4);
+            senders.push(tx);
+            let registry = workload.registry();
+            let cfg = *cfg;
+            handles.push(scope.spawn(move || {
+                let mut engine = SimEngine::new(cfg, registry);
+                for trace in rx {
+                    engine.run_frame(&trace);
+                }
+                engine
+            }));
+        }
+        workload.render_animation_traversal(filter, zprepass, traversal, |t| {
+            let shared = Arc::new(t);
+            for tx in &senders {
+                tx.send(shared.clone()).expect("engine worker died");
+            }
+        });
+        drop(senders);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("engine worker panicked"))
+            .collect()
+    })
+}
+
+/// Formats bytes as megabytes with two decimals.
+pub(crate) fn mb(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / (1 << 20) as f64)
+}
+
+/// Formats an f64 byte count as megabytes with two decimals.
+pub(crate) fn mb_f(bytes: f64) -> String {
+    format!("{:.2}", bytes / (1 << 20) as f64)
+}
+
+/// Formats a rate as a percentage with two decimals.
+pub(crate) fn pct(rate: f64) -> String {
+    format!("{:.2}", rate * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mltc_core::{L1Config, L2Config};
+    use mltc_scene::WorkloadParams;
+
+    fn tiny_village() -> Workload {
+        Workload::village(&WorkloadParams::tiny())
+    }
+
+    #[test]
+    fn stats_run_covers_all_frames() {
+        let w = tiny_village();
+        let (frames, summary) = stats_run(&w);
+        assert_eq!(frames.len(), w.frame_count as usize);
+        assert_eq!(summary.frames, frames.len());
+        assert!(summary.depth_complexity > 1.0);
+    }
+
+    #[test]
+    fn engine_run_returns_engines_in_config_order() {
+        let w = tiny_village();
+        let configs = [
+            EngineConfig { l1: L1Config::kb(2), ..EngineConfig::default() },
+            EngineConfig { l1: L1Config::kb(16), ..EngineConfig::default() },
+        ];
+        let engines = engine_run(&w, FilterMode::Bilinear, &configs, false);
+        assert_eq!(engines.len(), 2);
+        assert_eq!(engines[0].config().l1.size_bytes, 2048);
+        assert_eq!(engines[1].config().l1.size_bytes, 16 * 1024);
+        for e in &engines {
+            assert_eq!(e.frames().len(), w.frame_count as usize);
+            assert!(e.totals().l1_accesses > 0);
+        }
+        // Identical trace: both saw the same number of texel accesses.
+        assert_eq!(engines[0].totals().l1_accesses, engines[1].totals().l1_accesses);
+        // The bigger L1 downloads less.
+        assert!(engines[1].totals().host_bytes <= engines[0].totals().host_bytes);
+    }
+
+    #[test]
+    fn l2_reduces_host_traffic_on_the_real_workload() {
+        let w = tiny_village();
+        let configs = [
+            EngineConfig { l1: L1Config::kb(2), ..EngineConfig::default() },
+            EngineConfig { l1: L1Config::kb(2), l2: Some(L2Config::mb(2)), ..EngineConfig::default() },
+        ];
+        let engines = engine_run(&w, FilterMode::Bilinear, &configs, false);
+        let pull = engines[0].totals().host_bytes;
+        let ml = engines[1].totals().host_bytes;
+        assert!(ml < pull, "L2 must cut download traffic ({ml} vs {pull})");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(mb(2 << 20), "2.00");
+        assert_eq!(pct(0.1234), "12.34");
+        assert_eq!(mb_f(1.5 * (1 << 20) as f64), "1.50");
+    }
+}

@@ -1,0 +1,86 @@
+//! Run scales.
+
+use mltc_scene::WorkloadParams;
+
+/// How big a run: resolution, animation length and texture sizes.
+///
+/// All scales execute identical code; EXPERIMENTS.md records which scale
+/// produced each published number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Scale name (`"quick"`, `"default"`, `"full"`).
+    pub name: &'static str,
+    /// Parameters for both workloads (frame count 0 = paper default).
+    pub params: WorkloadParams,
+}
+
+impl Scale {
+    /// Tiny runs for smoke tests and benches: 256×192, 24 frames,
+    /// quarter-size textures.
+    pub fn quick() -> Self {
+        Self { name: "quick", params: WorkloadParams::quick() }
+    }
+
+    /// The default experiment scale: 640×480, 120 frames, full textures.
+    pub fn default_scale() -> Self {
+        Self { name: "default", params: WorkloadParams::default_scale() }
+    }
+
+    /// The paper's scale: 1024×768, 411/525 frames, full textures.
+    pub fn full() -> Self {
+        Self { name: "full", params: WorkloadParams::paper_scale() }
+    }
+
+    /// Parses a scale flag (`--quick`, `--default`, `--full`).
+    pub fn from_flag(flag: &str) -> Option<Self> {
+        match flag.trim_start_matches("--") {
+            "quick" => Some(Self::quick()),
+            "default" => Some(Self::default_scale()),
+            "full" => Some(Self::full()),
+            _ => None,
+        }
+    }
+
+    /// Builds the Village at this scale.
+    pub fn village(&self) -> mltc_scene::Workload {
+        mltc_scene::Workload::village(&self.params)
+    }
+
+    /// Builds the City at this scale.
+    pub fn city(&self) -> mltc_scene::Workload {
+        mltc_scene::Workload::city(&self.params)
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self::default_scale()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_parse() {
+        assert_eq!(Scale::from_flag("--quick").unwrap().name, "quick");
+        assert_eq!(Scale::from_flag("full").unwrap().name, "full");
+        assert!(Scale::from_flag("--huge").is_none());
+    }
+
+    #[test]
+    fn full_scale_uses_paper_resolution() {
+        let s = Scale::full();
+        assert_eq!((s.params.width, s.params.height), (1024, 768));
+        assert_eq!(s.params.frames, 0, "0 selects the paper's frame counts");
+    }
+
+    #[test]
+    fn workload_builders_respect_scale() {
+        let s = Scale::quick();
+        let v = s.village();
+        assert_eq!(v.width, 256);
+        assert_eq!(v.frame_count, 24);
+    }
+}

@@ -1,0 +1,149 @@
+//! Axis-aligned bounding boxes.
+
+use crate::Vec3;
+
+/// An axis-aligned bounding box, used for per-object frustum culling.
+///
+/// ```
+/// use mltc_math::{Aabb, Vec3};
+/// let b = Aabb::from_points([Vec3::ZERO, Vec3::new(1.0, 2.0, 3.0)]).unwrap();
+/// assert_eq!(b.center(), Vec3::new(0.5, 1.0, 1.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// Creates a box from corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any `min` component exceeds the
+    /// corresponding `max` component.
+    #[inline]
+    pub fn new(min: Vec3, max: Vec3) -> Self {
+        debug_assert!(min.x <= max.x && min.y <= max.y && min.z <= max.z);
+        Self { min, max }
+    }
+
+    /// Smallest box containing every point of the iterator, or `None` if the
+    /// iterator is empty.
+    pub fn from_points<I: IntoIterator<Item = Vec3>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut b = Self { min: first, max: first };
+        for p in it {
+            b.min = b.min.min(p);
+            b.max = b.max.max(p);
+        }
+        Some(b)
+    }
+
+    /// Box center.
+    #[inline]
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Half-extents along each axis.
+    #[inline]
+    pub fn half_extents(&self) -> Vec3 {
+        (self.max - self.min) * 0.5
+    }
+
+    /// Returns the union of two boxes.
+    pub fn union(&self, other: &Self) -> Self {
+        Self { min: self.min.min(other.min), max: self.max.max(other.max) }
+    }
+
+    /// Grows the box to contain `p`.
+    pub fn expand(&mut self, p: Vec3) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    /// Returns the 8 corner points.
+    pub fn corners(&self) -> [Vec3; 8] {
+        let (lo, hi) = (self.min, self.max);
+        [
+            Vec3::new(lo.x, lo.y, lo.z),
+            Vec3::new(hi.x, lo.y, lo.z),
+            Vec3::new(lo.x, hi.y, lo.z),
+            Vec3::new(hi.x, hi.y, lo.z),
+            Vec3::new(lo.x, lo.y, hi.z),
+            Vec3::new(hi.x, lo.y, hi.z),
+            Vec3::new(lo.x, hi.y, hi.z),
+            Vec3::new(hi.x, hi.y, hi.z),
+        ]
+    }
+
+    /// Returns `true` if `p` lies inside or on the boundary.
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_points_bounds_all() {
+        let pts = [Vec3::new(1.0, -1.0, 0.0), Vec3::new(-2.0, 3.0, 5.0), Vec3::ZERO];
+        let b = Aabb::from_points(pts).unwrap();
+        for p in pts {
+            assert!(b.contains(p));
+        }
+        assert_eq!(b.min, Vec3::new(-2.0, -1.0, 0.0));
+        assert_eq!(b.max, Vec3::new(1.0, 3.0, 5.0));
+    }
+
+    #[test]
+    fn from_points_empty_is_none() {
+        assert!(Aabb::from_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn union_contains_both() {
+        let a = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+        let b = Aabb::new(Vec3::splat(2.0), Vec3::splat(3.0));
+        let u = a.union(&b);
+        assert!(u.contains(Vec3::splat(0.5)));
+        assert!(u.contains(Vec3::splat(2.5)));
+    }
+
+    #[test]
+    fn corners_are_distinct_and_contained() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+        let cs = b.corners();
+        for (i, c) in cs.iter().enumerate() {
+            assert!(b.contains(*c));
+            for d in cs.iter().skip(i + 1) {
+                assert_ne!(c, d);
+            }
+        }
+    }
+
+    #[test]
+    fn expand_grows_bounds() {
+        let mut b = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+        b.expand(Vec3::new(-5.0, 0.5, 2.0));
+        assert!(b.contains(Vec3::new(-5.0, 0.5, 2.0)));
+    }
+
+    #[test]
+    fn center_and_half_extents() {
+        let b = Aabb::new(Vec3::new(-1.0, -2.0, -3.0), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(b.center(), Vec3::ZERO);
+        assert_eq!(b.half_extents(), Vec3::new(1.0, 2.0, 3.0));
+    }
+}

@@ -1,0 +1,120 @@
+//! View-frustum extraction and culling.
+
+use crate::{Aabb, Mat4, Plane};
+
+/// A view frustum as six inward-facing planes, extracted from a combined
+/// view-projection matrix (Gribb–Hartmann method).
+///
+/// Used for the object-space visibility culling stage of the renderer
+/// (paper §3: the Intel Scene Manager "provides object-space visibility
+/// culling").
+///
+/// ```
+/// use mltc_math::{Aabb, Frustum, Mat4, Vec3};
+/// let vp = Mat4::perspective(1.0, 1.0, 0.1, 100.0)
+///     * Mat4::look_at(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, Vec3::Y);
+/// let f = Frustum::from_view_projection(&vp);
+/// let visible = Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0));
+/// let behind = Aabb::new(Vec3::new(-1.0, -1.0, 50.0), Vec3::new(1.0, 1.0, 60.0));
+/// assert!(f.intersects(&visible));
+/// assert!(!f.intersects(&behind));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Frustum {
+    planes: [Plane; 6],
+}
+
+impl Frustum {
+    /// Extracts the six frustum planes from a view-projection matrix.
+    pub fn from_view_projection(vp: &Mat4) -> Self {
+        let r0 = vp.row(0);
+        let r1 = vp.row(1);
+        let r2 = vp.row(2);
+        let r3 = vp.row(3);
+        let planes = [
+            Plane::from_coefficients(r3 + r0).normalized(), // left
+            Plane::from_coefficients(r3 - r0).normalized(), // right
+            Plane::from_coefficients(r3 + r1).normalized(), // bottom
+            Plane::from_coefficients(r3 - r1).normalized(), // top
+            Plane::from_coefficients(r3 + r2).normalized(), // near
+            Plane::from_coefficients(r3 - r2).normalized(), // far
+        ];
+        Self { planes }
+    }
+
+    /// The six planes in left/right/bottom/top/near/far order.
+    pub fn planes(&self) -> &[Plane; 6] {
+        &self.planes
+    }
+
+    /// Conservative AABB test: returns `false` only when the box is
+    /// completely outside at least one plane (so it may return `true` for
+    /// boxes slightly outside a frustum corner, which is safe for culling).
+    pub fn intersects(&self, aabb: &Aabb) -> bool {
+        let c = aabb.center();
+        let h = aabb.half_extents();
+        for p in &self.planes {
+            let r = h.x * p.normal.x.abs() + h.y * p.normal.y.abs() + h.z * p.normal.z.abs();
+            if p.signed_distance(c) < -r {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Vec3;
+
+    fn test_frustum() -> Frustum {
+        let vp = Mat4::perspective(std::f32::consts::FRAC_PI_2, 1.0, 0.5, 100.0)
+            * Mat4::look_at(Vec3::ZERO, -Vec3::Z * 10.0, Vec3::Y);
+        Frustum::from_view_projection(&vp)
+    }
+
+    #[test]
+    fn box_in_front_is_visible() {
+        let f = test_frustum();
+        let b = Aabb::new(Vec3::new(-1.0, -1.0, -11.0), Vec3::new(1.0, 1.0, -9.0));
+        assert!(f.intersects(&b));
+    }
+
+    #[test]
+    fn box_behind_camera_is_culled() {
+        let f = test_frustum();
+        let b = Aabb::new(Vec3::new(-1.0, -1.0, 9.0), Vec3::new(1.0, 1.0, 11.0));
+        assert!(!f.intersects(&b));
+    }
+
+    #[test]
+    fn box_beyond_far_plane_is_culled() {
+        let f = test_frustum();
+        let b = Aabb::new(Vec3::new(-1.0, -1.0, -300.0), Vec3::new(1.0, 1.0, -250.0));
+        assert!(!f.intersects(&b));
+    }
+
+    #[test]
+    fn box_far_to_the_side_is_culled() {
+        let f = test_frustum();
+        // 90° horizontal fov at z=-10 spans x in [-10, 10].
+        let b = Aabb::new(Vec3::new(40.0, -1.0, -11.0), Vec3::new(42.0, 1.0, -9.0));
+        assert!(!f.intersects(&b));
+    }
+
+    #[test]
+    fn huge_box_straddling_frustum_is_visible() {
+        let f = test_frustum();
+        let b = Aabb::new(Vec3::splat(-1000.0), Vec3::splat(1000.0));
+        assert!(f.intersects(&b));
+    }
+
+    #[test]
+    fn near_plane_respected() {
+        let f = test_frustum();
+        let b = Aabb::new(Vec3::new(-0.1, -0.1, -0.3), Vec3::new(0.1, 0.1, -0.1));
+        // Entirely between the eye and the near plane (z > -0.5).
+        assert!(!f.intersects(&b));
+    }
+}

@@ -1,0 +1,97 @@
+//! Minimal 3D math substrate for the `mltc` texture-caching study.
+//!
+//! Provides exactly the linear algebra the software renderer needs: 2/3/4
+//! component `f32` vectors, column-major 4×4 matrices, planes, axis-aligned
+//! bounding boxes, and a view frustum for object-space visibility culling.
+//!
+//! # Example
+//!
+//! ```
+//! use mltc_math::{Mat4, Vec3, Vec4};
+//!
+//! let model = Mat4::translation(Vec3::new(1.0, 0.0, 0.0));
+//! let p = model.transform_point(Vec3::ZERO);
+//! assert_eq!(p, Vec3::new(1.0, 0.0, 0.0));
+//!
+//! let clip = Mat4::perspective(60f32.to_radians(), 4.0 / 3.0, 0.1, 100.0);
+//! let v = clip * Vec4::new(0.0, 0.0, -1.0, 1.0);
+//! assert!(v.w > 0.0);
+//! ```
+
+mod aabb;
+mod frustum;
+mod mat4;
+mod plane;
+mod vec;
+
+pub use aabb::Aabb;
+pub use frustum::Frustum;
+pub use mat4::Mat4;
+pub use plane::Plane;
+pub use vec::{Vec2, Vec3, Vec4};
+
+/// Linear interpolation between `a` and `b` by factor `t`.
+///
+/// `t = 0` yields `a`, `t = 1` yields `b`; `t` is not clamped.
+///
+/// ```
+/// assert_eq!(mltc_math::lerp(2.0, 4.0, 0.5), 3.0);
+/// ```
+#[inline]
+pub fn lerp(a: f32, b: f32, t: f32) -> f32 {
+    a + (b - a) * t
+}
+
+/// Clamps `x` into `[lo, hi]`.
+///
+/// ```
+/// assert_eq!(mltc_math::clamp(5.0, 0.0, 1.0), 1.0);
+/// ```
+#[inline]
+pub fn clamp(x: f32, lo: f32, hi: f32) -> f32 {
+    x.max(lo).min(hi)
+}
+
+/// Returns `true` if `a` and `b` differ by at most `eps`.
+///
+/// ```
+/// assert!(mltc_math::approx_eq(1.0, 1.0 + 1e-7, 1e-5));
+/// ```
+#[inline]
+pub fn approx_eq(a: f32, b: f32, eps: f32) -> bool {
+    (a - b).abs() <= eps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lerp_endpoints() {
+        assert_eq!(lerp(-1.0, 3.0, 0.0), -1.0);
+        assert_eq!(lerp(-1.0, 3.0, 1.0), 3.0);
+    }
+
+    #[test]
+    fn lerp_midpoint() {
+        assert_eq!(lerp(0.0, 10.0, 0.5), 5.0);
+    }
+
+    #[test]
+    fn lerp_extrapolates() {
+        assert_eq!(lerp(0.0, 1.0, 2.0), 2.0);
+    }
+
+    #[test]
+    fn clamp_inside_and_outside() {
+        assert_eq!(clamp(0.5, 0.0, 1.0), 0.5);
+        assert_eq!(clamp(-3.0, 0.0, 1.0), 0.0);
+        assert_eq!(clamp(9.0, 0.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn approx_eq_respects_eps() {
+        assert!(approx_eq(1.0, 1.001, 0.01));
+        assert!(!approx_eq(1.0, 1.1, 0.01));
+    }
+}

@@ -1,0 +1,316 @@
+//! Column-major 4×4 matrices.
+
+use crate::{Vec3, Vec4};
+use std::ops::Mul;
+
+/// A column-major 4×4 `f32` matrix.
+///
+/// `cols[c]` is column `c`; the element at row `r`, column `c` is
+/// `cols[c][r]`, matching OpenGL conventions. Points transform as column
+/// vectors: `m * v`.
+///
+/// ```
+/// use mltc_math::{Mat4, Vec3};
+/// let m = Mat4::translation(Vec3::new(0.0, 1.0, 0.0)) * Mat4::scale(Vec3::splat(2.0));
+/// assert_eq!(m.transform_point(Vec3::new(1.0, 0.0, 0.0)), Vec3::new(2.0, 1.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat4 {
+    cols: [[f32; 4]; 4],
+}
+
+impl Default for Mat4 {
+    fn default() -> Self {
+        Self::IDENTITY
+    }
+}
+
+impl Mat4 {
+    /// The identity matrix.
+    pub const IDENTITY: Self = Self {
+        cols: [
+            [1.0, 0.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ],
+    };
+
+    /// Builds a matrix from column arrays.
+    #[inline]
+    pub const fn from_cols(cols: [[f32; 4]; 4]) -> Self {
+        Self { cols }
+    }
+
+    /// Returns the element at `row`, `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is 4 or more.
+    #[inline]
+    pub fn at(&self, row: usize, col: usize) -> f32 {
+        self.cols[col][row]
+    }
+
+    /// Translation by `t`.
+    pub fn translation(t: Vec3) -> Self {
+        let mut m = Self::IDENTITY;
+        m.cols[3] = [t.x, t.y, t.z, 1.0];
+        m
+    }
+
+    /// Non-uniform scale by `s`.
+    pub fn scale(s: Vec3) -> Self {
+        let mut m = Self::IDENTITY;
+        m.cols[0][0] = s.x;
+        m.cols[1][1] = s.y;
+        m.cols[2][2] = s.z;
+        m
+    }
+
+    /// Rotation about the X axis by `angle` radians.
+    pub fn rotation_x(angle: f32) -> Self {
+        let (s, c) = angle.sin_cos();
+        Self::from_cols([
+            [1.0, 0.0, 0.0, 0.0],
+            [0.0, c, s, 0.0],
+            [0.0, -s, c, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ])
+    }
+
+    /// Rotation about the Y axis by `angle` radians.
+    pub fn rotation_y(angle: f32) -> Self {
+        let (s, c) = angle.sin_cos();
+        Self::from_cols([
+            [c, 0.0, -s, 0.0],
+            [0.0, 1.0, 0.0, 0.0],
+            [s, 0.0, c, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ])
+    }
+
+    /// Rotation about the Z axis by `angle` radians.
+    pub fn rotation_z(angle: f32) -> Self {
+        let (s, c) = angle.sin_cos();
+        Self::from_cols([
+            [c, s, 0.0, 0.0],
+            [-s, c, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ])
+    }
+
+    /// Right-handed look-at view matrix (camera at `eye`, looking at
+    /// `target`, with `up` roughly up). The camera looks down its local −Z.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `eye == target` or `up` is parallel to the
+    /// view direction.
+    pub fn look_at(eye: Vec3, target: Vec3, up: Vec3) -> Self {
+        let f = (target - eye).normalized();
+        let s = f.cross(up).normalized();
+        let u = s.cross(f);
+        Self::from_cols([
+            [s.x, u.x, -f.x, 0.0],
+            [s.y, u.y, -f.y, 0.0],
+            [s.z, u.z, -f.z, 0.0],
+            [-s.dot(eye), -u.dot(eye), f.dot(eye), 1.0],
+        ])
+    }
+
+    /// Right-handed perspective projection (OpenGL-style clip space,
+    /// `z ∈ [-w, w]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `near <= 0`, `far <= near`, `aspect <= 0` or
+    /// `fov_y` is not in `(0, π)`.
+    pub fn perspective(fov_y: f32, aspect: f32, near: f32, far: f32) -> Self {
+        debug_assert!(near > 0.0 && far > near && aspect > 0.0);
+        debug_assert!(fov_y > 0.0 && fov_y < std::f32::consts::PI);
+        let f = 1.0 / (fov_y * 0.5).tan();
+        Self::from_cols([
+            [f / aspect, 0.0, 0.0, 0.0],
+            [0.0, f, 0.0, 0.0],
+            [0.0, 0.0, (far + near) / (near - far), -1.0],
+            [0.0, 0.0, 2.0 * far * near / (near - far), 0.0],
+        ])
+    }
+
+    /// Transforms a homogeneous vector.
+    #[inline]
+    pub fn transform(&self, v: Vec4) -> Vec4 {
+        let c = &self.cols;
+        Vec4::new(
+            c[0][0] * v.x + c[1][0] * v.y + c[2][0] * v.z + c[3][0] * v.w,
+            c[0][1] * v.x + c[1][1] * v.y + c[2][1] * v.z + c[3][1] * v.w,
+            c[0][2] * v.x + c[1][2] * v.y + c[2][2] * v.z + c[3][2] * v.w,
+            c[0][3] * v.x + c[1][3] * v.y + c[2][3] * v.z + c[3][3] * v.w,
+        )
+    }
+
+    /// Transforms a point (`w = 1`) and drops the homogeneous coordinate
+    /// without dividing (valid for affine matrices).
+    #[inline]
+    pub fn transform_point(&self, p: Vec3) -> Vec3 {
+        self.transform(Vec4::from_point(p)).xyz()
+    }
+
+    /// Transforms a direction (`w = 0`).
+    #[inline]
+    pub fn transform_dir(&self, d: Vec3) -> Vec3 {
+        self.transform(Vec4::from_dir(d)).xyz()
+    }
+
+    /// Matrix transpose.
+    pub fn transposed(&self) -> Self {
+        let mut out = Self::IDENTITY;
+        for c in 0..4 {
+            for r in 0..4 {
+                out.cols[c][r] = self.cols[r][c];
+            }
+        }
+        out
+    }
+
+    /// Returns the `i`-th row as a [`Vec4`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 4`.
+    #[inline]
+    pub fn row(&self, i: usize) -> Vec4 {
+        Vec4::new(self.cols[0][i], self.cols[1][i], self.cols[2][i], self.cols[3][i])
+    }
+}
+
+impl Mul for Mat4 {
+    type Output = Self;
+
+    fn mul(self, rhs: Self) -> Self {
+        let mut out = Self::from_cols([[0.0; 4]; 4]);
+        for c in 0..4 {
+            for r in 0..4 {
+                let mut acc = 0.0;
+                for k in 0..4 {
+                    acc += self.cols[k][r] * rhs.cols[c][k];
+                }
+                out.cols[c][r] = acc;
+            }
+        }
+        out
+    }
+}
+
+impl Mul<Vec4> for Mat4 {
+    type Output = Vec4;
+
+    #[inline]
+    fn mul(self, v: Vec4) -> Vec4 {
+        self.transform(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn assert_vec3_near(a: Vec3, b: Vec3) {
+        assert!(
+            approx_eq(a.x, b.x, 1e-5) && approx_eq(a.y, b.y, 1e-5) && approx_eq(a.z, b.z, 1e-5),
+            "{a} != {b}"
+        );
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let v = Vec4::new(1.0, -2.0, 3.0, 1.0);
+        assert_eq!(Mat4::IDENTITY * v, v);
+    }
+
+    #[test]
+    fn translation_moves_points_not_dirs() {
+        let m = Mat4::translation(Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(m.transform_point(Vec3::ZERO), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(m.transform_dir(Vec3::X), Vec3::X);
+    }
+
+    #[test]
+    fn scale_scales() {
+        let m = Mat4::scale(Vec3::new(2.0, 3.0, 4.0));
+        assert_eq!(m.transform_point(Vec3::splat(1.0)), Vec3::new(2.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn rotation_y_quarter_turn() {
+        let m = Mat4::rotation_y(std::f32::consts::FRAC_PI_2);
+        assert_vec3_near(m.transform_dir(Vec3::X), -Vec3::Z);
+        assert_vec3_near(m.transform_dir(Vec3::Z), Vec3::X);
+    }
+
+    #[test]
+    fn rotation_x_quarter_turn() {
+        let m = Mat4::rotation_x(std::f32::consts::FRAC_PI_2);
+        assert_vec3_near(m.transform_dir(Vec3::Y), Vec3::Z);
+    }
+
+    #[test]
+    fn rotation_z_quarter_turn() {
+        let m = Mat4::rotation_z(std::f32::consts::FRAC_PI_2);
+        assert_vec3_near(m.transform_dir(Vec3::X), Vec3::Y);
+    }
+
+    #[test]
+    fn mul_composes_right_to_left() {
+        let t = Mat4::translation(Vec3::new(1.0, 0.0, 0.0));
+        let s = Mat4::scale(Vec3::splat(2.0));
+        // (t * s) first scales then translates.
+        let p = (t * s).transform_point(Vec3::new(1.0, 1.0, 1.0));
+        assert_eq!(p, Vec3::new(3.0, 2.0, 2.0));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Mat4::perspective(1.0, 1.5, 0.1, 100.0);
+        assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn look_at_centers_target_on_axis() {
+        let eye = Vec3::new(0.0, 0.0, 5.0);
+        let m = Mat4::look_at(eye, Vec3::ZERO, Vec3::Y);
+        let v = m.transform_point(Vec3::ZERO);
+        // Target lies straight ahead on the camera's -Z axis.
+        assert_vec3_near(v, Vec3::new(0.0, 0.0, -5.0));
+        // The eye maps to the origin.
+        assert_vec3_near(m.transform_point(eye), Vec3::ZERO);
+    }
+
+    #[test]
+    fn perspective_maps_near_far_to_unit_range() {
+        let near = 0.5;
+        let far = 50.0;
+        let m = Mat4::perspective(1.0, 1.0, near, far);
+        let pn = (m * Vec4::new(0.0, 0.0, -near, 1.0)).project();
+        let pf = (m * Vec4::new(0.0, 0.0, -far, 1.0)).project();
+        assert!(approx_eq(pn.z, -1.0, 1e-4), "near plane -> {}", pn.z);
+        assert!(approx_eq(pf.z, 1.0, 1e-4), "far plane -> {}", pf.z);
+    }
+
+    #[test]
+    fn perspective_w_equals_view_depth() {
+        let m = Mat4::perspective(1.0, 1.0, 0.1, 100.0);
+        let clip = m * Vec4::new(0.0, 0.0, -7.0, 1.0);
+        assert!(approx_eq(clip.w, 7.0, 1e-5));
+    }
+
+    #[test]
+    fn row_accessor_matches_at() {
+        let m = Mat4::translation(Vec3::new(4.0, 5.0, 6.0));
+        assert_eq!(m.row(0).w, 4.0);
+        assert_eq!(m.at(1, 3), 5.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Planes in 3-space.
+
+use crate::{Vec3, Vec4};
+
+/// A plane `n·p + d = 0`, with the half-space `n·p + d >= 0` considered
+/// "inside" (used by [`crate::Frustum`] culling).
+///
+/// ```
+/// use mltc_math::{Plane, Vec3};
+/// let floor = Plane::new(Vec3::Y, 0.0);
+/// assert!(floor.signed_distance(Vec3::new(0.0, 2.0, 0.0)) > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Plane {
+    /// Plane normal (not necessarily unit length unless normalized).
+    pub normal: Vec3,
+    /// Plane offset.
+    pub d: f32,
+}
+
+impl Plane {
+    /// Creates a plane from a normal and offset.
+    #[inline]
+    pub const fn new(normal: Vec3, d: f32) -> Self {
+        Self { normal, d }
+    }
+
+    /// Creates a plane from homogeneous coefficients `(a, b, c, d)` where the
+    /// plane equation is `ax + by + cz + d = 0`.
+    #[inline]
+    pub fn from_coefficients(v: Vec4) -> Self {
+        Self { normal: v.xyz(), d: v.w }
+    }
+
+    /// Returns the plane with its normal scaled to unit length.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the normal is zero.
+    pub fn normalized(self) -> Self {
+        let len = self.normal.length();
+        debug_assert!(len > 0.0, "cannot normalize a degenerate plane");
+        Self { normal: self.normal / len, d: self.d / len }
+    }
+
+    /// Signed distance of `p` from the plane (exact distance only when the
+    /// plane is normalized; the sign is always meaningful).
+    #[inline]
+    pub fn signed_distance(&self, p: Vec3) -> f32 {
+        self.normal.dot(p) + self.d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn signed_distance_sign() {
+        let p = Plane::new(Vec3::Z, -1.0); // plane z = 1
+        assert!(p.signed_distance(Vec3::new(0.0, 0.0, 2.0)) > 0.0);
+        assert!(p.signed_distance(Vec3::ZERO) < 0.0);
+        assert_eq!(p.signed_distance(Vec3::new(5.0, 5.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn normalization_preserves_zero_set() {
+        let p = Plane::new(Vec3::new(0.0, 2.0, 0.0), -4.0); // plane y = 2
+        let n = p.normalized();
+        assert!(approx_eq(n.signed_distance(Vec3::new(1.0, 2.0, 3.0)), 0.0, 1e-6));
+        assert!(approx_eq(n.normal.length(), 1.0, 1e-6));
+    }
+
+    #[test]
+    fn from_coefficients_matches_manual() {
+        let p = Plane::from_coefficients(Vec4::new(1.0, 2.0, 3.0, 4.0));
+        assert_eq!(p.normal, Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(p.d, 4.0);
+    }
+}

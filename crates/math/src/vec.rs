@@ -1,0 +1,359 @@
+//! Fixed-size `f32` vectors.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A 2-component `f32` vector, used for texture coordinates ⟨u,v⟩ and
+/// screen-space positions.
+///
+/// ```
+/// use mltc_math::Vec2;
+/// let uv = Vec2::new(0.25, 0.75) * 2.0;
+/// assert_eq!(uv, Vec2::new(0.5, 1.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    pub x: f32,
+    pub y: f32,
+}
+
+/// A 3-component `f32` vector, used for object- and world-space positions,
+/// normals and colours.
+///
+/// ```
+/// use mltc_math::Vec3;
+/// assert_eq!(Vec3::X.cross(Vec3::Y), Vec3::Z);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    pub x: f32,
+    pub y: f32,
+    pub z: f32,
+}
+
+/// A 4-component `f32` vector, used for homogeneous clip-space positions.
+///
+/// ```
+/// use mltc_math::{Vec3, Vec4};
+/// let v = Vec4::from_point(Vec3::new(1.0, 2.0, 3.0));
+/// assert_eq!(v.w, 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec4 {
+    pub x: f32,
+    pub y: f32,
+    pub z: f32,
+    pub w: f32,
+}
+
+macro_rules! impl_binops {
+    ($ty:ident, $($f:ident),+) => {
+        impl Add for $ty {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self { Self { $($f: self.$f + rhs.$f),+ } }
+        }
+        impl Sub for $ty {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self { Self { $($f: self.$f - rhs.$f),+ } }
+        }
+        impl Mul<f32> for $ty {
+            type Output = Self;
+            #[inline]
+            fn mul(self, s: f32) -> Self { Self { $($f: self.$f * s),+ } }
+        }
+        impl Mul<$ty> for f32 {
+            type Output = $ty;
+            #[inline]
+            fn mul(self, v: $ty) -> $ty { v * self }
+        }
+        impl Div<f32> for $ty {
+            type Output = Self;
+            #[inline]
+            fn div(self, s: f32) -> Self { Self { $($f: self.$f / s),+ } }
+        }
+        impl Neg for $ty {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self { Self { $($f: -self.$f),+ } }
+        }
+        impl AddAssign for $ty {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) { *self = *self + rhs; }
+        }
+        impl SubAssign for $ty {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) { *self = *self - rhs; }
+        }
+        impl MulAssign<f32> for $ty {
+            #[inline]
+            fn mul_assign(&mut self, s: f32) { *self = *self * s; }
+        }
+        impl DivAssign<f32> for $ty {
+            #[inline]
+            fn div_assign(&mut self, s: f32) { *self = *self / s; }
+        }
+        impl $ty {
+            /// Component-wise dot product.
+            #[inline]
+            pub fn dot(self, rhs: Self) -> f32 {
+                let mut acc = 0.0;
+                $(acc += self.$f * rhs.$f;)+
+                acc
+            }
+            /// Euclidean length.
+            #[inline]
+            pub fn length(self) -> f32 { self.dot(self).sqrt() }
+            /// Squared Euclidean length (avoids the square root).
+            #[inline]
+            pub fn length_squared(self) -> f32 { self.dot(self) }
+            /// Returns the vector scaled to unit length.
+            ///
+            /// # Panics
+            ///
+            /// Panics in debug builds if the vector length is zero.
+            #[inline]
+            pub fn normalized(self) -> Self {
+                let len = self.length();
+                debug_assert!(len > 0.0, "cannot normalize a zero-length vector");
+                self / len
+            }
+            /// Component-wise linear interpolation toward `rhs`.
+            #[inline]
+            pub fn lerp(self, rhs: Self, t: f32) -> Self {
+                self + (rhs - self) * t
+            }
+            /// Component-wise minimum.
+            #[inline]
+            pub fn min(self, rhs: Self) -> Self { Self { $($f: self.$f.min(rhs.$f)),+ } }
+            /// Component-wise maximum.
+            #[inline]
+            pub fn max(self, rhs: Self) -> Self { Self { $($f: self.$f.max(rhs.$f)),+ } }
+        }
+    };
+}
+
+impl_binops!(Vec2, x, y);
+impl_binops!(Vec3, x, y, z);
+impl_binops!(Vec4, x, y, z, w);
+
+impl Vec2 {
+    /// The zero vector.
+    pub const ZERO: Self = Self { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from components.
+    #[inline]
+    pub const fn new(x: f32, y: f32) -> Self {
+        Self { x, y }
+    }
+
+    /// Creates a vector with both components set to `v`.
+    #[inline]
+    pub const fn splat(v: f32) -> Self {
+        Self { x: v, y: v }
+    }
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Self = Self { x: 0.0, y: 0.0, z: 0.0 };
+    /// Unit vector along +X.
+    pub const X: Self = Self { x: 1.0, y: 0.0, z: 0.0 };
+    /// Unit vector along +Y.
+    pub const Y: Self = Self { x: 0.0, y: 1.0, z: 0.0 };
+    /// Unit vector along +Z.
+    pub const Z: Self = Self { x: 0.0, y: 0.0, z: 1.0 };
+
+    /// Creates a vector from components.
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Creates a vector with all components set to `v`.
+    #[inline]
+    pub const fn splat(v: f32) -> Self {
+        Self { x: v, y: v, z: v }
+    }
+
+    /// Right-handed cross product.
+    #[inline]
+    pub fn cross(self, rhs: Self) -> Self {
+        Self {
+            x: self.y * rhs.z - self.z * rhs.y,
+            y: self.z * rhs.x - self.x * rhs.z,
+            z: self.x * rhs.y - self.y * rhs.x,
+        }
+    }
+}
+
+impl Vec4 {
+    /// The zero vector.
+    pub const ZERO: Self = Self { x: 0.0, y: 0.0, z: 0.0, w: 0.0 };
+
+    /// Creates a vector from components.
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32, w: f32) -> Self {
+        Self { x, y, z, w }
+    }
+
+    /// Homogeneous point (`w = 1`).
+    #[inline]
+    pub const fn from_point(p: Vec3) -> Self {
+        Self { x: p.x, y: p.y, z: p.z, w: 1.0 }
+    }
+
+    /// Homogeneous direction (`w = 0`).
+    #[inline]
+    pub const fn from_dir(d: Vec3) -> Self {
+        Self { x: d.x, y: d.y, z: d.z, w: 0.0 }
+    }
+
+    /// Drops the `w` component.
+    #[inline]
+    pub fn xyz(self) -> Vec3 {
+        Vec3::new(self.x, self.y, self.z)
+    }
+
+    /// Perspective divide: `(x/w, y/w, z/w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `w` is zero.
+    #[inline]
+    pub fn project(self) -> Vec3 {
+        debug_assert!(self.w != 0.0, "perspective divide by w = 0");
+        Vec3::new(self.x / self.w, self.y / self.w, self.z / self.w)
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+impl fmt::Display for Vec4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {}, {})", self.x, self.y, self.z, self.w)
+    }
+}
+
+impl From<[f32; 2]> for Vec2 {
+    fn from(a: [f32; 2]) -> Self {
+        Self::new(a[0], a[1])
+    }
+}
+
+impl From<[f32; 3]> for Vec3 {
+    fn from(a: [f32; 3]) -> Self {
+        Self::new(a[0], a[1], a[2])
+    }
+}
+
+impl From<[f32; 4]> for Vec4 {
+    fn from(a: [f32; 4]) -> Self {
+        Self::new(a[0], a[1], a[2], a[3])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn vec3_cross_is_right_handed() {
+        assert_eq!(Vec3::X.cross(Vec3::Y), Vec3::Z);
+        assert_eq!(Vec3::Y.cross(Vec3::Z), Vec3::X);
+        assert_eq!(Vec3::Z.cross(Vec3::X), Vec3::Y);
+    }
+
+    #[test]
+    fn vec3_cross_anticommutes() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-4.0, 0.5, 2.0);
+        assert_eq!(a.cross(b), -(b.cross(a)));
+    }
+
+    #[test]
+    fn dot_of_orthogonal_is_zero() {
+        assert_eq!(Vec3::X.dot(Vec3::Y), 0.0);
+    }
+
+    #[test]
+    fn length_of_345_triangle() {
+        assert_eq!(Vec2::new(3.0, 4.0).length(), 5.0);
+    }
+
+    #[test]
+    fn normalized_has_unit_length() {
+        let v = Vec3::new(10.0, -3.0, 2.5).normalized();
+        assert!(approx_eq(v.length(), 1.0, 1e-6));
+    }
+
+    #[test]
+    fn vec4_project_divides_by_w() {
+        let v = Vec4::new(2.0, 4.0, 6.0, 2.0);
+        assert_eq!(v.project(), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn arithmetic_ops_are_componentwise() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, 5.0);
+        assert_eq!(a + b, Vec2::new(4.0, 7.0));
+        assert_eq!(b - a, Vec2::new(2.0, 3.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(2.0 * a, Vec2::new(2.0, 4.0));
+        assert_eq!(b / 2.0, Vec2::new(1.5, 2.5));
+    }
+
+    #[test]
+    fn assign_ops_match_binops() {
+        let mut v = Vec3::new(1.0, 1.0, 1.0);
+        v += Vec3::splat(2.0);
+        assert_eq!(v, Vec3::splat(3.0));
+        v -= Vec3::splat(1.0);
+        assert_eq!(v, Vec3::splat(2.0));
+        v *= 3.0;
+        assert_eq!(v, Vec3::splat(6.0));
+        v /= 2.0;
+        assert_eq!(v, Vec3::splat(3.0));
+    }
+
+    #[test]
+    fn min_max_are_componentwise() {
+        let a = Vec3::new(1.0, 5.0, -2.0);
+        let b = Vec3::new(2.0, 3.0, -1.0);
+        assert_eq!(a.min(b), Vec3::new(1.0, 3.0, -2.0));
+        assert_eq!(a.max(b), Vec3::new(2.0, 5.0, -1.0));
+    }
+
+    #[test]
+    fn lerp_midpoint() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(2.0, 4.0);
+        assert_eq!(a.lerp(b, 0.5), Vec2::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn from_array_roundtrip() {
+        assert_eq!(Vec4::from([1.0, 2.0, 3.0, 4.0]), Vec4::new(1.0, 2.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn homogeneous_constructors() {
+        let p = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(Vec4::from_point(p).w, 1.0);
+        assert_eq!(Vec4::from_dir(p).w, 0.0);
+        assert_eq!(Vec4::from_point(p).xyz(), p);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the math substrate.
+
+use mltc_math::{Aabb, Frustum, Mat4, Vec3, Vec4};
+use proptest::prelude::*;
+
+fn vec3s() -> impl Strategy<Value = Vec3> {
+    (-100.0f32..100.0, -100.0f32..100.0, -100.0f32..100.0)
+        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn near(a: f32, b: f32, eps: f32) -> bool {
+    (a - b).abs() <= eps * (1.0 + a.abs().max(b.abs()))
+}
+
+fn vec3_near(a: Vec3, b: Vec3, eps: f32) -> bool {
+    near(a.x, b.x, eps) && near(a.y, b.y, eps) && near(a.z, b.z, eps)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Cross product is orthogonal to both inputs.
+    #[test]
+    fn cross_is_orthogonal(a in vec3s(), b in vec3s()) {
+        let c = a.cross(b);
+        let scale = a.length() * b.length();
+        prop_assert!(c.dot(a).abs() <= 1e-3 * (1.0 + scale * a.length()));
+        prop_assert!(c.dot(b).abs() <= 1e-3 * (1.0 + scale * b.length()));
+    }
+
+    /// |a×b|² + (a·b)² = |a|²|b|² (Lagrange's identity).
+    #[test]
+    fn lagrange_identity(a in vec3s(), b in vec3s()) {
+        let lhs = a.cross(b).length_squared() + a.dot(b) * a.dot(b);
+        let rhs = a.length_squared() * b.length_squared();
+        prop_assert!(near(lhs, rhs, 1e-3), "{lhs} vs {rhs}");
+    }
+
+    /// Matrix multiplication composes transforms: (A*B)v = A(Bv).
+    #[test]
+    fn mat_mul_composes(t in vec3s(), s_exp in -2.0f32..2.0, angle in -3.1f32..3.1, p in vec3s()) {
+        let a = Mat4::translation(t);
+        let b = Mat4::rotation_y(angle) * Mat4::scale(Vec3::splat(2f32.powf(s_exp)));
+        let lhs = (a * b).transform_point(p);
+        let rhs = a.transform_point(b.transform_point(p));
+        prop_assert!(vec3_near(lhs, rhs, 1e-4), "{lhs} vs {rhs}");
+    }
+
+    /// Translation then inverse translation is the identity.
+    #[test]
+    fn translation_inverts(t in vec3s(), p in vec3s()) {
+        let round = Mat4::translation(-t).transform_point(Mat4::translation(t).transform_point(p));
+        prop_assert!(vec3_near(round, p, 1e-5));
+    }
+
+    /// Rotations preserve length.
+    #[test]
+    fn rotations_are_isometries(angle in -6.3f32..6.3, p in vec3s()) {
+        for m in [Mat4::rotation_x(angle), Mat4::rotation_y(angle), Mat4::rotation_z(angle)] {
+            let q = m.transform_point(p);
+            prop_assert!(near(q.length(), p.length(), 1e-4));
+        }
+    }
+
+    /// An AABB built from points contains all of them, and its center lies
+    /// inside it.
+    #[test]
+    fn aabb_contains_its_points(pts in proptest::collection::vec(vec3s(), 1..20)) {
+        let bb = Aabb::from_points(pts.iter().copied()).unwrap();
+        for p in &pts {
+            prop_assert!(bb.contains(*p));
+        }
+        prop_assert!(bb.contains(bb.center()));
+    }
+
+    /// Frustum culling is conservative: any point that projects inside the
+    /// NDC cube implies its (point-sized) AABB intersects the frustum.
+    #[test]
+    fn frustum_never_culls_visible_points(p in vec3s()) {
+        let vp = Mat4::perspective(1.0, 4.0 / 3.0, 0.1, 500.0)
+            * Mat4::look_at(Vec3::new(0.0, 0.0, 120.0), Vec3::ZERO, Vec3::Y);
+        let clip = vp * Vec4::from_point(p);
+        if clip.w > 1e-3 {
+            let ndc = clip.project();
+            let inside = ndc.x.abs() <= 1.0 && ndc.y.abs() <= 1.0 && ndc.z.abs() <= 1.0;
+            if inside {
+                let f = Frustum::from_view_projection(&vp);
+                let bb = Aabb::new(p - Vec3::splat(1e-3), p + Vec3::splat(1e-3));
+                prop_assert!(f.intersects(&bb), "visible point {p} culled");
+            }
+        }
+    }
+
+    /// Homogeneous project/unproject: scaling a clip vector never changes
+    /// its projection.
+    #[test]
+    fn projection_is_scale_invariant(p in vec3s(), k in 0.1f32..10.0) {
+        let v = Vec4::new(p.x, p.y, p.z, 2.0);
+        let scaled = Vec4::new(v.x * k, v.y * k, v.z * k, v.w * k);
+        prop_assert!(vec3_near(v.project(), scaled.project(), 1e-4));
+    }
+}

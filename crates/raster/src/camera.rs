@@ -1,0 +1,99 @@
+//! Perspective camera.
+
+use mltc_math::{Frustum, Mat4, Vec3};
+
+/// A perspective camera: position, orientation and projection parameters.
+///
+/// ```
+/// use mltc_math::Vec3;
+/// use mltc_raster::Camera;
+/// let cam = Camera::new(Vec3::new(0.0, 2.0, 5.0), Vec3::ZERO);
+/// let vp = cam.view_projection(4.0 / 3.0);
+/// let clip = vp * mltc_math::Vec4::from_point(Vec3::ZERO);
+/// assert!(clip.w > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Camera {
+    /// Eye position.
+    pub eye: Vec3,
+    /// Look-at target.
+    pub target: Vec3,
+    /// Up hint.
+    pub up: Vec3,
+    /// Vertical field of view in radians.
+    pub fov_y: f32,
+    /// Near plane distance.
+    pub near: f32,
+    /// Far plane distance.
+    pub far: f32,
+}
+
+impl Camera {
+    /// A camera at `eye` looking at `target` with 60° vertical fov and
+    /// 0.2–800 depth range (covers both workloads).
+    pub fn new(eye: Vec3, target: Vec3) -> Self {
+        Self {
+            eye,
+            target,
+            up: Vec3::Y,
+            fov_y: 60f32.to_radians(),
+            near: 0.2,
+            far: 800.0,
+        }
+    }
+
+    /// World → view matrix.
+    pub fn view(&self) -> Mat4 {
+        Mat4::look_at(self.eye, self.target, self.up)
+    }
+
+    /// View → clip matrix for a given aspect ratio (width / height).
+    pub fn projection(&self, aspect: f32) -> Mat4 {
+        Mat4::perspective(self.fov_y, aspect, self.near, self.far)
+    }
+
+    /// World → clip matrix.
+    pub fn view_projection(&self, aspect: f32) -> Mat4 {
+        self.projection(aspect) * self.view()
+    }
+
+    /// The world-space view frustum (for object culling).
+    pub fn frustum(&self, aspect: f32) -> Frustum {
+        Frustum::from_view_projection(&self.view_projection(aspect))
+    }
+
+    /// Unit view direction.
+    pub fn forward(&self) -> Vec3 {
+        (self.target - self.eye).normalized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mltc_math::{Aabb, Vec4};
+
+    #[test]
+    fn target_projects_to_screen_centre() {
+        let cam = Camera::new(Vec3::new(0.0, 0.0, 10.0), Vec3::ZERO);
+        let clip = cam.view_projection(1.0) * Vec4::from_point(Vec3::ZERO);
+        let ndc = clip.project();
+        assert!(ndc.x.abs() < 1e-5 && ndc.y.abs() < 1e-5);
+    }
+
+    #[test]
+    fn frustum_culls_behind_camera() {
+        let cam = Camera::new(Vec3::new(0.0, 0.0, 10.0), Vec3::ZERO);
+        let f = cam.frustum(1.0);
+        let behind = Aabb::new(Vec3::new(-1.0, -1.0, 20.0), Vec3::new(1.0, 1.0, 22.0));
+        assert!(!f.intersects(&behind));
+        let ahead = Aabb::new(Vec3::new(-1.0, -1.0, -1.0), Vec3::new(1.0, 1.0, 1.0));
+        assert!(f.intersects(&ahead));
+    }
+
+    #[test]
+    fn forward_points_at_target() {
+        let cam = Camera::new(Vec3::ZERO, Vec3::new(0.0, 0.0, -5.0));
+        assert!((cam.forward() - Vec3::new(0.0, 0.0, -1.0)).length() < 1e-6);
+    }
+}

@@ -1,0 +1,151 @@
+//! Homogeneous clipping (Sutherland–Hodgman against the six frustum planes).
+
+use mltc_math::{Vec2, Vec4};
+
+/// A clip-space vertex: homogeneous position plus texture coordinates.
+///
+/// Texture coordinates are *normalized* (1.0 spans the texture once;
+/// values beyond 1 repeat via wrap addressing downstream).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClipVertex {
+    /// Clip-space position (before perspective divide).
+    pub pos: Vec4,
+    /// Normalized texture coordinates.
+    pub uv: Vec2,
+}
+
+impl ClipVertex {
+    fn lerp(&self, other: &Self, t: f32) -> Self {
+        Self { pos: self.pos.lerp(other.pos, t), uv: self.uv.lerp(other.uv, t) }
+    }
+}
+
+/// Signed distances for the six clip planes: inside is `d >= 0`.
+#[inline]
+fn plane_distance(v: &Vec4, plane: usize) -> f32 {
+    match plane {
+        0 => v.w + v.x, // left:   x >= -w
+        1 => v.w - v.x, // right:  x <= w
+        2 => v.w + v.y, // bottom: y >= -w
+        3 => v.w - v.y, // top:    y <= w
+        4 => v.w + v.z, // near:   z >= -w
+        _ => v.w - v.z, // far:    z <= w
+    }
+}
+
+/// Clips a triangle against the full frustum, returning the surviving
+/// polygon (0 or 3–9 vertices) as a vertex list; the caller fans it into
+/// triangles. Returns an empty list when fully outside.
+///
+/// ```
+/// use mltc_math::{Vec2, Vec4};
+/// use mltc_raster::{clip_triangle, ClipVertex};
+/// let v = |x, w| ClipVertex { pos: Vec4::new(x, 0.0, 0.0, w), uv: Vec2::ZERO };
+/// // Entirely inside: untouched.
+/// let out = clip_triangle(&v(0.0, 1.0), &v(0.5, 1.0), &v(-0.5, 1.0));
+/// assert_eq!(out.len(), 3);
+/// ```
+pub fn clip_triangle(a: &ClipVertex, b: &ClipVertex, c: &ClipVertex) -> Vec<ClipVertex> {
+    let mut poly: Vec<ClipVertex> = vec![*a, *b, *c];
+    let mut next: Vec<ClipVertex> = Vec::with_capacity(9);
+    for plane in 0..6 {
+        if poly.is_empty() {
+            break;
+        }
+        next.clear();
+        for i in 0..poly.len() {
+            let cur = poly[i];
+            let prev = poly[(i + poly.len() - 1) % poly.len()];
+            let dc = plane_distance(&cur.pos, plane);
+            let dp = plane_distance(&prev.pos, plane);
+            let cur_in = dc >= 0.0;
+            let prev_in = dp >= 0.0;
+            if cur_in != prev_in {
+                // Edge crosses the plane: emit the intersection.
+                let t = dp / (dp - dc);
+                next.push(prev.lerp(&cur, t));
+            }
+            if cur_in {
+                next.push(cur);
+            }
+        }
+        std::mem::swap(&mut poly, &mut next);
+    }
+    poly
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: f32, y: f32, z: f32, w: f32) -> ClipVertex {
+        ClipVertex { pos: Vec4::new(x, y, z, w), uv: Vec2::new(x, y) }
+    }
+
+    #[test]
+    fn fully_inside_passes_through() {
+        let out = clip_triangle(&v(0.0, 0.5, 0.0, 1.0), &v(0.5, -0.5, 0.0, 1.0), &v(-0.5, -0.5, 0.0, 1.0));
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn fully_outside_one_plane_is_discarded() {
+        // All x > w: outside the right plane.
+        let out = clip_triangle(&v(2.0, 0.0, 0.0, 1.0), &v(3.0, 0.0, 0.0, 1.0), &v(2.5, 1.0, 0.0, 1.0));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn edge_crossing_produces_quad() {
+        // Two vertices inside, one outside the right plane: quad (4 verts).
+        let out = clip_triangle(&v(0.0, -0.5, 0.0, 1.0), &v(2.0, 0.0, 0.0, 1.0), &v(0.0, 0.5, 0.0, 1.0));
+        assert_eq!(out.len(), 4);
+        for cv in &out {
+            assert!(cv.pos.x <= cv.pos.w + 1e-5);
+        }
+    }
+
+    #[test]
+    fn one_vertex_inside_keeps_triangle() {
+        let out = clip_triangle(&v(0.0, 0.0, 0.0, 1.0), &v(3.0, 0.1, 0.0, 1.0), &v(3.0, -0.1, 0.0, 1.0));
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn near_plane_clips_behind_eye_geometry() {
+        // One vertex behind the eye (w < 0 region, z < -w violated).
+        let out = clip_triangle(
+            &v(0.0, 0.0, -0.5, 1.0),
+            &v(0.2, 0.0, -0.5, 1.0),
+            &v(0.1, 0.1, -2.0, -1.0),
+        );
+        for cv in &out {
+            assert!(cv.pos.z >= -cv.pos.w - 1e-4, "vertex {:?} violates near plane", cv.pos);
+            assert!(cv.pos.w > 0.0, "clipped vertices must have positive w");
+        }
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn uv_interpolates_at_the_crossing() {
+        // Edge from x=0 (uv.x=0) to x=2 (uv.x=2) crossing x=w=1 at t=0.5.
+        let out = clip_triangle(&v(0.0, -0.1, 0.0, 1.0), &v(2.0, 0.0, 0.0, 1.0), &v(0.0, 0.1, 0.0, 1.0));
+        let crossing: Vec<&ClipVertex> =
+            out.iter().filter(|c| (c.pos.x - 1.0).abs() < 1e-5).collect();
+        assert!(!crossing.is_empty());
+        for c in crossing {
+            assert!((c.uv.x - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn clipped_polygon_has_at_most_nine_vertices() {
+        // A huge triangle crossing every plane.
+        let out = clip_triangle(
+            &v(-50.0, -50.0, 0.0, 1.0),
+            &v(50.0, -40.0, 0.0, 1.0),
+            &v(0.0, 60.0, 0.0, 1.0),
+        );
+        assert!(out.len() >= 3 && out.len() <= 9, "got {}", out.len());
+    }
+}

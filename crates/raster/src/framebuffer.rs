@@ -1,0 +1,185 @@
+//! Colour + depth framebuffer with PPM output.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+/// A colour (packed 0xAABBGGRR) and depth framebuffer.
+///
+/// ```
+/// let mut fb = mltc_raster::Framebuffer::new(4, 4);
+/// fb.clear(0xff000000, 1.0);
+/// assert_eq!(fb.color_at(0, 0), 0xff000000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Framebuffer {
+    width: u32,
+    height: u32,
+    color: Vec<u32>,
+    depth: Vec<f32>,
+}
+
+impl Framebuffer {
+    /// Creates a framebuffer cleared to opaque black and far depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "framebuffer must be non-empty");
+        let n = (width * height) as usize;
+        Self { width, height, color: vec![0xff00_0000; n], depth: vec![f32::INFINITY; n] }
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Clears colour and depth.
+    pub fn clear(&mut self, color: u32, depth: f32) {
+        self.color.fill(color);
+        self.depth.fill(depth);
+    }
+
+    #[inline]
+    fn idx(&self, x: u32, y: u32) -> usize {
+        debug_assert!(x < self.width && y < self.height);
+        (y * self.width + x) as usize
+    }
+
+    /// Depth at a pixel.
+    #[inline]
+    pub fn depth_at(&self, x: u32, y: u32) -> f32 {
+        self.depth[self.idx(x, y)]
+    }
+
+    /// Colour at a pixel.
+    #[inline]
+    pub fn color_at(&self, x: u32, y: u32) -> u32 {
+        self.color[self.idx(x, y)]
+    }
+
+    /// Depth-tests `z` at `(x, y)`; on pass, writes colour + depth and
+    /// returns `true` (late-Z, as in the fixed-function pipelines the paper
+    /// studies).
+    #[inline]
+    pub fn depth_test_write(&mut self, x: u32, y: u32, z: f32, color: u32) -> bool {
+        let i = self.idx(x, y);
+        if z <= self.depth[i] {
+            self.depth[i] = z;
+            self.color[i] = color;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Depth-tests without writing colour (for the z-pre-pass ablation).
+    #[inline]
+    pub fn depth_test_only(&mut self, x: u32, y: u32, z: f32) -> bool {
+        let i = self.idx(x, y);
+        if z <= self.depth[i] {
+            self.depth[i] = z;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Passes if `z` is (almost) the stored depth — the texture pass of the
+    /// z-pre-pass ablation.
+    #[inline]
+    pub fn depth_equal(&self, x: u32, y: u32, z: f32) -> bool {
+        let stored = self.depth[self.idx(x, y)];
+        z <= stored * (1.0 + 1e-5) + 1e-7
+    }
+
+    /// Serialises the colour buffer as a binary PPM (P6) image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_ppm<W: Write>(&self, mut w: W) -> io::Result<()> {
+        write!(w, "P6\n{} {}\n255\n", self.width, self.height)?;
+        let mut row = Vec::with_capacity(self.width as usize * 3);
+        for y in 0..self.height {
+            row.clear();
+            for x in 0..self.width {
+                let [r, g, b, _] = self.color_at(x, y).to_le_bytes();
+                row.extend_from_slice(&[r, g, b]);
+            }
+            w.write_all(&row)?;
+        }
+        Ok(())
+    }
+
+    /// Writes a PPM file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation and write errors.
+    pub fn save_ppm<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let f = std::fs::File::create(path)?;
+        self.write_ppm(io::BufWriter::new(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_black_and_far() {
+        let fb = Framebuffer::new(2, 2);
+        assert_eq!(fb.color_at(1, 1), 0xff00_0000);
+        assert_eq!(fb.depth_at(0, 0), f32::INFINITY);
+    }
+
+    #[test]
+    fn depth_test_rejects_farther_fragments() {
+        let mut fb = Framebuffer::new(2, 2);
+        assert!(fb.depth_test_write(0, 0, 0.5, 1));
+        assert!(!fb.depth_test_write(0, 0, 0.7, 2));
+        assert_eq!(fb.color_at(0, 0), 1);
+        assert!(fb.depth_test_write(0, 0, 0.3, 3));
+        assert_eq!(fb.color_at(0, 0), 3);
+    }
+
+    #[test]
+    fn depth_only_pass_does_not_touch_color() {
+        let mut fb = Framebuffer::new(1, 1);
+        fb.depth_test_only(0, 0, 0.5);
+        assert_eq!(fb.color_at(0, 0), 0xff00_0000);
+        assert!(fb.depth_equal(0, 0, 0.5));
+        assert!(!fb.depth_equal(0, 0, 0.6));
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let fb = Framebuffer::new(3, 2);
+        let mut out = Vec::new();
+        fb.write_ppm(&mut out).unwrap();
+        assert!(out.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(out.len(), 11 + 3 * 2 * 3);
+    }
+
+    #[test]
+    fn clear_resets_both_planes() {
+        let mut fb = Framebuffer::new(2, 1);
+        fb.depth_test_write(0, 0, 0.1, 42);
+        fb.clear(7, 2.0);
+        assert_eq!(fb.color_at(0, 0), 7);
+        assert_eq!(fb.depth_at(0, 0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_size_rejected() {
+        let _ = Framebuffer::new(0, 4);
+    }
+}

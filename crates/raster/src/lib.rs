@@ -1,0 +1,59 @@
+//! Perspective-correct scanline software rasterizer with mip-mapped texture
+//! sampling — the renderer behind the workloads (paper §2.1, §3).
+//!
+//! The paper instruments the Intel Scene Manager; this crate is the
+//! from-scratch substitute: it transforms triangles to clip space, clips
+//! them against all six frustum planes, rasterizes them **in scanline
+//! order** (the paper deliberately studies scanline-order rasterization,
+//! §2.3), interpolates texture coordinates perspective-correctly, selects
+//! the mip level from the texel-to-pixel footprint ("texture compression"),
+//! and emits one [`PixelRequest`](mltc_trace::PixelRequest) per textured
+//! fragment into a [`FrameTrace`](mltc_trace::FrameTrace).
+//!
+//! Two modes share every code path up to the fragment:
+//!
+//! * **trace mode** records accesses without computing colours (fast, used
+//!   for the cache studies);
+//! * **shaded mode** additionally filters actual texels into a
+//!   [`Framebuffer`] with late depth testing (used for the Fig. 12
+//!   snapshots, and to verify the trace and the image agree).
+//!
+//! # Example
+//!
+//! ```
+//! use mltc_math::{Vec2, Vec4};
+//! use mltc_raster::{ClipVertex, RasterMode, Rasterizer};
+//! use mltc_texture::{synth, MipPyramid, TextureRegistry};
+//! use mltc_trace::FilterMode;
+//!
+//! let mut reg = TextureRegistry::new();
+//! let tid = reg.load("checker", MipPyramid::from_image(
+//!     synth::checkerboard(64, 8, [255, 0, 0], [255, 255, 255])));
+//!
+//! let mut r = Rasterizer::new(64, 64, FilterMode::Bilinear, RasterMode::Trace, &reg);
+//! r.begin_frame(0);
+//! // A full-screen quad at w = 1.
+//! let v = |x: f32, y: f32, u: f32, vv: f32| ClipVertex {
+//!     pos: Vec4::new(x, y, 0.0, 1.0), uv: Vec2::new(u, vv) };
+//! r.draw_triangle(&v(-1.0, -1.0, 0.0, 0.0), &v(1.0, -1.0, 1.0, 0.0),
+//!                 &v(1.0, 1.0, 1.0, 1.0), tid);
+//! r.draw_triangle(&v(-1.0, -1.0, 0.0, 0.0), &v(1.0, 1.0, 1.0, 1.0),
+//!                 &v(-1.0, 1.0, 0.0, 1.0), tid);
+//! let trace = r.finish_frame();
+//! assert_eq!(trace.pixels_rendered, 64 * 64);
+//! ```
+
+mod camera;
+mod clip;
+mod framebuffer;
+mod raster;
+mod shade;
+
+pub use camera::Camera;
+pub use clip::{clip_triangle, ClipVertex};
+pub use framebuffer::Framebuffer;
+pub use raster::{RasterMode, Rasterizer, Traversal};
+pub use shade::shade_request;
+
+// Re-exported for convenience: the filter modes live with the trace types.
+pub use mltc_trace::FilterMode;

@@ -1,0 +1,582 @@
+//! Triangle setup and scanline-order rasterization.
+
+use crate::{clip_triangle, shade_request, ClipVertex, Framebuffer};
+use mltc_texture::{TextureId, TextureRegistry};
+use mltc_trace::{FilterMode, FrameTrace, PixelRequest};
+
+/// What the rasterizer produces per fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RasterMode {
+    /// Record texture accesses only (no colour computation) — the fast path
+    /// for the cache studies.
+    Trace,
+    /// Additionally filter real texels into the framebuffer with late depth
+    /// testing (Fig. 12 snapshots).
+    Shaded,
+}
+
+/// Linear screen-space interpolant `a0 + ax·x + ay·y`.
+#[derive(Debug, Clone, Copy)]
+struct Plane {
+    a0: f32,
+    ax: f32,
+    ay: f32,
+}
+
+impl Plane {
+    /// Fits the plane through three screen points with attribute values.
+    /// `inv_area` is `1 / ((x1-x0)(y2-y0) - (x2-x0)(y1-y0))`.
+    fn fit(p: [(f32, f32); 3], a: [f32; 3], inv_area: f32) -> Self {
+        let (x0, y0) = p[0];
+        let (x1, y1) = p[1];
+        let (x2, y2) = p[2];
+        let ax = ((a[1] - a[0]) * (y2 - y0) - (a[2] - a[0]) * (y1 - y0)) * inv_area;
+        let ay = ((x1 - x0) * (a[2] - a[0]) - (x2 - x0) * (a[1] - a[0])) * inv_area;
+        Self { a0: a[0] - ax * x0 - ay * y0, ax, ay }
+    }
+
+    #[inline]
+    fn eval(&self, x: f32, y: f32) -> f32 {
+        self.a0 + self.ax * x + self.ay * y
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pass {
+    Normal,
+    DepthOnly,
+}
+
+/// Fragment traversal order within a triangle.
+///
+/// The paper studies **scanline order** ("we study multi-level texture
+/// caching assuming that primitives are rasterized in scanline order",
+/// §2.3) but discusses Hakura's finding that rasterization by screen tiles
+/// improves texture locality; `Tiled` reproduces that ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Traversal {
+    /// Top-to-bottom scanlines, left-to-right pixels (the paper's choice).
+    #[default]
+    Scanline,
+    /// Screen-space square tiles of the given edge (power of two), visited
+    /// row-major; scanline order within each tile.
+    Tiled(u32),
+}
+
+/// The scanline rasterizer (see the [crate docs](crate) for an example).
+///
+/// One instance renders one frame at a time: [`Rasterizer::begin_frame`],
+/// any number of [`Rasterizer::draw_triangle`] calls, then
+/// [`Rasterizer::finish_frame`] to take the trace.
+#[derive(Debug)]
+pub struct Rasterizer<'reg> {
+    width: u32,
+    height: u32,
+    filter: FilterMode,
+    mode: RasterMode,
+    registry: &'reg TextureRegistry,
+    /// Level-0 dimensions per tid (for normalized-uv → texel scaling).
+    base_dims: Vec<Option<(f32, f32)>>,
+    fb: Framebuffer,
+    trace: FrameTrace,
+    after_z: bool,
+    traversal: Traversal,
+}
+
+impl<'reg> Rasterizer<'reg> {
+    /// Creates a rasterizer for a `width`×`height` target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(
+        width: u32,
+        height: u32,
+        filter: FilterMode,
+        mode: RasterMode,
+        registry: &'reg TextureRegistry,
+    ) -> Self {
+        let mut base_dims = vec![None; registry.issued_count()];
+        for (tid, pyr) in registry.iter() {
+            let l0 = pyr.level(0);
+            base_dims[tid.index() as usize] = Some((l0.width() as f32, l0.height() as f32));
+        }
+        Self {
+            width,
+            height,
+            filter,
+            mode,
+            registry,
+            base_dims,
+            fb: Framebuffer::new(width, height),
+            trace: FrameTrace::new(0, width, height, filter),
+            after_z: false,
+            traversal: Traversal::Scanline,
+        }
+    }
+
+    /// Selects the fragment traversal order (persists across frames).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tiled traversal has a zero or non-power-of-two edge.
+    pub fn set_traversal(&mut self, traversal: Traversal) {
+        if let Traversal::Tiled(edge) = traversal {
+            assert!(edge > 0 && edge.is_power_of_two(), "tile edge must be a power of two");
+        }
+        self.traversal = traversal;
+    }
+
+    /// Starts a new frame: clears depth (and colour in shaded mode) and the
+    /// trace.
+    pub fn begin_frame(&mut self, frame: u32) {
+        self.fb.clear(0xff00_0000, f32::INFINITY);
+        self.trace = FrameTrace::new(frame, self.width, self.height, self.filter);
+        self.after_z = false;
+    }
+
+    /// Enables the z-pre-pass ablation for the current frame: after calling
+    /// this, [`Rasterizer::draw_triangle`] only textures fragments that
+    /// survive the depth already laid down with
+    /// [`Rasterizer::depth_prepass_triangle`] (paper §6: "z-buffering before
+    /// texture block retrieval").
+    pub fn set_after_z(&mut self, on: bool) {
+        self.after_z = on;
+    }
+
+    /// Rasterizes only depth for a triangle (the pre-pass).
+    pub fn depth_prepass_triangle(&mut self, a: &ClipVertex, b: &ClipVertex, c: &ClipVertex) {
+        self.draw_clipped(a, b, c, TextureId::from_index(0), Pass::DepthOnly);
+    }
+
+    /// Clips, projects and rasterizes one textured triangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` refers to a texture unknown to (or deleted from) the
+    /// registry.
+    pub fn draw_triangle(&mut self, a: &ClipVertex, b: &ClipVertex, c: &ClipVertex, tid: TextureId) {
+        self.draw_clipped(a, b, c, tid, Pass::Normal);
+    }
+
+    fn draw_clipped(&mut self, a: &ClipVertex, b: &ClipVertex, c: &ClipVertex, tid: TextureId, pass: Pass) {
+        let poly = clip_triangle(a, b, c);
+        if poly.len() < 3 {
+            return;
+        }
+        for i in 1..poly.len() - 1 {
+            self.raster_tri([&poly[0], &poly[i], &poly[i + 1]], tid, pass);
+        }
+    }
+
+    /// Screen-space triangle setup; fragments are emitted in the
+    /// configured traversal order.
+    fn raster_tri(&mut self, v: [&ClipVertex; 3], tid: TextureId, pass: Pass) {
+        let (w0, h0) = match pass {
+            Pass::DepthOnly => (1.0, 1.0),
+            Pass::Normal => self.base_dims[tid.index() as usize]
+                .expect("triangle references unknown texture"),
+        };
+
+        // Project to screen space, keeping 1/w and texel-space uv/w.
+        let mut pts = [(0.0f32, 0.0f32); 3];
+        let mut invw = [0.0f32; 3];
+        let mut uw = [0.0f32; 3];
+        let mut vw = [0.0f32; 3];
+        let mut z = [0.0f32; 3];
+        for (i, cv) in v.iter().enumerate() {
+            let p = cv.pos;
+            debug_assert!(p.w > 0.0, "clipping must leave w > 0");
+            let iw = 1.0 / p.w;
+            pts[i] = (
+                (p.x * iw * 0.5 + 0.5) * self.width as f32,
+                (0.5 - p.y * iw * 0.5) * self.height as f32,
+            );
+            invw[i] = iw;
+            uw[i] = cv.uv.x * w0 * iw;
+            vw[i] = cv.uv.y * h0 * iw;
+            z[i] = p.z * iw;
+        }
+
+        let area = (pts[1].0 - pts[0].0) * (pts[2].1 - pts[0].1)
+            - (pts[2].0 - pts[0].0) * (pts[1].1 - pts[0].1);
+        if area.abs() < 1e-12 {
+            return; // degenerate
+        }
+        let inv_area = 1.0 / area;
+        let p_invw = Plane::fit(pts, invw, inv_area);
+        let p_uw = Plane::fit(pts, uw, inv_area);
+        let p_vw = Plane::fit(pts, vw, inv_area);
+        let p_z = Plane::fit(pts, z, inv_area);
+
+        // Scanline bounds (pixel centres at y + 0.5, half-open).
+        let ymin = pts.iter().map(|p| p.1).fold(f32::INFINITY, f32::min);
+        let ymax = pts.iter().map(|p| p.1).fold(f32::NEG_INFINITY, f32::max);
+        let y_start = (ymin - 0.5).ceil().max(0.0) as u32;
+        let y_end = ((ymax - 0.5).ceil().max(0.0) as u32).min(self.height);
+        if y_start >= y_end {
+            return;
+        }
+
+        match self.traversal {
+            Traversal::Scanline => {
+                self.fill_rows(y_start, y_end, 0, self.width, &pts, &p_invw, &p_uw, &p_vw, &p_z, tid, pass);
+            }
+            Traversal::Tiled(edge) => {
+                // Visit the triangle's bounding box tile by tile; the span
+                // logic is identical, so the same fragments emerge in a
+                // 2D-local order.
+                let xmin = pts.iter().map(|p| p.0).fold(f32::INFINITY, f32::min);
+                let xmax = pts.iter().map(|p| p.0).fold(f32::NEG_INFINITY, f32::max);
+                let x_start = (xmin - 0.5).ceil().max(0.0) as u32;
+                let x_end = ((xmax - 0.5).ceil().max(0.0) as u32).min(self.width);
+                let mut ty = y_start & !(edge - 1);
+                while ty < y_end {
+                    let mut tx = x_start & !(edge - 1);
+                    while tx < x_end {
+                        self.fill_rows(
+                            ty.max(y_start), (ty + edge).min(y_end),
+                            tx.max(x_start), (tx + edge).min(x_end),
+                            &pts, &p_invw, &p_uw, &p_vw, &p_z, tid, pass,
+                        );
+                        tx += edge;
+                    }
+                    ty += edge;
+                }
+            }
+        }
+    }
+
+    /// Rasterizes the scanlines `y_lo..y_hi`, clamping each span to
+    /// `x_lo..x_hi` (the full screen for scanline traversal, one tile for
+    /// tiled traversal).
+    #[allow(clippy::too_many_arguments)]
+    fn fill_rows(
+        &mut self,
+        y_lo: u32,
+        y_hi: u32,
+        x_lo: u32,
+        x_hi: u32,
+        pts: &[(f32, f32); 3],
+        p_invw: &Plane,
+        p_uw: &Plane,
+        p_vw: &Plane,
+        p_z: &Plane,
+        tid: TextureId,
+        pass: Pass,
+    ) {
+        for y in y_lo..y_hi {
+            let yc = y as f32 + 0.5;
+            // Intersect the scanline with the triangle edges.
+            let mut xl = f32::INFINITY;
+            let mut xr = f32::NEG_INFINITY;
+            for e in 0..3 {
+                let (x0, y0) = pts[e];
+                let (x1, y1) = pts[(e + 1) % 3];
+                if (y0 - yc) * (y1 - yc) <= 0.0 && y0 != y1 {
+                    let x = x0 + (yc - y0) * (x1 - x0) / (y1 - y0);
+                    xl = xl.min(x);
+                    xr = xr.max(x);
+                }
+            }
+            if xl > xr {
+                continue;
+            }
+            let x_start = ((xl - 0.5).ceil().max(0.0) as u32).max(x_lo);
+            let x_end = ((xr - 0.5).ceil().max(0.0) as u32).min(x_hi);
+
+            for x in x_start..x_end {
+                let xc = x as f32 + 0.5;
+                let zc = p_z.eval(xc, yc);
+                if pass == Pass::DepthOnly {
+                    self.fb.depth_test_only(x, y, zc);
+                    continue;
+                }
+                if self.after_z && !self.fb.depth_equal(x, y, zc) {
+                    continue;
+                }
+                // Perspective-correct attributes.
+                let iw = p_invw.eval(xc, yc);
+                if iw <= 0.0 {
+                    continue; // numerical guard at silhouette edges
+                }
+                let w = 1.0 / iw;
+                let a_u = p_uw.eval(xc, yc);
+                let a_v = p_vw.eval(xc, yc);
+                let u = a_u * w;
+                let vv = a_v * w;
+
+                // Texture-space footprint via the quotient rule on A/W.
+                let dudx = (p_uw.ax - u * p_invw.ax) * w;
+                let dvdx = (p_vw.ax - vv * p_invw.ax) * w;
+                let dudy = (p_uw.ay - u * p_invw.ay) * w;
+                let dvdy = (p_vw.ay - vv * p_invw.ay) * w;
+                let rho2 = (dudx * dudx + dvdx * dvdx).max(dudy * dudy + dvdy * dvdy);
+                // lod = log2(sqrt(rho2)) = 0.5 * log2(rho2); the "texture
+                // compression" ratio selecting an ~1:1 mip level (§2.1).
+                let lod = 0.5 * rho2.max(1e-12).log2();
+
+                let req = PixelRequest { tid, u, v: vv, lod };
+                self.trace.push(req);
+
+                if self.mode == RasterMode::Shaded {
+                    let color = shade_request(self.registry, &req, self.filter);
+                    self.fb.depth_test_write(x, y, zc, color);
+                }
+            }
+        }
+    }
+
+    /// Finishes the frame and returns its trace, leaving the rasterizer
+    /// ready for [`Rasterizer::begin_frame`].
+    pub fn finish_frame(&mut self) -> FrameTrace {
+        std::mem::replace(
+            &mut self.trace,
+            FrameTrace::new(0, self.width, self.height, self.filter),
+        )
+    }
+
+    /// The framebuffer (colours are only meaningful in shaded mode).
+    pub fn framebuffer(&self) -> &Framebuffer {
+        &self.fb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mltc_math::{Vec2, Vec4};
+    use mltc_texture::{synth, MipPyramid};
+
+    fn registry() -> TextureRegistry {
+        let mut reg = TextureRegistry::new();
+        reg.load(
+            "checker",
+            MipPyramid::from_image(synth::checkerboard(64, 8, [255, 0, 0], [255, 255, 255])),
+        );
+        reg
+    }
+
+    fn vx(x: f32, y: f32, z: f32, w: f32, u: f32, v: f32) -> ClipVertex {
+        ClipVertex { pos: Vec4::new(x, y, z, w), uv: Vec2::new(u, v) }
+    }
+
+    fn fullscreen_quad(r: &mut Rasterizer<'_>, tid: TextureId, z: f32, uv_scale: f32) {
+        let s = uv_scale;
+        r.draw_triangle(
+            &vx(-1.0, -1.0, z, 1.0, 0.0, 0.0),
+            &vx(1.0, -1.0, z, 1.0, s, 0.0),
+            &vx(1.0, 1.0, z, 1.0, s, s),
+            tid,
+        );
+        r.draw_triangle(
+            &vx(-1.0, -1.0, z, 1.0, 0.0, 0.0),
+            &vx(1.0, 1.0, z, 1.0, s, s),
+            &vx(-1.0, 1.0, z, 1.0, 0.0, s),
+            tid,
+        );
+    }
+
+    #[test]
+    fn fullscreen_quad_covers_every_pixel_once() {
+        let reg = registry();
+        let mut r = Rasterizer::new(32, 32, FilterMode::Point, RasterMode::Trace, &reg);
+        r.begin_frame(0);
+        fullscreen_quad(&mut r, TextureId::from_index(0), 0.0, 1.0);
+        let t = r.finish_frame();
+        assert_eq!(t.pixels_rendered, 32 * 32, "exact fill, no double-drawn diagonal");
+        assert!((t.depth_complexity() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overdraw_counts_fragments_not_pixels() {
+        let reg = registry();
+        let mut r = Rasterizer::new(16, 16, FilterMode::Point, RasterMode::Trace, &reg);
+        r.begin_frame(0);
+        for _ in 0..3 {
+            fullscreen_quad(&mut r, TextureId::from_index(0), 0.0, 1.0);
+        }
+        let t = r.finish_frame();
+        assert!((t.depth_complexity() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offscreen_triangle_draws_nothing() {
+        let reg = registry();
+        let mut r = Rasterizer::new(16, 16, FilterMode::Point, RasterMode::Trace, &reg);
+        r.begin_frame(0);
+        r.draw_triangle(
+            &vx(5.0, 5.0, 0.0, 1.0, 0.0, 0.0),
+            &vx(6.0, 5.0, 0.0, 1.0, 1.0, 0.0),
+            &vx(5.0, 6.0, 0.0, 1.0, 0.0, 1.0),
+            TextureId::from_index(0),
+        );
+        assert_eq!(r.finish_frame().pixels_rendered, 0);
+    }
+
+    #[test]
+    fn unit_uv_maps_texels_one_to_one_lod_zero() {
+        // 64x64 screen, 64x64 texture, uv 0..1: texel step = 1 pixel.
+        let reg = registry();
+        let mut r = Rasterizer::new(64, 64, FilterMode::Point, RasterMode::Trace, &reg);
+        r.begin_frame(0);
+        fullscreen_quad(&mut r, TextureId::from_index(0), 0.0, 1.0);
+        let t = r.finish_frame();
+        for req in &t.requests {
+            assert!(req.lod.abs() < 0.01, "lod {} should be ~0 at 1:1", req.lod);
+            assert!(req.u >= 0.0 && req.u < 64.0);
+            assert!(req.v >= 0.0 && req.v < 64.0);
+        }
+        // Every texel of level 0 is touched exactly once.
+        let set: std::collections::HashSet<(u32, u32)> =
+            t.requests.iter().map(|r| (r.u as u32, r.v as u32)).collect();
+        assert_eq!(set.len(), 64 * 64);
+    }
+
+    #[test]
+    fn minification_raises_lod() {
+        // uv 0..4 over a 64px quad: 4 texels per pixel step => lod ~2.
+        let reg = registry();
+        let mut r = Rasterizer::new(64, 64, FilterMode::Point, RasterMode::Trace, &reg);
+        r.begin_frame(0);
+        fullscreen_quad(&mut r, TextureId::from_index(0), 0.0, 4.0);
+        let t = r.finish_frame();
+        let mean_lod: f32 =
+            t.requests.iter().map(|r| r.lod).sum::<f32>() / t.requests.len() as f32;
+        assert!((mean_lod - 2.0).abs() < 0.05, "mean lod {mean_lod}");
+    }
+
+    #[test]
+    fn perspective_correct_uv_interpolation() {
+        // A "floor" edge-on: near edge w=1, far edge w=4. At the screen
+        // midpoint, perspective-correct v is NOT the affine midpoint.
+        let reg = registry();
+        let mut r = Rasterizer::new(16, 16, FilterMode::Point, RasterMode::Trace, &reg);
+        r.begin_frame(0);
+        // Map v from 0 (near, bottom) to 1 (far, top); u constant.
+        r.draw_triangle(
+            &vx(-1.0, -1.0, 0.0, 1.0, 0.0, 0.0),
+            &vx(1.0, -1.0, 0.0, 1.0, 0.5, 0.0),
+            &vx(0.0, 4.0, 0.0, 4.0, 0.25, 1.0),
+            TextureId::from_index(0),
+        );
+        let t = r.finish_frame();
+        assert!(t.pixels_rendered > 0);
+        // All v (texel) values must stay within [0, 64).
+        for req in &t.requests {
+            assert!(req.v >= -0.5 && req.v <= 64.5);
+        }
+        // Perspective compression: more fragments at low v than high v.
+        let low = t.requests.iter().filter(|r| r.v < 21.3).count();
+        let high = t.requests.iter().filter(|r| r.v >= 42.7).count();
+        assert!(low > high, "low {low} vs high {high}");
+    }
+
+    #[test]
+    fn shaded_mode_writes_texture_colors() {
+        let reg = registry();
+        let mut r = Rasterizer::new(64, 64, FilterMode::Point, RasterMode::Shaded, &reg);
+        r.begin_frame(0);
+        fullscreen_quad(&mut r, TextureId::from_index(0), 0.0, 1.0);
+        let _ = r.finish_frame();
+        let fb = r.framebuffer();
+        // 8-texel checker cells; screen y is flipped, so screen (2,2) samples
+        // texel cell (0,7) = white and (10,2) samples cell (1,7) = red.
+        let [r0, g0, _, _] = fb.color_at(2, 2).to_le_bytes();
+        let [r1, g1, _, _] = fb.color_at(10, 2).to_le_bytes();
+        assert!(r0 > 200 && g0 > 200, "expected white cell, got ({r0},{g0})");
+        assert!(r1 > 200 && g1 < 60, "expected red cell, got ({r1},{g1})");
+    }
+
+    #[test]
+    fn depth_test_keeps_nearer_surface() {
+        let reg = registry();
+        let mut r = Rasterizer::new(8, 8, FilterMode::Point, RasterMode::Shaded, &reg);
+        r.begin_frame(0);
+        fullscreen_quad(&mut r, TextureId::from_index(0), 0.5, 1.0); // far, first
+        let far_color = r.framebuffer().color_at(4, 4);
+        fullscreen_quad(&mut r, TextureId::from_index(0), -0.5, 8.0); // near
+        let near_color = r.framebuffer().color_at(4, 4);
+        // Both fragments were rasterized (overdraw traced)...
+        assert_eq!(r.finish_frame().pixels_rendered, 2 * 64);
+        // ...and the near surface won the framebuffer.
+        let _ = (far_color, near_color); // colors may coincide on cells; depth says:
+        assert!(r.framebuffer().depth_at(4, 4) < 0.0);
+    }
+
+    #[test]
+    fn z_prepass_suppresses_hidden_fragments() {
+        let reg = registry();
+        let mut r = Rasterizer::new(16, 16, FilterMode::Point, RasterMode::Trace, &reg);
+        r.begin_frame(0);
+        let near = [
+            vx(-1.0, -1.0, -0.5, 1.0, 0.0, 0.0),
+            vx(1.0, -1.0, -0.5, 1.0, 1.0, 0.0),
+            vx(1.0, 1.0, -0.5, 1.0, 1.0, 1.0),
+        ];
+        let far = [
+            vx(-1.0, -1.0, 0.5, 1.0, 0.0, 0.0),
+            vx(1.0, -1.0, 0.5, 1.0, 1.0, 0.0),
+            vx(1.0, 1.0, 0.5, 1.0, 1.0, 1.0),
+        ];
+        // Depth pre-pass over both triangles.
+        r.depth_prepass_triangle(&near[0], &near[1], &near[2]);
+        r.depth_prepass_triangle(&far[0], &far[1], &far[2]);
+        r.set_after_z(true);
+        r.draw_triangle(&near[0], &near[1], &near[2], TextureId::from_index(0));
+        r.draw_triangle(&far[0], &far[1], &far[2], TextureId::from_index(0));
+        let t = r.finish_frame();
+        // Only the near triangle's fragments were textured: depth ~ 1.
+        let half = 16 * 16 / 2;
+        assert!(t.pixels_rendered as i64 - half < 20, "got {}", t.pixels_rendered);
+    }
+
+    #[test]
+    fn tiled_traversal_emits_the_same_fragments_in_tile_order() {
+        let reg = registry();
+        let tid = TextureId::from_index(0);
+
+        let mut scan = Rasterizer::new(32, 32, FilterMode::Point, RasterMode::Trace, &reg);
+        scan.begin_frame(0);
+        fullscreen_quad(&mut scan, tid, 0.0, 1.0);
+        let scan_trace = scan.finish_frame();
+
+        let mut tiled = Rasterizer::new(32, 32, FilterMode::Point, RasterMode::Trace, &reg);
+        tiled.set_traversal(Traversal::Tiled(8));
+        tiled.begin_frame(0);
+        fullscreen_quad(&mut tiled, tid, 0.0, 1.0);
+        let tiled_trace = tiled.finish_frame();
+
+        // Identical fragment sets...
+        assert_eq!(scan_trace.pixels_rendered, tiled_trace.pixels_rendered);
+        let key = |r: &mltc_trace::PixelRequest| (r.u.to_bits(), r.v.to_bits());
+        let mut a: Vec<_> = scan_trace.requests.iter().map(key).collect();
+        let mut b: Vec<_> = tiled_trace.requests.iter().map(key).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "traversal must not change which texels are sampled");
+        // ...in a different order.
+        let a_seq: Vec<_> = scan_trace.requests.iter().map(key).collect();
+        let b_seq: Vec<_> = tiled_trace.requests.iter().map(key).collect();
+        assert_ne!(a_seq, b_seq, "tiled traversal should reorder fragments");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn tiled_traversal_rejects_bad_edges() {
+        let reg = registry();
+        let mut r = Rasterizer::new(8, 8, FilterMode::Point, RasterMode::Trace, &reg);
+        r.set_traversal(Traversal::Tiled(6));
+    }
+
+    #[test]
+    fn trace_mode_counts_overdraw_without_z() {
+        // Without the pre-pass, both surfaces are textured (late Z).
+        let reg = registry();
+        let mut r = Rasterizer::new(8, 8, FilterMode::Point, RasterMode::Trace, &reg);
+        r.begin_frame(0);
+        fullscreen_quad(&mut r, TextureId::from_index(0), -0.5, 1.0); // near drawn first
+        fullscreen_quad(&mut r, TextureId::from_index(0), 0.5, 1.0); // far still textured
+        assert_eq!(r.finish_frame().pixels_rendered, 2 * 64);
+    }
+}

@@ -1,0 +1,178 @@
+//! The *City* workload: a fly-through of a procedural downtown grid.
+//!
+//! Stands in for the UCLA City database (paper §3.1). Calibrated properties
+//! (Table 1): every building carries its **own** facade texture — textures
+//! repeat across a facade via ⟨u,v⟩ wrap but are *not* shared between
+//! objects ("the City does not substantially reuse textures between
+//! objects") — and depth complexity ≈ 1.9 from the air.
+
+use crate::{CameraPath, Mesh, Object, Scene, WorkloadParams};
+use mltc_math::Vec3;
+use mltc_texture::{synth, MipPyramid};
+use rand::Rng;
+
+/// Street-grid pitch in world units.
+const PITCH: f32 = 24.0;
+/// Number of blocks along each axis.
+const BLOCKS: i32 = 10;
+
+/// Knobs distinguishing today's City from the "workloads of the future"
+/// variant the paper's §6 calls for investigating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CityOptions {
+    /// Blocks along each axis (buildings = blocks²).
+    pub blocks: i32,
+    /// Base facade texture dimension before `texture_scale`.
+    pub facade_base: u32,
+}
+
+impl Default for CityOptions {
+    fn default() -> Self {
+        Self { blocks: BLOCKS, facade_base: 256 }
+    }
+}
+
+impl CityOptions {
+    /// The §6 "workloads of the future" variant: a larger downtown with
+    /// double-resolution facades (4x the texel count per building).
+    pub fn future() -> Self {
+        Self { blocks: 14, facade_base: 512 }
+    }
+}
+
+/// Builds the City scene and its scripted fly-through path.
+pub fn build(params: &WorkloadParams) -> (Scene, CameraPath) {
+    build_with(params, CityOptions::default())
+}
+
+/// Builds a City with explicit [`CityOptions`].
+pub fn build_with(params: &WorkloadParams, opts: CityOptions) -> (Scene, CameraPath) {
+    let mut scene = Scene::new();
+    let mut rng = synth::seeded_rng(params.seed ^ 0xc17e);
+    let ts = |base: u32| params.scaled_texture(base);
+
+    let blocks = opts.blocks;
+    let extent = blocks as f32 * PITCH * 0.5; // city spans [-extent, extent]
+
+    // Shared infrastructure textures (ground, streets, sky) — the only
+    // sharing in the City.
+    let concrete = scene.registry.load(
+        "concrete",
+        MipPyramid::from_image(synth::noise(ts(512), 21, 10, [105, 105, 100], [140, 140, 135])),
+    );
+    let road = scene.registry.load("road", MipPyramid::from_image(synth::road(ts(512), 22)));
+    let sky = scene.registry.load(
+        "sky",
+        MipPyramid::from_image(synth::gradient_v(ts(512), [70, 120, 225], [190, 210, 240])),
+    );
+
+    scene.add(Object::new(
+        Mesh::ground(-extent - 60.0, extent + 60.0, 0.0, -extent - 60.0, extent + 60.0, 30.0, 30.0),
+        concrete,
+    ));
+    scene.add(Object::new(Mesh::dome(Vec3::ZERO, 700.0, 24, 10), sky));
+
+    // Streets: one object per direction (repeated road texture).
+    let mut ns = Mesh::new();
+    let mut ew = Mesh::new();
+    for i in 0..=blocks {
+        let c = -extent + i as f32 * PITCH;
+        ns.append(&Mesh::ground(c - 3.0, c + 3.0, 0.02, -extent, extent, 1.0, blocks as f32 * 3.0));
+        ew.append(&Mesh::ground(-extent, extent, 0.02, c - 3.0, c + 3.0, blocks as f32 * 3.0, 1.0));
+    }
+    scene.add(Object::new(ns, road));
+    scene.add(Object::new(ew, road));
+
+    // Buildings: one per block, each with a unique facade texture.
+    for bx in 0..blocks {
+        for bz in 0..blocks {
+            let cx = -extent + (bx as f32 + 0.5) * PITCH;
+            let cz = -extent + (bz as f32 + 0.5) * PITCH;
+            let half = rng.gen_range(5.5..8.0);
+            let height = rng.gen_range(8.0..32.0);
+            let wall_rgb = synth::random_tone(&mut rng);
+            let seed = params.seed ^ ((bx as u64) << 32 | bz as u64);
+            let facade = scene.registry.load(
+                format!("facade_{bx}_{bz}"),
+                MipPyramid::from_image(synth::window_grid(
+                    ts(opts.facade_base),
+                    seed,
+                    wall_rgb,
+                    [255, 245, 190],
+                    [25, 30, 45],
+                )),
+            );
+            let min = Vec3::new(cx - half, 0.0, cz - half);
+            let max = Vec3::new(cx + half, height, cz + half);
+            // Facade repeats every ~8 world units; the roof reuses the same
+            // texture (repetition within the object, no sharing across).
+            let mut mesh = Mesh::box_walls(min, max, 8.0);
+            mesh.append(&Mesh::box_top(min, max, 2.0, 2.0));
+            scene.add(Object::new(mesh, facade));
+        }
+    }
+
+    // Fly-through: enter low over one edge, thread the canyons diagonally
+    // at rooftop height (the forward view cone keeps a sizeable part of the
+    // city outside the frustum each frame), then climb out the far side.
+    let path = CameraPath::new(vec![
+        (Vec3::new(-extent - 40.0, 60.0, -extent * 0.55), Vec3::new(-extent * 0.3, 24.0, -extent * 0.45)),
+        (Vec3::new(-extent * 0.4, 38.0, -extent * 0.35), Vec3::new(10.0, 22.0, -20.0)),
+        (Vec3::new(0.0, 30.0, 0.0), Vec3::new(60.0, 20.0, 50.0)),
+        (Vec3::new(extent * 0.45, 34.0, extent * 0.4), Vec3::new(extent, 20.0, extent * 0.75)),
+        (Vec3::new(extent + 30.0, 55.0, extent * 0.6), Vec3::new(extent + 120.0, 45.0, extent * 0.8)),
+    ]);
+
+    (scene, path)
+}
+
+/// The paper's City animation length in frames.
+pub const PAPER_FRAMES: u32 = 525;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_building_has_unique_texture() {
+        let (scene, _) = build(&WorkloadParams::tiny());
+        // 3 shared (concrete/road/sky) + one per building.
+        assert_eq!(scene.registry().live_count(), 3 + (BLOCKS * BLOCKS) as usize);
+        let mut seen = std::collections::HashSet::new();
+        for obj in scene.objects().iter().skip(4) {
+            seen.insert(obj.texture);
+        }
+        assert!(seen.len() >= (BLOCKS * BLOCKS) as usize);
+    }
+
+    #[test]
+    fn builds_deterministically() {
+        let p = WorkloadParams::tiny();
+        let (a, _) = build(&p);
+        let (b, _) = build(&p);
+        assert_eq!(a.registry().host_byte_size(), b.registry().host_byte_size());
+        assert_eq!(a.triangle_count(), b.triangle_count());
+    }
+
+    #[test]
+    fn full_scale_texture_budget_exceeds_village() {
+        let mut p = WorkloadParams::tiny();
+        p.texture_scale = 1;
+        let (scene, _) = build(&p);
+        let mb = scene.registry().host_byte_size() as f64 / (1 << 20) as f64;
+        // 100 unique facades plus infrastructure: ~20 MB.
+        assert!((12.0..32.0).contains(&mb), "city texture set {mb:.1} MB");
+    }
+
+    #[test]
+    fn flight_path_descends_over_downtown() {
+        let (_, path) = build(&WorkloadParams::tiny());
+        let high = path.camera_at(0.0).eye.y;
+        let mid = path.camera_at(0.5).eye.y;
+        assert!(high > mid, "the fly-through descends toward downtown");
+        for i in 0..20 {
+            let cam = path.camera_at(i as f32 / 19.0);
+            assert!(cam.eye.y > 20.0, "the camera stays above the streets");
+        }
+    }
+}

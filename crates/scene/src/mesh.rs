@@ -1,0 +1,471 @@
+//! World-space triangle meshes and procedural builders.
+
+use mltc_math::{Aabb, Vec2, Vec3};
+
+/// An indexed triangle mesh in world coordinates with per-vertex normalized
+/// texture coordinates (values beyond 1 repeat the texture).
+///
+/// Triangles are wound counter-clockwise when seen from outside (the scene
+/// renderer backface-culls on that convention).
+///
+/// ```
+/// use mltc_math::Vec3;
+/// let q = mltc_scene::Mesh::quad(
+///     [Vec3::ZERO, Vec3::X, Vec3::new(1.0, 1.0, 0.0), Vec3::Y], 2.0, 2.0);
+/// assert_eq!(q.triangle_count(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Mesh {
+    positions: Vec<Vec3>,
+    uvs: Vec<Vec2>,
+    tris: Vec<[u32; 3]>,
+}
+
+impl Mesh {
+    /// An empty mesh.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of triangles.
+    pub fn triangle_count(&self) -> usize {
+        self.tris.len()
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Vertex positions.
+    pub fn positions(&self) -> &[Vec3] {
+        &self.positions
+    }
+
+    /// Vertex texture coordinates.
+    pub fn uvs(&self) -> &[Vec2] {
+        &self.uvs
+    }
+
+    /// Triangle index triples.
+    pub fn triangles(&self) -> &[[u32; 3]] {
+        &self.tris
+    }
+
+    /// Adds a vertex and returns its index.
+    pub fn push_vertex(&mut self, pos: Vec3, uv: Vec2) -> u32 {
+        self.positions.push(pos);
+        self.uvs.push(uv);
+        (self.positions.len() - 1) as u32
+    }
+
+    /// Adds a triangle by vertex indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn push_triangle(&mut self, a: u32, b: u32, c: u32) {
+        let n = self.positions.len() as u32;
+        assert!(a < n && b < n && c < n, "triangle index out of range");
+        self.tris.push([a, b, c]);
+    }
+
+    /// Appends another mesh.
+    pub fn append(&mut self, other: &Mesh) {
+        let base = self.positions.len() as u32;
+        self.positions.extend_from_slice(&other.positions);
+        self.uvs.extend_from_slice(&other.uvs);
+        self.tris
+            .extend(other.tris.iter().map(|t| [t[0] + base, t[1] + base, t[2] + base]));
+    }
+
+    /// World-space bounding box, or `None` for an empty mesh.
+    pub fn aabb(&self) -> Option<Aabb> {
+        Aabb::from_points(self.positions.iter().copied())
+    }
+
+    /// A quad from four corners in counter-clockwise order, with texture
+    /// coordinates spanning `(0,0)` to `(u_rep, v_rep)`.
+    pub fn quad(corners: [Vec3; 4], u_rep: f32, v_rep: f32) -> Self {
+        let mut m = Mesh::new();
+        let uv = [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(u_rep, 0.0),
+            Vec2::new(u_rep, v_rep),
+            Vec2::new(0.0, v_rep),
+        ];
+        for (p, t) in corners.iter().zip(uv) {
+            m.push_vertex(*p, t);
+        }
+        m.push_triangle(0, 1, 2);
+        m.push_triangle(0, 2, 3);
+        m
+    }
+
+    /// A horizontal ground plane `(x0..x1, y, z0..z1)` facing +Y, with the
+    /// texture repeated `u_rep`×`v_rep` times.
+    pub fn ground(x0: f32, x1: f32, y: f32, z0: f32, z1: f32, u_rep: f32, v_rep: f32) -> Self {
+        // +Y facing requires CCW when seen from above.
+        Self::quad(
+            [
+                Vec3::new(x0, y, z1),
+                Vec3::new(x1, y, z1),
+                Vec3::new(x1, y, z0),
+                Vec3::new(x0, y, z0),
+            ],
+            u_rep,
+            v_rep,
+        )
+    }
+
+    /// The four outward-facing side walls of an axis-aligned box, with the
+    /// texture repeated every `tex_world` world units in both directions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tex_world` is not positive.
+    pub fn box_walls(min: Vec3, max: Vec3, tex_world: f32) -> Self {
+        assert!(tex_world > 0.0);
+        let mut m = Mesh::new();
+        let (w, h, d) = (max.x - min.x, max.y - min.y, max.z - min.z);
+        let (ur_w, ur_d, vr) = (w / tex_world, d / tex_world, h / tex_world);
+        // Front (+Z), CCW from outside.
+        m.append(&Self::quad(
+            [
+                Vec3::new(min.x, min.y, max.z),
+                Vec3::new(max.x, min.y, max.z),
+                Vec3::new(max.x, max.y, max.z),
+                Vec3::new(min.x, max.y, max.z),
+            ],
+            ur_w,
+            vr,
+        ));
+        // Back (−Z).
+        m.append(&Self::quad(
+            [
+                Vec3::new(max.x, min.y, min.z),
+                Vec3::new(min.x, min.y, min.z),
+                Vec3::new(min.x, max.y, min.z),
+                Vec3::new(max.x, max.y, min.z),
+            ],
+            ur_w,
+            vr,
+        ));
+        // Left (−X).
+        m.append(&Self::quad(
+            [
+                Vec3::new(min.x, min.y, min.z),
+                Vec3::new(min.x, min.y, max.z),
+                Vec3::new(min.x, max.y, max.z),
+                Vec3::new(min.x, max.y, min.z),
+            ],
+            ur_d,
+            vr,
+        ));
+        // Right (+X).
+        m.append(&Self::quad(
+            [
+                Vec3::new(max.x, min.y, max.z),
+                Vec3::new(max.x, min.y, min.z),
+                Vec3::new(max.x, max.y, min.z),
+                Vec3::new(max.x, max.y, max.z),
+            ],
+            ur_d,
+            vr,
+        ));
+        m
+    }
+
+    /// The top face of an axis-aligned box (a roof slab), facing +Y.
+    pub fn box_top(min: Vec3, max: Vec3, u_rep: f32, v_rep: f32) -> Self {
+        Self::quad(
+            [
+                Vec3::new(min.x, max.y, max.z),
+                Vec3::new(max.x, max.y, max.z),
+                Vec3::new(max.x, max.y, min.z),
+                Vec3::new(min.x, max.y, min.z),
+            ],
+            u_rep,
+            v_rep,
+        )
+    }
+
+    /// A gabled roof: two sloped quads over the box footprint, ridge along
+    /// X, apex `apex_h` above `max.y`.
+    pub fn gabled_roof(min: Vec3, max: Vec3, apex_h: f32, u_rep: f32, v_rep: f32) -> Self {
+        let zmid = (min.z + max.z) * 0.5;
+        let apex0 = Vec3::new(min.x, max.y + apex_h, zmid);
+        let apex1 = Vec3::new(max.x, max.y + apex_h, zmid);
+        let mut m = Mesh::new();
+        // South slope (faces +Z-ish).
+        m.append(&Self::quad(
+            [
+                Vec3::new(min.x, max.y, max.z),
+                Vec3::new(max.x, max.y, max.z),
+                apex1,
+                apex0,
+            ],
+            u_rep,
+            v_rep,
+        ));
+        // North slope.
+        m.append(&Self::quad(
+            [
+                Vec3::new(max.x, max.y, min.z),
+                Vec3::new(min.x, max.y, min.z),
+                apex0,
+                apex1,
+            ],
+            u_rep,
+            v_rep,
+        ));
+        m
+    }
+
+    /// A UV sphere. `inward: true` winds triangles to face the centre (sky
+    /// dome). Texture u wraps around, v spans pole to pole `v_rep` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments < 3` or `rings < 2`.
+    pub fn sphere(center: Vec3, radius: f32, segments: u32, rings: u32, inward: bool) -> Self {
+        assert!(segments >= 3 && rings >= 2);
+        let mut m = Mesh::new();
+        for r in 0..=rings {
+            let phi = std::f32::consts::PI * r as f32 / rings as f32;
+            for s in 0..=segments {
+                let theta = 2.0 * std::f32::consts::PI * s as f32 / segments as f32;
+                let p = Vec3::new(
+                    phi.sin() * theta.cos(),
+                    phi.cos(),
+                    phi.sin() * theta.sin(),
+                );
+                m.push_vertex(center + p * radius,
+                              Vec2::new(s as f32 / segments as f32 * 4.0, r as f32 / rings as f32));
+            }
+        }
+        let stride = segments + 1;
+        for r in 0..rings {
+            for s in 0..segments {
+                let a = r * stride + s;
+                let b = a + 1;
+                let c = a + stride;
+                let d = c + 1;
+                if inward {
+                    m.push_triangle(a, c, b);
+                    m.push_triangle(b, c, d);
+                } else {
+                    m.push_triangle(a, b, c);
+                    m.push_triangle(b, d, c);
+                }
+            }
+        }
+        m
+    }
+
+    /// An inward-facing sky dome: the upper hemisphere of a UV sphere,
+    /// extended slightly below the horizon so the seam never shows. Unlike
+    /// a full sphere, it adds no hidden lower-hemisphere overdraw when the
+    /// camera looks down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments < 3` or `rings < 2`.
+    pub fn dome(center: Vec3, radius: f32, segments: u32, rings: u32) -> Self {
+        assert!(segments >= 3 && rings >= 2);
+        let mut m = Mesh::new();
+        let max_phi = std::f32::consts::PI * 0.58; // a touch past the horizon
+        for r in 0..=rings {
+            let phi = max_phi * r as f32 / rings as f32;
+            for s in 0..=segments {
+                let theta = 2.0 * std::f32::consts::PI * s as f32 / segments as f32;
+                let p = Vec3::new(phi.sin() * theta.cos(), phi.cos(), phi.sin() * theta.sin());
+                m.push_vertex(
+                    center + p * radius,
+                    Vec2::new(s as f32 / segments as f32 * 4.0, r as f32 / rings as f32),
+                );
+            }
+        }
+        let stride = segments + 1;
+        for r in 0..rings {
+            for s in 0..segments {
+                let a = r * stride + s;
+                let b = a + 1;
+                let c = a + stride;
+                let d = c + 1;
+                m.push_triangle(a, c, b);
+                m.push_triangle(b, c, d);
+            }
+        }
+        m
+    }
+
+    /// Two crossed vertical quads (a tree billboard), double-sided by
+    /// construction when rendered without culling.
+    pub fn billboard_cross(base: Vec3, width: f32, height: f32) -> Self {
+        let hw = width * 0.5;
+        let mut m = Mesh::new();
+        m.append(&Self::quad(
+            [
+                base + Vec3::new(-hw, 0.0, 0.0),
+                base + Vec3::new(hw, 0.0, 0.0),
+                base + Vec3::new(hw, height, 0.0),
+                base + Vec3::new(-hw, height, 0.0),
+            ],
+            1.0,
+            1.0,
+        ));
+        m.append(&Self::quad(
+            [
+                base + Vec3::new(0.0, 0.0, -hw),
+                base + Vec3::new(0.0, 0.0, hw),
+                base + Vec3::new(0.0, height, hw),
+                base + Vec3::new(0.0, height, -hw),
+            ],
+            1.0,
+            1.0,
+        ));
+        m
+    }
+
+    /// An open cylinder of `segments` outward-facing wall quads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments < 3`.
+    pub fn cylinder(center: Vec3, radius: f32, height: f32, segments: u32, u_rep: f32) -> Self {
+        assert!(segments >= 3);
+        let mut m = Mesh::new();
+        for s in 0..=segments {
+            let theta = 2.0 * std::f32::consts::PI * s as f32 / segments as f32;
+            let dir = Vec3::new(theta.cos(), 0.0, theta.sin());
+            let u = u_rep * s as f32 / segments as f32;
+            m.push_vertex(center + dir * radius, Vec2::new(u, 0.0));
+            m.push_vertex(center + dir * radius + Vec3::new(0.0, height, 0.0), Vec2::new(u, 1.0));
+        }
+        for s in 0..segments {
+            let a = 2 * s;
+            // Outward CCW: next segment is counter-clockwise seen from +Y;
+            // wind so normals point away from the axis.
+            m.push_triangle(a, a + 1, a + 2);
+            m.push_triangle(a + 2, a + 1, a + 3);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quad_has_two_ccw_triangles() {
+        let q = Mesh::quad([Vec3::ZERO, Vec3::X, Vec3::new(1.0, 1.0, 0.0), Vec3::Y], 1.0, 1.0);
+        assert_eq!(q.triangle_count(), 2);
+        for t in q.triangles() {
+            let p = q.positions();
+            let n = (p[t[1] as usize] - p[t[0] as usize])
+                .cross(p[t[2] as usize] - p[t[0] as usize]);
+            assert!(n.z > 0.0, "CCW in the XY plane must face +Z");
+        }
+    }
+
+    #[test]
+    fn ground_faces_up() {
+        let g = Mesh::ground(-1.0, 1.0, 0.0, -1.0, 1.0, 2.0, 2.0);
+        for t in g.triangles() {
+            let p = g.positions();
+            let n = (p[t[1] as usize] - p[t[0] as usize])
+                .cross(p[t[2] as usize] - p[t[0] as usize]);
+            assert!(n.y > 0.0);
+        }
+    }
+
+    #[test]
+    fn box_walls_face_outward() {
+        let b = Mesh::box_walls(Vec3::ZERO, Vec3::new(2.0, 3.0, 4.0), 1.0);
+        assert_eq!(b.triangle_count(), 8);
+        let c = Vec3::new(1.0, 1.5, 2.0);
+        for t in b.triangles() {
+            let p = b.positions();
+            let n = (p[t[1] as usize] - p[t[0] as usize])
+                .cross(p[t[2] as usize] - p[t[0] as usize]);
+            let centroid = (p[t[0] as usize] + p[t[1] as usize] + p[t[2] as usize]) / 3.0;
+            assert!(n.dot(centroid - c) > 0.0, "wall normal must point away from centre");
+        }
+    }
+
+    #[test]
+    fn box_walls_uv_repeat_scales_with_size() {
+        let b = Mesh::box_walls(Vec3::ZERO, Vec3::new(8.0, 4.0, 8.0), 2.0);
+        let max_u = b.uvs().iter().map(|t| t.x).fold(0.0f32, f32::max);
+        let max_v = b.uvs().iter().map(|t| t.y).fold(0.0f32, f32::max);
+        assert_eq!(max_u, 4.0); // 8 units / 2 per repeat
+        assert_eq!(max_v, 2.0);
+    }
+
+    #[test]
+    fn sphere_vertex_and_triangle_counts() {
+        let s = Mesh::sphere(Vec3::ZERO, 1.0, 8, 4, false);
+        assert_eq!(s.vertex_count(), 9 * 5);
+        assert_eq!(s.triangle_count(), 8 * 4 * 2);
+    }
+
+    #[test]
+    fn inward_sphere_faces_centre() {
+        let s = Mesh::sphere(Vec3::ZERO, 2.0, 8, 4, true);
+        let p = s.positions();
+        let mut checked = 0;
+        for t in s.triangles() {
+            let n = (p[t[1] as usize] - p[t[0] as usize])
+                .cross(p[t[2] as usize] - p[t[0] as usize]);
+            if n.length() < 1e-6 {
+                continue; // degenerate pole triangle
+            }
+            checked += 1;
+            let centroid = (p[t[0] as usize] + p[t[1] as usize] + p[t[2] as usize]) / 3.0;
+            assert!(n.dot(centroid) < 0.0, "non-degenerate dome triangle must face inward");
+        }
+        assert!(checked * 10 >= s.triangle_count() * 7, "most triangles are non-degenerate");
+    }
+
+    #[test]
+    fn append_offsets_indices() {
+        let mut a = Mesh::quad([Vec3::ZERO, Vec3::X, Vec3::new(1.0, 1.0, 0.0), Vec3::Y], 1.0, 1.0);
+        let b = a.clone();
+        a.append(&b);
+        assert_eq!(a.vertex_count(), 8);
+        assert_eq!(a.triangle_count(), 4);
+        assert!(a.triangles()[2].iter().all(|&i| i >= 4));
+    }
+
+    #[test]
+    fn aabb_bounds_everything() {
+        let b = Mesh::box_walls(Vec3::new(-1.0, 0.0, -2.0), Vec3::new(3.0, 5.0, 2.0), 1.0);
+        let bb = b.aabb().unwrap();
+        assert_eq!(bb.min, Vec3::new(-1.0, 0.0, -2.0));
+        assert_eq!(bb.max, Vec3::new(3.0, 5.0, 2.0));
+        assert!(Mesh::new().aabb().is_none());
+    }
+
+    #[test]
+    fn billboard_has_two_quads() {
+        let b = Mesh::billboard_cross(Vec3::ZERO, 2.0, 3.0);
+        assert_eq!(b.triangle_count(), 4);
+        let bb = b.aabb().unwrap();
+        assert_eq!(bb.max.y, 3.0);
+    }
+
+    #[test]
+    fn cylinder_walls_face_outward() {
+        let c = Mesh::cylinder(Vec3::ZERO, 1.0, 2.0, 12, 3.0);
+        let p = c.positions();
+        for t in c.triangles() {
+            let n = (p[t[1] as usize] - p[t[0] as usize])
+                .cross(p[t[2] as usize] - p[t[0] as usize]);
+            let centroid = (p[t[0] as usize] + p[t[1] as usize] + p[t[2] as usize]) / 3.0;
+            let radial = Vec3::new(centroid.x, 0.0, centroid.z);
+            assert!(n.dot(radial) > 0.0, "cylinder wall must face outward");
+        }
+    }
+}

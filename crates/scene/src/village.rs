@@ -1,0 +1,234 @@
+//! The *Village* workload: a walk-through of a small textured town.
+//!
+//! Stands in for the Evans & Sutherland Village database (paper §3.1).
+//! Calibrated properties (Table 1 / Fig. 4): textures are **shared between
+//! objects** (a small pool of wall/roof textures dressing every building)
+//! and repeated within objects; depth complexity ≈ 3.8 at eye level looking
+//! down streets lined with several rows of buildings; the full texture set
+//! is ~14 MB at original depth with a per-frame push-architecture minimum
+//! around 12 MB.
+
+use crate::{CameraPath, Mesh, Object, Scene, WorkloadParams};
+use mltc_math::Vec3;
+use mltc_texture::{synth, MipPyramid, TextureId};
+use rand::Rng;
+
+/// Builds the Village scene and its scripted walk-through path.
+pub fn build(params: &WorkloadParams) -> (Scene, CameraPath) {
+    let mut scene = Scene::new();
+    let mut rng = synth::seeded_rng(params.seed);
+    let ts = |base: u32| params.scaled_texture(base);
+
+    // --- Shared texture pool -------------------------------------------
+    let load = |scene: &mut Scene, name: String, img| -> TextureId {
+        scene.registry.load(name, MipPyramid::from_image(img))
+    };
+
+    let grass = load(&mut scene, "grass".into(), synth::noise(ts(512), 11, 24, [40, 90, 35], [80, 140, 60]));
+    let pavement = load(&mut scene, "pavement".into(),
+        synth::noise(ts(512), 12, 6, [120, 118, 112], [160, 158, 150]));
+    let sky = load(&mut scene, "sky".into(), synth::gradient_v(ts(512), [90, 140, 235], [200, 220, 245]));
+
+    let wall_tones: [[u8; 3]; 6] = [
+        [196, 160, 120],
+        [180, 140, 110],
+        [205, 195, 170],
+        [170, 120, 90],
+        [190, 170, 150],
+        [160, 150, 130],
+    ];
+    let mut walls = Vec::new();
+    for i in 0..12u64 {
+        let img = if i % 2 == 0 {
+            synth::brick(ts(512), 100 + i, wall_tones[(i / 2) as usize % 6], [185, 185, 180])
+        } else {
+            synth::window_grid(ts(512), 200 + i, wall_tones[(i / 2) as usize % 6],
+                               [255, 240, 180], [35, 40, 55])
+        };
+        walls.push(load(&mut scene, format!("wall{i}"), img));
+    }
+    let mut roofs = Vec::new();
+    for (i, tone) in [[150, 60, 50], [120, 70, 60], [90, 90, 100], [140, 100, 60]].iter().enumerate() {
+        roofs.push(load(&mut scene, format!("roof{i}"), synth::roof_tiles(ts(256), 300 + i as u64, *tone)));
+    }
+    let foliage_a = load(&mut scene, "foliage_a".into(), synth::foliage(ts(256), 41));
+    let foliage_b = load(&mut scene, "foliage_b".into(), synth::foliage(ts(256), 42));
+    let wood = load(&mut scene, "wood".into(), synth::stripes(ts(256), 16, 14, [120, 85, 50], [90, 60, 35]));
+    let detail_a = load(&mut scene, "detail_a".into(),
+        synth::window_grid(ts(256), 777, [150, 110, 80], [255, 250, 200], [30, 30, 40]));
+    let detail_b = load(&mut scene, "detail_b".into(),
+        synth::stripes(ts(256), 24, 12, [60, 90, 140], [220, 220, 210]));
+
+    // --- Terrain, streets, sky -----------------------------------------
+    scene.add(Object::new(Mesh::ground(-150.0, 150.0, 0.0, -150.0, 150.0, 40.0, 40.0), grass));
+    // Main street along Z and a cross street along X, slightly raised.
+    scene.add(Object::new(Mesh::ground(-5.0, 5.0, 0.02, -110.0, 110.0, 4.0, 60.0), pavement));
+    scene.add(Object::new(Mesh::ground(-110.0, 110.0, 0.02, -5.0, 5.0, 60.0, 4.0), pavement));
+    scene.add(Object::new(Mesh::dome(Vec3::new(0.0, 0.0, 0.0), 500.0, 24, 10), sky));
+
+    // --- Buildings -------------------------------------------------------
+    // Rows flanking both streets; nearer rows occlude farther ones, giving
+    // the Village its depth complexity.
+    // `face` is the outward direction of the street-facing wall, which
+    // receives an additional decal quad (shopfront/awning) — the paper's §4
+    // notes hardware increasingly maps multiple textures onto one object.
+    let add_building = |scene: &mut Scene, rng: &mut rand::rngs::StdRng, cx: f32, cz: f32,
+                        face: Option<(f32, f32)>| {
+        let half = rng.gen_range(3.0..5.0);
+        let height = rng.gen_range(6.0..16.0);
+        let min = Vec3::new(cx - half, 0.0, cz - half);
+        let max = Vec3::new(cx + half, height, cz + half);
+        let wall = walls[rng.gen_range(0..walls.len())];
+        let roof = roofs[rng.gen_range(0..roofs.len())];
+        scene.add(Object::new(Mesh::box_walls(min, max, 3.0), wall));
+        scene.add(Object::new(Mesh::gabled_roof(min, max, rng.gen_range(1.5..3.0), 2.0, 1.0), roof));
+        if let Some((fx, fz)) = face {
+            let detail = if rng.gen_range(0..2) == 0 { detail_a } else { detail_b };
+            let w = half * 1.4;
+            let h0 = 0.3;
+            let h1 = height * rng.gen_range(0.55..0.8);
+            // Quad offset slightly off the wall, wound to face outward.
+            let (px, pz) = (cx + fx * (half + 0.06), cz + fz * (half + 0.06));
+            let (tx, tz) = (-fz, fx); // wall tangent
+            let corners = [
+                Vec3::new(px - tx * w * 0.5, h0, pz - tz * w * 0.5),
+                Vec3::new(px + tx * w * 0.5, h0, pz + tz * w * 0.5),
+                Vec3::new(px + tx * w * 0.5, h1, pz + tz * w * 0.5),
+                Vec3::new(px - tx * w * 0.5, h1, pz - tz * w * 0.5),
+            ];
+            // Ensure CCW from outside: normal = tangent x up points (fx,fz).
+            let mesh = Mesh::quad(corners, 2.0, 2.0);
+            let p = mesh.positions();
+            let n = (p[1] - p[0]).cross(p[2] - p[0]);
+            let outward = n.x * fx + n.z * fz;
+            let mesh = if outward > 0.0 {
+                mesh
+            } else {
+                Mesh::quad([corners[1], corners[0], corners[3], corners[2]], 2.0, 2.0)
+            };
+            scene.add(Object::new(mesh, detail));
+        }
+    };
+
+    for row in 0..4 {
+        let x = 10.0 + row as f32 * 11.0;
+        let mut z: f32 = -95.0;
+        while z < 95.0 {
+            if z.abs() > 9.0 {
+                let face = (row < 2).then_some((-1.0, 0.0));
+                add_building(&mut scene, &mut rng, x, z, face);
+                let face = (row < 2).then_some((1.0, 0.0));
+                add_building(&mut scene, &mut rng, -x, z, face);
+            }
+            z += 10.5 + rng.gen_range(0.0..2.5);
+        }
+    }
+    // Buildings along the cross street.
+    for row in 0..2 {
+        let z = 10.0 + row as f32 * 11.0;
+        let mut x: f32 = -95.0;
+        while x < 95.0 {
+            if x.abs() > 42.0 {
+                let face = (row < 2).then_some((0.0, -1.0));
+                add_building(&mut scene, &mut rng, x, z, face);
+                let face = (row < 2).then_some((0.0, 1.0));
+                add_building(&mut scene, &mut rng, x, -z, face);
+            }
+            x += 10.5 + rng.gen_range(0.0..2.5);
+        }
+    }
+
+    // --- Trees and props -------------------------------------------------
+    let mut z: f32 = -90.0;
+    while z < 90.0 {
+        for side in [-7.0f32, 7.0] {
+            if z.abs() > 8.0 {
+                let tex = if (z as i32) % 2 == 0 { foliage_a } else { foliage_b };
+                let h = rng.gen_range(3.0..6.0);
+                scene.add(Object::new_two_sided(
+                    Mesh::billboard_cross(Vec3::new(side, 0.0, z + rng.gen_range(-2.0..2.0)), h * 0.8, h),
+                    tex,
+                ));
+            }
+        }
+        z += 5.5;
+    }
+    // End-cap rows closing the vista at both ends of the main street.
+    for endz in [-103.0f32, 103.0] {
+        let mut x: f32 = -40.0;
+        while x < 40.0 {
+            let face = Some((0.0, if endz < 0.0 { 1.0 } else { -1.0 }));
+            add_building(&mut scene, &mut rng, x, endz, face);
+            x += 9.5 + rng.gen_range(0.0..2.0);
+        }
+    }
+
+    // The village well on the central plaza.
+    scene.add(Object::new(Mesh::cylinder(Vec3::new(6.5, 0.0, 6.5), 1.5, 1.2, 12, 4.0), wood));
+
+    // --- Walk-through path ----------------------------------------------
+    // Eye level, down the main street, a glance across the plaza, then on.
+    let eye = 1.7;
+    let path = CameraPath::new(vec![
+        (Vec3::new(1.5, eye, 92.0), Vec3::new(0.0, eye, 70.0)),
+        (Vec3::new(-1.5, eye, 60.0), Vec3::new(0.5, eye, 38.0)),
+        (Vec3::new(1.0, eye, 30.0), Vec3::new(-1.0, eye + 1.0, 8.0)),
+        (Vec3::new(0.0, eye, 8.0), Vec3::new(20.0, eye + 2.0, 2.0)), // look down the cross street
+        (Vec3::new(-1.0, eye, -8.0), Vec3::new(-20.0, eye + 2.0, -4.0)),
+        (Vec3::new(1.0, eye, -30.0), Vec3::new(0.0, eye, -52.0)),
+        (Vec3::new(-1.0, eye, -60.0), Vec3::new(0.5, eye, -82.0)),
+        (Vec3::new(0.0, eye, -92.0), Vec3::new(0.0, eye, -114.0)),
+    ]);
+
+    (scene, path)
+}
+
+/// The paper's Village animation length in frames.
+pub const PAPER_FRAMES: u32 = 411;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_deterministically() {
+        let p = WorkloadParams::tiny();
+        let (a, _) = build(&p);
+        let (b, _) = build(&p);
+        assert_eq!(a.objects().len(), b.objects().len());
+        assert_eq!(a.registry().host_byte_size(), b.registry().host_byte_size());
+    }
+
+    #[test]
+    fn has_shared_textures_across_buildings() {
+        let (scene, _) = build(&WorkloadParams::tiny());
+        // Many more objects than textures: sharing is structural.
+        assert!(scene.objects().len() > 2 * scene.registry().live_count());
+    }
+
+    #[test]
+    fn texture_pool_size_matches_design() {
+        let (scene, _) = build(&WorkloadParams::tiny());
+        // 3 terrain/sky + 12 walls + 4 roofs + 2 foliage + 1 wood + 2 details = 24.
+        assert_eq!(scene.registry().live_count(), 24);
+    }
+
+    #[test]
+    fn full_scale_texture_budget_in_paper_range() {
+        let mut p = WorkloadParams::tiny();
+        p.texture_scale = 1;
+        let (scene, _) = build(&p);
+        let mb = scene.registry().host_byte_size() as f64 / (1 << 20) as f64;
+        assert!((10.0..20.0).contains(&mb), "texture set {mb:.1} MB should be ~14 MB");
+    }
+
+    #[test]
+    fn path_stays_on_the_street() {
+        let (_, path) = build(&WorkloadParams::tiny());
+        for i in 0..50 {
+            let cam = path.camera_at(i as f32 / 49.0);
+            assert!(cam.eye.x.abs() < 4.0, "walk stays near the street axis");
+            assert!((cam.eye.y - 1.7).abs() < 0.3, "eye height is human");
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! Virtual texture block addressing ⟨tid, L2, L1⟩ (paper §2.2, Fig. 2).
+
+use crate::{TextureId, TextureRegistry, TileSize, TilingConfig};
+
+/// The virtual address of an L1 sub-block within the 2-level tiled
+/// representation: texture `tid`, L2 block number `l2` (unique within the
+/// texture, assigned sequentially across mip levels from the
+/// lowest-resolution level up), and L1 sub-block number `l1` (unique only
+/// within its parent L2 block).
+///
+/// ```
+/// use mltc_texture::{TextureId, VirtualBlockAddr};
+/// let a = VirtualBlockAddr::new(TextureId::from_index(3), 17, 5);
+/// assert_eq!(VirtualBlockAddr::unpack(a.packed()), a);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VirtualBlockAddr {
+    /// Texture identifier.
+    pub tid: TextureId,
+    /// L2 block number within the texture.
+    pub l2: u32,
+    /// L1 sub-block number within the L2 block.
+    pub l1: u16,
+}
+
+impl VirtualBlockAddr {
+    /// Creates an address from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `l2` exceeds 24 bits or `l1` exceeds 8 bits
+    /// (the packing limits; 32×32-texel L2 blocks of 4×4 L1 sub-blocks need
+    /// only 64 `l1` values, and a 4096² texture with 8×8 L2 blocks needs
+    /// fewer than 2²⁴ L2 blocks).
+    #[inline]
+    pub fn new(tid: TextureId, l2: u32, l1: u16) -> Self {
+        debug_assert!(l2 < (1 << 24), "l2 block number {l2} exceeds packing limit");
+        debug_assert!(l1 < (1 << 8), "l1 sub-block number {l1} exceeds packing limit");
+        Self { tid, l2, l1 }
+    }
+
+    /// Packs the address into a single `u64` cache tag.
+    #[inline]
+    pub fn packed(self) -> u64 {
+        ((self.tid.index() as u64) << 32) | ((self.l2 as u64) << 8) | self.l1 as u64
+    }
+
+    /// Inverse of [`Self::packed`].
+    #[inline]
+    pub fn unpack(v: u64) -> Self {
+        Self {
+            tid: TextureId::from_index((v >> 32) as u32),
+            l2: ((v >> 8) & 0xff_ffff) as u32,
+            l1: (v & 0xff) as u16,
+        }
+    }
+
+    /// The page-table key ⟨tid, L2⟩ with the sub-block number stripped.
+    #[inline]
+    pub fn page_key(self) -> u64 {
+        self.packed() >> 8
+    }
+}
+
+/// A tiling-independent identity for an L1 block: ⟨tid, mip level, block
+/// column, block row⟩ packed into a `u64`.
+///
+/// The simulation methodology of paper §3.3 fixes the L1 tag calculation
+/// across all L2 tile-size sweeps (it uses 16×16 L2 tiles for L1 tags
+/// regardless of the simulated L2 tile size) so that L1 behaviour is
+/// identical in every sweep; `L1BlockKey` realises the same idea directly:
+/// it names an L1 block by its grid position, which is in one-to-one
+/// correspondence with the ⟨tid, L2, L1⟩ tag for any fixed L2 tile size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct L1BlockKey(u64);
+
+impl L1BlockKey {
+    /// Builds the key for the L1 block containing texel `(u, v)` of mip
+    /// level `m` of texture `tid`, with L1 tiles of `l1_tile`.
+    #[inline]
+    pub fn new(tid: TextureId, m: u32, u: u32, v: u32, l1_tile: TileSize) -> Self {
+        let s = l1_tile.shift();
+        let bx = (u >> s) as u64;
+        let by = (v >> s) as u64;
+        debug_assert!(m < 16 && bx < (1 << 12) && by < (1 << 12));
+        Self(((tid.index() as u64) << 28) | ((m as u64) << 24) | (bx << 12) | by)
+    }
+
+    /// Builds the key directly from block-grid coordinates (for cache
+    /// organisations whose lines are not square tiles, e.g. the linear
+    /// storage format of the §2.3 ablation).
+    #[inline]
+    pub fn from_block_coords(tid: TextureId, m: u32, bx: u32, by: u32) -> Self {
+        debug_assert!(m < 16 && bx < (1 << 12) && by < (1 << 12));
+        Self(((tid.index() as u64) << 28) | ((m as u64) << 24) | ((bx as u64) << 12) | by as u64)
+    }
+
+    /// The raw packed value (usable directly as a cache tag).
+    #[inline]
+    pub fn packed(self) -> u64 {
+        self.0
+    }
+}
+
+/// Precomputed per-texture tiling layout for one [`TilingConfig`]: per-level
+/// L2 block grids and the per-level base-offset table that makes
+/// ⟨u,v,m⟩ → ⟨tid,L2,L1⟩ translation a matter of shifts, adds and one table
+/// look-up (paper §2.2).
+#[derive(Debug, Clone)]
+pub struct TextureLayout {
+    tid: TextureId,
+    tiling: TilingConfig,
+    /// Per mip level (index = level, 0 = finest): (width, height, grid_w,
+    /// l2 base offset).
+    levels: Vec<LevelLayout>,
+    total_l2_blocks: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LevelLayout {
+    width: u32,
+    height: u32,
+    grid_w: u32,
+    base: u32,
+}
+
+impl TextureLayout {
+    /// Builds the layout for a texture with the given per-level dimensions
+    /// (finest first).
+    ///
+    /// L2 blocks are numbered sequentially from the first block of the
+    /// lowest-resolution mip level to the last block of the
+    /// highest-resolution one, each level starting on a fresh block, exactly
+    /// as in the paper's Fig. 2.
+    pub fn new(tid: TextureId, dims: &[(u32, u32)], tiling: TilingConfig) -> Self {
+        let l2t = tiling.l2().texels();
+        // Assign bases coarsest-first, then store levels finest-first.
+        let mut bases = vec![0u32; dims.len()];
+        let mut next = 0u32;
+        for (i, &(w, h)) in dims.iter().enumerate().rev() {
+            bases[i] = next;
+            let gw = w.div_ceil(l2t);
+            let gh = h.div_ceil(l2t);
+            next += gw * gh;
+        }
+        let levels = dims
+            .iter()
+            .zip(&bases)
+            .map(|(&(w, h), &base)| LevelLayout { width: w, height: h, grid_w: w.div_ceil(l2t), base })
+            .collect();
+        Self { tid, tiling, levels, total_l2_blocks: next }
+    }
+
+    /// Total number of L2 blocks across all mip levels (`tlen` in the
+    /// paper's page-table machinery).
+    #[inline]
+    pub fn l2_block_count(&self) -> u32 {
+        self.total_l2_blocks
+    }
+
+    /// Number of mip levels.
+    #[inline]
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// `(width, height)` of mip level `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    #[inline]
+    pub fn level_dims(&self, m: u32) -> (u32, u32) {
+        let l = &self.levels[m as usize];
+        (l.width, l.height)
+    }
+
+    /// Translates in-bounds texel coordinates `(u, v)` of mip level `m` to
+    /// the virtual block address of the containing L1 sub-block.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `m` or `(u, v)` is out of range.
+    #[inline]
+    pub fn translate(&self, u: u32, v: u32, m: u32) -> VirtualBlockAddr {
+        let lvl = &self.levels[m as usize];
+        debug_assert!(u < lvl.width && v < lvl.height,
+                      "texel ({u},{v}) out of bounds for level {m} ({}x{})", lvl.width, lvl.height);
+        let l2s = self.tiling.l2().shift();
+        let l1s = self.tiling.l1().shift();
+        let bx = u >> l2s;
+        let by = v >> l2s;
+        let l2 = lvl.base + by * lvl.grid_w + bx;
+        let sub_edge = self.tiling.l1_per_l2_edge();
+        let su = (u & (self.tiling.l2().texels() - 1)) >> l1s;
+        let sv = (v & (self.tiling.l2().texels() - 1)) >> l1s;
+        let l1 = (sv * sub_edge + su) as u16;
+        VirtualBlockAddr::new(self.tid, l2, l1)
+    }
+}
+
+/// Page-table layout across a whole [`TextureRegistry`]: each live texture
+/// gets a contiguous run of page-table entries `tstart .. tstart + tlen`
+/// (one per L2 block), allocated by "host driver software" as in §5.2.
+///
+/// ```
+/// use mltc_texture::{synth, MipPyramid, PageTableLayout, TextureRegistry, TilingConfig};
+/// let mut reg = TextureRegistry::new();
+/// let t = reg.load("t", MipPyramid::from_image(synth::checkerboard(32, 4, [0;3], [255;3])));
+/// let layout = PageTableLayout::new(&reg, TilingConfig::PAPER_DEFAULT);
+/// let addr = layout.translate(t, 0, 0, 0).unwrap();
+/// assert!(layout.page_table_index(&addr) < layout.entry_count());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageTableLayout {
+    tiling: TilingConfig,
+    /// Indexed by `tid`; `None` for deleted textures.
+    textures: Vec<Option<(u32, TextureLayout)>>,
+    entry_count: u32,
+}
+
+impl PageTableLayout {
+    /// Builds the layout for all live textures in `registry`.
+    pub fn new(registry: &TextureRegistry, tiling: TilingConfig) -> Self {
+        let mut textures: Vec<Option<(u32, TextureLayout)>> =
+            (0..registry.issued_count()).map(|_| None).collect();
+        let mut next = 0u32;
+        for (tid, pyr) in registry.iter() {
+            let dims: Vec<(u32, u32)> =
+                pyr.iter().map(|img| (img.width(), img.height())).collect();
+            let layout = TextureLayout::new(tid, &dims, tiling);
+            let tlen = layout.l2_block_count();
+            textures[tid.index() as usize] = Some((next, layout));
+            next += tlen;
+        }
+        Self { tiling, textures, entry_count: next }
+    }
+
+    /// The tiling this layout was built for.
+    #[inline]
+    pub fn tiling(&self) -> TilingConfig {
+        self.tiling
+    }
+
+    /// Total number of page-table entries (one per L2 block of every live
+    /// texture).
+    #[inline]
+    pub fn entry_count(&self) -> u32 {
+        self.entry_count
+    }
+
+    /// The `tstart` of a texture's contiguous page-table run.
+    pub fn tstart(&self, tid: TextureId) -> Option<u32> {
+        self.textures.get(tid.index() as usize)?.as_ref().map(|(s, _)| *s)
+    }
+
+    /// The `tlen` (number of page-table entries) of a texture.
+    pub fn tlen(&self, tid: TextureId) -> Option<u32> {
+        self.textures.get(tid.index() as usize)?.as_ref().map(|(_, l)| l.l2_block_count())
+    }
+
+    /// Per-texture layout.
+    pub fn texture_layout(&self, tid: TextureId) -> Option<&TextureLayout> {
+        self.textures.get(tid.index() as usize)?.as_ref().map(|(_, l)| l)
+    }
+
+    /// Translates ⟨u,v,m⟩ of texture `tid` to a virtual block address, or
+    /// `None` if the texture is unknown to this layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `(u, v, m)` is out of range for the texture.
+    #[inline]
+    pub fn translate(&self, tid: TextureId, u: u32, v: u32, m: u32) -> Option<VirtualBlockAddr> {
+        Some(self.texture_layout(tid)?.translate(u, v, m))
+    }
+
+    /// Index into the texture page table for an address: `tstart + L2`
+    /// (paper §5.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address's texture is unknown to this layout.
+    #[inline]
+    pub fn page_table_index(&self, addr: &VirtualBlockAddr) -> u32 {
+        let (tstart, _) = self.textures[addr.tid.index() as usize]
+            .as_ref()
+            .expect("address refers to a texture absent from this layout");
+        tstart + addr.l2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{synth, MipPyramid, TileSize};
+
+    fn layout_for(dim: u32, tiling: TilingConfig) -> (TextureRegistry, TextureId, PageTableLayout) {
+        let mut reg = TextureRegistry::new();
+        let tid = reg.load(
+            "t",
+            MipPyramid::from_image(synth::checkerboard(dim, 4, [0; 3], [255; 3])),
+        );
+        let layout = PageTableLayout::new(&reg, tiling);
+        (reg, tid, layout)
+    }
+
+    #[test]
+    fn packed_roundtrip() {
+        let a = VirtualBlockAddr::new(TextureId::from_index(65000), 0xabcdef, 63);
+        assert_eq!(VirtualBlockAddr::unpack(a.packed()), a);
+    }
+
+    #[test]
+    fn page_key_strips_l1() {
+        let a = VirtualBlockAddr::new(TextureId::from_index(1), 7, 3);
+        let b = VirtualBlockAddr::new(TextureId::from_index(1), 7, 9);
+        assert_eq!(a.page_key(), b.page_key());
+        let c = VirtualBlockAddr::new(TextureId::from_index(1), 8, 3);
+        assert_ne!(a.page_key(), c.page_key());
+    }
+
+    #[test]
+    fn translation_basics() {
+        let (_reg, tid, layout) = layout_for(64, TilingConfig::PAPER_DEFAULT);
+        let tl = layout.texture_layout(tid).unwrap();
+        // Level 0 is 64x64 = 4x4 grid of 16x16 L2 blocks.
+        let a = tl.translate(0, 0, 0);
+        let b = tl.translate(15, 15, 0);
+        assert_eq!(a.l2, b.l2, "same L2 block");
+        assert_ne!(a.l1, b.l1, "different L1 sub-blocks");
+        // Texel (16,0) starts the next L2 block to the right.
+        assert_eq!(tl.translate(16, 0, 0).l2, a.l2 + 1);
+        // Texel (0,16) starts the next L2 block row (grid_w = 4).
+        assert_eq!(tl.translate(0, 16, 0).l2, a.l2 + 4);
+    }
+
+    #[test]
+    fn l1_subblock_numbering_is_row_major() {
+        let (_reg, tid, layout) = layout_for(64, TilingConfig::PAPER_DEFAULT);
+        let tl = layout.texture_layout(tid).unwrap();
+        assert_eq!(tl.translate(0, 0, 0).l1, 0);
+        assert_eq!(tl.translate(4, 0, 0).l1, 1);
+        assert_eq!(tl.translate(0, 4, 0).l1, 4);
+        assert_eq!(tl.translate(15, 15, 0).l1, 15);
+    }
+
+    #[test]
+    fn coarsest_level_gets_block_zero() {
+        let (_reg, tid, layout) = layout_for(64, TilingConfig::PAPER_DEFAULT);
+        let tl = layout.texture_layout(tid).unwrap();
+        let coarsest = (tl.level_count() - 1) as u32;
+        assert_eq!(tl.translate(0, 0, coarsest).l2, 0);
+        // The finest level has the highest base.
+        assert!(tl.translate(0, 0, 0).l2 > 0);
+    }
+
+    #[test]
+    fn levels_never_share_l2_blocks() {
+        let (_reg, tid, layout) = layout_for(64, TilingConfig::PAPER_DEFAULT);
+        let tl = layout.texture_layout(tid).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for m in 0..tl.level_count() as u32 {
+            let (w, h) = tl.level_dims(m);
+            let mut level_blocks = std::collections::HashSet::new();
+            for v in (0..h).step_by(16) {
+                for u in (0..w).step_by(16) {
+                    level_blocks.insert(tl.translate(u, v, m).l2);
+                }
+            }
+            for b in level_blocks {
+                assert!(seen.insert(b), "L2 block {b} reused across levels");
+            }
+        }
+    }
+
+    #[test]
+    fn l2_block_count_matches_enumeration() {
+        for tiling in [
+            TilingConfig::new(TileSize::X8, TileSize::X4).unwrap(),
+            TilingConfig::PAPER_DEFAULT,
+            TilingConfig::new(TileSize::X32, TileSize::X8).unwrap(),
+        ] {
+            let (_reg, tid, layout) = layout_for(128, tiling);
+            let tl = layout.texture_layout(tid).unwrap();
+            let step = tiling.l2().texels() as usize;
+            let mut blocks = std::collections::HashSet::new();
+            for m in 0..tl.level_count() as u32 {
+                let (w, h) = tl.level_dims(m);
+                for v in (0..h as usize).step_by(step) {
+                    for u in (0..w as usize).step_by(step) {
+                        blocks.insert(tl.translate(u as u32, v as u32, m).l2);
+                    }
+                }
+            }
+            assert_eq!(blocks.len() as u32, tl.l2_block_count(), "tiling {tiling}");
+        }
+    }
+
+    #[test]
+    fn page_table_runs_are_contiguous_and_disjoint() {
+        let mut reg = TextureRegistry::new();
+        let a = reg.load("a", MipPyramid::from_image(synth::checkerboard(64, 4, [0; 3], [255; 3])));
+        let b = reg.load("b", MipPyramid::from_image(synth::checkerboard(32, 4, [0; 3], [255; 3])));
+        let layout = PageTableLayout::new(&reg, TilingConfig::PAPER_DEFAULT);
+        let (sa, la) = (layout.tstart(a).unwrap(), layout.tlen(a).unwrap());
+        let (sb, lb) = (layout.tstart(b).unwrap(), layout.tlen(b).unwrap());
+        assert_eq!(sa, 0);
+        assert_eq!(sb, la);
+        assert_eq!(layout.entry_count(), la + lb);
+    }
+
+    #[test]
+    fn deleted_textures_absent_from_layout() {
+        let mut reg = TextureRegistry::new();
+        let a = reg.load("a", MipPyramid::from_image(synth::checkerboard(32, 4, [0; 3], [255; 3])));
+        reg.delete(a);
+        let layout = PageTableLayout::new(&reg, TilingConfig::PAPER_DEFAULT);
+        assert!(layout.translate(a, 0, 0, 0).is_none());
+        assert_eq!(layout.entry_count(), 0);
+    }
+
+    #[test]
+    fn l1_block_key_distinguishes_blocks_and_levels() {
+        let t = TextureId::from_index(2);
+        let a = L1BlockKey::new(t, 0, 0, 0, TileSize::X4);
+        assert_eq!(a, L1BlockKey::new(t, 0, 3, 3, TileSize::X4));
+        assert_ne!(a, L1BlockKey::new(t, 0, 4, 0, TileSize::X4));
+        assert_ne!(a, L1BlockKey::new(t, 1, 0, 0, TileSize::X4));
+        assert_ne!(a, L1BlockKey::new(TextureId::from_index(3), 0, 0, 0, TileSize::X4));
+    }
+
+    #[test]
+    fn non_square_translation() {
+        let tid = TextureId::from_index(0);
+        // 64x16 level: grid 4x1 with 16x16 tiles.
+        let tl = TextureLayout::new(tid, &[(64, 16)], TilingConfig::PAPER_DEFAULT);
+        assert_eq!(tl.l2_block_count(), 4);
+        assert_eq!(tl.translate(63, 15, 0).l2, 3);
+    }
+}

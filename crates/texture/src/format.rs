@@ -1,0 +1,175 @@
+//! Texel storage formats.
+
+use std::fmt;
+
+/// Host-memory texel storage format.
+///
+/// The paper assumes textures live in system memory at their *original
+/// depth* and are expanded to 32 bits by the accelerator for cache storage
+/// (§3.2). The push-architecture baseline stores textures at original depth.
+///
+/// ```
+/// use mltc_texture::TexelFormat;
+/// assert_eq!(TexelFormat::Rgb565.bytes_per_texel(), 2);
+/// assert_eq!(TexelFormat::Rgba8888.bytes_per_texel(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TexelFormat {
+    /// 32-bit RGBA, 8 bits per channel.
+    Rgba8888,
+    /// 16-bit RGB, 5-6-5 bits — the typical "original depth" of mid-90s PC
+    /// texture assets and the default host format in this study.
+    #[default]
+    Rgb565,
+    /// 8-bit luminance.
+    L8,
+}
+
+impl TexelFormat {
+    /// Storage bytes per texel in this format.
+    #[inline]
+    pub const fn bytes_per_texel(self) -> usize {
+        match self {
+            TexelFormat::Rgba8888 => 4,
+            TexelFormat::Rgb565 => 2,
+            TexelFormat::L8 => 1,
+        }
+    }
+
+    /// Encodes an `[r, g, b]` 8-bit colour into this format's byte
+    /// representation (little-endian for multi-byte formats). Alpha is 255.
+    pub fn encode(self, rgb: [u8; 3]) -> Vec<u8> {
+        match self {
+            TexelFormat::Rgba8888 => vec![rgb[0], rgb[1], rgb[2], 255],
+            TexelFormat::Rgb565 => {
+                let v: u16 = ((rgb[0] as u16 >> 3) << 11)
+                    | ((rgb[1] as u16 >> 2) << 5)
+                    | (rgb[2] as u16 >> 3);
+                v.to_le_bytes().to_vec()
+            }
+            TexelFormat::L8 => {
+                // ITU-R BT.601 luma weights, integer approximation.
+                let l = (rgb[0] as u32 * 77 + rgb[1] as u32 * 150 + rgb[2] as u32 * 29) >> 8;
+                vec![l as u8]
+            }
+        }
+    }
+
+    /// Decodes the texel starting at `bytes` into packed 0xAABBGGRR
+    /// (RGBA little-endian, i.e. the accelerator's expanded 32-bit form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is shorter than [`Self::bytes_per_texel`].
+    #[inline]
+    pub fn decode(self, bytes: &[u8]) -> u32 {
+        match self {
+            TexelFormat::Rgba8888 => {
+                u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]])
+            }
+            TexelFormat::Rgb565 => {
+                let v = u16::from_le_bytes([bytes[0], bytes[1]]);
+                let r5 = ((v >> 11) & 0x1f) as u32;
+                let g6 = ((v >> 5) & 0x3f) as u32;
+                let b5 = (v & 0x1f) as u32;
+                // Expand with bit replication so pure white stays 255.
+                let r = (r5 << 3) | (r5 >> 2);
+                let g = (g6 << 2) | (g6 >> 4);
+                let b = (b5 << 3) | (b5 >> 2);
+                0xff00_0000 | (b << 16) | (g << 8) | r
+            }
+            TexelFormat::L8 => {
+                let l = bytes[0] as u32;
+                0xff00_0000 | (l << 16) | (l << 8) | l
+            }
+        }
+    }
+}
+
+impl fmt::Display for TexelFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TexelFormat::Rgba8888 => "RGBA8888",
+            TexelFormat::Rgb565 => "RGB565",
+            TexelFormat::L8 => "L8",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unpacks a 0xAABBGGRR texel into `[r, g, b, a]` channels.
+///
+/// ```
+/// let px = mltc_texture::TexelFormat::Rgba8888.decode(&[10, 20, 30, 40]);
+/// assert_eq!(mltc_texture::unpack_rgba(px), [10, 20, 30, 40]);
+/// ```
+#[inline]
+pub fn unpack_rgba(texel: u32) -> [u8; 4] {
+    texel.to_le_bytes()
+}
+
+/// Packs `[r, g, b, a]` channels into a 0xAABBGGRR texel.
+#[inline]
+pub fn pack_rgba(c: [u8; 4]) -> u32 {
+    u32::from_le_bytes(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_per_texel() {
+        assert_eq!(TexelFormat::Rgba8888.bytes_per_texel(), 4);
+        assert_eq!(TexelFormat::Rgb565.bytes_per_texel(), 2);
+        assert_eq!(TexelFormat::L8.bytes_per_texel(), 1);
+    }
+
+    #[test]
+    fn rgba_roundtrip_is_exact() {
+        let enc = TexelFormat::Rgba8888.encode([1, 2, 3]);
+        let px = TexelFormat::Rgba8888.decode(&enc);
+        assert_eq!(unpack_rgba(px), [1, 2, 3, 255]);
+    }
+
+    #[test]
+    fn rgb565_white_expands_to_full_white() {
+        let enc = TexelFormat::Rgb565.encode([255, 255, 255]);
+        assert_eq!(unpack_rgba(TexelFormat::Rgb565.decode(&enc)), [255, 255, 255, 255]);
+    }
+
+    #[test]
+    fn rgb565_black_stays_black() {
+        let enc = TexelFormat::Rgb565.encode([0, 0, 0]);
+        assert_eq!(unpack_rgba(TexelFormat::Rgb565.decode(&enc)), [0, 0, 0, 255]);
+    }
+
+    #[test]
+    fn rgb565_quantizes_within_channel_step() {
+        let enc = TexelFormat::Rgb565.encode([100, 150, 200]);
+        let [r, g, b, a] = unpack_rgba(TexelFormat::Rgb565.decode(&enc));
+        assert!((r as i32 - 100).abs() <= 8, "r={r}");
+        assert!((g as i32 - 150).abs() <= 4, "g={g}");
+        assert!((b as i32 - 200).abs() <= 8, "b={b}");
+        assert_eq!(a, 255);
+    }
+
+    #[test]
+    fn l8_is_grey() {
+        let enc = TexelFormat::L8.encode([128, 128, 128]);
+        let [r, g, b, _] = unpack_rgba(TexelFormat::L8.decode(&enc));
+        assert_eq!(r, g);
+        assert_eq!(g, b);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let c = [9, 8, 7, 6];
+        assert_eq!(unpack_rgba(pack_rgba(c)), c);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(TexelFormat::Rgb565.to_string(), "RGB565");
+    }
+}

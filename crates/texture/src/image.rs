@@ -1,0 +1,187 @@
+//! Raster images (single mip level of a texture).
+
+use crate::format::TexelFormat;
+
+/// A 2D raster image with power-of-two dimensions — one mip level of a
+/// texture, stored in a host [`TexelFormat`].
+///
+/// ```
+/// use mltc_texture::{Image, TexelFormat};
+/// let mut img = Image::filled(4, 4, TexelFormat::Rgb565, [0, 0, 0]);
+/// img.put_rgb(1, 2, [255, 0, 0]);
+/// let [r, _, _, _] = mltc_texture::unpack_rgba(img.texel(1, 2));
+/// assert!(r > 240);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    width: u32,
+    height: u32,
+    format: TexelFormat,
+    data: Vec<u8>,
+}
+
+impl Image {
+    /// Creates an image filled with `rgb`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is zero or not a power of two, or
+    /// exceeds 4096 (the largest texture the addressing scheme is sized for).
+    pub fn filled(width: u32, height: u32, format: TexelFormat, rgb: [u8; 3]) -> Self {
+        assert!(width.is_power_of_two() && height.is_power_of_two(),
+                "image dimensions must be powers of two, got {width}x{height}");
+        assert!(width <= 4096 && height <= 4096, "image dimensions capped at 4096");
+        let texel = format.encode(rgb);
+        let mut data = Vec::with_capacity((width * height) as usize * texel.len());
+        for _ in 0..width * height {
+            data.extend_from_slice(&texel);
+        }
+        Self { width, height, format, data }
+    }
+
+    /// Creates an image by evaluating `f(x, y) -> [r, g, b]` at every texel.
+    ///
+    /// # Panics
+    ///
+    /// Same dimension constraints as [`Image::filled`].
+    pub fn from_fn<F: FnMut(u32, u32) -> [u8; 3]>(
+        width: u32,
+        height: u32,
+        format: TexelFormat,
+        mut f: F,
+    ) -> Self {
+        let mut img = Image::filled(width, height, format, [0, 0, 0]);
+        for y in 0..height {
+            for x in 0..width {
+                img.put_rgb(x, y, f(x, y));
+            }
+        }
+        img
+    }
+
+    /// Image width in texels.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in texels.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Host storage format.
+    #[inline]
+    pub fn format(&self) -> TexelFormat {
+        self.format
+    }
+
+    /// Host storage size in bytes (original depth).
+    #[inline]
+    pub fn byte_size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Reads the texel at `(x, y)` expanded to packed 32-bit RGBA
+    /// (0xAABBGGRR), applying wrap addressing to out-of-range coordinates.
+    #[inline]
+    pub fn texel_wrapped(&self, x: i64, y: i64) -> u32 {
+        let x = x.rem_euclid(self.width as i64) as u32;
+        let y = y.rem_euclid(self.height as i64) as u32;
+        self.texel(x, y)
+    }
+
+    /// Reads the texel at `(x, y)` expanded to packed 32-bit RGBA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(x, y)` is out of bounds.
+    #[inline]
+    pub fn texel(&self, x: u32, y: u32) -> u32 {
+        assert!(x < self.width && y < self.height,
+                "texel ({x},{y}) out of bounds for {}x{}", self.width, self.height);
+        let bpt = self.format.bytes_per_texel();
+        let off = (y as usize * self.width as usize + x as usize) * bpt;
+        self.format.decode(&self.data[off..off + bpt])
+    }
+
+    /// Writes an RGB colour at `(x, y)` (encoded into the host format).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(x, y)` is out of bounds.
+    pub fn put_rgb(&mut self, x: u32, y: u32, rgb: [u8; 3]) {
+        assert!(x < self.width && y < self.height);
+        let enc = self.format.encode(rgb);
+        let bpt = self.format.bytes_per_texel();
+        let off = (y as usize * self.width as usize + x as usize) * bpt;
+        self.data[off..off + bpt].copy_from_slice(&enc);
+    }
+
+    /// Reads the texel at `(x, y)` as 8-bit RGB (after a decode round trip).
+    pub fn rgb(&self, x: u32, y: u32) -> [u8; 3] {
+        let [r, g, b, _] = crate::format::unpack_rgba(self.texel(x, y));
+        [r, g, b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_has_uniform_colour() {
+        let img = Image::filled(8, 4, TexelFormat::Rgba8888, [7, 8, 9]);
+        assert_eq!(img.rgb(0, 0), [7, 8, 9]);
+        assert_eq!(img.rgb(7, 3), [7, 8, 9]);
+        assert_eq!(img.byte_size(), 8 * 4 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "powers of two")]
+    fn non_power_of_two_rejected() {
+        let _ = Image::filled(6, 4, TexelFormat::Rgb565, [0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capped")]
+    fn oversized_rejected() {
+        let _ = Image::filled(8192, 8192, TexelFormat::L8, [0, 0, 0]);
+    }
+
+    #[test]
+    fn from_fn_addresses_correctly() {
+        let img = Image::from_fn(4, 4, TexelFormat::Rgba8888, |x, y| [x as u8, y as u8, 0]);
+        assert_eq!(img.rgb(3, 1), [3, 1, 0]);
+        assert_eq!(img.rgb(0, 2), [0, 2, 0]);
+    }
+
+    #[test]
+    fn wrap_addressing() {
+        let img = Image::from_fn(4, 4, TexelFormat::Rgba8888, |x, y| [x as u8, y as u8, 0]);
+        assert_eq!(img.texel_wrapped(5, -1), img.texel(1, 3));
+        assert_eq!(img.texel_wrapped(-4, 8), img.texel(0, 0));
+    }
+
+    #[test]
+    fn put_then_get_roundtrip() {
+        let mut img = Image::filled(4, 4, TexelFormat::Rgba8888, [0, 0, 0]);
+        img.put_rgb(2, 2, [10, 20, 30]);
+        assert_eq!(img.rgb(2, 2), [10, 20, 30]);
+        assert_eq!(img.rgb(2, 1), [0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_read_panics() {
+        let img = Image::filled(4, 4, TexelFormat::L8, [0, 0, 0]);
+        let _ = img.texel(4, 0);
+    }
+
+    #[test]
+    fn byte_size_tracks_format() {
+        assert_eq!(Image::filled(16, 16, TexelFormat::Rgb565, [0; 3]).byte_size(), 512);
+        assert_eq!(Image::filled(16, 16, TexelFormat::L8, [0; 3]).byte_size(), 256);
+    }
+}

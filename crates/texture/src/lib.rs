@@ -1,0 +1,48 @@
+//! Tiled, mip-mapped texture storage with hierarchical virtual addressing.
+//!
+//! This crate implements the *hierarchical texture storage* framework of the
+//! paper's §2.2: every texture is identified by a `tid`, partitioned into
+//! **L2 blocks** (8×8, 16×16 or 32×32 texels), each of which is further
+//! partitioned into **L1 sub-blocks** (4×4 or 8×8 texels). The concatenation
+//! ⟨tid, L2, L1⟩ is a *virtual texture block address*, unique across all the
+//! textures of an application, and is what both the L1 and L2 cache
+//! simulators in `mltc-core` tag with.
+//!
+//! Within a texture, L2 block numbers are assigned sequentially from the
+//! first block of the lowest-resolution mip level to the last block of the
+//! highest-resolution level; each new mip level begins with a fresh L2 block
+//! (paper Fig. 2). L1 sub-blocks are numbered only within the scope of their
+//! parent L2 block. Translation from ⟨u,v,m⟩ to the tiled representation is
+//! integer shifts, adds and a per-level base-offset table look-up, exactly as
+//! the paper describes.
+//!
+//! # Example
+//!
+//! ```
+//! use mltc_texture::{synth, MipPyramid, PageTableLayout, TextureRegistry,
+//!                    TilingConfig, TileSize};
+//!
+//! let mut reg = TextureRegistry::new();
+//! let img = synth::checkerboard(64, 8, [255, 0, 0], [255, 255, 255]);
+//! let tid = reg.load("checker", MipPyramid::from_image(img));
+//!
+//! let tiling = TilingConfig::new(TileSize::X16, TileSize::X4).unwrap();
+//! let layout = PageTableLayout::new(&reg, tiling);
+//! let addr = layout.translate(tid, 5, 9, 0).unwrap();
+//! assert_eq!(addr.tid, tid);
+//! ```
+
+mod address;
+mod format;
+mod image;
+mod mip;
+mod registry;
+pub mod synth;
+mod tiling;
+
+pub use address::{L1BlockKey, PageTableLayout, TextureLayout, VirtualBlockAddr};
+pub use format::{pack_rgba, unpack_rgba, TexelFormat};
+pub use image::Image;
+pub use mip::{mip_level_count, MipPyramid};
+pub use registry::{TextureId, TextureRegistry};
+pub use tiling::{TileSize, TilingConfig, TilingError};

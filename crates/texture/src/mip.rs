@@ -1,0 +1,176 @@
+//! Mip-map pyramid construction (paper §2.1).
+
+use crate::format::unpack_rgba;
+use crate::Image;
+#[cfg(test)]
+use crate::TexelFormat;
+
+/// A texture's full mip pyramid: `level(0)` is the original (finest) image
+/// and each successive level is a one-quarter box-filtered image of the one
+/// below, down to 1×1 (Williams' *pyramidal parametrics* scheme the paper
+/// builds on).
+///
+/// ```
+/// use mltc_texture::{Image, MipPyramid, TexelFormat};
+/// let base = Image::filled(16, 16, TexelFormat::Rgb565, [100, 100, 100]);
+/// let pyr = MipPyramid::from_image(base);
+/// assert_eq!(pyr.level_count(), 5); // 16,8,4,2,1
+/// assert_eq!(pyr.level(4).width(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MipPyramid {
+    levels: Vec<Image>,
+}
+
+impl MipPyramid {
+    /// Builds the full pyramid from a base image by repeated 2×2 box
+    /// filtering. Non-square images reduce each dimension independently
+    /// (clamping at 1) until both reach 1.
+    pub fn from_image(base: Image) -> Self {
+        let mut levels = vec![base];
+        loop {
+            let prev = levels.last().expect("pyramid always has a base");
+            if prev.width() == 1 && prev.height() == 1 {
+                break;
+            }
+            levels.push(downsample(prev));
+        }
+        Self { levels }
+    }
+
+    /// Builds a pyramid with a single level (no mip mapping).
+    pub fn single_level(base: Image) -> Self {
+        Self { levels: vec![base] }
+    }
+
+    /// Number of mip levels (≥ 1).
+    #[inline]
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The image at mip level `m` (0 = finest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= level_count()`.
+    #[inline]
+    pub fn level(&self, m: usize) -> &Image {
+        &self.levels[m]
+    }
+
+    /// Iterates over levels from finest to coarsest.
+    pub fn iter(&self) -> std::slice::Iter<'_, Image> {
+        self.levels.iter()
+    }
+
+    /// Total host-memory footprint of all levels, at original depth.
+    pub fn byte_size(&self) -> usize {
+        self.levels.iter().map(Image::byte_size).sum()
+    }
+
+    /// Total texel count across all levels.
+    pub fn texel_count(&self) -> usize {
+        self.levels.iter().map(|l| (l.width() * l.height()) as usize).sum()
+    }
+}
+
+impl<'a> IntoIterator for &'a MipPyramid {
+    type Item = &'a Image;
+    type IntoIter = std::slice::Iter<'a, Image>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.levels.iter()
+    }
+}
+
+/// One step of 2×2 box filtering (halves each dimension, clamped at 1).
+fn downsample(src: &Image) -> Image {
+    let w = (src.width() / 2).max(1);
+    let h = (src.height() / 2).max(1);
+    let sx = src.width() / w; // 1 when the source dimension is already 1
+    let sy = src.height() / h;
+    Image::from_fn(w, h, src.format(), |x, y| {
+        let mut acc = [0u32; 3];
+        let mut n = 0u32;
+        for dy in 0..sy {
+            for dx in 0..sx {
+                let [r, g, b, _] = unpack_rgba(src.texel(x * sx + dx, y * sy + dy));
+                acc[0] += r as u32;
+                acc[1] += g as u32;
+                acc[2] += b as u32;
+                n += 1;
+            }
+        }
+        [(acc[0] / n) as u8, (acc[1] / n) as u8, (acc[2] / n) as u8]
+    })
+}
+
+/// Returns the mip level count for a `w`×`h` base image.
+///
+/// ```
+/// assert_eq!(mltc_texture::mip_level_count(256, 256), 9);
+/// assert_eq!(mltc_texture::mip_level_count(8, 2), 4);
+/// ```
+pub fn mip_level_count(w: u32, h: u32) -> usize {
+    let max = w.max(h).max(1);
+    (32 - max.leading_zeros()) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_pyramid_level_dims_halve() {
+        let pyr = MipPyramid::from_image(Image::filled(32, 32, TexelFormat::Rgba8888, [0; 3]));
+        let dims: Vec<(u32, u32)> = pyr.iter().map(|l| (l.width(), l.height())).collect();
+        assert_eq!(dims, [(32, 32), (16, 16), (8, 8), (4, 4), (2, 2), (1, 1)]);
+    }
+
+    #[test]
+    fn non_square_pyramid_clamps_small_axis() {
+        let pyr = MipPyramid::from_image(Image::filled(8, 2, TexelFormat::Rgba8888, [0; 3]));
+        let dims: Vec<(u32, u32)> = pyr.iter().map(|l| (l.width(), l.height())).collect();
+        assert_eq!(dims, [(8, 2), (4, 1), (2, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn box_filter_averages() {
+        let base = Image::from_fn(2, 2, TexelFormat::Rgba8888, |x, y| {
+            if x == 0 && y == 0 { [100, 0, 0] } else { [0, 0, 0] }
+        });
+        let pyr = MipPyramid::from_image(base);
+        assert_eq!(pyr.level(1).rgb(0, 0), [25, 0, 0]);
+    }
+
+    #[test]
+    fn uniform_image_stays_uniform() {
+        let pyr = MipPyramid::from_image(Image::filled(16, 16, TexelFormat::Rgba8888, [60, 70, 80]));
+        for lvl in &pyr {
+            assert_eq!(lvl.rgb(0, 0), [60, 70, 80]);
+        }
+    }
+
+    #[test]
+    fn byte_size_is_about_four_thirds() {
+        let pyr = MipPyramid::from_image(Image::filled(256, 256, TexelFormat::Rgb565, [0; 3]));
+        let base = 256 * 256 * 2;
+        let total = pyr.byte_size();
+        assert!(total > base && total < base * 4 / 3 + 16, "total={total}");
+    }
+
+    #[test]
+    fn level_count_helper_matches_pyramid() {
+        for dim in [1u32, 2, 16, 64, 512] {
+            let pyr = MipPyramid::from_image(Image::filled(dim, dim, TexelFormat::L8, [0; 3]));
+            assert_eq!(pyr.level_count(), mip_level_count(dim, dim));
+        }
+    }
+
+    #[test]
+    fn single_level_pyramid() {
+        let pyr = MipPyramid::single_level(Image::filled(64, 64, TexelFormat::L8, [0; 3]));
+        assert_eq!(pyr.level_count(), 1);
+    }
+}

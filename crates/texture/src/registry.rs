@@ -1,0 +1,184 @@
+//! Texture registry: `tid` assignment and texture lifetime tracking.
+
+use crate::MipPyramid;
+use std::fmt;
+
+/// Unique identifier of a loaded texture (the paper's `tid`).
+///
+/// Identifiers are assigned sequentially by [`TextureRegistry::load`] and
+/// never reused, so a `TextureId` remains a stable name for a texture even
+/// after other textures are deleted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TextureId(pub(crate) u32);
+
+impl TextureId {
+    /// The raw index value.
+    #[inline]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Builds an id from a raw index (for trace deserialisation).
+    #[inline]
+    pub const fn from_index(i: u32) -> Self {
+        Self(i)
+    }
+}
+
+impl fmt::Display for TextureId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tid{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    name: String,
+    pyramid: MipPyramid,
+    live: bool,
+}
+
+/// Tracks textures as the application loads and deletes them, mirroring the
+/// host-driver machinery the paper's §5.2 leverages ("the host software
+/// driver keeps track of textures as the application loads and deletes
+/// them").
+///
+/// ```
+/// use mltc_texture::{Image, MipPyramid, TexelFormat, TextureRegistry};
+/// let mut reg = TextureRegistry::new();
+/// let img = Image::filled(32, 32, TexelFormat::Rgb565, [1, 2, 3]);
+/// let tid = reg.load("wall", MipPyramid::from_image(img));
+/// assert_eq!(reg.live_count(), 1);
+/// assert!(reg.pyramid(tid).is_some());
+/// reg.delete(tid);
+/// assert!(reg.pyramid(tid).is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TextureRegistry {
+    entries: Vec<Entry>,
+}
+
+impl TextureRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads a texture and returns its new `tid`.
+    pub fn load(&mut self, name: impl Into<String>, pyramid: MipPyramid) -> TextureId {
+        let id = TextureId(self.entries.len() as u32);
+        self.entries.push(Entry { name: name.into(), pyramid, live: true });
+        id
+    }
+
+    /// Deletes a texture. Its `tid` is retired, never reused.
+    ///
+    /// Deleting an already-deleted or unknown texture is a no-op.
+    pub fn delete(&mut self, tid: TextureId) {
+        if let Some(e) = self.entries.get_mut(tid.0 as usize) {
+            e.live = false;
+        }
+    }
+
+    /// The mip pyramid of a live texture.
+    pub fn pyramid(&self, tid: TextureId) -> Option<&MipPyramid> {
+        self.entries.get(tid.0 as usize).filter(|e| e.live).map(|e| &e.pyramid)
+    }
+
+    /// The (human-readable) name of a live texture.
+    pub fn name(&self, tid: TextureId) -> Option<&str> {
+        self.entries.get(tid.0 as usize).filter(|e| e.live).map(|e| e.name.as_str())
+    }
+
+    /// Number of currently live textures.
+    pub fn live_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.live).count()
+    }
+
+    /// Number of `tid`s ever issued (live + deleted).
+    pub fn issued_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterates over `(tid, pyramid)` for all live textures.
+    pub fn iter(&self) -> impl Iterator<Item = (TextureId, &MipPyramid)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.live)
+            .map(|(i, e)| (TextureId(i as u32), &e.pyramid))
+    }
+
+    /// Total host-memory footprint of all live textures at original depth,
+    /// including their mip levels (this is the "texture loaded into main
+    /// memory" series of the paper's Fig. 4).
+    pub fn host_byte_size(&self) -> usize {
+        self.iter().map(|(_, p)| p.byte_size()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Image, TexelFormat};
+
+    fn pyr(dim: u32) -> MipPyramid {
+        MipPyramid::from_image(Image::filled(dim, dim, TexelFormat::Rgb565, [0; 3]))
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let mut reg = TextureRegistry::new();
+        let a = reg.load("a", pyr(8));
+        let b = reg.load("b", pyr(8));
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+    }
+
+    #[test]
+    fn delete_retires_id() {
+        let mut reg = TextureRegistry::new();
+        let a = reg.load("a", pyr(8));
+        reg.delete(a);
+        let b = reg.load("b", pyr(8));
+        assert_ne!(a, b, "tids must never be reused");
+        assert_eq!(reg.live_count(), 1);
+        assert_eq!(reg.issued_count(), 2);
+    }
+
+    #[test]
+    fn name_lookup() {
+        let mut reg = TextureRegistry::new();
+        let a = reg.load("bricks", pyr(8));
+        assert_eq!(reg.name(a), Some("bricks"));
+        reg.delete(a);
+        assert_eq!(reg.name(a), None);
+    }
+
+    #[test]
+    fn delete_unknown_is_noop() {
+        let mut reg = TextureRegistry::new();
+        reg.delete(TextureId::from_index(42));
+        assert_eq!(reg.live_count(), 0);
+    }
+
+    #[test]
+    fn host_bytes_sum_live_only() {
+        let mut reg = TextureRegistry::new();
+        let a = reg.load("a", pyr(16));
+        let _b = reg.load("b", pyr(16));
+        let full = reg.host_byte_size();
+        reg.delete(a);
+        assert_eq!(reg.host_byte_size() * 2, full);
+    }
+
+    #[test]
+    fn iter_skips_deleted() {
+        let mut reg = TextureRegistry::new();
+        let a = reg.load("a", pyr(8));
+        let b = reg.load("b", pyr(8));
+        reg.delete(a);
+        let ids: Vec<TextureId> = reg.iter().map(|(t, _)| t).collect();
+        assert_eq!(ids, vec![b]);
+    }
+}

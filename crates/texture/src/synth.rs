@@ -1,0 +1,241 @@
+//! Procedural texture synthesis.
+//!
+//! The paper's workloads use proprietary texture assets (Evans & Sutherland's
+//! *Village*, UCLA's *City*). Cache behaviour depends only on *which texels*
+//! are addressed — never on their colour values — so this module substitutes
+//! deterministic procedural images (bricks, windows, foliage, asphalt, sky)
+//! whose sizes and counts are calibrated to the paper's published memory
+//! statistics (see DESIGN.md §1).
+//!
+//! All generators are pure functions of their arguments; generators with a
+//! `seed` parameter use a seeded [`rand::rngs::StdRng`] so whole workloads
+//! are bit-reproducible.
+
+use crate::{Image, TexelFormat};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Default host format for synthesised assets ("original depth", §3.2).
+pub const HOST_FORMAT: TexelFormat = TexelFormat::Rgb565;
+
+/// Mixes two colours: `a*(1-t) + b*t`.
+fn mix(a: [u8; 3], b: [u8; 3], t: f32) -> [u8; 3] {
+    let t = t.clamp(0.0, 1.0);
+    let m = |x: u8, y: u8| (x as f32 + (y as f32 - x as f32) * t) as u8;
+    [m(a[0], b[0]), m(a[1], b[1]), m(a[2], b[2])]
+}
+
+/// A hash-based value noise in `[0, 1)`, deterministic in `(x, y, seed)`.
+fn hash_noise(x: u32, y: u32, seed: u64) -> f32 {
+    let mut h = seed ^ ((x as u64) << 32 | y as u64);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    (h & 0xffff) as f32 / 65536.0
+}
+
+/// Classic checkerboard of `cell`-texel squares.
+///
+/// # Panics
+///
+/// Panics if `size` is not a power of two or `cell` is zero.
+pub fn checkerboard(size: u32, cell: u32, a: [u8; 3], b: [u8; 3]) -> Image {
+    assert!(cell > 0);
+    Image::from_fn(size, size, HOST_FORMAT, |x, y| {
+        if ((x / cell) + (y / cell)).is_multiple_of(2) { a } else { b }
+    })
+}
+
+/// Running-bond brick pattern with mortar lines and per-brick shade
+/// variation.
+pub fn brick(size: u32, seed: u64, brick_rgb: [u8; 3], mortar_rgb: [u8; 3]) -> Image {
+    let bw = (size / 8).max(4); // brick width
+    let bh = (size / 16).max(2); // brick height
+    Image::from_fn(size, size, HOST_FORMAT, |x, y| {
+        let row = y / bh;
+        let xoff = if row.is_multiple_of(2) { 0 } else { bw / 2 };
+        let lx = (x + xoff) % bw;
+        let ly = y % bh;
+        if lx < 1 || ly < 1 {
+            mortar_rgb
+        } else {
+            let col = (x + xoff) / bw;
+            let shade = hash_noise(col, row, seed) * 0.35;
+            mix(brick_rgb, [0, 0, 0], shade)
+        }
+    })
+}
+
+/// Value-noise texture between two colours (grass, gravel, water).
+pub fn noise(size: u32, seed: u64, scale: u32, a: [u8; 3], b: [u8; 3]) -> Image {
+    let scale = scale.max(1);
+    Image::from_fn(size, size, HOST_FORMAT, |x, y| {
+        // Bilinear interpolation of lattice noise for soft blotches.
+        let fx = x as f32 / scale as f32;
+        let fy = y as f32 / scale as f32;
+        let (x0, y0) = (fx as u32, fy as u32);
+        let (tx, ty) = (fx.fract(), fy.fract());
+        let n00 = hash_noise(x0, y0, seed);
+        let n10 = hash_noise(x0 + 1, y0, seed);
+        let n01 = hash_noise(x0, y0 + 1, seed);
+        let n11 = hash_noise(x0 + 1, y0 + 1, seed);
+        let n = n00 * (1.0 - tx) * (1.0 - ty)
+            + n10 * tx * (1.0 - ty)
+            + n01 * (1.0 - tx) * ty
+            + n11 * tx * ty;
+        mix(a, b, n)
+    })
+}
+
+/// Vertical gradient (sky dome).
+pub fn gradient_v(size: u32, top: [u8; 3], bottom: [u8; 3]) -> Image {
+    Image::from_fn(size, size, HOST_FORMAT, |_, y| {
+        mix(top, bottom, y as f32 / size.max(2).saturating_sub(1) as f32)
+    })
+}
+
+/// Building facade: a grid of lit/unlit windows on a wall colour.
+pub fn window_grid(size: u32, seed: u64, wall: [u8; 3], lit: [u8; 3], dark: [u8; 3]) -> Image {
+    let cell = (size / 8).max(4);
+    let win = cell * 3 / 5;
+    let margin = (cell - win) / 2;
+    Image::from_fn(size, size, HOST_FORMAT, |x, y| {
+        let (cx, cy) = (x / cell, y / cell);
+        let (lx, ly) = (x % cell, y % cell);
+        let in_window =
+            lx >= margin && lx < margin + win && ly >= margin && ly < margin + win;
+        if in_window {
+            if hash_noise(cx, cy, seed) > 0.6 { lit } else { dark }
+        } else {
+            let shade = hash_noise(x, y, seed ^ 0x9e37) * 0.1;
+            mix(wall, [0, 0, 0], shade)
+        }
+    })
+}
+
+/// Horizontal stripes (road markings, awnings).
+pub fn stripes(size: u32, period: u32, duty: u32, a: [u8; 3], b: [u8; 3]) -> Image {
+    let period = period.max(1);
+    Image::from_fn(size, size, HOST_FORMAT, |_, y| if y % period < duty { a } else { b })
+}
+
+/// Asphalt with a dashed centre line (streets).
+pub fn road(size: u32, seed: u64) -> Image {
+    let asphalt = [52, 52, 56];
+    let line = [200, 180, 60];
+    Image::from_fn(size, size, HOST_FORMAT, |x, y| {
+        let centre = (y as i32 - size as i32 / 2).unsigned_abs();
+        let dashed = centre < size / 32 + 1 && (x / (size / 8).max(1)).is_multiple_of(2);
+        if dashed {
+            line
+        } else {
+            let n = hash_noise(x, y, seed) * 0.25;
+            mix(asphalt, [90, 90, 95], n)
+        }
+    })
+}
+
+/// Foliage blotches for trees and hedges.
+pub fn foliage(size: u32, seed: u64) -> Image {
+    noise(size, seed, (size / 16).max(2), [20, 70, 25], [90, 160, 60])
+}
+
+/// Roof tiles: horizontal courses with per-tile shade.
+pub fn roof_tiles(size: u32, seed: u64, tile_rgb: [u8; 3]) -> Image {
+    let course = (size / 12).max(2);
+    Image::from_fn(size, size, HOST_FORMAT, |x, y| {
+        let row = y / course;
+        let xoff = if row.is_multiple_of(2) { 0 } else { course / 2 };
+        if y % course == 0 {
+            mix(tile_rgb, [0, 0, 0], 0.5)
+        } else {
+            let col = (x + xoff) / course;
+            mix(tile_rgb, [0, 0, 0], hash_noise(col, row, seed) * 0.3)
+        }
+    })
+}
+
+/// A random flat-ish colour in a pleasing mid-tone range, for generating the
+/// City's many per-building facades.
+pub fn random_tone(rng: &mut StdRng) -> [u8; 3] {
+    [
+        rng.gen_range(90..220u32) as u8,
+        rng.gen_range(90..220u32) as u8,
+        rng.gen_range(90..220u32) as u8,
+    ]
+}
+
+/// Creates the deterministic RNG used by workload builders.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkerboard_alternates() {
+        let img = checkerboard(16, 4, [0, 0, 0], [255, 255, 255]);
+        assert_eq!(img.rgb(0, 0), img.rgb(8, 0));
+        assert_ne!(img.texel(0, 0), img.texel(4, 0));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(brick(32, 7, [170, 60, 40], [180, 180, 180]),
+                   brick(32, 7, [170, 60, 40], [180, 180, 180]));
+        assert_eq!(noise(32, 1, 4, [0; 3], [255; 3]), noise(32, 1, 4, [0; 3], [255; 3]));
+        assert_eq!(window_grid(32, 3, [100; 3], [255, 255, 200], [20; 3]),
+                   window_grid(32, 3, [100; 3], [255, 255, 200], [20; 3]));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(noise(32, 1, 4, [0; 3], [255; 3]), noise(32, 2, 4, [0; 3], [255; 3]));
+    }
+
+    #[test]
+    fn gradient_is_monotone() {
+        let img = gradient_v(32, [0, 0, 0], [255, 255, 255]);
+        let top = img.rgb(0, 0)[0] as i32;
+        let mid = img.rgb(0, 16)[0] as i32;
+        let bot = img.rgb(0, 31)[0] as i32;
+        assert!(top <= mid && mid <= bot);
+        assert!(bot > 200);
+    }
+
+    #[test]
+    fn stripes_have_requested_period() {
+        let img = stripes(16, 4, 2, [255, 0, 0], [0, 0, 255]);
+        assert_eq!(img.rgb(0, 0), img.rgb(0, 4));
+        assert_ne!(img.rgb(0, 0), img.rgb(0, 2));
+    }
+
+    #[test]
+    fn all_generators_produce_requested_size() {
+        for img in [
+            checkerboard(64, 8, [0; 3], [255; 3]),
+            brick(64, 1, [170, 60, 40], [180; 3]),
+            noise(64, 1, 8, [0; 3], [255; 3]),
+            gradient_v(64, [0; 3], [255; 3]),
+            window_grid(64, 1, [100; 3], [255; 3], [0; 3]),
+            stripes(64, 8, 4, [0; 3], [255; 3]),
+            road(64, 1),
+            foliage(64, 1),
+            roof_tiles(64, 1, [150, 60, 50]),
+        ] {
+            assert_eq!((img.width(), img.height()), (64, 64));
+            assert_eq!(img.format(), HOST_FORMAT);
+        }
+    }
+
+    #[test]
+    fn seeded_rng_reproducible() {
+        let mut a = seeded_rng(99);
+        let mut b = seeded_rng(99);
+        assert_eq!(random_tone(&mut a), random_tone(&mut b));
+    }
+}

@@ -1,0 +1,214 @@
+//! Tile-size configuration for 2-level texture tiling (paper §2.2).
+
+use std::fmt;
+
+/// Square tile edge length in texels.
+///
+/// The paper studies L1 tiles of 4×4 and 8×8 texels and L2 tiles of 8×8,
+/// 16×16 and 32×32 texels.
+///
+/// ```
+/// use mltc_texture::TileSize;
+/// assert_eq!(TileSize::X16.texels(), 16);
+/// assert_eq!(TileSize::X16.texel_count(), 256);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TileSize {
+    /// 4×4 texels.
+    X4,
+    /// 8×8 texels.
+    X8,
+    /// 16×16 texels.
+    X16,
+    /// 32×32 texels.
+    X32,
+}
+
+impl TileSize {
+    /// Edge length in texels.
+    #[inline]
+    pub const fn texels(self) -> u32 {
+        match self {
+            TileSize::X4 => 4,
+            TileSize::X8 => 8,
+            TileSize::X16 => 16,
+            TileSize::X32 => 32,
+        }
+    }
+
+    /// `log2` of the edge length, for shift-based address arithmetic.
+    #[inline]
+    pub const fn shift(self) -> u32 {
+        match self {
+            TileSize::X4 => 2,
+            TileSize::X8 => 3,
+            TileSize::X16 => 4,
+            TileSize::X32 => 5,
+        }
+    }
+
+    /// Texels per tile.
+    #[inline]
+    pub const fn texel_count(self) -> u32 {
+        let t = self.texels();
+        t * t
+    }
+
+    /// Tile size in bytes at the accelerator's expanded 32-bit texel depth.
+    #[inline]
+    pub const fn cache_bytes(self) -> usize {
+        self.texel_count() as usize * 4
+    }
+}
+
+impl fmt::Display for TileSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let t = self.texels();
+        write!(f, "{t}x{t}")
+    }
+}
+
+/// Error building a [`TilingConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TilingError {
+    /// The L1 tile does not fit strictly inside the L2 tile.
+    L1NotSmallerThanL2 {
+        /// Requested L2 tile size.
+        l2: TileSize,
+        /// Requested L1 tile size.
+        l1: TileSize,
+    },
+}
+
+impl fmt::Display for TilingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TilingError::L1NotSmallerThanL2 { l2, l1 } => {
+                write!(f, "L1 tile {l1} must be strictly smaller than L2 tile {l2}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TilingError {}
+
+/// A 2-level tiling: L2 tiles of L1 sub-tiles ("tiles of tiles", §2.2).
+///
+/// ```
+/// use mltc_texture::{TileSize, TilingConfig};
+/// let t = TilingConfig::new(TileSize::X16, TileSize::X4).unwrap();
+/// assert_eq!(t.l1_per_l2(), 16);
+/// assert!(TilingConfig::new(TileSize::X4, TileSize::X8).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TilingConfig {
+    l2: TileSize,
+    l1: TileSize,
+}
+
+impl TilingConfig {
+    /// The paper's reference configuration: 16×16 L2 tiles of 4×4 L1 tiles.
+    pub const PAPER_DEFAULT: Self = Self { l2: TileSize::X16, l1: TileSize::X4 };
+
+    /// Creates a tiling configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TilingError::L1NotSmallerThanL2`] unless the L1 tile is
+    /// strictly smaller than the L2 tile.
+    pub fn new(l2: TileSize, l1: TileSize) -> Result<Self, TilingError> {
+        if l1.texels() >= l2.texels() {
+            return Err(TilingError::L1NotSmallerThanL2 { l2, l1 });
+        }
+        Ok(Self { l2, l1 })
+    }
+
+    /// L2 tile size.
+    #[inline]
+    pub const fn l2(self) -> TileSize {
+        self.l2
+    }
+
+    /// L1 sub-tile size.
+    #[inline]
+    pub const fn l1(self) -> TileSize {
+        self.l1
+    }
+
+    /// L1 sub-blocks per L2 block edge.
+    #[inline]
+    pub const fn l1_per_l2_edge(self) -> u32 {
+        self.l2.texels() / self.l1.texels()
+    }
+
+    /// L1 sub-blocks per L2 block (the number of sector bits per page-table
+    /// entry).
+    #[inline]
+    pub const fn l1_per_l2(self) -> u32 {
+        let e = self.l1_per_l2_edge();
+        e * e
+    }
+}
+
+impl Default for TilingConfig {
+    fn default() -> Self {
+        Self::PAPER_DEFAULT
+    }
+}
+
+impl fmt::Display for TilingConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L2 {} / L1 {}", self.l2, self.l1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_sizes() {
+        assert_eq!(TileSize::X4.texel_count(), 16);
+        assert_eq!(TileSize::X32.texel_count(), 1024);
+        assert_eq!(TileSize::X8.cache_bytes(), 256);
+    }
+
+    #[test]
+    fn shifts_match_sizes() {
+        for t in [TileSize::X4, TileSize::X8, TileSize::X16, TileSize::X32] {
+            assert_eq!(1u32 << t.shift(), t.texels());
+        }
+    }
+
+    #[test]
+    fn paper_default_is_16_over_4() {
+        let t = TilingConfig::PAPER_DEFAULT;
+        assert_eq!(t.l2(), TileSize::X16);
+        assert_eq!(t.l1(), TileSize::X4);
+        assert_eq!(t.l1_per_l2(), 16);
+        assert_eq!(TilingConfig::default(), t);
+    }
+
+    #[test]
+    fn sub_block_counts() {
+        let t = TilingConfig::new(TileSize::X32, TileSize::X4).unwrap();
+        assert_eq!(t.l1_per_l2_edge(), 8);
+        assert_eq!(t.l1_per_l2(), 64);
+        let t = TilingConfig::new(TileSize::X8, TileSize::X4).unwrap();
+        assert_eq!(t.l1_per_l2(), 4);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(TilingConfig::new(TileSize::X4, TileSize::X4).is_err());
+        assert!(TilingConfig::new(TileSize::X8, TileSize::X16).is_err());
+        let err = TilingConfig::new(TileSize::X4, TileSize::X8).unwrap_err();
+        assert!(err.to_string().contains("strictly smaller"));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(TileSize::X16.to_string(), "16x16");
+        assert_eq!(TilingConfig::PAPER_DEFAULT.to_string(), "L2 16x16 / L1 4x4");
+    }
+}

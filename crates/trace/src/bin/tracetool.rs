@@ -1,0 +1,87 @@
+//! Inspect recorded trace files (see `examples/record_replay.rs` for
+//! producing them).
+//!
+//! ```text
+//! tracetool <trace-file> [--per-frame]
+//! ```
+
+use mltc_trace::codec::TraceReader;
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("usage: tracetool <trace-file> [--per-frame]");
+        return ExitCode::from(2);
+    };
+    let per_frame = args.iter().any(|a| a == "--per-frame");
+
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut reader = TraceReader::new(BufReader::new(file));
+
+    let mut frames = 0u64;
+    let mut requests = 0u64;
+    let mut depth_sum = 0.0f64;
+    let mut tids: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut lod_min = f32::INFINITY;
+    let mut lod_max = f32::NEG_INFINITY;
+    let mut dims = (0u32, 0u32);
+    let mut filter = None;
+
+    if per_frame {
+        println!("{:>6} {:>10} {:>8}", "frame", "requests", "d");
+    }
+    loop {
+        match reader.read_frame() {
+            Ok(Some(t)) => {
+                frames += 1;
+                requests += t.requests.len() as u64;
+                depth_sum += t.depth_complexity();
+                dims = (t.width, t.height);
+                filter = Some(t.filter);
+                for r in &t.requests {
+                    *tids.entry(r.tid.index()).or_insert(0) += 1;
+                    lod_min = lod_min.min(r.lod);
+                    lod_max = lod_max.max(r.lod);
+                }
+                if per_frame {
+                    println!("{:>6} {:>10} {:>8.2}", t.frame, t.requests.len(), t.depth_complexity());
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                eprintln!("corrupt trace after {frames} frames: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if frames == 0 {
+        println!("{path}: empty trace");
+        return ExitCode::SUCCESS;
+    }
+
+    println!("\n{path}:");
+    println!("  frames           : {frames}");
+    println!("  resolution       : {}x{}", dims.0, dims.1);
+    println!("  filter           : {}", filter.map(|f| f.name()).unwrap_or("?"));
+    println!("  total requests   : {requests}");
+    println!("  mean depth compl.: {:.2}", depth_sum / frames as f64);
+    println!("  distinct textures: {}", tids.len());
+    println!("  lod range        : {lod_min:.2} .. {lod_max:.2}");
+    let mut top: Vec<(u32, u64)> = tids.into_iter().collect();
+    top.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+    println!("  hottest textures :");
+    for (tid, n) in top.into_iter().take(5) {
+        println!("    tid{tid:<6} {:>6.2}% of requests", n as f64 * 100.0 / requests as f64);
+    }
+    ExitCode::SUCCESS
+}

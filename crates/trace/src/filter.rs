@@ -1,0 +1,347 @@
+//! Texture filtering: the authoritative request → texel-taps mapping.
+//!
+//! Both the renderer (for colours) and the cache engine (for addresses)
+//! expand a [`PixelRequest`](crate::PixelRequest) through [`filter_taps`],
+//! so the simulated caches see exactly the texels the image was filtered
+//! from.
+
+use crate::PixelRequest;
+
+/// Texture filtering mode (paper §2.1: point sampling for the locality
+/// statistics, bilinear and trilinear for the cache simulations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FilterMode {
+    /// Nearest texel of the nearest mip level: 1 tap.
+    Point,
+    /// 2×2 weighted average within the nearest mip level: 4 taps.
+    #[default]
+    Bilinear,
+    /// Bilinear in the two straddling mip levels, blended: 8 taps
+    /// (4 when the level of detail is clamped at either end of the pyramid).
+    Trilinear,
+}
+
+impl FilterMode {
+    /// Short lowercase name (`"point"`, `"bilinear"`, `"trilinear"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            FilterMode::Point => "point",
+            FilterMode::Bilinear => "bilinear",
+            FilterMode::Trilinear => "trilinear",
+        }
+    }
+
+    /// Maximum taps this mode can produce.
+    pub const fn max_taps(self) -> usize {
+        match self {
+            FilterMode::Point => 1,
+            FilterMode::Bilinear => 4,
+            FilterMode::Trilinear => 8,
+        }
+    }
+}
+
+impl std::fmt::Display for FilterMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One texel read produced by filtering: mip level, wrapped in-bounds texel
+/// coordinates, and its blend weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tap {
+    /// Mip level.
+    pub m: u32,
+    /// In-bounds texel column.
+    pub u: u32,
+    /// In-bounds texel row.
+    pub v: u32,
+    /// Blend weight; the weights of a tap list sum to 1.
+    pub weight: f32,
+}
+
+/// Up to 8 [`Tap`]s, inline (no allocation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TapList {
+    taps: [Tap; 8],
+    len: u8,
+}
+
+impl TapList {
+    const EMPTY_TAP: Tap = Tap { m: 0, u: 0, v: 0, weight: 0.0 };
+
+    fn new() -> Self {
+        Self { taps: [Self::EMPTY_TAP; 8], len: 0 }
+    }
+
+    #[inline]
+    fn push(&mut self, t: Tap) {
+        self.taps[self.len as usize] = t;
+        self.len += 1;
+    }
+
+    /// The taps as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Tap] {
+        &self.taps[..self.len as usize]
+    }
+
+    /// Number of taps.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when no taps were produced (never happens for valid requests).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over the taps.
+    pub fn iter(&self) -> std::slice::Iter<'_, Tap> {
+        self.as_slice().iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a TapList {
+    type Item = &'a Tap;
+    type IntoIter = std::slice::Iter<'a, Tap>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// Wraps a (possibly negative / out-of-range) texel coordinate into
+/// `[0, size)` — repeat addressing, the mode both workloads use.
+#[inline]
+pub(crate) fn wrap(x: i64, size: u32) -> u32 {
+    debug_assert!(size > 0);
+    x.rem_euclid(size as i64) as u32
+}
+
+/// Expands a pixel request into the texels it reads under `filter`.
+///
+/// `level_count` is the texture's mip level count and `dims(m)` returns the
+/// dimensions of level `m`. Request coordinates are texel-space at level 0;
+/// coarser levels address `u / 2^m` (the dimension ratio is used exactly, so
+/// non-square clamped pyramids stay consistent).
+///
+/// ```
+/// use mltc_trace::{filter_taps, FilterMode, PixelRequest};
+/// use mltc_texture::TextureId;
+/// let req = PixelRequest { tid: TextureId::from_index(0), u: 1.0, v: 1.0, lod: 0.0 };
+/// let taps = filter_taps(&req, FilterMode::Point, 5, |m| (16 >> m, 16 >> m));
+/// assert_eq!(taps.len(), 1);
+/// assert_eq!(taps.as_slice()[0].weight, 1.0);
+/// ```
+pub fn filter_taps(
+    req: &PixelRequest,
+    filter: FilterMode,
+    level_count: u32,
+    dims: impl Fn(u32) -> (u32, u32),
+) -> TapList {
+    debug_assert!(level_count > 0);
+    let max_m = level_count - 1;
+    let mut out = TapList::new();
+    let (w0, h0) = dims(0);
+
+    match filter {
+        FilterMode::Point => {
+            let m = (req.lod + 0.5).floor().max(0.0).min(max_m as f32) as u32;
+            point_tap(&mut out, req, m, dims(m), (w0, h0), 1.0);
+        }
+        FilterMode::Bilinear => {
+            let m = (req.lod + 0.5).floor().max(0.0).min(max_m as f32) as u32;
+            bilinear_taps(&mut out, req, m, dims(m), (w0, h0), 1.0);
+        }
+        FilterMode::Trilinear => {
+            let lod = req.lod.max(0.0).min(max_m as f32);
+            let m0 = lod.floor() as u32;
+            let frac = lod - m0 as f32;
+            if frac <= f32::EPSILON || m0 == max_m {
+                bilinear_taps(&mut out, req, m0, dims(m0), (w0, h0), 1.0);
+            } else {
+                let m1 = m0 + 1;
+                bilinear_taps(&mut out, req, m0, dims(m0), (w0, h0), 1.0 - frac);
+                bilinear_taps(&mut out, req, m1, dims(m1), (w0, h0), frac);
+            }
+        }
+    }
+    out
+}
+
+/// Converts level-0 texel coordinates to level-`m` continuous coordinates.
+#[inline]
+fn to_level(req: &PixelRequest, (w, h): (u32, u32), (w0, h0): (u32, u32)) -> (f32, f32) {
+    (req.u * w as f32 / w0 as f32, req.v * h as f32 / h0 as f32)
+}
+
+fn point_tap(
+    out: &mut TapList,
+    req: &PixelRequest,
+    m: u32,
+    level_dims: (u32, u32),
+    base_dims: (u32, u32),
+    weight: f32,
+) {
+    let (u, v) = to_level(req, level_dims, base_dims);
+    out.push(Tap {
+        m,
+        u: wrap(u.floor() as i64, level_dims.0),
+        v: wrap(v.floor() as i64, level_dims.1),
+        weight,
+    });
+}
+
+fn bilinear_taps(
+    out: &mut TapList,
+    req: &PixelRequest,
+    m: u32,
+    level_dims: (u32, u32),
+    base_dims: (u32, u32),
+    weight: f32,
+) {
+    let (w, h) = level_dims;
+    let (u, v) = to_level(req, level_dims, base_dims);
+    // Texel centres sit at integer + 0.5.
+    let uc = u - 0.5;
+    let vc = v - 0.5;
+    let x0 = uc.floor();
+    let y0 = vc.floor();
+    let fx = uc - x0;
+    let fy = vc - y0;
+    let (x0, y0) = (x0 as i64, y0 as i64);
+    let corners = [
+        (x0, y0, (1.0 - fx) * (1.0 - fy)),
+        (x0 + 1, y0, fx * (1.0 - fy)),
+        (x0, y0 + 1, (1.0 - fx) * fy),
+        (x0 + 1, y0 + 1, fx * fy),
+    ];
+    for (x, y, wgt) in corners {
+        out.push(Tap { m, u: wrap(x, w), v: wrap(y, h), weight: wgt * weight });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mltc_texture::TextureId;
+
+    fn req(u: f32, v: f32, lod: f32) -> PixelRequest {
+        PixelRequest { tid: TextureId::from_index(0), u, v, lod }
+    }
+
+    fn square_dims(base: u32) -> impl Fn(u32) -> (u32, u32) {
+        move |m| ((base >> m).max(1), (base >> m).max(1))
+    }
+
+    fn weight_sum(t: &TapList) -> f32 {
+        t.iter().map(|t| t.weight).sum()
+    }
+
+    #[test]
+    fn point_single_tap_floor() {
+        let t = filter_taps(&req(3.7, 9.2, 0.0), FilterMode::Point, 5, square_dims(16));
+        assert_eq!(t.len(), 1);
+        let tap = t.as_slice()[0];
+        assert_eq!((tap.m, tap.u, tap.v), (0, 3, 9));
+    }
+
+    #[test]
+    fn point_rounds_lod() {
+        let t = filter_taps(&req(0.0, 0.0, 1.6), FilterMode::Point, 5, square_dims(16));
+        assert_eq!(t.as_slice()[0].m, 2);
+        let t = filter_taps(&req(0.0, 0.0, 1.4), FilterMode::Point, 5, square_dims(16));
+        assert_eq!(t.as_slice()[0].m, 1);
+    }
+
+    #[test]
+    fn lod_clamps_to_pyramid() {
+        let t = filter_taps(&req(0.0, 0.0, 99.0), FilterMode::Point, 5, square_dims(16));
+        assert_eq!(t.as_slice()[0].m, 4);
+        let t = filter_taps(&req(0.0, 0.0, -3.0), FilterMode::Point, 5, square_dims(16));
+        assert_eq!(t.as_slice()[0].m, 0);
+    }
+
+    #[test]
+    fn bilinear_weights_sum_to_one() {
+        let t = filter_taps(&req(3.3, 7.8, 0.2), FilterMode::Bilinear, 5, square_dims(16));
+        assert_eq!(t.len(), 4);
+        assert!((weight_sum(&t) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bilinear_at_texel_centre_is_single_texel() {
+        // u = 2.5 is the centre of texel 2: all weight on one corner.
+        let t = filter_taps(&req(2.5, 2.5, 0.0), FilterMode::Bilinear, 5, square_dims(16));
+        let big: Vec<&Tap> = t.iter().filter(|t| t.weight > 0.99).collect();
+        assert_eq!(big.len(), 1);
+        assert_eq!((big[0].u, big[0].v), (2, 2));
+    }
+
+    #[test]
+    fn bilinear_wraps_at_edges() {
+        let t = filter_taps(&req(0.1, 0.1, 0.0), FilterMode::Bilinear, 5, square_dims(16));
+        // Neighbours of texel (-1,-1) wrap to 15.
+        assert!(t.iter().any(|t| t.u == 15 && t.v == 15));
+        assert!(t.iter().any(|t| t.u == 0 && t.v == 0));
+    }
+
+    #[test]
+    fn trilinear_straddles_two_levels() {
+        let t = filter_taps(&req(4.0, 4.0, 0.5), FilterMode::Trilinear, 5, square_dims(16));
+        assert_eq!(t.len(), 8);
+        let levels: std::collections::HashSet<u32> = t.iter().map(|t| t.m).collect();
+        assert_eq!(levels, [0u32, 1].into_iter().collect());
+        assert!((weight_sum(&t) - 1.0).abs() < 1e-5);
+        // Half the weight in each level.
+        let w0: f32 = t.iter().filter(|t| t.m == 0).map(|t| t.weight).sum();
+        assert!((w0 - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn trilinear_integral_lod_uses_one_level() {
+        let t = filter_taps(&req(4.0, 4.0, 1.0), FilterMode::Trilinear, 5, square_dims(16));
+        assert_eq!(t.len(), 4);
+        assert!(t.iter().all(|t| t.m == 1));
+    }
+
+    #[test]
+    fn trilinear_clamped_at_coarsest_uses_one_level() {
+        let t = filter_taps(&req(0.0, 0.0, 10.0), FilterMode::Trilinear, 5, square_dims(16));
+        assert_eq!(t.len(), 4);
+        assert!(t.iter().all(|t| t.m == 4));
+    }
+
+    #[test]
+    fn coarse_level_coordinates_scale_down() {
+        // Texel (8,8) at level 0 of a 16x16 texture is texel (4,4) at level 1.
+        let t = filter_taps(&req(8.2, 8.2, 1.0), FilterMode::Point, 5, square_dims(16));
+        let tap = t.as_slice()[0];
+        assert_eq!((tap.m, tap.u, tap.v), (1, 4, 4));
+    }
+
+    #[test]
+    fn taps_always_in_bounds() {
+        let dims = square_dims(8);
+        for mode in [FilterMode::Point, FilterMode::Bilinear, FilterMode::Trilinear] {
+            for i in 0..200 {
+                let r = req(i as f32 * 1.37 - 50.0, i as f32 * -2.11 + 33.3, i as f32 * 0.07 - 1.0);
+                for tap in &filter_taps(&r, mode, 4, &dims) {
+                    let (w, h) = dims(tap.m);
+                    assert!(tap.u < w && tap.v < h, "{mode:?} tap {tap:?} out of bounds");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wrap_handles_negatives() {
+        assert_eq!(wrap(-1, 8), 7);
+        assert_eq!(wrap(-8, 8), 0);
+        assert_eq!(wrap(17, 8), 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Trace records: per-pixel texture requests and per-frame traces.
+
+use crate::FilterMode;
+use mltc_texture::TextureId;
+
+/// One textured pixel produced by scan conversion: which texture it samples,
+/// where (in *texel* coordinates of mip level 0, unwrapped — repeated
+/// textures address `u`/`v` beyond the level size), and at what level of
+/// detail.
+///
+/// 16 bytes; a full-scale Village frame produces about three million of
+/// these (1024×768 at depth complexity ≈ 3.8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PixelRequest {
+    /// Texture sampled.
+    pub tid: TextureId,
+    /// Texel-space `u` at mip level 0 (may exceed the texture width for
+    /// repeated textures; may be negative before wrapping).
+    pub u: f32,
+    /// Texel-space `v` at mip level 0.
+    pub v: f32,
+    /// Level of detail: `log2` of the texel-to-pixel footprint ("texture
+    /// compression", §2.1). `0.0` samples level 0; values are clamped to the
+    /// pyramid range during filtering.
+    pub lod: f32,
+}
+
+/// The texture accesses of one rendered frame, plus enough metadata to
+/// compute the paper's per-frame statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameTrace {
+    /// Frame number within the animation.
+    pub frame: u32,
+    /// Screen width in pixels.
+    pub width: u32,
+    /// Screen height in pixels.
+    pub height: u32,
+    /// Filter mode the frame was traced for.
+    pub filter: FilterMode,
+    /// Total pixels rasterized (textured fragments, including overdraw) —
+    /// the numerator of depth complexity `d = pixels / (width*height)`.
+    pub pixels_rendered: u64,
+    /// One request per textured pixel, in scanline rasterization order.
+    pub requests: Vec<PixelRequest>,
+}
+
+impl FrameTrace {
+    /// Creates an empty trace for a frame.
+    pub fn new(frame: u32, width: u32, height: u32, filter: FilterMode) -> Self {
+        Self { frame, width, height, filter, pixels_rendered: 0, requests: Vec::new() }
+    }
+
+    /// Appends a request and counts the fragment.
+    #[inline]
+    pub fn push(&mut self, req: PixelRequest) {
+        self.pixels_rendered += 1;
+        self.requests.push(req);
+    }
+
+    /// Depth complexity `d` of the frame: textured fragments per screen
+    /// pixel (paper §4.1).
+    pub fn depth_complexity(&self) -> f64 {
+        self.pixels_rendered as f64 / (self.width as f64 * self.height as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_counts_fragments() {
+        let mut t = FrameTrace::new(0, 4, 4, FilterMode::Point);
+        t.push(PixelRequest { tid: TextureId::from_index(0), u: 0.0, v: 0.0, lod: 0.0 });
+        t.push(PixelRequest { tid: TextureId::from_index(0), u: 1.0, v: 0.0, lod: 0.0 });
+        assert_eq!(t.pixels_rendered, 2);
+        assert_eq!(t.requests.len(), 2);
+    }
+
+    #[test]
+    fn depth_complexity_counts_overdraw() {
+        let mut t = FrameTrace::new(0, 2, 2, FilterMode::Point);
+        for _ in 0..8 {
+            t.push(PixelRequest { tid: TextureId::from_index(0), u: 0.0, v: 0.0, lod: 0.0 });
+        }
+        assert_eq!(t.depth_complexity(), 2.0);
+    }
+
+    #[test]
+    fn request_is_16_bytes() {
+        assert_eq!(std::mem::size_of::<PixelRequest>(), 16);
+    }
+}

@@ -1,0 +1,392 @@
+//! Per-frame working-set and bandwidth statistics (paper §3.2, §4).
+
+use crate::{filter_taps, FilterMode, FrameTrace};
+use mltc_cache::fxhash::FxHashSet;
+use mltc_texture::{TextureId, TextureRegistry};
+
+/// A tile-size class the statistics pass tracks block sets for.
+///
+/// The paper gathers statistics for L1 tile sizes of 4×4 and 8×8 texels and
+/// L2 sizes of 8×8, 16×16 and 32×32 (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TileClass {
+    /// 4×4 L1 tiles.
+    L1x4,
+    /// 8×8 L1 tiles.
+    L1x8,
+    /// 8×8 L2 tiles.
+    L2x8,
+    /// 16×16 L2 tiles.
+    L2x16,
+    /// 32×32 L2 tiles.
+    L2x32,
+}
+
+impl TileClass {
+    /// All classes, in the order used by [`FrameWorkingSet`].
+    pub const ALL: [TileClass; 5] =
+        [TileClass::L1x4, TileClass::L1x8, TileClass::L2x8, TileClass::L2x16, TileClass::L2x32];
+
+    /// `log2` of the tile edge in texels.
+    pub const fn shift(self) -> u32 {
+        match self {
+            TileClass::L1x4 => 2,
+            TileClass::L1x8 | TileClass::L2x8 => 3,
+            TileClass::L2x16 => 4,
+            TileClass::L2x32 => 5,
+        }
+    }
+
+    /// Texels per tile.
+    pub const fn texel_count(self) -> u64 {
+        let e = 1u64 << self.shift();
+        e * e
+    }
+
+    /// Tile bytes at the accelerator's expanded 32-bit texel depth.
+    pub const fn cache_bytes(self) -> u64 {
+        self.texel_count() * 4
+    }
+
+    /// Index into [`FrameWorkingSet`] arrays.
+    pub const fn idx(self) -> usize {
+        match self {
+            TileClass::L1x4 => 0,
+            TileClass::L1x8 => 1,
+            TileClass::L2x8 => 2,
+            TileClass::L2x16 => 3,
+            TileClass::L2x32 => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for TileClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let e = 1u32 << self.shift();
+        let lvl = match self {
+            TileClass::L1x4 | TileClass::L1x8 => "L1",
+            _ => "L2",
+        };
+        write!(f, "{lvl} {e}x{e}")
+    }
+}
+
+/// The measured working set of one frame: for every tile class, how many
+/// distinct blocks were touched (*total*) and how many of them were not
+/// touched in the previous frame (*new*). This is the data behind the
+/// paper's Figs. 4–6 and Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameWorkingSet {
+    /// Frame number.
+    pub frame: u32,
+    /// Textured fragments rasterized.
+    pub pixels_rendered: u64,
+    /// Depth complexity `d` (fragments per screen pixel).
+    pub depth_complexity: f64,
+    /// Distinct blocks touched, indexed by [`TileClass::idx`].
+    pub total_blocks: [u64; 5],
+    /// Touched blocks not touched in the previous frame, by class index.
+    pub new_blocks: [u64; 5],
+    /// Textures touched this frame.
+    pub touched_tids: Vec<TextureId>,
+    /// Host bytes (original depth, full pyramids) of the touched textures —
+    /// the per-frame *minimum push-architecture memory* of Fig. 4, under the
+    /// paper's assumption of a perfect application replacement algorithm.
+    pub push_min_bytes: u64,
+}
+
+impl FrameWorkingSet {
+    /// Bytes of blocks touched, at 32-bit cache depth.
+    pub fn total_bytes(&self, class: TileClass) -> u64 {
+        self.total_blocks[class.idx()] * class.cache_bytes()
+    }
+
+    /// Bytes of blocks touched that are new since the previous frame.
+    pub fn new_bytes(&self, class: TileClass) -> u64 {
+        self.new_blocks[class.idx()] * class.cache_bytes()
+    }
+
+    /// Block utilization for a class: texel fetches divided by texels in the
+    /// touched blocks (values above 1 mean texels are re-used; §4.1 defines
+    /// the working set through this quantity).
+    pub fn utilization(&self, class: TileClass) -> f64 {
+        let blocks = self.total_blocks[class.idx()];
+        if blocks == 0 {
+            0.0
+        } else {
+            self.pixels_rendered as f64 / (blocks as f64 * class.texel_count() as f64)
+        }
+    }
+}
+
+/// Streams [`FrameTrace`]s and produces a [`FrameWorkingSet`] per frame,
+/// carrying the previous frame's block sets to compute *new* blocks.
+///
+/// Statistics are measured with point sampling regardless of the trace's
+/// filter mode, matching §3.2: "All texture accesses have been measured with
+/// point-sampling in order to provide a picture of basic texture locality in
+/// the absence of more advanced filtering."
+#[derive(Debug)]
+pub struct FrameStatsCollector {
+    /// Per-tid mip dimensions (`None` for deleted textures).
+    dims: Vec<Option<Vec<(u32, u32)>>>,
+    /// Per-tid host byte size (original depth, full pyramid).
+    host_bytes: Vec<u64>,
+    prev: [FxHashSet<u64>; 5],
+}
+
+impl FrameStatsCollector {
+    /// Creates a collector over the textures of `registry`.
+    pub fn new(registry: &TextureRegistry) -> Self {
+        let mut dims = vec![None; registry.issued_count()];
+        let mut host_bytes = vec![0u64; registry.issued_count()];
+        for (tid, pyr) in registry.iter() {
+            dims[tid.index() as usize] =
+                Some(pyr.iter().map(|l| (l.width(), l.height())).collect());
+            host_bytes[tid.index() as usize] = pyr.byte_size() as u64;
+        }
+        Self { dims, host_bytes, prev: Default::default() }
+    }
+
+    /// Processes one frame's trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace references a texture unknown to the registry the
+    /// collector was built over.
+    pub fn process_frame(&mut self, trace: &FrameTrace) -> FrameWorkingSet {
+        let mut cur: [FxHashSet<u64>; 5] = Default::default();
+        let mut tids: FxHashSet<u32> = Default::default();
+
+        for req in &trace.requests {
+            let dims = self.dims[req.tid.index() as usize]
+                .as_ref()
+                .expect("trace references texture unknown to the collector");
+            let levels = dims.len() as u32;
+            let taps = filter_taps(req, FilterMode::Point, levels, |m| dims[m as usize]);
+            tids.insert(req.tid.index());
+            for tap in &taps {
+                for class in TileClass::ALL {
+                    let s = class.shift();
+                    // Block key: ⟨tid, level, block column, block row⟩.
+                    let key = ((req.tid.index() as u64) << 40)
+                        | ((tap.m as u64) << 32)
+                        | (((tap.u >> s) as u64) << 16)
+                        | (tap.v >> s) as u64;
+                    cur[class.idx()].insert(key);
+                }
+            }
+        }
+
+        let mut total_blocks = [0u64; 5];
+        let mut new_blocks = [0u64; 5];
+        for class in TileClass::ALL {
+            let i = class.idx();
+            total_blocks[i] = cur[i].len() as u64;
+            new_blocks[i] = cur[i].iter().filter(|k| !self.prev[i].contains(*k)).count() as u64;
+        }
+        self.prev = cur;
+
+        let mut touched: Vec<TextureId> =
+            tids.iter().map(|&t| TextureId::from_index(t)).collect();
+        touched.sort_unstable();
+        let push_min_bytes = touched.iter().map(|t| self.host_bytes[t.index() as usize]).sum();
+
+        FrameWorkingSet {
+            frame: trace.frame,
+            pixels_rendered: trace.pixels_rendered,
+            depth_complexity: trace.depth_complexity(),
+            total_blocks,
+            new_blocks,
+            touched_tids: touched,
+            push_min_bytes,
+        }
+    }
+
+    /// Forgets the previous frame's block sets (use between animations).
+    pub fn reset(&mut self) {
+        self.prev = Default::default();
+    }
+}
+
+/// Whole-animation aggregates: the numbers of the paper's Table 1 plus the
+/// per-class averages quoted in §4.2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSummary {
+    /// Frames aggregated.
+    pub frames: usize,
+    /// Mean depth complexity `d`.
+    pub depth_complexity: f64,
+    /// Mean block utilization for 16×16 L2 tiles (Table 1).
+    pub utilization_16: f64,
+    /// Expected inter-frame working set `W = R·d·4 / utilization` in bytes
+    /// (§4.1), computed from the means.
+    pub expected_working_set: f64,
+    /// Mean bytes of blocks touched per frame, by [`TileClass::idx`].
+    pub mean_total_bytes: [f64; 5],
+    /// Mean bytes of *new* blocks per frame, by class index.
+    pub mean_new_bytes: [f64; 5],
+    /// Peak per-frame minimum push memory in bytes.
+    pub push_peak_bytes: u64,
+}
+
+impl WorkloadSummary {
+    /// Aggregates per-frame working sets for a `width`×`height` animation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty.
+    pub fn from_frames(frames: &[FrameWorkingSet], width: u32, height: u32) -> Self {
+        assert!(!frames.is_empty(), "cannot summarise zero frames");
+        let n = frames.len() as f64;
+        let depth_complexity = frames.iter().map(|f| f.depth_complexity).sum::<f64>() / n;
+        let utilization_16 =
+            frames.iter().map(|f| f.utilization(TileClass::L2x16)).sum::<f64>() / n;
+        let mut mean_total_bytes = [0.0; 5];
+        let mut mean_new_bytes = [0.0; 5];
+        for class in TileClass::ALL {
+            let i = class.idx();
+            mean_total_bytes[i] = frames.iter().map(|f| f.total_bytes(class) as f64).sum::<f64>() / n;
+            mean_new_bytes[i] = frames.iter().map(|f| f.new_bytes(class) as f64).sum::<f64>() / n;
+        }
+        let r = width as f64 * height as f64;
+        let expected_working_set = if utilization_16 > 0.0 {
+            r * depth_complexity * 4.0 / utilization_16
+        } else {
+            0.0
+        };
+        Self {
+            frames: frames.len(),
+            depth_complexity,
+            utilization_16,
+            expected_working_set,
+            mean_total_bytes,
+            mean_new_bytes,
+            push_peak_bytes: frames.iter().map(|f| f.push_min_bytes).max().unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PixelRequest;
+    use mltc_texture::{synth, MipPyramid};
+
+    fn registry_with(dim: u32) -> (TextureRegistry, TextureId) {
+        let mut reg = TextureRegistry::new();
+        let tid = reg.load(
+            "t",
+            MipPyramid::from_image(synth::checkerboard(dim, 4, [0; 3], [255; 3])),
+        );
+        (reg, tid)
+    }
+
+    fn trace_of(tid: TextureId, pts: &[(f32, f32)]) -> FrameTrace {
+        let mut t = FrameTrace::new(0, 8, 8, FilterMode::Point);
+        for &(u, v) in pts {
+            t.push(PixelRequest { tid, u, v, lod: 0.0 });
+        }
+        t
+    }
+
+    #[test]
+    fn tile_class_arithmetic() {
+        assert_eq!(TileClass::L2x16.texel_count(), 256);
+        assert_eq!(TileClass::L2x16.cache_bytes(), 1024);
+        assert_eq!(TileClass::L1x4.cache_bytes(), 64);
+    }
+
+    #[test]
+    fn single_texel_touches_one_block_per_class() {
+        let (reg, tid) = registry_with(64);
+        let mut c = FrameStatsCollector::new(&reg);
+        let ws = c.process_frame(&trace_of(tid, &[(0.0, 0.0)]));
+        for class in TileClass::ALL {
+            assert_eq!(ws.total_blocks[class.idx()], 1, "{class}");
+            assert_eq!(ws.new_blocks[class.idx()], 1, "{class}");
+        }
+        assert_eq!(ws.touched_tids, vec![tid]);
+    }
+
+    #[test]
+    fn texels_in_same_l2_but_different_l1_blocks() {
+        let (reg, tid) = registry_with(64);
+        let mut c = FrameStatsCollector::new(&reg);
+        // (0,0) and (8,0): same 16x16 block, different 4x4 and 8x8 blocks.
+        let ws = c.process_frame(&trace_of(tid, &[(0.0, 0.0), (8.0, 0.0)]));
+        assert_eq!(ws.total_blocks[TileClass::L2x16.idx()], 1);
+        assert_eq!(ws.total_blocks[TileClass::L1x4.idx()], 2);
+        assert_eq!(ws.total_blocks[TileClass::L1x8.idx()], 2);
+    }
+
+    #[test]
+    fn repeated_frame_has_no_new_blocks() {
+        let (reg, tid) = registry_with(64);
+        let mut c = FrameStatsCollector::new(&reg);
+        let t = trace_of(tid, &[(0.0, 0.0), (20.0, 20.0)]);
+        let _ = c.process_frame(&t);
+        let ws = c.process_frame(&t);
+        for class in TileClass::ALL {
+            assert!(ws.total_blocks[class.idx()] > 0);
+            assert_eq!(ws.new_blocks[class.idx()], 0, "{class}");
+        }
+    }
+
+    #[test]
+    fn moved_window_is_partially_new() {
+        let (reg, tid) = registry_with(64);
+        let mut c = FrameStatsCollector::new(&reg);
+        let _ = c.process_frame(&trace_of(tid, &[(0.0, 0.0), (4.0, 0.0)]));
+        let ws = c.process_frame(&trace_of(tid, &[(4.0, 0.0), (40.0, 40.0)]));
+        assert_eq!(ws.total_blocks[TileClass::L1x4.idx()], 2);
+        assert_eq!(ws.new_blocks[TileClass::L1x4.idx()], 1);
+    }
+
+    #[test]
+    fn utilization_counts_reuse() {
+        let (reg, tid) = registry_with(64);
+        let mut c = FrameStatsCollector::new(&reg);
+        // 512 fetches of the same texel: 1 block of 256 texels -> util = 2.
+        let pts: Vec<(f32, f32)> = (0..512).map(|_| (1.0, 1.0)).collect();
+        let ws = c.process_frame(&trace_of(tid, &pts));
+        assert!((ws.utilization(TileClass::L2x16) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn push_min_counts_touched_textures_once() {
+        let mut reg = TextureRegistry::new();
+        let a = reg.load("a", MipPyramid::from_image(synth::checkerboard(32, 4, [0; 3], [255; 3])));
+        let b = reg.load("b", MipPyramid::from_image(synth::checkerboard(32, 4, [0; 3], [255; 3])));
+        let mut c = FrameStatsCollector::new(&reg);
+        let mut t = FrameTrace::new(0, 8, 8, FilterMode::Point);
+        for _ in 0..3 {
+            t.push(PixelRequest { tid: a, u: 0.0, v: 0.0, lod: 0.0 });
+        }
+        t.push(PixelRequest { tid: b, u: 0.0, v: 0.0, lod: 0.0 });
+        let ws = c.process_frame(&t);
+        let pyr_bytes = reg.pyramid(a).unwrap().byte_size() as u64;
+        assert_eq!(ws.push_min_bytes, 2 * pyr_bytes);
+        assert_eq!(ws.touched_tids, vec![a, b]);
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let (reg, tid) = registry_with(64);
+        let mut c = FrameStatsCollector::new(&reg);
+        let f1 = c.process_frame(&trace_of(tid, &[(0.0, 0.0)]));
+        let f2 = c.process_frame(&trace_of(tid, &[(0.0, 0.0), (40.0, 40.0)]));
+        let s = WorkloadSummary::from_frames(&[f1, f2], 8, 8);
+        assert_eq!(s.frames, 2);
+        assert!(s.depth_complexity > 0.0);
+        assert!(s.expected_working_set > 0.0);
+        assert!(s.mean_total_bytes[TileClass::L2x16.idx()] > 0.0);
+        assert!(s.push_peak_bytes > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero frames")]
+    fn empty_summary_panics() {
+        let _ = WorkloadSummary::from_frames(&[], 8, 8);
+    }
+}

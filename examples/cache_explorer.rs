@@ -1,0 +1,89 @@
+//! Interactive parameter explorer: sweep any combination of L1/L2/tiling/
+//! filter on either workload from the command line.
+//!
+//! ```text
+//! cargo run --release --example cache_explorer -- \
+//!     [--workload village|city] [--l1-kb 2,4,16] [--l2-mb 0,2,8] \
+//!     [--filter point|bilinear|trilinear] [--l2-tile 8|16|32] [--frames N]
+//! ```
+//!
+//! `--l2-mb 0` means "no L2" (the pull architecture).
+
+use mltc::core::{EngineConfig, L1Config, L2Config};
+use mltc::experiments::engine_run;
+use mltc::scene::{Workload, WorkloadParams};
+use mltc::texture::{TileSize, TilingConfig};
+use mltc::trace::FilterMode;
+
+fn parse_list(s: &str) -> Vec<usize> {
+    s.split(',').map(|v| v.trim().parse().expect("numeric list")).collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str, default: &str| -> String {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    };
+
+    let workload_name = get("--workload", "village");
+    let l1_list = parse_list(&get("--l1-kb", "2,16"));
+    let l2_list = parse_list(&get("--l2-mb", "0,2,8"));
+    let frames: u32 = get("--frames", "24").parse().expect("frame count");
+    let filter = match get("--filter", "trilinear").as_str() {
+        "point" => FilterMode::Point,
+        "bilinear" => FilterMode::Bilinear,
+        _ => FilterMode::Trilinear,
+    };
+    let l2_tile = match get("--l2-tile", "16").as_str() {
+        "8" => TileSize::X8,
+        "32" => TileSize::X32,
+        _ => TileSize::X16,
+    };
+    let tiling = TilingConfig::new(l2_tile, TileSize::X4).expect("valid tiling");
+
+    let params = WorkloadParams { frames, ..WorkloadParams::quick() };
+    let w = if workload_name == "city" {
+        Workload::city(&params)
+    } else {
+        Workload::village(&params)
+    };
+    println!(
+        "{} | {}x{} x {} frames | {} | L2 tiles {}",
+        w.name, w.width, w.height, w.frame_count, filter, l2_tile
+    );
+
+    let mut configs = Vec::new();
+    for &kb in &l1_list {
+        for &mb in &l2_list {
+            configs.push(EngineConfig {
+                l1: L1Config::kb(kb),
+                l2: (mb > 0).then(|| L2Config { size_bytes: mb << 20, ..L2Config::mb(2) }),
+                tiling,
+                ..EngineConfig::default()
+            });
+        }
+    }
+
+    let engines = engine_run(&w, filter, &configs, false);
+    println!(
+        "\n{:<22} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "architecture", "L1 hit%", "L2 full%", "L2 part%", "MB/frame", "MB/s@30Hz"
+    );
+    for e in &engines {
+        let t = e.totals();
+        let mbf = t.host_mb() / w.frame_count as f64;
+        println!(
+            "{:<22} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>10.0}",
+            e.config().label(),
+            t.l1_hit_rate() * 100.0,
+            t.l2_full_hit_rate() * 100.0,
+            t.l2_partial_hit_rate() * 100.0,
+            mbf,
+            mbf * 30.0
+        );
+    }
+}

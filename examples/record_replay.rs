@@ -1,0 +1,59 @@
+//! Record a workload's texture-access traces to a binary file, then replay
+//! them through several cache configurations without re-rendering — the
+//! paper's trace-driven methodology as a workflow.
+//!
+//! ```text
+//! cargo run --release --example record_replay -- [trace_file]
+//! ```
+
+use mltc::core::{EngineConfig, L1Config, L2Config, SimEngine};
+use mltc::scene::{Workload, WorkloadParams};
+use mltc::trace::codec::{TraceReader, TraceWriter};
+use mltc::trace::FilterMode;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "village.trace".to_string());
+    let params = WorkloadParams::quick();
+    let village = Workload::village(&params);
+
+    // Record: render once, stream every frame to disk.
+    let t0 = std::time::Instant::now();
+    {
+        let mut writer = TraceWriter::new(BufWriter::new(File::create(&path).expect("create")));
+        village.render_animation(FilterMode::Trilinear, false, |t| {
+            writer.write_frame(&t).expect("write frame");
+        });
+    }
+    let size = std::fs::metadata(&path).expect("stat").len();
+    println!(
+        "recorded {} frames to {path} ({:.1} MB) in {:.1}s",
+        village.frame_count,
+        size as f64 / (1 << 20) as f64,
+        t0.elapsed().as_secs_f64()
+    );
+
+    // Replay: sweep architectures from the file, no rasterization at all.
+    let t1 = std::time::Instant::now();
+    println!("\n{:<22} {:>10}", "architecture", "MB/frame");
+    for l2_mb in [0usize, 2, 8] {
+        let cfg = EngineConfig {
+            l1: L1Config::kb(2),
+            l2: (l2_mb > 0).then(|| L2Config::mb(l2_mb)),
+            ..EngineConfig::default()
+        };
+        let mut engine = SimEngine::new(cfg, village.registry());
+        let mut reader = TraceReader::new(BufReader::new(File::open(&path).expect("open")));
+        while let Some(t) = reader.read_frame().expect("read frame") {
+            engine.run_frame(&t);
+        }
+        println!(
+            "{:<22} {:>10.2}",
+            cfg.label(),
+            engine.totals().host_mb() / village.frame_count as f64
+        );
+    }
+    println!("\nreplayed 3 architectures in {:.1}s", t1.elapsed().as_secs_f64());
+    println!("inspect the trace with: cargo run --release -p mltc-trace --bin tracetool -- {path}");
+}

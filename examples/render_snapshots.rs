@@ -1,0 +1,27 @@
+//! Renders Fig.-12-style shaded snapshots of both workloads to PPM files.
+//!
+//! ```text
+//! cargo run --release --example render_snapshots -- [out_dir]
+//! ```
+
+use mltc::scene::{Workload, WorkloadParams};
+use mltc::trace::FilterMode;
+use std::path::PathBuf;
+
+fn main() {
+    let out: PathBuf =
+        std::env::args().nth(1).unwrap_or_else(|| "snapshots".to_string()).into();
+    std::fs::create_dir_all(&out).expect("create output directory");
+
+    let params = WorkloadParams { width: 640, height: 480, ..WorkloadParams::quick() };
+    for w in [Workload::village(&params), Workload::city(&params)] {
+        for q in 0..3u32 {
+            let frame = (w.frame_count - 1) * q / 2;
+            let fb = w.render_snapshot(frame, FilterMode::Bilinear);
+            let path = out.join(format!("{}_{frame:04}.ppm", w.name));
+            fb.save_ppm(&path).expect("write snapshot");
+            println!("wrote {}", path.display());
+        }
+    }
+    println!("\nview with any PPM-capable viewer, e.g. `magick display` or GIMP");
+}

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Fill EXPERIMENTS.md placeholders from the results/ CSVs.
+
+Regenerate with:
+    cargo run --release -p mltc-experiments --bin experiments -- all --default
+    python3 scripts/fill_experiments_md.py
+"""
+import csv
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "results"
+MD = ROOT / "EXPERIMENTS.md"
+
+
+def rows(name):
+    with open(RESULTS / f"{name}.csv") as f:
+        return list(csv.reader(f))
+
+
+def main():
+    text = MD.read_text()
+    subs = {}
+
+    # Table 2: L1 size,BL,TL
+    t2 = {r[0]: (r[1], r[2]) for r in rows("table2")[1:]}
+    for kb in (2, 4, 8, 16, 32):
+        bl, tl = t2[f"{kb} KB"]
+        subs[f"T2_BL_{kb}"] = bl
+        subs[f"T2_TL_{kb}"] = tl
+
+    # Fig 9 peaks (2 KB row of both filters)
+    peaks = []
+    for filt in ("bilinear", "trilinear"):
+        r = {x[0]: x[2] for x in rows(f"fig9_{filt}")[1:]}
+        peaks.append(f"{r['2 KB']} % ({filt}, 2 KB)")
+    subs["FIG9_PEAKS"] = "; ".join(peaks)
+
+    # Table 3: workload,architecture,BL,TL
+    t3 = {(r[0], r[1]): (r[2], r[3]) for r in rows("table3")[1:]}
+    arch = {
+        "PULL2": "2 KB L1, no L2",
+        "PULL16": "16 KB L1, no L2",
+        "L2_2": "2 KB L1, 2 MB L2",
+        "L2_4": "2 KB L1, 4 MB L2",
+        "L2_8": "2 KB L1, 8 MB L2",
+    }
+    for wl, tag in (("village", "V"), ("city", "C")):
+        for k, label in arch.items():
+            subs[f"T3_{tag}_{k}"] = t3[(wl, label)][1]  # trilinear column
+    v_pull = float(t3[("village", arch["PULL2"])][1])
+    v_l2 = float(t3[("village", arch["L2_2"])][1])
+    c_pull = float(t3[("city", arch["PULL2"])][1])
+    c_l2 = float(t3[("city", arch["L2_2"])][1])
+    subs["V_PULL2_SCALED"] = f"{v_pull * (1024 * 768) / (640 * 480):.0f}"
+    subs["V_SAVE_2MB"] = f"{v_pull / v_l2:.0f}"
+    subs["C_SAVE_2MB"] = f"{c_pull / c_l2:.0f}"
+
+    # Tables 5-6: workload,filter,L1,L2full,L2partial
+    for r in rows("table5_6")[1:]:
+        tag = f"T56_{'V' if r[0] == 'village' else 'C'}_{'BL' if r[1] == 'bilinear' else 'TL'}"
+        subs[tag] = f"{r[2]} | {r[3]} | {r[4]}"
+
+    # Table 7: workload,filter,f(c=2),f(c=4),f(c=8),f(c=16)
+    for r in rows("table7")[1:]:
+        tag = f"T7_{'V' if r[0] == 'village' else 'C'}_{'BL' if r[1] == 'bilinear' else 'TL'}"
+        subs[tag] = r[4]
+
+    # Table 8: entries,village,city,paper...
+    for r in rows("table8")[1:]:
+        subs[f"T8_{r[0]}V"] = f"{r[1]} %"
+        subs[f"T8_{r[0]}C"] = f"{r[2]} %"
+
+    # Clock search stats from the replacement ablation.
+    clock_rows = [r for r in rows("ablate_replacement")[1:] if r[1] == "clock"]
+    subs["CLOCK_SEARCH"] = max(int(r[4]) for r in clock_rows)
+    subs["CLOCK_CYCLES"] = max(int(r[5]) for r in clock_rows)
+
+    missing = []
+    for key, val in subs.items():
+        token = f"«{key}»"
+        if token not in text:
+            missing.append(key)
+        text = text.replace(token, str(val))
+    leftovers = re.findall(r"«[A-Z0-9_]+»", text)
+    MD.write_text(text)
+    if missing:
+        print(f"warning: placeholders not found in md: {missing}")
+    if leftovers:
+        print(f"warning: unfilled placeholders remain: {leftovers}")
+        sys.exit(1)
+    print("EXPERIMENTS.md filled")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+//! # mltc — Multi-Level Texture Caching for 3D Graphics Hardware
+//!
+//! A full reproduction of Cox, Bhandari & Shantz, *"Multi-Level Texture
+//! Caching for 3D Graphics Hardware"*, ISCA 1998: a trace-driven study of
+//! inserting a virtual-memory-style **L2 texture cache** between a graphics
+//! accelerator's on-chip L1 texture cache and host memory.
+//!
+//! This umbrella crate re-exports every sub-crate of the workspace:
+//!
+//! * [`math`] — vectors, matrices, frustum culling.
+//! * [`texture`] — tiled, mip-mapped textures with hierarchical virtual
+//!   addresses ⟨tid, L2, L1⟩ (paper §2.2).
+//! * [`raster`] — perspective-correct scanline software rasterizer with
+//!   point/bilinear/trilinear mip-mapped sampling (paper §2.1).
+//! * [`scene`] — the procedural *Village* and *City* workloads with scripted
+//!   camera animations (paper §3.1).
+//! * [`cache`] — generic cache substrate (set-associative arrays, clock
+//!   lists, sector maps, TLBs).
+//! * [`core`] — the paper's contribution: the L2 texture cache built from a
+//!   texture page table + block replacement list (paper §5), the L1 cache,
+//!   push/pull baselines and the analytic models (§4.1, §5.4).
+//! * [`trace`] — texture access tracing and per-frame statistics (§3.2, §4).
+//! * [`experiments`] — the harness that regenerates every table and figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mltc::scene::{Workload, WorkloadParams};
+//! use mltc::raster::FilterMode;
+//! use mltc::core::{EngineConfig, L1Config, L2Config, SimEngine};
+//!
+//! // Build a tiny Village and render one frame into a texture-access trace.
+//! let params = WorkloadParams::tiny();
+//! let workload = Workload::village(&params);
+//! let trace = workload.trace_frame(0, FilterMode::Bilinear);
+//!
+//! // Replay the trace through a 2 KB L1 + 2 MB L2 multi-level cache.
+//! let cfg = EngineConfig {
+//!     l1: L1Config::kb(2),
+//!     l2: Some(L2Config::mb(2)),
+//!     ..EngineConfig::default()
+//! };
+//! let mut engine = SimEngine::new(cfg, workload.scene().registry());
+//! engine.run_frame(&trace);
+//! let stats = engine.frame_stats();
+//! assert!(stats.l1_accesses > 0);
+//! ```
+
+pub use mltc_cache as cache;
+pub use mltc_core as core;
+pub use mltc_experiments as experiments;
+pub use mltc_math as math;
+pub use mltc_raster as raster;
+pub use mltc_scene as scene;
+pub use mltc_texture as texture;
+pub use mltc_trace as trace;

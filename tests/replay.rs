@@ -1,0 +1,89 @@
+//! Record/replay integration: traces serialised to the binary codec and
+//! replayed must drive the caches identically to a live run.
+
+use mltc::core::{EngineConfig, L1Config, L2Config, SimEngine};
+use mltc::scene::{Workload, WorkloadParams};
+use mltc::trace::codec::{TraceReader, TraceWriter};
+use mltc::trace::FilterMode;
+
+fn config() -> EngineConfig {
+    EngineConfig {
+        l1: L1Config::kb(2),
+        l2: Some(L2Config::mb(2)),
+        tlb_entries: 4,
+        ..EngineConfig::default()
+    }
+}
+
+#[test]
+fn serialised_replay_matches_live_run() {
+    let w = Workload::village(&WorkloadParams::tiny());
+
+    // Live run, recording every frame to an in-memory trace file.
+    let mut live = SimEngine::new(config(), w.registry());
+    let mut file = Vec::new();
+    {
+        let mut writer = TraceWriter::new(&mut file);
+        w.render_animation(FilterMode::Trilinear, false, |t| {
+            writer.write_frame(&t).expect("record frame");
+            live.run_frame(&t);
+        });
+    }
+    assert!(!file.is_empty());
+
+    // Replay run from the serialised traces.
+    let mut replay = SimEngine::new(config(), w.registry());
+    let mut reader = TraceReader::new(file.as_slice());
+    let mut frames = 0;
+    while let Some(t) = reader.read_frame().expect("read frame") {
+        replay.run_frame(&t);
+        frames += 1;
+    }
+    assert_eq!(frames, w.frame_count);
+
+    // Bit-identical counters, frame by frame.
+    assert_eq!(live.frames(), replay.frames());
+    assert_eq!(live.totals(), replay.totals());
+}
+
+#[test]
+fn recorded_traces_are_portable_across_configs() {
+    // One recording drives arbitrarily many architectures (the paper's
+    // methodology): record once, then sweep.
+    let w = Workload::city(&WorkloadParams::tiny());
+    let mut file = Vec::new();
+    {
+        let mut writer = TraceWriter::new(&mut file);
+        w.render_animation(FilterMode::Bilinear, false, |t| {
+            writer.write_frame(&t).expect("record frame");
+        });
+    }
+
+    let mut results = Vec::new();
+    for l2 in [None, Some(L2Config::mb(2))] {
+        let mut engine = SimEngine::new(
+            EngineConfig { l1: L1Config::kb(2), l2, ..EngineConfig::default() },
+            w.registry(),
+        );
+        let mut reader = TraceReader::new(file.as_slice());
+        while let Some(t) = reader.read_frame().unwrap() {
+            engine.run_frame(&t);
+        }
+        results.push(engine.totals());
+    }
+    assert_eq!(results[0].l1_accesses, results[1].l1_accesses, "same trace, same accesses");
+    assert!(results[1].host_bytes <= results[0].host_bytes);
+}
+
+#[test]
+fn rerendering_is_deterministic() {
+    let params = WorkloadParams::tiny();
+    let collect = |w: &Workload| {
+        let mut out = Vec::new();
+        w.render_animation(FilterMode::Trilinear, false, |t| out.push(t));
+        out
+    };
+    let a = collect(&Workload::village(&params));
+    let b = collect(&Workload::village(&params));
+    assert_eq!(a, b, "two builds of the same workload must trace identically");
+}
