@@ -76,7 +76,13 @@ impl ClockList {
     pub fn new(blocks: usize) -> Self {
         assert!(blocks > 0, "replacement list needs at least one block");
         Self {
-            entries: vec![ClockEntry { active: false, t_index: 0 }; blocks],
+            entries: vec![
+                ClockEntry {
+                    active: false,
+                    t_index: 0
+                };
+                blocks
+            ],
             hand: 0,
             stats: ClockStats::default(),
         }
@@ -120,12 +126,18 @@ impl ClockList {
     /// range.
     pub fn assign(&mut self, i: usize, t_index: u32) {
         assert!(t_index != 0, "t_index 0 is reserved for free blocks");
-        self.entries[i] = ClockEntry { active: true, t_index };
+        self.entries[i] = ClockEntry {
+            active: true,
+            t_index,
+        };
     }
 
     /// Releases block `i` (e.g. when its texture is deleted).
     pub fn release(&mut self, i: usize) {
-        self.entries[i] = ClockEntry { active: false, t_index: 0 };
+        self.entries[i] = ClockEntry {
+            active: false,
+            t_index: 0,
+        };
     }
 
     /// Sweeps the clock hand to the next inactive entry, clearing `active`
@@ -173,11 +185,13 @@ mod tests {
     #[test]
     fn fills_free_blocks_first() {
         let mut brl = ClockList::new(3);
-        let picks: Vec<usize> = (0..3).map(|_| {
-            let v = brl.find_victim();
-            brl.assign(v, 1);
-            v
-        }).collect();
+        let picks: Vec<usize> = (0..3)
+            .map(|_| {
+                let v = brl.find_victim();
+                brl.assign(v, 1);
+                v
+            })
+            .collect();
         assert_eq!(picks, vec![0, 1, 2]);
     }
 
@@ -247,7 +261,10 @@ mod tests {
         brl.release(1);
         brl.touch(0);
         let v = brl.find_victim();
-        assert_eq!(v, 1, "released block should be found (hand order permitting)");
+        assert_eq!(
+            v, 1,
+            "released block should be found (hand order permitting)"
+        );
     }
 
     #[test]

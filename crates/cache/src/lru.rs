@@ -41,8 +41,16 @@ impl LruList {
         assert!(blocks > 0, "replacement list needs at least one block");
         let n = blocks as u32;
         let prev = (0..n).map(|i| if i == 0 { NIL } else { i - 1 }).collect();
-        let next = (0..n).map(|i| if i + 1 == n { NIL } else { i + 1 }).collect();
-        Self { prev, next, owners: vec![0; blocks], head: 0, tail: n - 1 }
+        let next = (0..n)
+            .map(|i| if i + 1 == n { NIL } else { i + 1 })
+            .collect();
+        Self {
+            prev,
+            next,
+            owners: vec![0; blocks],
+            head: 0,
+            tail: n - 1,
+        }
     }
 
     /// Number of slots tracked.

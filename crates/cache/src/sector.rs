@@ -58,6 +58,14 @@ impl SectorBits {
         self.0 |= 1u64 << i;
     }
 
+    /// Marks sector `i` vacant again (its host download failed, so the
+    /// sector must not read as resident).
+    #[inline]
+    pub fn unset(&mut self, i: u16) {
+        debug_assert!(i < 64);
+        self.0 &= !(1u64 << i);
+    }
+
     /// Clears all sectors (page reallocated to a new virtual block).
     #[inline]
     pub fn clear(&mut self) {

@@ -55,7 +55,14 @@ impl SetAssocCache {
     pub fn new(sets: usize, ways: usize) -> Self {
         assert!(sets > 0 && ways > 0, "cache must have at least one line");
         Self {
-            lines: vec![Line { tag: 0, valid: false, stamp: 0 }; sets * ways],
+            lines: vec![
+                Line {
+                    tag: 0,
+                    valid: false,
+                    stamp: 0
+                };
+                sets * ways
+            ],
             sets,
             ways,
             tick: 0,
@@ -99,7 +106,10 @@ impl SetAssocCache {
             if line.valid && line.tag == tag {
                 line.stamp = self.tick;
                 self.stats.record(true);
-                return AccessResult { hit: true, evicted: None };
+                return AccessResult {
+                    hit: true,
+                    evicted: None,
+                };
             }
             // Prefer invalid lines; otherwise the oldest stamp.
             let key = if line.valid { line.stamp } else { 0 };
@@ -111,9 +121,16 @@ impl SetAssocCache {
 
         let line = &mut set_lines[victim];
         let evicted = line.valid.then_some(line.tag);
-        *line = Line { tag, valid: true, stamp: self.tick };
+        *line = Line {
+            tag,
+            valid: true,
+            stamp: self.tick,
+        };
         self.stats.record(false);
-        AccessResult { hit: false, evicted }
+        AccessResult {
+            hit: false,
+            evicted,
+        }
     }
 
     /// Non-mutating lookup: is `tag` resident in `set`?
@@ -122,6 +139,20 @@ impl SetAssocCache {
         self.lines[base..base + self.ways]
             .iter()
             .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates `tag` in `set` if resident, returning whether a line was
+    /// dropped. Stats are untouched: this models undoing a speculative fill
+    /// whose download failed, not a cache access.
+    pub fn invalidate(&mut self, tag: u64, set: usize) -> bool {
+        let base = set * self.ways;
+        for line in &mut self.lines[base..base + self.ways] {
+            if line.valid && line.tag == tag {
+                line.valid = false;
+                return true;
+            }
+        }
+        false
     }
 
     /// Invalidates every line whose tag satisfies `pred` (used when an L2

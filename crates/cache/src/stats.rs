@@ -86,15 +86,30 @@ mod tests {
 
     #[test]
     fn merge_adds() {
-        let mut a = HitStats { accesses: 10, hits: 5 };
-        let b = HitStats { accesses: 2, hits: 2 };
+        let mut a = HitStats {
+            accesses: 10,
+            hits: 5,
+        };
+        let b = HitStats {
+            accesses: 2,
+            hits: 2,
+        };
         a.merge(&b);
-        assert_eq!(a, HitStats { accesses: 12, hits: 7 });
+        assert_eq!(
+            a,
+            HitStats {
+                accesses: 12,
+                hits: 7
+            }
+        );
     }
 
     #[test]
     fn reset_clears() {
-        let mut s = HitStats { accesses: 3, hits: 1 };
+        let mut s = HitStats {
+            accesses: 3,
+            hits: 1,
+        };
         s.reset();
         assert_eq!(s, HitStats::default());
     }

@@ -32,7 +32,11 @@ impl RoundRobinTlb {
     /// Panics if `entries` is zero.
     pub fn new(entries: usize) -> Self {
         assert!(entries > 0, "TLB needs at least one entry");
-        Self { entries: vec![None; entries], next: 0, stats: HitStats::default() }
+        Self {
+            entries: vec![None; entries],
+            next: 0,
+            stats: HitStats::default(),
+        }
     }
 
     /// Capacity in entries.

@@ -1,6 +1,9 @@
 //! The transaction-accurate multi-level cache simulator (paper §3.3, §5.3).
 
-use crate::{L1Config, L1TextureCache, L2Cache, L2Config, L2Outcome};
+use crate::{
+    EngineError, FaultPlan, HostLink, L1Config, L1TextureCache, L2Cache, L2Config, L2Outcome,
+    Transfer,
+};
 use mltc_cache::RoundRobinTlb;
 use mltc_texture::{PageTableLayout, TextureId, TextureRegistry, TilingConfig};
 use mltc_trace::{filter_taps, FrameTrace};
@@ -27,6 +30,9 @@ pub struct EngineConfig {
     pub tlb_entries: usize,
     /// L2 block / L1 sub-block tiling.
     pub tiling: TilingConfig,
+    /// Host-link fault injection. [`FaultPlan::none()`] (the default)
+    /// reproduces the fault-free engine bit for bit.
+    pub fault: FaultPlan,
 }
 
 impl Default for EngineConfig {
@@ -36,6 +42,7 @@ impl Default for EngineConfig {
             l2: None,
             tlb_entries: 0,
             tiling: TilingConfig::PAPER_DEFAULT,
+            fault: FaultPlan::none(),
         }
     }
 }
@@ -74,6 +81,17 @@ pub struct FrameCounters {
     pub tlb_accesses: u64,
     /// TLB hits.
     pub tlb_hits: u64,
+    /// Host-transfer re-attempts beyond each first try (fault injection).
+    pub retries: u64,
+    /// Host transfers that exhausted their retry budget.
+    pub failed_transfers: u64,
+    /// Taps whose download failed but that were served from the nearest
+    /// coarser mip level resident in L2 (graceful degradation).
+    pub degraded_taps: u64,
+    /// Taps lost entirely: the download failed and no coarser-mip data was
+    /// available (always the case in the pull architecture, which has no
+    /// L2 to fall back on).
+    pub dropped_taps: u64,
 }
 
 impl FrameCounters {
@@ -123,6 +141,10 @@ impl FrameCounters {
         self.l2_local_bytes += o.l2_local_bytes;
         self.tlb_accesses += o.tlb_accesses;
         self.tlb_hits += o.tlb_hits;
+        self.retries += o.retries;
+        self.failed_transfers += o.failed_transfers;
+        self.degraded_taps += o.degraded_taps;
+        self.dropped_taps += o.dropped_taps;
     }
 }
 
@@ -151,6 +173,7 @@ pub struct SimEngine {
     l1: L1TextureCache,
     l2: Option<L2Cache>,
     tlb: Option<RoundRobinTlb>,
+    host: HostLink,
     current: FrameCounters,
     frames: Vec<FrameCounters>,
 }
@@ -160,27 +183,72 @@ impl SimEngine {
     ///
     /// # Panics
     ///
-    /// Panics if an L2 is configured but the registry holds no textures
-    /// (the page table would be empty), or on an invalid L1 geometry.
+    /// Panics on any error [`try_new`](Self::try_new) would report.
     pub fn new(cfg: EngineConfig, registry: &TextureRegistry) -> Self {
+        Self::try_new(cfg, registry).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds an engine for the textures of `registry`, reporting invalid
+    /// configurations instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidGeometry`] for an L1 with zero ways, zero
+    /// sets or a non-power-of-two set count, or an L2 smaller than one
+    /// block; [`EngineError::EmptyPageTable`] when an L2 is configured but
+    /// the registry holds no textures.
+    pub fn try_new(cfg: EngineConfig, registry: &TextureRegistry) -> Result<Self, EngineError> {
+        if cfg.l1.ways == 0 {
+            return Err(EngineError::InvalidGeometry(
+                "L1 must have at least one way".into(),
+            ));
+        }
+        let sets = cfg.l1.sets();
+        if sets == 0 {
+            return Err(EngineError::InvalidGeometry(format!(
+                "L1 of {} bytes has no sets",
+                cfg.l1.size_bytes
+            )));
+        }
+        if !sets.is_power_of_two() {
+            return Err(EngineError::InvalidGeometry(format!(
+                "L1 set count {sets} must be a power of two"
+            )));
+        }
+        if let Some(l2) = cfg.l2 {
+            let block_bytes = cfg.tiling.l2().cache_bytes();
+            if l2.size_bytes < block_bytes {
+                return Err(EngineError::InvalidGeometry(format!(
+                    "L2 of {} bytes holds no {} blocks",
+                    l2.size_bytes,
+                    cfg.tiling.l2()
+                )));
+            }
+        }
         let layout = PageTableLayout::new(registry, cfg.tiling);
+        if cfg.l2.is_some() && layout.entry_count() == 0 {
+            return Err(EngineError::EmptyPageTable);
+        }
         let mut dims = vec![None; registry.issued_count()];
         for (tid, pyr) in registry.iter() {
             dims[tid.index() as usize] =
                 Some(pyr.iter().map(|l| (l.width(), l.height())).collect());
         }
-        let l2 = cfg.l2.map(|c| L2Cache::new(c, cfg.tiling, layout.entry_count()));
+        let l2 = cfg
+            .l2
+            .map(|c| L2Cache::new(c, cfg.tiling, layout.entry_count()));
         let tlb = (cfg.tlb_entries > 0).then(|| RoundRobinTlb::new(cfg.tlb_entries));
-        Self {
+        Ok(Self {
             cfg,
             layout,
             dims,
             l1: L1TextureCache::new(cfg.l1),
             l2,
             tlb,
+            host: HostLink::new(cfg.fault),
             current: FrameCounters::default(),
             frames: Vec::new(),
-        }
+        })
     }
 
     /// The configuration.
@@ -191,10 +259,17 @@ impl SimEngine {
     /// Simulates one texel read: `(u, v)` are in-bounds texel coordinates of
     /// mip level `m` of `tid`.
     ///
+    /// Host downloads go through the configured [`HostLink`]; a transfer
+    /// that exhausts its retry budget is rolled back (the speculatively
+    /// installed L1 line — and L2 sector, if any — is invalidated so failed
+    /// data never reads as resident) and the tap is either *degraded* to
+    /// the nearest coarser mip level resident in L2 or *dropped*.
+    ///
     /// # Panics
     ///
-    /// Panics (in debug builds for coordinate checks) if the texture is
-    /// unknown or the coordinates are out of range.
+    /// Panics if the texture is unknown. Out-of-range coordinates are
+    /// caught in debug builds; use
+    /// [`try_access_texel`](Self::try_access_texel) for untrusted input.
     #[inline]
     pub fn access_texel(&mut self, tid: TextureId, m: u32, u: u32, v: u32) {
         self.current.l1_accesses += 1;
@@ -207,7 +282,20 @@ impl SimEngine {
         match &mut self.l2 {
             None => {
                 // Pull architecture: L1 tile straight from host memory.
-                self.current.host_bytes += l1_bytes;
+                match self.host.transfer(tid) {
+                    Transfer::Delivered { retries } => {
+                        self.current.retries += retries as u64;
+                        self.current.host_bytes += l1_bytes;
+                    }
+                    Transfer::Failed { retries } => {
+                        // No fallback storage exists without an L2: undo the
+                        // speculative L1 install and drop the tap.
+                        self.current.retries += retries as u64;
+                        self.current.failed_transfers += 1;
+                        self.l1.invalidate(tid, m, u, v);
+                        self.current.dropped_taps += 1;
+                    }
+                }
             }
             Some(l2) => {
                 let addr = self
@@ -222,37 +310,127 @@ impl SimEngine {
                     }
                 }
                 let l2_block_bytes = self.cfg.tiling.l2().cache_bytes() as u64;
-                match l2.access(pt_index, addr.l1) {
+                let dl = match l2.access(pt_index, addr.l1) {
                     L2Outcome::FullHit => {
+                        // Served from local memory; no host transfer at all.
                         self.current.l2_full_hits += 1;
                         self.current.l2_local_bytes += l1_bytes;
+                        return;
                     }
                     L2Outcome::PartialHit => {
                         self.current.l2_partial_hits += 1;
-                        // Downloaded into L2 and L1 in parallel (step F).
-                        self.current.host_bytes += l1_bytes;
-                        self.current.l2_local_bytes += l1_bytes;
+                        l1_bytes
                     }
                     L2Outcome::FullMiss => {
                         self.current.l2_full_misses += 1;
-                        let dl = if l2.config().sector_mapping { l1_bytes } else { l2_block_bytes };
+                        if l2.config().sector_mapping {
+                            l1_bytes
+                        } else {
+                            l2_block_bytes
+                        }
+                    }
+                };
+                match self.host.transfer(tid) {
+                    Transfer::Delivered { retries } => {
+                        self.current.retries += retries as u64;
+                        // Downloaded into L2 and L1 in parallel (step F).
                         self.current.host_bytes += dl;
                         self.current.l2_local_bytes += dl;
+                    }
+                    Transfer::Failed { retries } => {
+                        self.current.retries += retries as u64;
+                        self.current.failed_transfers += 1;
+                        // Roll back the residency the download would have
+                        // backed; failed attempts move no bytes.
+                        l2.fail_download(pt_index, addr.l1);
+                        self.l1.invalidate(tid, m, u, v);
+                        // Graceful degradation: stand in the nearest coarser
+                        // mip texel already resident in L2. The probe is
+                        // read-only so a degraded serve does not perturb
+                        // replacement state.
+                        let dims = self.dims.get(tid.index() as usize).and_then(|d| d.as_ref());
+                        let mut served = false;
+                        if let Some(dims) = dims {
+                            for cm in (m + 1)..dims.len() as u32 {
+                                let (cw, ch) = dims[cm as usize];
+                                let cu = (u >> (cm - m)).min(cw.saturating_sub(1));
+                                let cv = (v >> (cm - m)).min(ch.saturating_sub(1));
+                                if let Some(caddr) = self.layout.translate(tid, cu, cv, cm) {
+                                    let cpt = self.layout.page_table_index(&caddr);
+                                    if l2.is_resident(cpt, caddr.l1) {
+                                        served = true;
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        if served {
+                            self.current.degraded_taps += 1;
+                            self.current.l2_local_bytes += l1_bytes;
+                        } else {
+                            self.current.dropped_taps += 1;
+                        }
                     }
                 }
             }
         }
     }
 
+    /// [`access_texel`](Self::access_texel) with full validation: unknown
+    /// textures, missing mip levels and out-of-range coordinates are
+    /// reported as errors (in release builds too) instead of panicking.
+    pub fn try_access_texel(
+        &mut self,
+        tid: TextureId,
+        m: u32,
+        u: u32,
+        v: u32,
+    ) -> Result<(), EngineError> {
+        let dims = self
+            .dims
+            .get(tid.index() as usize)
+            .and_then(|d| d.as_ref())
+            .ok_or(EngineError::UnknownTexture(tid))?;
+        let (width, height) = dims.get(m as usize).copied().unwrap_or((0, 0));
+        if u >= width || v >= height {
+            return Err(EngineError::CoordsOutOfRange {
+                tid,
+                m,
+                u,
+                v,
+                width,
+                height,
+            });
+        }
+        self.access_texel(tid, m, u, v);
+        Ok(())
+    }
+
     /// Replays a whole frame trace (expanding each pixel request through the
     /// trace's filter mode) and closes the frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace references a texture unknown to the engine.
     pub fn run_frame(&mut self, trace: &FrameTrace) {
+        self.try_run_frame(trace).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`run_frame`](Self::run_frame), reporting unknown textures as
+    /// [`EngineError::UnknownTexture`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// On error the frame is left open: taps replayed before the offending
+    /// request stay in the current (unclosed) frame's counters and
+    /// [`end_frame`](Self::end_frame) has not run.
+    pub fn try_run_frame(&mut self, trace: &FrameTrace) -> Result<(), EngineError> {
         for req in &trace.requests {
             let dims = self
                 .dims
                 .get(req.tid.index() as usize)
                 .and_then(|d| d.as_ref())
-                .expect("trace references texture unknown to the engine");
+                .ok_or(EngineError::UnknownTexture(req.tid))?;
             let levels = dims.len() as u32;
             let taps = filter_taps(req, trace.filter, levels, |m| dims[m as usize]);
             for tap in &taps {
@@ -260,6 +438,7 @@ impl SimEngine {
             }
         }
         self.end_frame();
+        Ok(())
     }
 
     /// Closes the current frame: pushes its counters and starts a new one.
@@ -296,6 +475,11 @@ impl SimEngine {
         self.l2.as_ref()
     }
 
+    /// The host download link (for fault-injection statistics).
+    pub fn host(&self) -> &HostLink {
+        &self.host
+    }
+
     /// Deletes a texture mid-run: deallocates its page-table entries and
     /// releases its L2 blocks. (L1 lines age out naturally; the design is
     /// non-inclusive.)
@@ -311,6 +495,7 @@ impl SimEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::TextureBlackout;
     use mltc_texture::{synth, MipPyramid};
     use mltc_trace::{FilterMode, PixelRequest};
 
@@ -338,7 +523,10 @@ mod tests {
     fn pull_downloads_every_l1_miss() {
         let reg = registry(1, 64);
         let mut e = SimEngine::new(
-            EngineConfig { l1: L1Config::kb(2), ..EngineConfig::default() },
+            EngineConfig {
+                l1: L1Config::kb(2),
+                ..EngineConfig::default()
+            },
             &reg,
         );
         sweep(&mut e, TextureId::from_index(0), 64);
@@ -406,13 +594,20 @@ mod tests {
         let reg = registry(1, 64);
         let cfg = EngineConfig {
             l1: L1Config::kb(2),
-            l2: Some(L2Config { sector_mapping: false, ..L2Config::mb(2) }),
+            l2: Some(L2Config {
+                sector_mapping: false,
+                ..L2Config::mb(2)
+            }),
             ..EngineConfig::default()
         };
         let mut e = SimEngine::new(cfg, &reg);
         e.access_texel(TextureId::from_index(0), 0, 0, 0);
         e.end_frame();
-        assert_eq!(e.frame_stats().host_bytes, 1024, "full 16x16x4B block downloaded");
+        assert_eq!(
+            e.frame_stats().host_bytes,
+            1024,
+            "full 16x16x4B block downloaded"
+        );
     }
 
     #[test]
@@ -438,7 +633,12 @@ mod tests {
         let reg = registry(1, 64);
         let mut e = SimEngine::new(EngineConfig::default(), &reg);
         let mut t = FrameTrace::new(0, 8, 8, FilterMode::Trilinear);
-        t.push(PixelRequest { tid: TextureId::from_index(0), u: 8.0, v: 8.0, lod: 0.5 });
+        t.push(PixelRequest {
+            tid: TextureId::from_index(0),
+            u: 8.0,
+            v: 8.0,
+            lod: 0.5,
+        });
         e.run_frame(&t);
         assert_eq!(e.frame_stats().l1_accesses, 8, "trilinear = 8 taps");
     }
@@ -471,10 +671,256 @@ mod tests {
     }
 
     #[test]
+    fn try_new_reports_invalid_configs() {
+        let reg = registry(1, 64);
+        let empty = TextureRegistry::new();
+        let ml = EngineConfig {
+            l2: Some(L2Config::mb(2)),
+            ..EngineConfig::default()
+        };
+        assert_eq!(
+            SimEngine::try_new(ml, &empty).unwrap_err(),
+            EngineError::EmptyPageTable
+        );
+        let bad_l1 = EngineConfig {
+            l1: L1Config {
+                size_bytes: 3072,
+                ..L1Config::kb(2)
+            },
+            ..EngineConfig::default()
+        };
+        assert!(matches!(
+            SimEngine::try_new(bad_l1, &reg).unwrap_err(),
+            EngineError::InvalidGeometry(_)
+        ));
+        let tiny_l2 = EngineConfig {
+            l2: Some(L2Config {
+                size_bytes: 16,
+                ..L2Config::mb(2)
+            }),
+            ..EngineConfig::default()
+        };
+        assert!(matches!(
+            SimEngine::try_new(tiny_l2, &reg).unwrap_err(),
+            EngineError::InvalidGeometry(_)
+        ));
+    }
+
+    #[test]
+    fn try_access_texel_validates_everything() {
+        let reg = registry(1, 64);
+        let mut e = SimEngine::try_new(EngineConfig::default(), &reg).unwrap();
+        assert_eq!(
+            e.try_access_texel(TextureId::from_index(9), 0, 0, 0),
+            Err(EngineError::UnknownTexture(TextureId::from_index(9)))
+        );
+        let t = TextureId::from_index(0);
+        assert_eq!(
+            e.try_access_texel(t, 0, 64, 0),
+            Err(EngineError::CoordsOutOfRange {
+                tid: t,
+                m: 0,
+                u: 64,
+                v: 0,
+                width: 64,
+                height: 64
+            })
+        );
+        assert_eq!(
+            e.try_access_texel(t, 99, 0, 0),
+            Err(EngineError::CoordsOutOfRange {
+                tid: t,
+                m: 99,
+                u: 0,
+                v: 0,
+                width: 0,
+                height: 0
+            })
+        );
+        assert!(e.try_access_texel(t, 0, 63, 63).is_ok());
+        assert_eq!(e.current.l1_accesses, 1, "rejected accesses must not count");
+    }
+
+    #[test]
+    fn no_fault_plan_is_byte_identical() {
+        let reg = registry(1, 128);
+        let cfg = EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(2)),
+            tlb_entries: 4,
+            ..EngineConfig::default()
+        };
+        let mut plain = SimEngine::new(cfg, &reg);
+        let mut faulted = SimEngine::new(cfg, &reg); // fault = FaultPlan::none()
+        sweep(&mut plain, TextureId::from_index(0), 128);
+        sweep(&mut faulted, TextureId::from_index(0), 128);
+        assert_eq!(plain.frame_stats(), faulted.frame_stats());
+        let f = faulted.frame_stats();
+        assert_eq!(
+            (
+                f.retries,
+                f.failed_transfers,
+                f.degraded_taps,
+                f.dropped_taps
+            ),
+            (0, 0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn same_seed_same_counters() {
+        let reg = registry(1, 128);
+        let cfg = EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(2)),
+            fault: FaultPlan::with_rate(99, 100_000), // 10 %
+            ..EngineConfig::default()
+        };
+        let mut a = SimEngine::new(cfg, &reg);
+        let mut b = SimEngine::new(cfg, &reg);
+        sweep(&mut a, TextureId::from_index(0), 128);
+        sweep(&mut b, TextureId::from_index(0), 128);
+        assert_eq!(a.frame_stats(), b.frame_stats());
+        assert!(
+            a.frame_stats().retries > 0,
+            "10 % per attempt must retry sometimes"
+        );
+    }
+
+    #[test]
+    fn pull_drops_taps_when_the_link_is_dead() {
+        let reg = registry(1, 64);
+        let cfg = EngineConfig {
+            l1: L1Config::kb(2),
+            fault: FaultPlan::with_rate(1, 1_000_000), // every attempt fails
+            ..EngineConfig::default()
+        };
+        let mut e = SimEngine::new(cfg, &reg);
+        sweep(&mut e, TextureId::from_index(0), 64);
+        let f = e.frame_stats();
+        assert_eq!(f.host_bytes, 0, "nothing was ever delivered");
+        assert_eq!(f.l1_hits, 0, "failed lines must not read as resident");
+        assert_eq!(f.failed_transfers, f.l1_accesses);
+        assert_eq!(f.dropped_taps, f.l1_accesses);
+        assert_eq!(f.retries, 2 * f.l1_accesses, "3 attempts = 2 retries each");
+        assert_eq!(f.degraded_taps, 0, "no L2 to degrade to");
+    }
+
+    #[test]
+    fn l2_degrades_to_coarser_mips_when_available() {
+        let reg = registry(1, 64);
+        let t = TextureId::from_index(0);
+        let base = EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(2)),
+            ..EngineConfig::default()
+        };
+        // Measure how many transfers warming mip level 1 takes (the
+        // blackout below must start right after them). A never-firing
+        // blackout keeps the link counting without injecting failures.
+        let probe = TextureBlackout {
+            tid: 0,
+            from: u64::MAX,
+            until: u64::MAX,
+        };
+        let mut warm = SimEngine::new(
+            EngineConfig {
+                fault: FaultPlan {
+                    blackout: Some(probe),
+                    ..FaultPlan::none()
+                },
+                ..base
+            },
+            &reg,
+        );
+        for v in 0..32 {
+            for u in 0..32 {
+                warm.access_texel(t, 1, u, v);
+            }
+        }
+        let warm_transfers = warm.host().transfers();
+        assert!(warm_transfers > 0);
+
+        // Same warm-up, then a total blackout: every level-0 download
+        // fails, and every failed tap finds its level-1 parent resident.
+        let blackout = TextureBlackout {
+            tid: 0,
+            from: warm_transfers,
+            until: u64::MAX,
+        };
+        let mut e = SimEngine::new(
+            EngineConfig {
+                fault: FaultPlan {
+                    blackout: Some(blackout),
+                    max_attempts: 2,
+                    ..FaultPlan::none()
+                },
+                ..base
+            },
+            &reg,
+        );
+        for v in 0..32 {
+            for u in 0..32 {
+                e.access_texel(t, 1, u, v);
+            }
+        }
+        e.end_frame();
+        for v in 0..64 {
+            for u in 0..64 {
+                e.access_texel(t, 0, u, v);
+            }
+        }
+        e.end_frame();
+        let f = e.frames()[1];
+        assert!(f.failed_transfers > 0);
+        assert_eq!(
+            f.degraded_taps, f.failed_transfers,
+            "level 1 is fully resident"
+        );
+        assert_eq!(f.dropped_taps, 0);
+        assert_eq!(
+            f.host_bytes, 0,
+            "the blackout blocks every level-0 download"
+        );
+        assert_eq!(
+            f.retries, f.failed_transfers,
+            "2 attempts = 1 retry per failure"
+        );
+    }
+
+    #[test]
+    fn faulty_runs_keep_cache_state_consistent() {
+        // A 50 % link with retries: delivered lines hit later, failed lines
+        // never read as resident, and counters reconcile.
+        let reg = registry(1, 64);
+        let cfg = EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(2)),
+            fault: FaultPlan::with_rate(5, 500_000).attempts(1),
+            ..EngineConfig::default()
+        };
+        let mut e = SimEngine::new(cfg, &reg);
+        sweep(&mut e, TextureId::from_index(0), 64);
+        sweep(&mut e, TextureId::from_index(0), 64);
+        let t = e.totals();
+        assert!(t.failed_transfers > 0);
+        assert!(t.host_bytes > 0);
+        assert_eq!(t.degraded_taps + t.dropped_taps, t.failed_transfers);
+        assert_eq!(t.retries, 0, "a single attempt never retries");
+    }
+
+    #[test]
     fn labels_are_descriptive() {
-        let pull = EngineConfig { l1: L1Config::kb(2), ..EngineConfig::default() };
+        let pull = EngineConfig {
+            l1: L1Config::kb(2),
+            ..EngineConfig::default()
+        };
         assert_eq!(pull.label(), "2 KB L1, no L2");
-        let ml = EngineConfig { l1: L1Config::kb(2), l2: Some(L2Config::mb(4)), ..pull };
+        let ml = EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(4)),
+            ..pull
+        };
         assert_eq!(ml.label(), "2 KB L1, 4 MB L2");
     }
 }

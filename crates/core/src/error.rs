@@ -1,0 +1,116 @@
+//! Typed engine errors.
+//!
+//! The simulator used to `panic!`/`expect` on every misuse, which meant a
+//! single bad configuration or a corrupt trace aborted whole experiment
+//! suites. Every failure the engine can detect is now a variant of
+//! [`EngineError`], surfaced through [`SimEngine::try_new`],
+//! [`SimEngine::try_run_frame`] and [`SimEngine::try_access_texel`]; the
+//! panicking entry points remain as thin wrappers for infallible call
+//! sites (docs, tests, examples with known-good data).
+//!
+//! [`SimEngine::try_new`]: crate::SimEngine::try_new
+//! [`SimEngine::try_run_frame`]: crate::SimEngine::try_run_frame
+//! [`SimEngine::try_access_texel`]: crate::SimEngine::try_access_texel
+
+use mltc_texture::TextureId;
+use std::fmt;
+
+/// Everything that can go wrong constructing or driving a [`SimEngine`].
+///
+/// [`SimEngine`]: crate::SimEngine
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A texel access or trace request named a texture the registry never
+    /// issued (or one that has been deleted).
+    UnknownTexture(TextureId),
+    /// A texel access addressed coordinates outside the mip level — or a
+    /// mip level outside the pyramid (`u`/`v` are the requested texel,
+    /// `width`/`height` the level's actual extent, 0×0 for a missing
+    /// level).
+    CoordsOutOfRange {
+        /// The texture accessed.
+        tid: TextureId,
+        /// The mip level accessed.
+        m: u32,
+        /// Requested texel column.
+        u: u32,
+        /// Requested texel row.
+        v: u32,
+        /// The level's width (0 if the level does not exist).
+        width: u32,
+        /// The level's height (0 if the level does not exist).
+        height: u32,
+    },
+    /// An L2 was configured but the registry holds no textures, so the
+    /// texture page table would be empty.
+    EmptyPageTable,
+    /// A cache geometry that cannot be built (zero lines, non-power-of-two
+    /// set count, L2 smaller than one block, ...). The message says which.
+    InvalidGeometry(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownTexture(tid) => {
+                write!(f, "texture {} is unknown to the engine", tid.index())
+            }
+            EngineError::CoordsOutOfRange {
+                tid,
+                m,
+                u,
+                v,
+                width,
+                height,
+            } => write!(
+                f,
+                "texel ({u}, {v}) out of range for level {m} of texture {} ({width}x{height})",
+                tid.index()
+            ),
+            EngineError::EmptyPageTable => {
+                f.write_str("empty texture page table: an L2 needs at least one texture")
+            }
+            EngineError::InvalidGeometry(why) => write!(f, "invalid cache geometry: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_strings_name_the_failure() {
+        assert!(EngineError::UnknownTexture(TextureId::from_index(7))
+            .to_string()
+            .contains("unknown"));
+        assert!(EngineError::EmptyPageTable
+            .to_string()
+            .contains("page table"));
+        assert!(EngineError::InvalidGeometry("no sets".into())
+            .to_string()
+            .contains("no sets"));
+        let e = EngineError::CoordsOutOfRange {
+            tid: TextureId::from_index(1),
+            m: 2,
+            u: 64,
+            v: 0,
+            width: 16,
+            height: 16,
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("(64, 0)") && s.contains("level 2") && s.contains("16x16"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn errors_are_comparable_and_cloneable() {
+        let a = EngineError::EmptyPageTable;
+        assert_eq!(a.clone(), a);
+        assert_ne!(a, EngineError::UnknownTexture(TextureId::from_index(0)));
+    }
+}

@@ -1,0 +1,321 @@
+//! The host → accelerator download link, with deterministic fault injection.
+//!
+//! Every byte the simulator "downloads over AGP" conceptually crosses this
+//! link. The seed paper treats the link as perfect; real buses stall, drop
+//! and time out, and a robustness study needs to know how the two
+//! architectures degrade when they do. [`HostLink`] models the link as a
+//! sequence of *transfers* (one per missing L1 sub-block or L2 block) that
+//! each either deliver — possibly after bounded retries — or persistently
+//! fail, according to a [`FaultPlan`].
+//!
+//! The plan is **fully deterministic**: outcomes depend only on the plan
+//! (seed, rates, windows), the transfer ordinal and the texture being
+//! fetched. Replaying the same trace through the same plan reproduces the
+//! identical fault pattern, which is what makes fault-sweep experiments
+//! comparable across architecture configurations.
+//!
+//! [`FaultPlan::none()`] is a guaranteed no-op: the link takes a fast path
+//! that draws no random numbers and touches no counters, so a fault-free
+//! engine is byte-identical to one built before this layer existed.
+
+use mltc_texture::TextureId;
+
+/// A blackout window for one texture: every transfer for `tid` whose
+/// ordinal falls in `[from, until)` fails all attempts (modelling e.g. the
+/// host paging that texture's backing store out mid-frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TextureBlackout {
+    /// Index of the blacked-out texture (see [`TextureId::index`]).
+    pub tid: u32,
+    /// First link-wide transfer ordinal of the window (inclusive).
+    pub from: u64,
+    /// End of the window (exclusive).
+    pub until: u64,
+}
+
+/// Deterministic description of how the host link misbehaves.
+///
+/// All probabilities are in **parts per million** so the plan stays `Copy`
+/// and `Eq` and can live inside [`EngineConfig`] (which experiment sweeps
+/// compare and copy by value).
+///
+/// ```
+/// use mltc_core::FaultPlan;
+/// assert!(FaultPlan::none().is_none());
+/// let p = FaultPlan::with_rate(42, 10_000); // 1 % per attempt
+/// assert!(!p.is_none());
+/// assert_eq!(p.max_attempts, 3);
+/// ```
+///
+/// [`EngineConfig`]: crate::EngineConfig
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for the per-attempt failure draws.
+    pub seed: u64,
+    /// Per-attempt failure probability in parts per million
+    /// (`10_000` = 1 %). `0` disables random failures.
+    pub fail_ppm: u32,
+    /// Attempts per transfer before giving up (first try + retries).
+    /// `0` is treated as `1` (no retries).
+    pub max_attempts: u32,
+    /// When non-zero, the link stalls periodically: of every
+    /// `burst_period` transfers, the first [`burst_len`](Self::burst_len)
+    /// fail all attempts regardless of `fail_ppm`.
+    pub burst_period: u32,
+    /// Length of each burst window (clamped to `burst_period` in effect).
+    pub burst_len: u32,
+    /// Optional per-texture blackout window.
+    pub blackout: Option<TextureBlackout>,
+}
+
+impl FaultPlan {
+    /// A perfect link. The engine's fast path for this plan draws no
+    /// random numbers, so behaviour is identical to a fault-free build.
+    pub const fn none() -> Self {
+        Self {
+            seed: 0,
+            fail_ppm: 0,
+            max_attempts: 0,
+            burst_period: 0,
+            burst_len: 0,
+            blackout: None,
+        }
+    }
+
+    /// Random per-attempt failures at `fail_ppm` parts per million, with
+    /// the default retry budget of 3 attempts per transfer.
+    pub const fn with_rate(seed: u64, fail_ppm: u32) -> Self {
+        Self {
+            seed,
+            fail_ppm,
+            max_attempts: 3,
+            burst_period: 0,
+            burst_len: 0,
+            blackout: None,
+        }
+    }
+
+    /// Same plan with a different retry budget.
+    pub const fn attempts(mut self, max_attempts: u32) -> Self {
+        self.max_attempts = max_attempts;
+        self
+    }
+
+    /// True when the plan can never produce a failure.
+    pub fn is_none(&self) -> bool {
+        self.fail_ppm == 0
+            && (self.burst_period == 0 || self.burst_len == 0)
+            && self.blackout.is_none()
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Outcome of one [`HostLink::transfer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transfer {
+    /// The data arrived, after `retries` re-attempts (0 = first try).
+    Delivered {
+        /// Re-attempts beyond the first try.
+        retries: u32,
+    },
+    /// Every attempt failed; the retry budget is spent.
+    Failed {
+        /// Re-attempts beyond the first try (= budget − 1).
+        retries: u32,
+    },
+}
+
+/// The download path from host memory into the accelerator, one per engine.
+///
+/// ```
+/// use mltc_core::{FaultPlan, HostLink, Transfer};
+/// use mltc_texture::TextureId;
+/// let mut link = HostLink::new(FaultPlan::none());
+/// let t = TextureId::from_index(0);
+/// assert_eq!(link.transfer(t), Transfer::Delivered { retries: 0 });
+/// ```
+#[derive(Debug, Clone)]
+pub struct HostLink {
+    plan: FaultPlan,
+    /// SplitMix64 state for the failure draws.
+    rng: u64,
+    /// Ordinal of the next transfer.
+    transfers: u64,
+}
+
+impl HostLink {
+    /// A link following `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            rng: plan.seed,
+            transfers: 0,
+        }
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+
+    /// Transfers attempted so far (delivered or failed; a retried transfer
+    /// counts once). Always `0` under [`FaultPlan::none`].
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Attempts one download for `tid`, retrying up to the plan's budget.
+    pub fn transfer(&mut self, tid: TextureId) -> Transfer {
+        if self.plan.is_none() {
+            return Transfer::Delivered { retries: 0 };
+        }
+        let ordinal = self.transfers;
+        self.transfers += 1;
+        let attempts = self.plan.max_attempts.max(1);
+        // Burst and blackout windows are keyed on the transfer ordinal, not
+        // on random draws, so they hit the same logical downloads in every
+        // replay of the same trace.
+        if self.in_burst(ordinal) || self.in_blackout(tid, ordinal) {
+            return Transfer::Failed {
+                retries: attempts - 1,
+            };
+        }
+        for attempt in 0..attempts {
+            let draw = (self.next_rng() % 1_000_000) as u32;
+            if draw >= self.plan.fail_ppm {
+                return Transfer::Delivered { retries: attempt };
+            }
+        }
+        Transfer::Failed {
+            retries: attempts - 1,
+        }
+    }
+
+    fn in_burst(&self, ordinal: u64) -> bool {
+        self.plan.burst_period > 0
+            && ordinal % (self.plan.burst_period as u64) < self.plan.burst_len as u64
+    }
+
+    fn in_blackout(&self, tid: TextureId, ordinal: u64) -> bool {
+        self.plan
+            .blackout
+            .is_some_and(|b| b.tid == tid.index() && ordinal >= b.from && ordinal < b.until)
+    }
+
+    fn next_rng(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TextureId {
+        TextureId::from_index(i)
+    }
+
+    #[test]
+    fn perfect_link_always_delivers_and_stays_untouched() {
+        let mut link = HostLink::new(FaultPlan::none());
+        for _ in 0..1000 {
+            assert_eq!(link.transfer(t(0)), Transfer::Delivered { retries: 0 });
+        }
+        assert_eq!(link.transfers(), 0, "fast path must not count transfers");
+    }
+
+    #[test]
+    fn same_plan_same_sequence() {
+        let plan = FaultPlan::with_rate(7, 200_000); // 20 %
+        let mut a = HostLink::new(plan);
+        let mut b = HostLink::new(plan);
+        for i in 0..2000 {
+            assert_eq!(a.transfer(t(i % 3)), b.transfer(t(i % 3)));
+        }
+    }
+
+    #[test]
+    fn certain_failure_exhausts_the_budget() {
+        let mut link = HostLink::new(FaultPlan::with_rate(1, 1_000_000).attempts(5));
+        assert_eq!(link.transfer(t(0)), Transfer::Failed { retries: 4 });
+    }
+
+    #[test]
+    fn zero_attempts_means_one_try() {
+        let mut link = HostLink::new(FaultPlan::with_rate(1, 1_000_000).attempts(0));
+        assert_eq!(link.transfer(t(0)), Transfer::Failed { retries: 0 });
+    }
+
+    #[test]
+    fn retries_recover_transient_failures() {
+        // 50 % per attempt, 4 attempts: most transfers deliver, some with
+        // retries, and the seeds make it deterministic.
+        let mut link = HostLink::new(FaultPlan::with_rate(3, 500_000).attempts(4));
+        let mut delivered = 0u32;
+        let mut retried = 0u32;
+        for _ in 0..1000 {
+            match link.transfer(t(0)) {
+                Transfer::Delivered { retries } => {
+                    delivered += 1;
+                    retried += (retries > 0) as u32;
+                }
+                Transfer::Failed { .. } => {}
+            }
+        }
+        assert!(delivered > 900, "delivered={delivered}");
+        assert!(retried > 100, "retried={retried}");
+    }
+
+    #[test]
+    fn burst_windows_fail_deterministically() {
+        let plan = FaultPlan {
+            burst_period: 10,
+            burst_len: 2,
+            max_attempts: 3,
+            ..FaultPlan::none()
+        };
+        let mut link = HostLink::new(plan);
+        for i in 0..40u64 {
+            let out = link.transfer(t(0));
+            if i % 10 < 2 {
+                assert_eq!(out, Transfer::Failed { retries: 2 }, "transfer {i}");
+            } else {
+                assert_eq!(out, Transfer::Delivered { retries: 0 }, "transfer {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn blackout_hits_only_its_texture() {
+        let plan = FaultPlan {
+            blackout: Some(TextureBlackout {
+                tid: 1,
+                from: 0,
+                until: 100,
+            }),
+            max_attempts: 2,
+            ..FaultPlan::none()
+        };
+        let mut link = HostLink::new(plan);
+        assert_eq!(link.transfer(t(0)), Transfer::Delivered { retries: 0 });
+        assert_eq!(link.transfer(t(1)), Transfer::Failed { retries: 1 });
+        let mut late = HostLink::new(plan);
+        late.transfers = 100; // past the window
+        assert_eq!(late.transfer(t(1)), Transfer::Delivered { retries: 0 });
+    }
+
+    #[test]
+    fn plans_compare_by_value() {
+        assert_eq!(FaultPlan::none(), FaultPlan::default());
+        assert_ne!(FaultPlan::none(), FaultPlan::with_rate(0, 1));
+    }
+}

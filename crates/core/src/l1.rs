@@ -49,7 +49,12 @@ impl L1Config {
     /// A `kb`-kilobyte, 2-way, 4×4-tile cache (the paper's configurations
     /// are 2 KB "low end" and 16 KB "high end").
     pub const fn kb(kb: usize) -> Self {
-        Self { size_bytes: kb * 1024, ways: 2, tile: TileSize::X4, storage: StorageFormat::Tiled }
+        Self {
+            size_bytes: kb * 1024,
+            ways: 2,
+            tile: TileSize::X4,
+            storage: StorageFormat::Tiled,
+        }
     }
 
     /// Line size in bytes (tile texels × 4 bytes).
@@ -128,8 +133,15 @@ impl L1TextureCache {
     pub fn new(cfg: L1Config) -> Self {
         let sets = cfg.sets();
         assert!(sets > 0, "L1 of {} bytes has no sets", cfg.size_bytes);
-        assert!(sets.is_power_of_two(), "L1 set count {sets} must be a power of two");
-        Self { cache: SetAssocCache::new(sets, cfg.ways), cfg, set_mask: sets as u32 - 1 }
+        assert!(
+            sets.is_power_of_two(),
+            "L1 set count {sets} must be a power of two"
+        );
+        Self {
+            cache: SetAssocCache::new(sets, cfg.ways),
+            cfg,
+            set_mask: sets as u32 - 1,
+        }
     }
 
     /// The configuration.
@@ -160,11 +172,9 @@ impl L1TextureCache {
         (h & self.set_mask) as usize
     }
 
-    /// Looks up the texel `(u, v)` of mip level `m` of `tid` (texel
-    /// coordinates within the level) and returns whether its line hit.
-    /// On a miss, the line is installed (the caller models the download).
+    /// Tag and set of the line holding texel `(u, v)` of level `m` of `tid`.
     #[inline]
-    pub fn access(&mut self, tid: TextureId, m: u32, u: u32, v: u32) -> bool {
+    fn locate(&self, tid: TextureId, m: u32, u: u32, v: u32) -> (u64, usize) {
         let (bx, by) = match self.cfg.storage {
             StorageFormat::Tiled => {
                 let s = self.cfg.tile.shift();
@@ -174,8 +184,25 @@ impl L1TextureCache {
             StorageFormat::Linear => (u >> (2 * self.cfg.tile.shift()), v),
         };
         let tag = L1BlockKey::from_block_coords(tid, m, bx, by).packed();
-        let set = self.set_index(tid, m, bx, by);
+        (tag, self.set_index(tid, m, bx, by))
+    }
+
+    /// Looks up the texel `(u, v)` of mip level `m` of `tid` (texel
+    /// coordinates within the level) and returns whether its line hit.
+    /// On a miss, the line is installed (the caller models the download).
+    #[inline]
+    pub fn access(&mut self, tid: TextureId, m: u32, u: u32, v: u32) -> bool {
+        let (tag, set) = self.locate(tid, m, u, v);
         self.cache.access(tag, set).hit
+    }
+
+    /// Invalidates the line holding texel `(u, v)` of level `m` of `tid`,
+    /// returning whether a line was dropped. Used to undo the speculative
+    /// install of [`access`](Self::access) when the download that was to
+    /// fill the line failed; hit/miss statistics are untouched.
+    pub fn invalidate(&mut self, tid: TextureId, m: u32, u: u32, v: u32) -> bool {
+        let (tag, set) = self.locate(tid, m, u, v);
+        self.cache.invalidate(tag, set)
     }
 
     /// Lifetime hit/miss counters.
@@ -262,7 +289,11 @@ mod tests {
                 l1.access(t(0), 0, (i % 16) * 4, (i / 16) * 4);
             }
         }
-        assert!(l1.stats().hit_rate() < 0.2, "rate={}", l1.stats().hit_rate());
+        assert!(
+            l1.stats().hit_rate() < 0.2,
+            "rate={}",
+            l1.stats().hit_rate()
+        );
 
         // 32 KB = 512 lines: Morton indexing maps the 16x16-tile square
         // conflict-free, so the second pass hits entirely.
@@ -289,6 +320,21 @@ mod tests {
     }
 
     #[test]
+    fn invalidate_undoes_a_speculative_install() {
+        let mut l1 = L1TextureCache::new(L1Config::kb(2));
+        assert!(!l1.access(t(0), 0, 0, 0)); // miss installs the line
+        assert!(l1.invalidate(t(0), 0, 3, 3), "same tile, any texel");
+        assert!(!l1.access(t(0), 0, 0, 0), "line must be gone again");
+        assert!(
+            !l1.invalidate(t(1), 0, 0, 0),
+            "absent line: nothing to drop"
+        );
+        // Stats counted the two accesses only.
+        assert_eq!(l1.stats().accesses, 2);
+        assert_eq!(l1.stats().hits, 0);
+    }
+
+    #[test]
     fn flush_forgets_contents_keeps_stats() {
         let mut l1 = L1TextureCache::new(L1Config::kb(2));
         l1.access(t(0), 0, 0, 0);
@@ -301,6 +347,9 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_sets_rejected() {
         // 3 KB / 64 B / 2 = 24 sets.
-        let _ = L1TextureCache::new(L1Config { size_bytes: 3072, ..L1Config::kb(2) });
+        let _ = L1TextureCache::new(L1Config {
+            size_bytes: 3072,
+            ..L1Config::kb(2)
+        });
     }
 }

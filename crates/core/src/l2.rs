@@ -65,7 +65,11 @@ impl L2Config {
     /// A `mb`-megabyte clock-replaced sector-mapped cache (the paper studies
     /// 2, 4 and 8 MB).
     pub const fn mb(mb: usize) -> Self {
-        Self { size_bytes: mb << 20, policy: ReplacementPolicy::Clock, sector_mapping: true }
+        Self {
+            size_bytes: mb << 20,
+            policy: ReplacementPolicy::Clock,
+            sector_mapping: true,
+        }
     }
 }
 
@@ -102,12 +106,20 @@ impl L2Stats {
     /// Full-hit rate conditioned on an L1 miss having occurred — the paper
     /// reports L2 rates "as a conditional probability" (§5.4.2, fn. 5).
     pub fn full_hit_rate(&self) -> f64 {
-        if self.accesses() == 0 { 0.0 } else { self.full_hits as f64 / self.accesses() as f64 }
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.full_hits as f64 / self.accesses() as f64
+        }
     }
 
     /// Partial-hit rate conditioned on an L1 miss.
     pub fn partial_hit_rate(&self) -> f64 {
-        if self.accesses() == 0 { 0.0 } else { self.partial_hits as f64 / self.accesses() as f64 }
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.partial_hits as f64 / self.accesses() as f64
+        }
     }
 }
 
@@ -199,7 +211,9 @@ impl FifoList {
         if let Some(b) = self.free.pop() {
             b as usize
         } else {
-            self.queue.pop_front().expect("FIFO queue empty with no free blocks") as usize
+            self.queue
+                .pop_front()
+                .expect("FIFO queue empty with no free blocks") as usize
         }
     }
 
@@ -260,7 +274,12 @@ impl L2Cache {
     pub fn new(cfg: L2Config, tiling: TilingConfig, page_table_entries: u32) -> Self {
         let block_bytes = tiling.l2().cache_bytes();
         let blocks = cfg.size_bytes / block_bytes;
-        assert!(blocks > 0, "L2 of {} bytes holds no {} blocks", cfg.size_bytes, tiling.l2());
+        assert!(
+            blocks > 0,
+            "L2 of {} bytes holds no {} blocks",
+            cfg.size_bytes,
+            tiling.l2()
+        );
         assert!(page_table_entries > 0, "empty texture page table");
         Self {
             cfg,
@@ -292,7 +311,9 @@ impl L2Cache {
 
     /// Number of physical blocks currently allocated to virtual blocks.
     pub fn blocks_in_use(&self) -> usize {
-        (0..self.blocks).filter(|&b| self.replacer.owner(b).is_some()).count()
+        (0..self.blocks)
+            .filter(|&b| self.replacer.owner(b).is_some())
+            .count()
     }
 
     /// Presents an L1 miss for page-table entry `pt_index` (= `tstart + L2`)
@@ -304,7 +325,10 @@ impl L2Cache {
     /// Panics if `pt_index` is out of page-table range or `l1_sub` exceeds
     /// the tiling's sub-blocks-per-block.
     pub fn access(&mut self, pt_index: u32, l1_sub: u16) -> L2Outcome {
-        assert!((l1_sub as u32) < self.tiling.l1_per_l2(), "sub-block {l1_sub} out of range");
+        assert!(
+            (l1_sub as u32) < self.tiling.l1_per_l2(),
+            "sub-block {l1_sub} out of range"
+        );
         let ti = pt_index as usize;
         let entry = self.t_table[ti];
 
@@ -336,9 +360,45 @@ impl L2Cache {
             } else {
                 sector = SectorBits::full(self.tiling.l1_per_l2());
             }
-            self.t_table[ti] = PtEntry { l2_block: b as u32 + 1, sector };
+            self.t_table[ti] = PtEntry {
+                l2_block: b as u32 + 1,
+                sector,
+            };
             self.stats.full_misses += 1;
             L2Outcome::FullMiss
+        }
+    }
+
+    /// Read-only residency probe: would `(pt_index, l1_sub)` full-hit right
+    /// now? Unlike [`access`](Self::access) this touches neither the
+    /// replacement state nor the counters — the engine uses it to look for
+    /// a coarser mip level to degrade to after a failed download, and a
+    /// degraded serve must not perturb what the caches would have done.
+    pub fn is_resident(&self, pt_index: u32, l1_sub: u16) -> bool {
+        let entry = self.t_table[pt_index as usize];
+        entry.l2_block != 0 && (!self.cfg.sector_mapping || entry.sector.get(l1_sub))
+    }
+
+    /// Rolls back the residency that [`access`](Self::access) just recorded
+    /// for `(pt_index, l1_sub)` because the host download behind it failed.
+    ///
+    /// With sector mapping only the failed sector is cleared; the physical
+    /// block stays allocated (the page was claimed before the download, as
+    /// in hardware — a later access partial-hits and retries). Without
+    /// sector mapping the whole-block download failed, so the block is
+    /// released entirely. Any victim evicted by the access is already gone;
+    /// replacement ran before the download, which is the hardware ordering.
+    pub fn fail_download(&mut self, pt_index: u32, l1_sub: u16) {
+        let ti = pt_index as usize;
+        let entry = self.t_table[ti];
+        if entry.l2_block == 0 {
+            return;
+        }
+        if self.cfg.sector_mapping {
+            self.t_table[ti].sector.unset(l1_sub);
+        } else {
+            self.replacer.release((entry.l2_block - 1) as usize);
+            self.t_table[ti] = PtEntry::default();
         }
     }
 
@@ -385,7 +445,11 @@ mod tests {
     fn small_l2(blocks: usize, policy: ReplacementPolicy, entries: u32) -> L2Cache {
         let tiling = TilingConfig::PAPER_DEFAULT; // 1 KB blocks
         L2Cache::new(
-            L2Config { size_bytes: blocks * 1024, policy, sector_mapping: true },
+            L2Config {
+                size_bytes: blocks * 1024,
+                policy,
+                sector_mapping: true,
+            },
             tiling,
             entries,
         )
@@ -422,7 +486,11 @@ mod tests {
         l2.access(1, 0);
         l2.access(2, 0); // evicts pt 0 (LRU)
         assert_eq!(l2.access(1, 0), L2Outcome::FullHit);
-        assert_eq!(l2.access(0, 0), L2Outcome::FullMiss, "victim must have been unmapped");
+        assert_eq!(
+            l2.access(0, 0),
+            L2Outcome::FullMiss,
+            "victim must have been unmapped"
+        );
     }
 
     #[test]
@@ -454,19 +522,31 @@ mod tests {
         l2.access(1, 0);
         // Both active; a miss sweeps, clears both, takes block 0 (pt 0).
         l2.access(2, 0);
-        assert_eq!(l2.access(1, 0), L2Outcome::FullHit, "pt 1 got its second chance");
+        assert_eq!(
+            l2.access(1, 0),
+            L2Outcome::FullHit,
+            "pt 1 got its second chance"
+        );
     }
 
     #[test]
     fn sector_mapping_off_loads_whole_block() {
         let tiling = TilingConfig::PAPER_DEFAULT;
         let mut l2 = L2Cache::new(
-            L2Config { size_bytes: 4096, policy: ReplacementPolicy::Clock, sector_mapping: false },
+            L2Config {
+                size_bytes: 4096,
+                policy: ReplacementPolicy::Clock,
+                sector_mapping: false,
+            },
             tiling,
             16,
         );
         assert_eq!(l2.access(0, 0), L2Outcome::FullMiss);
-        assert_eq!(l2.access(0, 15), L2Outcome::FullHit, "all sectors resident after a miss");
+        assert_eq!(
+            l2.access(0, 15),
+            L2Outcome::FullHit,
+            "all sectors resident after a miss"
+        );
     }
 
     #[test]
@@ -526,6 +606,68 @@ mod tests {
     fn sub_block_bounds_checked() {
         let mut l2 = small_l2(2, ReplacementPolicy::Clock, 4);
         let _ = l2.access(0, 16); // 16x16/4x4 has sub-blocks 0..16
+    }
+
+    #[test]
+    fn is_resident_probe_is_side_effect_free() {
+        let mut l2 = small_l2(2, ReplacementPolicy::Lru, 8);
+        l2.access(0, 0);
+        l2.access(1, 0);
+        assert!(l2.is_resident(0, 0));
+        assert!(!l2.is_resident(0, 1), "sector 1 never downloaded");
+        assert!(!l2.is_resident(2, 0));
+        let stats_before = l2.stats();
+        // Probing pt 0 must not refresh its LRU position...
+        for _ in 0..10 {
+            l2.is_resident(0, 0);
+        }
+        l2.access(2, 0); // ...so pt 0 is still the LRU victim.
+        assert_eq!(l2.access(1, 0), L2Outcome::FullHit);
+        assert!(!l2.is_resident(0, 0));
+        assert_eq!(stats_before.accesses() + 2, l2.stats().accesses());
+    }
+
+    #[test]
+    fn fail_download_clears_the_sector_but_keeps_the_block() {
+        let mut l2 = small_l2(4, ReplacementPolicy::Clock, 16);
+        assert_eq!(l2.access(0, 3), L2Outcome::FullMiss);
+        l2.fail_download(0, 3);
+        assert!(!l2.is_resident(0, 3));
+        assert_eq!(l2.blocks_in_use(), 1, "the page stays claimed");
+        assert_eq!(
+            l2.access(0, 3),
+            L2Outcome::PartialHit,
+            "a later access retries"
+        );
+    }
+
+    #[test]
+    fn fail_download_without_sector_mapping_releases_the_block() {
+        let tiling = TilingConfig::PAPER_DEFAULT;
+        let mut l2 = L2Cache::new(
+            L2Config {
+                size_bytes: 4096,
+                policy: ReplacementPolicy::Clock,
+                sector_mapping: false,
+            },
+            tiling,
+            16,
+        );
+        l2.access(0, 0);
+        l2.fail_download(0, 0);
+        assert_eq!(l2.blocks_in_use(), 0);
+        assert_eq!(
+            l2.access(0, 5),
+            L2Outcome::FullMiss,
+            "nothing usable was kept"
+        );
+    }
+
+    #[test]
+    fn fail_download_on_unallocated_entry_is_a_no_op() {
+        let mut l2 = small_l2(2, ReplacementPolicy::Clock, 8);
+        l2.fail_download(3, 0);
+        assert_eq!(l2.blocks_in_use(), 0);
     }
 
     #[test]

@@ -54,12 +54,16 @@
 //! ```
 
 mod engine;
+mod error;
+mod host_link;
 mod l1;
 mod l2;
 pub mod model;
 mod push;
 
 pub use engine::{EngineConfig, FrameCounters, SimEngine};
+pub use error::EngineError;
+pub use host_link::{FaultPlan, HostLink, TextureBlackout, Transfer};
 pub use l1::{L1Config, L1TextureCache, StorageFormat};
 pub use l2::{L2Cache, L2Config, L2Outcome, L2Stats, ReplacementPolicy};
 pub use push::PushArchitecture;

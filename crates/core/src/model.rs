@@ -22,7 +22,11 @@ use mltc_texture::TilingConfig;
 /// let w = mltc_core::model::expected_working_set(1024 * 768, 1.0, 0.5);
 /// assert!((w / (1 << 20) as f64 - 6.0).abs() < 0.01);
 /// ```
-pub fn expected_working_set(resolution_pixels: u64, depth_complexity: f64, utilization: f64) -> f64 {
+pub fn expected_working_set(
+    resolution_pixels: u64,
+    depth_complexity: f64,
+    utilization: f64,
+) -> f64 {
     assert!(utilization > 0.0, "utilization must be positive");
     resolution_pixels as f64 * depth_complexity * 4.0 / utilization
 }
@@ -92,7 +96,11 @@ pub struct StructureSizes {
 /// assert_eq!(s.brl_active_bytes, 256);
 /// assert_eq!(s.brl_t_index_bytes, 8 << 10);
 /// ```
-pub fn structure_sizes(l2_bytes: u64, host_texture_bytes: u64, tiling: TilingConfig) -> StructureSizes {
+pub fn structure_sizes(
+    l2_bytes: u64,
+    host_texture_bytes: u64,
+    tiling: TilingConfig,
+) -> StructureSizes {
     let block_bytes = tiling.l2().cache_bytes() as u64;
     let entries = host_texture_bytes / block_bytes;
     let sector_words = (tiling.l1_per_l2() as u64).div_ceil(16);
@@ -165,7 +173,13 @@ mod tests {
     #[test]
     fn table4_page_table_column() {
         // Table 4 page-table rows (16x16 tiles): host texture -> KB.
-        for (host_mb, expect_kb) in [(16u64, 64u64), (32, 128), (64, 256), (256, 1024), (1024, 4096)] {
+        for (host_mb, expect_kb) in [
+            (16u64, 64u64),
+            (32, 128),
+            (64, 256),
+            (256, 1024),
+            (1024, 4096),
+        ] {
             let s = structure_sizes(2 << 20, host_mb << 20, TilingConfig::PAPER_DEFAULT);
             assert_eq!(s.page_table_bytes, expect_kb << 10, "{host_mb} MB host");
         }

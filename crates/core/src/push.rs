@@ -50,7 +50,10 @@ impl PushArchitecture {
         for (tid, pyr) in registry.iter() {
             sizes[tid.index() as usize] = pyr.byte_size() as u64;
         }
-        Self { resident: vec![false; sizes.len()], sizes }
+        Self {
+            resident: vec![false; sizes.len()],
+            sizes,
+        }
     }
 
     /// Advances one frame given the set of textures it touches.
@@ -74,7 +77,10 @@ impl PushArchitecture {
             }
         }
         self.resident = now;
-        PushFrame { memory_bytes: memory, download_bytes: download }
+        PushFrame {
+            memory_bytes: memory,
+            download_bytes: download,
+        }
     }
 }
 

@@ -19,14 +19,21 @@ struct ReferenceL2 {
 
 impl ReferenceL2 {
     fn new(capacity: usize) -> Self {
-        Self { capacity, order: Vec::new(), sectors: HashMap::new() }
+        Self {
+            capacity,
+            order: Vec::new(),
+            sectors: HashMap::new(),
+        }
     }
 
     fn access(&mut self, pt: u32, sub: u16) -> L2Outcome {
         if let Some(pos) = self.order.iter().position(|&p| p == pt) {
             self.order.remove(pos);
             self.order.push(pt);
-            let bits = self.sectors.get_mut(&pt).expect("resident page has sectors");
+            let bits = self
+                .sectors
+                .get_mut(&pt)
+                .expect("resident page has sectors");
             if *bits & (1 << sub) != 0 {
                 L2Outcome::FullHit
             } else {

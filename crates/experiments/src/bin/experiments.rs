@@ -14,7 +14,11 @@ fn usage() -> ExitCode {
         "usage: experiments <id>... [--quick|--default|--full] [--out <dir>]\n\
          \n\
          ids: all, list, {}",
-        EXPERIMENTS.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(", ")
+        EXPERIMENTS
+            .iter()
+            .map(|(n, _)| *n)
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     ExitCode::from(2)
 }
@@ -59,18 +63,46 @@ fn main() -> ExitCode {
     );
 
     let run_list: Vec<&str> = if ids.iter().any(|i| i == "all") {
-        EXPERIMENTS.iter().map(|(n, _)| *n).filter(|n| *n != "calibrate").collect()
+        EXPERIMENTS
+            .iter()
+            .map(|(n, _)| *n)
+            .filter(|n| *n != "calibrate")
+            .collect()
     } else {
         ids.iter().map(String::as_str).collect()
     };
 
+    // One broken experiment must not take the suite down: failures (typed
+    // errors and outright panics alike) are collected and reported at the
+    // end, and the process exits nonzero.
+    let mut failures: Vec<(String, String)> = Vec::new();
     for id in run_list {
         match find_experiment(id) {
             Some(f) => {
                 let start = std::time::Instant::now();
                 println!("\n### running {id} ...");
-                f(&scale, &outputs);
-                println!("### {id} done in {:.1}s", start.elapsed().as_secs_f64());
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&scale, &outputs)));
+                match outcome {
+                    Ok(Ok(())) => {
+                        println!("### {id} done in {:.1}s", start.elapsed().as_secs_f64())
+                    }
+                    Ok(Err(e)) => {
+                        eprintln!("### {id} FAILED: {e}");
+                        failures.push((id.to_string(), e.to_string()));
+                    }
+                    Err(payload) => {
+                        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                            (*s).to_string()
+                        } else if let Some(s) = payload.downcast_ref::<String>() {
+                            s.clone()
+                        } else {
+                            "non-string panic payload".to_string()
+                        };
+                        eprintln!("### {id} PANICKED: {msg}");
+                        failures.push((id.to_string(), format!("panicked: {msg}")));
+                    }
+                }
             }
             None => {
                 eprintln!("unknown experiment: {id}");
@@ -78,5 +110,13 @@ fn main() -> ExitCode {
             }
         }
     }
-    ExitCode::SUCCESS
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\n{} experiment(s) failed:", failures.len());
+        for (id, why) in &failures {
+            eprintln!("  {id}: {why}");
+        }
+        ExitCode::FAILURE
+    }
 }

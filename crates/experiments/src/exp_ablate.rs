@@ -5,7 +5,7 @@
 //! * z-buffering before texture retrieval — §6 future work;
 //! * sector mapping on/off — §5.2's download-granularity decision.
 
-use crate::runner::{engine_run, pct, stats_run};
+use crate::runner::{engine_run_all, pct, stats_run, RunError};
 use crate::{Outputs, Scale, TextTable};
 use mltc_core::{EngineConfig, L1Config, L2Config, ReplacementPolicy};
 use mltc_trace::FilterMode;
@@ -20,7 +20,7 @@ fn ml_config() -> EngineConfig {
 
 /// **Ablation A** — L2 replacement policy: clock vs LRU vs FIFO, plus the
 /// clock's victim-search cost ("pesky" behaviour, §5.4.2/§6).
-pub fn ablate_replacement(scale: &Scale, out: &Outputs) {
+pub fn ablate_replacement(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
     let mut t = TextTable::new(&[
         "workload",
         "policy",
@@ -30,15 +30,21 @@ pub fn ablate_replacement(scale: &Scale, out: &Outputs) {
         "max cycles @16/cycle",
     ]);
     for w in [scale.village(), scale.city()] {
-        let configs: Vec<EngineConfig> =
-            [ReplacementPolicy::Clock, ReplacementPolicy::Lru, ReplacementPolicy::Fifo]
-                .iter()
-                .map(|&policy| EngineConfig {
-                    l2: Some(L2Config { policy, ..L2Config::mb(2) }),
-                    ..ml_config()
-                })
-                .collect();
-        let engines = engine_run(&w, FilterMode::Trilinear, &configs, false);
+        let configs: Vec<EngineConfig> = [
+            ReplacementPolicy::Clock,
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+        ]
+        .iter()
+        .map(|&policy| EngineConfig {
+            l2: Some(L2Config {
+                policy,
+                ..L2Config::mb(2)
+            }),
+            ..ml_config()
+        })
+        .collect();
+        let engines = engine_run_all(&w, FilterMode::Trilinear, &configs, false)?;
         for e in &engines {
             let tot = e.totals();
             let l2 = e.l2().expect("ablation engines all have L2");
@@ -49,19 +55,34 @@ pub fn ablate_replacement(scale: &Scale, out: &Outputs) {
                 policy.to_string(),
                 format!("{:.2}", tot.host_mb() / w.frame_count as f64),
                 pct(tot.l2_full_hit_rate()),
-                if policy == ReplacementPolicy::Clock { cs.max_search.to_string() } else { "-".into() },
-                if policy == ReplacementPolicy::Clock { cs.max_cycles(16).to_string() } else { "-".into() },
+                if policy == ReplacementPolicy::Clock {
+                    cs.max_search.to_string()
+                } else {
+                    "-".into()
+                },
+                if policy == ReplacementPolicy::Clock {
+                    cs.max_cycles(16).to_string()
+                } else {
+                    "-".into()
+                },
             ]);
         }
     }
-    out.table("ablate_replacement", "Ablation A — L2 replacement policy", &t);
-    out.note("Paper: clock approximates LRU well; searching active bits 16 at a time \
-              always found a victim within 32 cycles on these workloads.");
+    out.table(
+        "ablate_replacement",
+        "Ablation A — L2 replacement policy",
+        &t,
+    );
+    out.note(
+        "Paper: clock approximates LRU well; searching active bits 16 at a time \
+              always found a victim within 32 cycles on these workloads.",
+    );
+    Ok(())
 }
 
 /// **Ablation B** — z-buffering before texture retrieval (§6): depth
 /// complexity collapses toward 1 and download traffic shrinks.
-pub fn ablate_zprepass(scale: &Scale, out: &Outputs) {
+pub fn ablate_zprepass(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
     let mut t = TextTable::new(&[
         "workload",
         "mode",
@@ -75,60 +96,87 @@ pub fn ablate_zprepass(scale: &Scale, out: &Outputs) {
                 let mut acc = 0.0;
                 let mut n = 0u32;
                 for f in 0..w.frame_count {
-                    acc += w.trace_frame_zprepass(f, FilterMode::Point).depth_complexity();
+                    acc += w
+                        .trace_frame_zprepass(f, FilterMode::Point)
+                        .depth_complexity();
                     n += 1;
                 }
                 acc / n as f64
             } else {
                 stats_run(&w).1.depth_complexity
             };
-            let engines = engine_run(&w, FilterMode::Trilinear, &[ml_config()], zpre);
+            let engines = engine_run_all(&w, FilterMode::Trilinear, &[ml_config()], zpre)?;
             t.row(vec![
                 w.name.to_string(),
                 label.to_string(),
                 format!("{d:.2}"),
-                format!("{:.2}", engines[0].totals().host_mb() / w.frame_count as f64),
+                format!(
+                    "{:.2}",
+                    engines[0].totals().host_mb() / w.frame_count as f64
+                ),
             ]);
         }
     }
-    out.table("ablate_zprepass", "Ablation B — z-buffer before texture retrieval", &t);
-    out.note("Paper §6: z-buffering before texture fetch 'should reduce texture depth to \
-              something close to one' and save memory and bandwidth.");
+    out.table(
+        "ablate_zprepass",
+        "Ablation B — z-buffer before texture retrieval",
+        &t,
+    );
+    out.note(
+        "Paper §6: z-buffering before texture fetch 'should reduce texture depth to \
+              something close to one' and save memory and bandwidth.",
+    );
+    Ok(())
 }
 
 /// **Ablation C** — sector mapping on/off: downloading whole L2 blocks on a
 /// miss vs only the missing L1 sub-block.
-pub fn ablate_sector(scale: &Scale, out: &Outputs) {
-    let mut t = TextTable::new(&["workload", "sector mapping", "avg MB/frame", "L2 full hit %"]);
+pub fn ablate_sector(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
+    let mut t = TextTable::new(&[
+        "workload",
+        "sector mapping",
+        "avg MB/frame",
+        "L2 full hit %",
+    ]);
     for w in [scale.village(), scale.city()] {
         let configs = [
             ml_config(),
             EngineConfig {
-                l2: Some(L2Config { sector_mapping: false, ..L2Config::mb(2) }),
+                l2: Some(L2Config {
+                    sector_mapping: false,
+                    ..L2Config::mb(2)
+                }),
                 ..ml_config()
             },
         ];
-        let engines = engine_run(&w, FilterMode::Trilinear, &configs, false);
+        let engines = engine_run_all(&w, FilterMode::Trilinear, &configs, false)?;
         for e in &engines {
             let tot = e.totals();
             t.row(vec![
                 w.name.to_string(),
-                if e.l2().unwrap().config().sector_mapping { "on (paper)".into() } else { "off".into() },
+                if e.l2().unwrap().config().sector_mapping {
+                    "on (paper)".into()
+                } else {
+                    "off".into()
+                },
                 format!("{:.2}", tot.host_mb() / w.frame_count as f64),
                 pct(tot.l2_full_hit_rate()),
             ]);
         }
     }
     out.table("ablate_sector", "Ablation C — sector mapping", &t);
-    out.note("Sector mapping exists 'in order not to exceed the download bandwidth of the \
-              pull architecture' (§5.2): whole-block fills trade bandwidth for hit rate.");
+    out.note(
+        "Sector mapping exists 'in order not to exceed the download bandwidth of the \
+              pull architecture' (§5.2): whole-block fills trade bandwidth for hit rate.",
+    );
+    Ok(())
 }
 
 /// **Future workloads** (paper §6, third item): "investigation with
 /// 'workloads of the future' are worthy of pursuit" — a larger City with
 /// double-resolution facades, swept over L2 sizes to find where the
 /// inter-frame working set stops fitting.
-pub fn future_workloads(scale: &Scale, out: &Outputs) {
+pub fn future_workloads(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
     use mltc_trace::TileClass;
 
     let mut t = TextTable::new(&[
@@ -153,21 +201,37 @@ pub fn future_workloads(scale: &Scale, out: &Outputs) {
                 ..EngineConfig::default()
             })
             .collect();
-        let engines = engine_run(&w, FilterMode::Trilinear, &configs, false);
+        let engines = engine_run_all(&w, FilterMode::Trilinear, &configs, false)?;
         let mut row = vec![
             w.name.to_string(),
-            format!("{:.1}", w.registry().host_byte_size() as f64 / (1 << 20) as f64),
+            format!(
+                "{:.1}",
+                w.registry().host_byte_size() as f64 / (1 << 20) as f64
+            ),
             format!("{:.2}", s.depth_complexity),
-            format!("{:.2}", s.mean_total_bytes[TileClass::L2x16.idx()] / (1 << 20) as f64),
+            format!(
+                "{:.2}",
+                s.mean_total_bytes[TileClass::L2x16.idx()] / (1 << 20) as f64
+            ),
         ];
         for e in &engines {
-            row.push(format!("{:.2}", e.totals().host_mb() / w.frame_count as f64));
+            row.push(format!(
+                "{:.2}",
+                e.totals().host_mb() / w.frame_count as f64
+            ));
         }
         t.row(row);
     }
-    out.table("future_workloads", "Future workloads (§6) — the City of the future vs today", &t);
-    out.note("The larger working set of the future City needs a larger L2 before \
-              bandwidth stops falling — the scaling question §6 poses.");
+    out.table(
+        "future_workloads",
+        "Future workloads (§6) — the City of the future vs today",
+        &t,
+    );
+    out.note(
+        "The larger working set of the future City needs a larger L2 before \
+              bandwidth stops falling — the scaling question §6 poses.",
+    );
+    Ok(())
 }
 
 #[cfg(test)]
@@ -179,8 +243,11 @@ mod tests {
     fn replacement_ablation_produces_rows_for_all_policies() {
         let dir = std::env::temp_dir().join(format!("mltc_abl_{}", std::process::id()));
         let out = Outputs::quiet(&dir);
-        let scale = Scale { name: "tiny", params: WorkloadParams::tiny() };
-        ablate_replacement(&scale, &out);
+        let scale = Scale {
+            name: "tiny",
+            params: WorkloadParams::tiny(),
+        };
+        ablate_replacement(&scale, &out).unwrap();
         let csv = std::fs::read_to_string(dir.join("ablate_replacement.csv")).unwrap();
         assert_eq!(csv.lines().count(), 1 + 6, "2 workloads x 3 policies");
         assert!(csv.contains("clock") && csv.contains("lru") && csv.contains("fifo"));
@@ -189,10 +256,13 @@ mod tests {
 
     #[test]
     fn zprepass_reduces_depth_and_bandwidth() {
-        let scale = Scale { name: "tiny", params: WorkloadParams::tiny() };
+        let scale = Scale {
+            name: "tiny",
+            params: WorkloadParams::tiny(),
+        };
         let w = scale.village();
-        let late = engine_run(&w, FilterMode::Trilinear, &[ml_config()], false);
-        let pre = engine_run(&w, FilterMode::Trilinear, &[ml_config()], true);
+        let late = engine_run_all(&w, FilterMode::Trilinear, &[ml_config()], false).unwrap();
+        let pre = engine_run_all(&w, FilterMode::Trilinear, &[ml_config()], true).unwrap();
         assert!(pre[0].totals().l1_accesses < late[0].totals().l1_accesses);
         assert!(pre[0].totals().host_bytes <= late[0].totals().host_bytes);
     }

@@ -1,12 +1,13 @@
 //! Analytic experiments: Fig. 3 and Table 4 (no simulation required).
 
+use crate::runner::RunError;
 use crate::{Outputs, Scale, TextTable};
 use mltc_core::model;
 use mltc_texture::TilingConfig;
 
 /// **Fig. 3** — expected inter-frame working set `W` as a function of
 /// resolution, depth complexity and block utilization (§4.1).
-pub fn fig3(_scale: &Scale, out: &Outputs) {
+pub fn fig3(_scale: &Scale, out: &Outputs) -> Result<(), RunError> {
     let resolutions: [(&str, u64); 5] = [
         ("640x480", 640 * 480),
         ("800x600", 800 * 600),
@@ -28,14 +29,21 @@ pub fn fig3(_scale: &Scale, out: &Outputs) {
             t.row(row);
         }
     }
-    out.table("fig3", "Fig. 3 — expected inter-frame working set W (MB)", &t);
-    out.note("Paper: W < 64 MB for utilization >= 0.25 at reasonable depth/resolution; \
-              W < 16 MB at utilization >= 0.5 and depth 1.");
+    out.table(
+        "fig3",
+        "Fig. 3 — expected inter-frame working set W (MB)",
+        &t,
+    );
+    out.note(
+        "Paper: W < 64 MB for utilization >= 0.25 at reasonable depth/resolution; \
+              W < 16 MB at utilization >= 0.5 and depth 1.",
+    );
+    Ok(())
 }
 
 /// **Table 4** — memory requirements of the L2 caching structures, for
 /// 16×16 L2 tiles of 4×4 sub-blocks (§5.4.1).
-pub fn table4(_scale: &Scale, out: &Outputs) {
+pub fn table4(_scale: &Scale, out: &Outputs) -> Result<(), RunError> {
     let tiling = TilingConfig::PAPER_DEFAULT;
     let l2_sizes = [2u64, 4, 8];
 
@@ -68,7 +76,12 @@ pub fn table4(_scale: &Scale, out: &Outputs) {
     t.row(active);
     t.row(sans);
 
-    out.table("table4", "Table 4 — memory requirements of L2 caching structures", &t);
+    out.table(
+        "table4",
+        "Table 4 — memory requirements of L2 caching structures",
+        &t,
+    );
+    Ok(())
 }
 
 #[cfg(test)]
@@ -83,8 +96,8 @@ mod tests {
     #[test]
     fn fig3_and_table4_produce_csvs() {
         let (out, dir) = outputs();
-        fig3(&Scale::quick(), &out);
-        table4(&Scale::quick(), &out);
+        fig3(&Scale::quick(), &out).unwrap();
+        table4(&Scale::quick(), &out).unwrap();
         let fig3_csv = std::fs::read_to_string(dir.join("fig3.csv")).unwrap();
         assert_eq!(fig3_csv.lines().count(), 1 + 15, "5 resolutions x 3 depths");
         let t4 = std::fs::read_to_string(dir.join("table4.csv")).unwrap();

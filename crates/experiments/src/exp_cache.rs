@@ -1,6 +1,6 @@
 //! Cache-simulation experiments: Figs. 9–10 and Tables 2, 3, 5–7 (§5.3–5.4).
 
-use crate::runner::{engine_run, pct};
+use crate::runner::{engine_run_all, pct, RunError};
 use crate::{Outputs, Scale, TextTable};
 use mltc_core::{model, EngineConfig, L1Config, L2Config, SimEngine};
 use mltc_scene::Workload;
@@ -12,7 +12,10 @@ const L1_SIZES_KB: [usize; 5] = [2, 4, 8, 16, 32];
 fn l1_sweep_configs() -> Vec<EngineConfig> {
     L1_SIZES_KB
         .iter()
-        .map(|&kb| EngineConfig { l1: L1Config::kb(kb), ..EngineConfig::default() })
+        .map(|&kb| EngineConfig {
+            l1: L1Config::kb(kb),
+            ..EngineConfig::default()
+        })
         .collect()
 }
 
@@ -20,19 +23,37 @@ fn l1_sweep_configs() -> Vec<EngineConfig> {
 fn arch_configs() -> Vec<EngineConfig> {
     let base = EngineConfig::default();
     vec![
-        EngineConfig { l1: L1Config::kb(2), ..base },
-        EngineConfig { l1: L1Config::kb(16), ..base },
-        EngineConfig { l1: L1Config::kb(2), l2: Some(L2Config::mb(2)), ..base },
-        EngineConfig { l1: L1Config::kb(2), l2: Some(L2Config::mb(4)), ..base },
-        EngineConfig { l1: L1Config::kb(2), l2: Some(L2Config::mb(8)), ..base },
+        EngineConfig {
+            l1: L1Config::kb(2),
+            ..base
+        },
+        EngineConfig {
+            l1: L1Config::kb(16),
+            ..base
+        },
+        EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(2)),
+            ..base
+        },
+        EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(4)),
+            ..base
+        },
+        EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(8)),
+            ..base
+        },
     ]
 }
 
 /// **Fig. 9** — per-frame L1 miss rate by cache size (Village).
-pub fn fig9(scale: &Scale, out: &Outputs) {
+pub fn fig9(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
     let village = scale.village();
     for filter in [FilterMode::Bilinear, FilterMode::Trilinear] {
-        let engines = engine_run(&village, filter, &l1_sweep_configs(), false);
+        let engines = engine_run_all(&village, filter, &l1_sweep_configs(), false)?;
         let mut per_frame = TextTable::new(
             &std::iter::once("frame".to_string())
                 .chain(L1_SIZES_KB.iter().map(|kb| format!("miss_{kb}KB")))
@@ -53,8 +74,11 @@ pub fn fig9(scale: &Scale, out: &Outputs) {
 
         let mut t = TextTable::new(&["L1 size", "avg miss %", "peak miss %"]);
         for (e, kb) in engines.iter().zip(L1_SIZES_KB) {
-            let peak =
-                e.frames().iter().map(|f| f.l1_miss_rate()).fold(0.0f64, f64::max);
+            let peak = e
+                .frames()
+                .iter()
+                .map(|f| f.l1_miss_rate())
+                .fold(0.0f64, f64::max);
             t.row(vec![
                 format!("{kb} KB"),
                 pct(1.0 - e.totals().l1_hit_rate()),
@@ -68,15 +92,18 @@ pub fn fig9(scale: &Scale, out: &Outputs) {
         );
         out.note(&format!("  per-frame series: {}", csv.display()));
     }
-    out.note("Paper: 16 KB hits almost as well as 32 KB; even 2 KB peaks below \
-              ~4% (bilinear) / ~5% (trilinear).");
+    out.note(
+        "Paper: 16 KB hits almost as well as 32 KB; even 2 KB peaks below \
+              ~4% (bilinear) / ~5% (trilinear).",
+    );
+    Ok(())
 }
 
 /// **Table 2** — average L1 hit rates, bilinear and trilinear (Village).
-pub fn table2(scale: &Scale, out: &Outputs) {
+pub fn table2(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
     let village = scale.village();
-    let bl = engine_run(&village, FilterMode::Bilinear, &l1_sweep_configs(), false);
-    let tl = engine_run(&village, FilterMode::Trilinear, &l1_sweep_configs(), false);
+    let bl = engine_run_all(&village, FilterMode::Bilinear, &l1_sweep_configs(), false)?;
+    let tl = engine_run_all(&village, FilterMode::Trilinear, &l1_sweep_configs(), false)?;
     let mut t = TextTable::new(&["L1 size", "BL hit rate %", "TL hit rate %"]);
     for ((b, l), kb) in bl.iter().zip(&tl).zip(L1_SIZES_KB) {
         t.row(vec![
@@ -86,18 +113,18 @@ pub fn table2(scale: &Scale, out: &Outputs) {
         ]);
     }
     out.table("table2", "Table 2 — average L1 hit rates (Village)", &t);
+    Ok(())
 }
 
 /// **Fig. 10** — per-frame download bandwidth with and without L2 cache
 /// (trilinear; 2/16 KB L1 alone, 2 KB L1 + 2/4/8 MB L2 of 16×16 tiles).
-pub fn fig10(scale: &Scale, out: &Outputs) {
+pub fn fig10(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
     for w in [scale.village(), scale.city()] {
-        let engines = engine_run(&w, FilterMode::Trilinear, &arch_configs(), false);
+        let engines = engine_run_all(&w, FilterMode::Trilinear, &arch_configs(), false)?;
         let labels: Vec<String> = engines.iter().map(|e| e.config().label()).collect();
         let mut headers = vec!["frame".to_string()];
         headers.extend(labels.iter().cloned());
-        let mut per_frame =
-            TextTable::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
+        let mut per_frame = TextTable::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
         for f in 0..w.frame_count as usize {
             let mut row = vec![f.to_string()];
             for e in &engines {
@@ -111,7 +138,11 @@ pub fn fig10(scale: &Scale, out: &Outputs) {
         let mut t = TextTable::new(&["architecture", "avg MB/frame", "MB/s @30Hz"]);
         for e in &engines {
             let avg = e.totals().host_mb() / w.frame_count as f64;
-            t.row(vec![e.config().label(), format!("{avg:.2}"), format!("{:.0}", avg * 30.0)]);
+            t.row(vec![
+                e.config().label(),
+                format!("{avg:.2}"),
+                format!("{:.0}", avg * 30.0),
+            ]);
         }
         out.table(
             &format!("fig10_{}", w.name),
@@ -120,17 +151,20 @@ pub fn fig10(scale: &Scale, out: &Outputs) {
         );
         out.note(&format!("  per-frame series: {}", csv.display()));
     }
-    out.note("Paper (Village): 2 KB L1 alone needs ~1.6 GB/s at 30 Hz, 16 KB alone ~475 MB/s; \
-              a 2 MB L2 under a 2 KB L1 cuts it to ~92 MB/s (5x-18x saving).");
+    out.note(
+        "Paper (Village): 2 KB L1 alone needs ~1.6 GB/s at 30 Hz, 16 KB alone ~475 MB/s; \
+              a 2 MB L2 under a 2 KB L1 cuts it to ~92 MB/s (5x-18x saving).",
+    );
+    Ok(())
 }
 
 /// **Table 3** — average AGP / system-memory bandwidth (MB/frame), bilinear
 /// and trilinear, with and without L2.
-pub fn table3(scale: &Scale, out: &Outputs) {
+pub fn table3(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
     let mut t = TextTable::new(&["workload", "architecture", "BL MB/frame", "TL MB/frame"]);
     for w in [scale.village(), scale.city()] {
-        let bl = engine_run(&w, FilterMode::Bilinear, &arch_configs(), false);
-        let tl = engine_run(&w, FilterMode::Trilinear, &arch_configs(), false);
+        let bl = engine_run_all(&w, FilterMode::Bilinear, &arch_configs(), false)?;
+        let tl = engine_run_all(&w, FilterMode::Trilinear, &arch_configs(), false)?;
         for (b, l) in bl.iter().zip(&tl) {
             t.row(vec![
                 w.name.to_string(),
@@ -140,7 +174,12 @@ pub fn table3(scale: &Scale, out: &Outputs) {
             ]);
         }
     }
-    out.table("table3", "Table 3 — average download bandwidth (MB/frame)", &t);
+    out.table(
+        "table3",
+        "Table 3 — average download bandwidth (MB/frame)",
+        &t,
+    );
+    Ok(())
 }
 
 /// One measured hit-rate row: workload, filter, L1 hit rate, conditional L2
@@ -153,7 +192,7 @@ pub(crate) struct HitRates {
     pub h2_partial: f64,
 }
 
-pub(crate) fn measure_hit_rates(scale: &Scale) -> Vec<HitRates> {
+pub(crate) fn measure_hit_rates(scale: &Scale) -> Result<Vec<HitRates>, RunError> {
     let cfg = EngineConfig {
         l1: L1Config::kb(2),
         l2: Some(L2Config::mb(2)),
@@ -162,10 +201,14 @@ pub(crate) fn measure_hit_rates(scale: &Scale) -> Vec<HitRates> {
     let mut rows = Vec::new();
     for w in [scale.village(), scale.city()] {
         for filter in [FilterMode::Bilinear, FilterMode::Trilinear] {
-            let engines = engine_run(&w, filter, std::slice::from_ref(&cfg), false);
+            let engines = engine_run_all(&w, filter, std::slice::from_ref(&cfg), false)?;
             let tot = engines[0].totals();
             rows.push(HitRates {
-                workload: if w.name == "village" { "village" } else { "city" },
+                workload: if w.name == "village" {
+                    "village"
+                } else {
+                    "city"
+                },
                 filter,
                 h1: tot.l1_hit_rate(),
                 h2_full: tot.l2_full_hit_rate(),
@@ -173,14 +216,20 @@ pub(crate) fn measure_hit_rates(scale: &Scale) -> Vec<HitRates> {
             });
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// **Tables 5–6** — measured L1 hit rate and conditional L2 full/partial
 /// hit rates (2 KB L1 + 2 MB L2, 16×16 tiles).
-pub fn table5_6(scale: &Scale, out: &Outputs) {
-    let mut t = TextTable::new(&["workload", "filter", "L1 hit %", "L2 full hit %", "L2 partial hit %"]);
-    for r in measure_hit_rates(scale) {
+pub fn table5_6(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
+    let mut t = TextTable::new(&[
+        "workload",
+        "filter",
+        "L1 hit %",
+        "L2 full hit %",
+        "L2 partial hit %",
+    ]);
+    for r in measure_hit_rates(scale)? {
         t.row(vec![
             r.workload.to_string(),
             r.filter.to_string(),
@@ -194,33 +243,48 @@ pub fn table5_6(scale: &Scale, out: &Outputs) {
         "Tables 5-6 — measured L1/L2 hit rates (2 KB L1, 2 MB L2)",
         &t,
     );
-    out.note("L2 rates are conditional on an L1 miss (paper fn. 5); inclusion is not \
-              guaranteed between the levels.");
+    out.note(
+        "L2 rates are conditional on an L1 miss (paper fn. 5); inclusion is not \
+              guaranteed between the levels.",
+    );
+    Ok(())
 }
 
 /// **Table 7** — fractional advantage `f` of L2 caching (`c = 8`), plus a
 /// sensitivity sweep over `c`.
-pub fn table7(scale: &Scale, out: &Outputs) {
-    let rates = measure_hit_rates(scale);
-    let mut t = TextTable::new(&["workload", "filter", "f (c=2)", "f (c=4)", "f (c=8)", "f (c=16)"]);
+pub fn table7(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
+    let rates = measure_hit_rates(scale)?;
+    let mut t = TextTable::new(&[
+        "workload", "filter", "f (c=2)", "f (c=4)", "f (c=8)", "f (c=16)",
+    ]);
     for r in &rates {
         let mut row = vec![r.workload.to_string(), r.filter.to_string()];
         for c in [2.0, 4.0, 8.0, 16.0] {
-            row.push(format!("{:.3}", model::fractional_advantage(c, r.h2_full, r.h2_partial)));
+            row.push(format!(
+                "{:.3}",
+                model::fractional_advantage(c, r.h2_full, r.h2_partial)
+            ));
         }
         t.row(row);
     }
-    out.table("table7", "Table 7 — fractional advantage f of L2 caching", &t);
-    out.note("f < 1 means the L2 architecture beats the pull architecture on L1 misses; \
-              the paper reports f < 1 even at c = 8.");
+    out.table(
+        "table7",
+        "Table 7 — fractional advantage f of L2 caching",
+        &t,
+    );
+    out.note(
+        "f < 1 means the L2 architecture beats the pull architecture on L1 misses; \
+              the paper reports f < 1 even at c = 8.",
+    );
+    Ok(())
 }
 
 /// **Performance model** (§5.4.2) — predicted average texel access times
 /// for the pull and L2 architectures from the measured hit rates, with
 /// `t1 = 1` cycle, an L1-miss download cost `t3 = 8`, and a full L2 miss
 /// bounded by `c = 8` downloads (the paper's assumption).
-pub fn perf_model(scale: &Scale, out: &Outputs) {
-    let rates = measure_hit_rates(scale);
+pub fn perf_model(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
+    let rates = measure_hit_rates(scale)?;
     let (t1, t3, c) = (1.0, 8.0, 8.0);
     let mut t = TextTable::new(&[
         "workload", "filter", "h1 %", "f (c=8)", "A_pull", "A_L2", "speedup",
@@ -239,19 +303,29 @@ pub fn perf_model(scale: &Scale, out: &Outputs) {
             format!("{:.2}x", a_pull / a_l2),
         ]);
     }
-    out.table("perf_model", "Performance model (§5.4.2) — average texel access time", &t);
-    out.note("A = t1 + (1-h1)*f*t3 cycles per texel; f < 1 means the L2 architecture's \
-              L1 misses are cheaper on average than the pull architecture's.");
+    out.table(
+        "perf_model",
+        "Performance model (§5.4.2) — average texel access time",
+        &t,
+    );
+    out.note(
+        "A = t1 + (1-h1)*f*t3 cycles per texel; f < 1 means the L2 architecture's \
+              L1 misses are cheaper on average than the pull architecture's.",
+    );
+    Ok(())
 }
 
 /// Shared assertion helper for integration tests: bandwidth must shrink
 /// monotonically as the architecture gains cache.
-pub fn host_bytes_by_architecture(w: &Workload, filter: FilterMode) -> Vec<(String, u64)> {
-    let engines = engine_run(w, filter, &arch_configs(), false);
-    engines
+pub fn host_bytes_by_architecture(
+    w: &Workload,
+    filter: FilterMode,
+) -> Result<Vec<(String, u64)>, RunError> {
+    let engines = engine_run_all(w, filter, &arch_configs(), false)?;
+    Ok(engines
         .iter()
         .map(|e: &SimEngine| (e.config().label(), e.totals().host_bytes))
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -260,7 +334,10 @@ mod tests {
     use mltc_scene::WorkloadParams;
 
     fn tiny_scale() -> Scale {
-        Scale { name: "tiny", params: WorkloadParams::tiny() }
+        Scale {
+            name: "tiny",
+            params: WorkloadParams::tiny(),
+        }
     }
 
     #[test]
@@ -275,7 +352,7 @@ mod tests {
     fn table2_runs_and_orders_hit_rates() {
         let dir = std::env::temp_dir().join(format!("mltc_cache_{}", std::process::id()));
         let out = Outputs::quiet(&dir);
-        table2(&tiny_scale(), &out);
+        table2(&tiny_scale(), &out).unwrap();
         let csv = std::fs::read_to_string(dir.join("table2.csv")).unwrap();
         assert_eq!(csv.lines().count(), 1 + 5);
         // Hit rates must be non-decreasing with L1 size.
@@ -285,14 +362,17 @@ mod tests {
             .map(|l| l.split(',').nth(1).unwrap().parse().unwrap())
             .collect();
         for pair in rates.windows(2) {
-            assert!(pair[1] >= pair[0] - 0.5, "bigger L1 must not hit much worse: {rates:?}");
+            assert!(
+                pair[1] >= pair[0] - 0.5,
+                "bigger L1 must not hit much worse: {rates:?}"
+            );
         }
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn hit_rate_measurement_is_sane() {
-        let rows = measure_hit_rates(&tiny_scale());
+        let rows = measure_hit_rates(&tiny_scale()).unwrap();
         assert_eq!(rows.len(), 4);
         for r in &rows {
             assert!(r.h1 > 0.5 && r.h1 <= 1.0, "{} h1 = {}", r.workload, r.h1);

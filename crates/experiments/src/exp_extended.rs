@@ -4,7 +4,7 @@
 //! The paper fixes each of these after citing Hakura's ISCA'97 analysis;
 //! these experiments re-derive the evidence on our workloads.
 
-use crate::runner::{engine_run, engine_run_traversal, pct};
+use crate::runner::{engine_run_all, engine_run_traversal_all, pct, RunError};
 use crate::{Outputs, Scale, TextTable};
 use mltc_core::{EngineConfig, L1Config, L2Config, StorageFormat};
 use mltc_raster::Traversal;
@@ -13,17 +13,20 @@ use mltc_trace::FilterMode;
 
 /// **Storage format** — tiled vs linear texture storage (§2.3: "advantage
 /// can be taken … by storing texture images in tiles rather than linearly").
-pub fn ablate_storage(scale: &Scale, out: &Outputs) {
+pub fn ablate_storage(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
     let village = scale.village();
     let mut t = TextTable::new(&["L1 size", "storage", "BL hit %", "TL hit %"]);
     for kb in [2usize, 16] {
         for storage in [StorageFormat::Tiled, StorageFormat::Linear] {
             let cfg = EngineConfig {
-                l1: L1Config { storage, ..L1Config::kb(kb) },
+                l1: L1Config {
+                    storage,
+                    ..L1Config::kb(kb)
+                },
                 ..EngineConfig::default()
             };
-            let bl = engine_run(&village, FilterMode::Bilinear, &[cfg], false);
-            let tl = engine_run(&village, FilterMode::Trilinear, &[cfg], false);
+            let bl = engine_run_all(&village, FilterMode::Bilinear, &[cfg], false)?;
+            let tl = engine_run_all(&village, FilterMode::Trilinear, &[cfg], false)?;
             t.row(vec![
                 format!("{kb} KB"),
                 format!("{storage:?}").to_lowercase(),
@@ -32,22 +35,35 @@ pub fn ablate_storage(scale: &Scale, out: &Outputs) {
             ]);
         }
     }
-    out.table("ablate_storage", "Storage format — tiled vs linear lines (Village)", &t);
-    out.note("Hakura/§2.3: tiled storage captures 2D texture locality that linear \
-              scanline storage wastes.");
+    out.table(
+        "ablate_storage",
+        "Storage format — tiled vs linear lines (Village)",
+        &t,
+    );
+    out.note(
+        "Hakura/§2.3: tiled storage captures 2D texture locality that linear \
+              scanline storage wastes.",
+    );
+    Ok(())
 }
 
 /// **Traversal order** — scanline vs tiled rasterization (§2.3: tiled
 /// rasterization improves texture locality but is not always
 /// cost-effective; the paper studies scanline order).
-pub fn ablate_traversal(scale: &Scale, out: &Outputs) {
+pub fn ablate_traversal(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
     let village = scale.village();
     let mut t = TextTable::new(&["L1 size", "traversal", "BL hit %", "BL misses"]);
     for kb in [2usize, 16] {
-        for (label, traversal) in [("scanline", Traversal::Scanline), ("tiled 8x8", Traversal::Tiled(8))] {
-            let cfg = EngineConfig { l1: L1Config::kb(kb), ..EngineConfig::default() };
+        for (label, traversal) in [
+            ("scanline", Traversal::Scanline),
+            ("tiled 8x8", Traversal::Tiled(8)),
+        ] {
+            let cfg = EngineConfig {
+                l1: L1Config::kb(kb),
+                ..EngineConfig::default()
+            };
             let engines =
-                engine_run_traversal(&village, FilterMode::Bilinear, &[cfg], false, traversal);
+                engine_run_traversal_all(&village, FilterMode::Bilinear, &[cfg], false, traversal)?;
             let tot = engines[0].totals();
             t.row(vec![
                 format!("{kb} KB"),
@@ -57,15 +73,22 @@ pub fn ablate_traversal(scale: &Scale, out: &Outputs) {
             ]);
         }
     }
-    out.table("ablate_traversal", "Rasterization order — scanline vs tiled (Village)", &t);
-    out.note("Hakura/§2.3: tiled rasterization gives better texture locality; the paper \
+    out.table(
+        "ablate_traversal",
+        "Rasterization order — scanline vs tiled (Village)",
+        &t,
+    );
+    out.note(
+        "Hakura/§2.3: tiled rasterization gives better texture locality; the paper \
               assumes scanline order because tiled traversal lowers hardware utilization \
-              on small triangles.");
+              on small triangles.",
+    );
+    Ok(())
 }
 
 /// **L2 tile size sweep** — the paper reports "similar results were
 /// observed for tiles 8x8 and 32x32" (§5.3.2); this regenerates that check.
-pub fn l2_tile_sweep(scale: &Scale, out: &Outputs) {
+pub fn l2_tile_sweep(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
     let mut t = TextTable::new(&[
         "workload",
         "L2 tile",
@@ -83,7 +106,7 @@ pub fn l2_tile_sweep(scale: &Scale, out: &Outputs) {
                 ..EngineConfig::default()
             })
             .collect();
-        let engines = engine_run(&w, FilterMode::Trilinear, &configs, false);
+        let engines = engine_run_all(&w, FilterMode::Trilinear, &configs, false)?;
         for e in &engines {
             let tot = e.totals();
             t.row(vec![
@@ -95,25 +118,35 @@ pub fn l2_tile_sweep(scale: &Scale, out: &Outputs) {
             ]);
         }
     }
-    out.table("l2_tile_sweep", "L2 tile size sweep (2 KB L1 + 2 MB L2, trilinear)", &t);
-    out.note("Paper §5.3.2: bandwidth results for 8x8 and 32x32 L2 tiles are similar to \
-              16x16 — the page table/sector split, not the tile size, does the work.");
+    out.table(
+        "l2_tile_sweep",
+        "L2 tile size sweep (2 KB L1 + 2 MB L2, trilinear)",
+        &t,
+    );
+    out.note(
+        "Paper §5.3.2: bandwidth results for 8x8 and 32x32 L2 tiles are similar to \
+              16x16 — the page table/sector split, not the tile size, does the work.",
+    );
+    Ok(())
 }
 
 /// **L1 associativity sweep** — Hakura argues 2-way suffices to avoid
 /// conflict misses under trilinear interpolation (§2.3).
-pub fn l1_assoc_sweep(scale: &Scale, out: &Outputs) {
+pub fn l1_assoc_sweep(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
     let village = scale.village();
     let mut t = TextTable::new(&["ways", "BL hit %", "TL hit %"]);
     let configs: Vec<EngineConfig> = [1usize, 2, 4, 8]
         .iter()
         .map(|&ways| EngineConfig {
-            l1: L1Config { ways, ..L1Config::kb(16) },
+            l1: L1Config {
+                ways,
+                ..L1Config::kb(16)
+            },
             ..EngineConfig::default()
         })
         .collect();
-    let bl = engine_run(&village, FilterMode::Bilinear, &configs, false);
-    let tl = engine_run(&village, FilterMode::Trilinear, &configs, false);
+    let bl = engine_run_all(&village, FilterMode::Bilinear, &configs, false)?;
+    let tl = engine_run_all(&village, FilterMode::Trilinear, &configs, false)?;
     for (b, l) in bl.iter().zip(&tl) {
         t.row(vec![
             b.config().l1.ways.to_string(),
@@ -121,9 +154,16 @@ pub fn l1_assoc_sweep(scale: &Scale, out: &Outputs) {
             pct(l.totals().l1_hit_rate()),
         ]);
     }
-    out.table("l1_assoc_sweep", "L1 associativity sweep (16 KB, Village)", &t);
-    out.note("Hakura/§2.3: 2-way set-associativity suffices to avoid trilinear conflict \
-              misses; more ways buy little.");
+    out.table(
+        "l1_assoc_sweep",
+        "L1 associativity sweep (16 KB, Village)",
+        &t,
+    );
+    out.note(
+        "Hakura/§2.3: 2-way set-associativity suffices to avoid trilinear conflict \
+              misses; more ways buy little.",
+    );
+    Ok(())
 }
 
 #[cfg(test)]
@@ -132,7 +172,10 @@ mod tests {
     use mltc_scene::WorkloadParams;
 
     fn tiny_scale() -> Scale {
-        Scale { name: "tiny", params: WorkloadParams::tiny() }
+        Scale {
+            name: "tiny",
+            params: WorkloadParams::tiny(),
+        }
     }
 
     fn temp_out(tag: &str) -> (Outputs, std::path::PathBuf) {
@@ -143,7 +186,7 @@ mod tests {
     #[test]
     fn storage_ablation_shows_tiled_advantage() {
         let (out, dir) = temp_out("storage");
-        ablate_storage(&tiny_scale(), &out);
+        ablate_storage(&tiny_scale(), &out).unwrap();
         let csv = std::fs::read_to_string(dir.join("ablate_storage.csv")).unwrap();
         let rows: Vec<Vec<String>> = csv
             .lines()
@@ -163,7 +206,7 @@ mod tests {
     #[test]
     fn tile_sweep_produces_all_rows() {
         let (out, dir) = temp_out("tiles");
-        l2_tile_sweep(&tiny_scale(), &out);
+        l2_tile_sweep(&tiny_scale(), &out).unwrap();
         let csv = std::fs::read_to_string(dir.join("l2_tile_sweep.csv")).unwrap();
         assert_eq!(csv.lines().count(), 1 + 6, "2 workloads x 3 tile sizes");
         let _ = std::fs::remove_dir_all(&dir);
@@ -172,7 +215,7 @@ mod tests {
     #[test]
     fn associativity_is_monotone_enough() {
         let (out, dir) = temp_out("assoc");
-        l1_assoc_sweep(&tiny_scale(), &out);
+        l1_assoc_sweep(&tiny_scale(), &out).unwrap();
         let csv = std::fs::read_to_string(dir.join("l1_assoc_sweep.csv")).unwrap();
         let rates: Vec<f64> = csv
             .lines()

@@ -1,0 +1,139 @@
+//! Fault sweep: how the pull and multi-level architectures degrade when
+//! the host download link starts failing.
+//!
+//! The paper assumes a perfect AGP link; this robustness study injects
+//! deterministic per-transfer failures ([`FaultPlan`]) at increasing rates
+//! and compares the two architectures. The multi-level design can fall
+//! back to a coarser mip level already resident in L2 (a blurrier but
+//! correct texel); the pull architecture has nowhere to fall back to and
+//! must drop the tap outright.
+
+use crate::runner::{engine_run_all, pct, RunError};
+use crate::{Outputs, Scale, TextTable};
+use mltc_core::{EngineConfig, FaultPlan, L1Config, L2Config};
+use mltc_trace::FilterMode;
+
+/// Per-attempt failure rates swept, in parts per million.
+const FAIL_PPM: [u32; 4] = [0, 1_000, 10_000, 50_000];
+
+/// Seed for every plan in the sweep: outcomes must differ only by rate and
+/// architecture, never by accidental reseeding.
+const SWEEP_SEED: u64 = 0x4d4c_5443; // "MLTC"
+
+fn sweep_configs() -> Vec<EngineConfig> {
+    let mut configs = Vec::with_capacity(FAIL_PPM.len() * 2);
+    for &ppm in &FAIL_PPM {
+        let fault = FaultPlan::with_rate(SWEEP_SEED, ppm);
+        // Pull architecture: 2 KB L1, no L2.
+        configs.push(EngineConfig {
+            l1: L1Config::kb(2),
+            fault,
+            ..EngineConfig::default()
+        });
+        // Multi-level: 2 KB L1 + 2 MB L2, the paper's headline pair.
+        configs.push(EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(2)),
+            fault,
+            ..EngineConfig::default()
+        });
+    }
+    configs
+}
+
+/// **Fault sweep** — download failure rates 0 / 0.1 / 1 / 5 % per attempt
+/// (3 attempts per transfer) against both architectures on the Village.
+pub fn exp_fault(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
+    let village = scale.village();
+    let engines = engine_run_all(&village, FilterMode::Trilinear, &sweep_configs(), false)?;
+
+    let mut t = TextTable::new(&[
+        "fail %/attempt",
+        "architecture",
+        "avg MB/frame",
+        "retries",
+        "failed transfers",
+        "degraded taps",
+        "dropped taps",
+        "taps lost %",
+    ]);
+    for e in &engines {
+        let tot = e.totals();
+        let fault = e.config().fault;
+        let arch = if e.config().l2.is_some() {
+            "multi-level"
+        } else {
+            "pull"
+        };
+        t.row(vec![
+            format!("{:.1}", fault.fail_ppm as f64 / 10_000.0),
+            arch.to_string(),
+            format!("{:.2}", tot.host_mb() / village.frame_count as f64),
+            tot.retries.to_string(),
+            tot.failed_transfers.to_string(),
+            tot.degraded_taps.to_string(),
+            tot.dropped_taps.to_string(),
+            pct(tot.dropped_taps as f64 / tot.l1_accesses.max(1) as f64),
+        ]);
+    }
+    out.table(
+        "fault",
+        "Fault sweep — host-link failures, pull vs multi-level (Village)",
+        &t,
+    );
+    out.note(
+        "A failed transfer moves no bytes. The multi-level architecture degrades \
+              most failed taps to a coarser mip already resident in L2; the pull \
+              architecture must drop them.",
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mltc_scene::WorkloadParams;
+
+    #[test]
+    fn fault_sweep_writes_all_rows_and_prefers_multilevel() {
+        let dir = std::env::temp_dir().join(format!("mltc_fault_{}", std::process::id()));
+        let out = Outputs::quiet(&dir);
+        let scale = Scale {
+            name: "tiny",
+            params: WorkloadParams::tiny(),
+        };
+        exp_fault(&scale, &out).unwrap();
+        let csv = std::fs::read_to_string(dir.join("fault.csv")).unwrap();
+        assert_eq!(
+            csv.lines().count(),
+            1 + FAIL_PPM.len() * 2,
+            "2 architectures per rate"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_rate_rows_report_no_faults() {
+        let scale = Scale {
+            name: "tiny",
+            params: WorkloadParams::tiny(),
+        };
+        let engines = engine_run_all(
+            &scale.village(),
+            FilterMode::Trilinear,
+            &sweep_configs(),
+            false,
+        )
+        .unwrap();
+        for e in engines.iter().take(2) {
+            let tot = e.totals();
+            assert_eq!(tot.retries, 0);
+            assert_eq!(tot.failed_transfers, 0);
+            assert_eq!(tot.degraded_taps, 0);
+            assert_eq!(tot.dropped_taps, 0);
+        }
+        // Nonzero rates produce at least some retries somewhere in the sweep.
+        let faulted: u64 = engines.iter().skip(2).map(|e| e.totals().retries).sum();
+        assert!(faulted > 0, "the sweep should exercise the fault path");
+    }
+}

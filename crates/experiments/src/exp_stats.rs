@@ -1,6 +1,6 @@
 //! Working-set statistics experiments: Table 1 and Figs. 4–6 (§4.2).
 
-use crate::runner::{mb, mb_f, stats_run};
+use crate::runner::{mb, mb_f, stats_run, RunError};
 use crate::{Outputs, Scale, TextTable};
 use mltc_scene::Workload;
 use mltc_trace::{FrameWorkingSet, TileClass, WorkloadSummary};
@@ -11,7 +11,7 @@ fn each_workload(scale: &Scale) -> Vec<Workload> {
 
 /// **Table 1** — per-workload statistics and expected inter-frame working
 /// set (1024×768 at full scale, 16×16 L2 tiles, point sampling).
-pub fn table1(scale: &Scale, out: &Outputs) {
+pub fn table1(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
     let mut t = TextTable::new(&[
         "workload",
         "depth complexity d",
@@ -23,7 +23,11 @@ pub fn table1(scale: &Scale, out: &Outputs) {
     ]);
     for w in each_workload(scale) {
         let (_, s) = stats_run(&w);
-        let (pd, pu, pw) = if w.name == "village" { ("3.8", "4.7", "2.43 MB") } else { ("1.9", "7.8", "0.73 MB") };
+        let (pd, pu, pw) = if w.name == "village" {
+            ("3.8", "4.7", "2.43 MB")
+        } else {
+            ("1.9", "7.8", "0.73 MB")
+        };
         t.row(vec![
             w.name.to_string(),
             format!("{:.2}", s.depth_complexity),
@@ -34,17 +38,27 @@ pub fn table1(scale: &Scale, out: &Outputs) {
             pw.to_string(),
         ]);
     }
-    out.table("table1", "Table 1 — statistics and expected inter-frame working set", &t);
+    out.table(
+        "table1",
+        "Table 1 — statistics and expected inter-frame working set",
+        &t,
+    );
+    Ok(())
 }
 
 /// **Fig. 4** — per-frame minimum memory: texture loaded in host memory,
 /// push-architecture minimum, and L2 minimum for 32×32 / 16×16 / 8×8 tiles.
-pub fn fig4(scale: &Scale, out: &Outputs) {
+pub fn fig4(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
     for w in each_workload(scale) {
         let loaded = w.registry().host_byte_size() as u64;
         let (frames, s) = stats_run(&w);
         let mut t = TextTable::new(&[
-            "frame", "loaded_MB", "push_min_MB", "l2_32x32_MB", "l2_16x16_MB", "l2_8x8_MB",
+            "frame",
+            "loaded_MB",
+            "push_min_MB",
+            "l2_32x32_MB",
+            "l2_16x16_MB",
+            "l2_8x8_MB",
         ]);
         for f in &frames {
             t.row(vec![
@@ -70,17 +84,26 @@ pub fn fig4(scale: &Scale, out: &Outputs) {
         "Paper: L2 (16x16) needs ~3.9 MB (Village) / ~1.5 MB (City) vs push 12 / 7.4 MB \
          — a 3x-5x saving; 16x16 tiles need little more memory than 8x8.",
     );
+    Ok(())
 }
 
 fn summarise_fig4(frames: &[FrameWorkingSet], s: &WorkloadSummary, loaded: u64) -> TextTable {
     let mut t = TextTable::new(&["series", "mean MB/frame", "peak MB/frame"]);
-    t.row(vec!["texture loaded in host".into(), mb(loaded), mb(loaded)]);
+    t.row(vec![
+        "texture loaded in host".into(),
+        mb(loaded),
+        mb(loaded),
+    ]);
     let peak_push = frames.iter().map(|f| f.push_min_bytes).max().unwrap_or(0);
     let mean_push =
         frames.iter().map(|f| f.push_min_bytes).sum::<u64>() as f64 / frames.len() as f64;
     t.row(vec!["push minimum".into(), mb_f(mean_push), mb(peak_push)]);
     for class in [TileClass::L2x32, TileClass::L2x16, TileClass::L2x8] {
-        let peak = frames.iter().map(|f| f.total_bytes(class)).max().unwrap_or(0);
+        let peak = frames
+            .iter()
+            .map(|f| f.total_bytes(class))
+            .max()
+            .unwrap_or(0);
         t.row(vec![
             format!("L2 minimum ({class})"),
             mb_f(s.mean_total_bytes[class.idx()]),
@@ -91,7 +114,7 @@ fn summarise_fig4(frames: &[FrameWorkingSet], s: &WorkloadSummary, loaded: u64) 
 }
 
 /// **Fig. 5** — total vs new L2 memory per frame (16×16 tiles).
-pub fn fig5(scale: &Scale, out: &Outputs) {
+pub fn fig5(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
     for w in each_workload(scale) {
         let (frames, s) = stats_run(&w);
         let mut per_frame = TextTable::new(&["frame", "total_MB", "new_MB"]);
@@ -106,23 +129,43 @@ pub fn fig5(scale: &Scale, out: &Outputs) {
         std::fs::write(&csv_path, per_frame.csv_string()).expect("write per-frame csv");
 
         let mut t = TextTable::new(&["series", "mean per frame"]);
-        t.row(vec!["total 16x16 memory".into(), format!("{} MB", mb_f(s.mean_total_bytes[TileClass::L2x16.idx()]))]);
-        t.row(vec!["new 16x16 memory".into(),
-                   format!("{:.0} KB", s.mean_new_bytes[TileClass::L2x16.idx()] / 1024.0)]);
-        out.table(&format!("fig5_{}", w.name), &format!("Fig. 5 ({}) — total vs new L2 memory", w.name), &t);
+        t.row(vec![
+            "total 16x16 memory".into(),
+            format!("{} MB", mb_f(s.mean_total_bytes[TileClass::L2x16.idx()])),
+        ]);
+        t.row(vec![
+            "new 16x16 memory".into(),
+            format!(
+                "{:.0} KB",
+                s.mean_new_bytes[TileClass::L2x16.idx()] / 1024.0
+            ),
+        ]);
+        out.table(
+            &format!("fig5_{}", w.name),
+            &format!("Fig. 5 ({}) — total vs new L2 memory", w.name),
+            &t,
+        );
         out.note(&format!("  per-frame series: {}", csv_path.display()));
     }
-    out.note("Paper: the inter-frame working set changes slowly — on average only ~150 KB \
-              (Village) / ~40 KB (City) of required texture is new each frame.");
+    out.note(
+        "Paper: the inter-frame working set changes slowly — on average only ~150 KB \
+              (Village) / ~40 KB (City) of required texture is new each frame.",
+    );
+    Ok(())
 }
 
 /// **Fig. 6** — minimum L1 download bandwidth per frame (total vs new, for
 /// 8×8 and 4×4 L1 tiles).
-pub fn fig6(scale: &Scale, out: &Outputs) {
+pub fn fig6(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
     for w in each_workload(scale) {
         let (frames, s) = stats_run(&w);
-        let mut per_frame =
-            TextTable::new(&["frame", "total_4x4_MB", "new_4x4_MB", "total_8x8_MB", "new_8x8_MB"]);
+        let mut per_frame = TextTable::new(&[
+            "frame",
+            "total_4x4_MB",
+            "new_4x4_MB",
+            "total_8x8_MB",
+            "new_8x8_MB",
+        ]);
         for f in &frames {
             per_frame.row(vec![
                 f.frame.to_string(),
@@ -153,13 +196,16 @@ pub fn fig6(scale: &Scale, out: &Outputs) {
         );
         out.note(&format!("  per-frame series: {}", csv_path.display()));
     }
-    out.note("Paper: ~2 MB (Village) / ~510 KB (City) of L1 tiles hit per frame, of which \
-              only ~110 KB / ~23 KB are new — the bandwidth L2 caching saves.");
+    out.note(
+        "Paper: ~2 MB (Village) / ~510 KB (City) of L1 tiles hit per frame, of which \
+              only ~110 KB / ~23 KB are new — the bandwidth L2 caching saves.",
+    );
+    Ok(())
 }
 
 /// `calibrate` — workload calibration report: everything Table 1 / Fig. 4
 /// rest on, plus scene inventory.
-pub fn calibrate(scale: &Scale, out: &Outputs) {
+pub fn calibrate(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
     let mut t = TextTable::new(&[
         "workload",
         "objects",
@@ -190,6 +236,7 @@ pub fn calibrate(scale: &Scale, out: &Outputs) {
         ]);
     }
     out.table("calibrate", "Workload calibration (paper targets: Village d=3.8 u=4.7 push=12MB; City d=1.9 u=7.8 push=7.4MB)", &t);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -201,9 +248,12 @@ mod tests {
     fn stats_experiments_run_at_tiny_scale() {
         let dir = std::env::temp_dir().join(format!("mltc_stats_{}", std::process::id()));
         let out = Outputs::quiet(&dir);
-        let scale = Scale { name: "tiny", params: WorkloadParams::tiny() };
-        table1(&scale, &out);
-        fig5(&scale, &out);
+        let scale = Scale {
+            name: "tiny",
+            params: WorkloadParams::tiny(),
+        };
+        table1(&scale, &out).unwrap();
+        fig5(&scale, &out).unwrap();
         let t1 = std::fs::read_to_string(dir.join("table1.csv")).unwrap();
         assert_eq!(t1.lines().count(), 3, "header + village + city");
         assert!(dir.join("fig5_village_frames.csv").exists());

@@ -1,6 +1,6 @@
 //! Texture page-table TLB experiments: Fig. 11 and Table 8 (§5.4.3).
 
-use crate::runner::{engine_run, pct};
+use crate::runner::{engine_run_all, pct, RunError};
 use crate::{Outputs, Scale, TextTable};
 use mltc_core::{EngineConfig, L1Config, L2Config};
 use mltc_trace::FilterMode;
@@ -23,9 +23,9 @@ fn tlb_configs() -> Vec<EngineConfig> {
 /// **Fig. 11** — per-frame texture-page-table TLB hit rates for the Village
 /// as a function of entry count (trilinear, 2 KB L1 + 2 MB L2, 16×16 tiles,
 /// round-robin replacement).
-pub fn fig11(scale: &Scale, out: &Outputs) {
+pub fn fig11(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
     let village = scale.village();
-    let engines = engine_run(&village, FilterMode::Trilinear, &tlb_configs(), false);
+    let engines = engine_run_all(&village, FilterMode::Trilinear, &tlb_configs(), false)?;
 
     let headers: Vec<String> = std::iter::once("frame".to_string())
         .chain(TLB_ENTRIES.iter().map(|n| format!("hit_{n}e")))
@@ -45,12 +45,17 @@ pub fn fig11(scale: &Scale, out: &Outputs) {
     for (e, n) in engines.iter().zip(TLB_ENTRIES) {
         t.row(vec![n.to_string(), pct(e.totals().tlb_hit_rate())]);
     }
-    out.table("fig11", "Fig. 11 — texture page-table TLB hit rates (Village, trilinear)", &t);
+    out.table(
+        "fig11",
+        "Fig. 11 — texture page-table TLB hit rates (Village, trilinear)",
+        &t,
+    );
     out.note(&format!("  per-frame series: {}", csv.display()));
+    Ok(())
 }
 
 /// **Table 8** — average TLB hit rates for the Village and City (bilinear).
-pub fn table8(scale: &Scale, out: &Outputs) {
+pub fn table8(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
     let mut t = TextTable::new(&[
         "TLB entries",
         "village hit %",
@@ -58,9 +63,20 @@ pub fn table8(scale: &Scale, out: &Outputs) {
         "paper village",
         "paper city",
     ]);
-    let village = engine_run(&scale.village(), FilterMode::Bilinear, &tlb_configs(), false);
-    let city = engine_run(&scale.city(), FilterMode::Bilinear, &tlb_configs(), false);
-    let paper = [("36%", "36%"), ("63%", "63%"), ("74%", "75%"), ("81%", "82%"), ("91%", "92%")];
+    let village = engine_run_all(
+        &scale.village(),
+        FilterMode::Bilinear,
+        &tlb_configs(),
+        false,
+    )?;
+    let city = engine_run_all(&scale.city(), FilterMode::Bilinear, &tlb_configs(), false)?;
+    let paper = [
+        ("36%", "36%"),
+        ("63%", "63%"),
+        ("74%", "75%"),
+        ("81%", "82%"),
+        ("91%", "92%"),
+    ];
     for (i, n) in TLB_ENTRIES.iter().enumerate() {
         t.row(vec![
             n.to_string(),
@@ -71,6 +87,7 @@ pub fn table8(scale: &Scale, out: &Outputs) {
         ]);
     }
     out.table("table8", "Table 8 — average TLB hit rates (bilinear)", &t);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -80,23 +97,40 @@ mod tests {
 
     #[test]
     fn tlb_hit_rate_grows_with_entries() {
-        let scale = Scale { name: "tiny", params: WorkloadParams::tiny() };
-        let engines =
-            engine_run(&scale.village(), FilterMode::Bilinear, &tlb_configs(), false);
+        let scale = Scale {
+            name: "tiny",
+            params: WorkloadParams::tiny(),
+        };
+        let engines = engine_run_all(
+            &scale.village(),
+            FilterMode::Bilinear,
+            &tlb_configs(),
+            false,
+        )
+        .unwrap();
         let rates: Vec<f64> = engines.iter().map(|e| e.totals().tlb_hit_rate()).collect();
         for pair in rates.windows(2) {
-            assert!(pair[1] >= pair[0] - 0.02, "more entries should hit more: {rates:?}");
+            assert!(
+                pair[1] >= pair[0] - 0.02,
+                "more entries should hit more: {rates:?}"
+            );
         }
         assert!(rates[4] > rates[0], "16 entries must beat 1: {rates:?}");
-        assert!(rates[4] > 0.5, "a 16-entry TLB should hit most of the time: {rates:?}");
+        assert!(
+            rates[4] > 0.5,
+            "a 16-entry TLB should hit most of the time: {rates:?}"
+        );
     }
 
     #[test]
     fn fig11_writes_series() {
         let dir = std::env::temp_dir().join(format!("mltc_tlb_{}", std::process::id()));
         let out = Outputs::quiet(&dir);
-        let scale = Scale { name: "tiny", params: WorkloadParams::tiny() };
-        fig11(&scale, &out);
+        let scale = Scale {
+            name: "tiny",
+            params: WorkloadParams::tiny(),
+        };
+        fig11(&scale, &out).unwrap();
         let csv = std::fs::read_to_string(dir.join("fig11.csv")).unwrap();
         assert_eq!(csv.lines().count(), 1 + 5);
         assert!(dir.join("fig11_frames.csv").exists());

@@ -1,11 +1,12 @@
 //! Fig. 12 — shaded snapshots of the workloads.
 
+use crate::runner::RunError;
 use crate::{Outputs, Scale, TextTable};
 use mltc_trace::FilterMode;
 
 /// **Fig. 12** — renders shaded snapshots of both animations at four points
 /// along each path, as binary PPM images in the results directory.
-pub fn fig12(scale: &Scale, out: &Outputs) {
+pub fn fig12(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
     let mut t = TextTable::new(&["workload", "frame", "file"]);
     for w in [scale.village(), scale.city()] {
         for q in 0..4u32 {
@@ -13,10 +14,15 @@ pub fn fig12(scale: &Scale, out: &Outputs) {
             let fb = w.render_snapshot(frame, FilterMode::Bilinear);
             let path = out.artefact_path(&format!("fig12_{}_{frame:04}.ppm", w.name));
             fb.save_ppm(&path).expect("write ppm snapshot");
-            t.row(vec![w.name.to_string(), frame.to_string(), path.display().to_string()]);
+            t.row(vec![
+                w.name.to_string(),
+                frame.to_string(),
+                path.display().to_string(),
+            ]);
         }
     }
     out.table("fig12", "Fig. 12 — animation snapshots (PPM)", &t);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -28,8 +34,11 @@ mod tests {
     fn snapshots_are_valid_ppms() {
         let dir = std::env::temp_dir().join(format!("mltc_fig12_{}", std::process::id()));
         let out = Outputs::quiet(&dir);
-        let scale = Scale { name: "tiny", params: WorkloadParams::tiny() };
-        fig12(&scale, &out);
+        let scale = Scale {
+            name: "tiny",
+            params: WorkloadParams::tiny(),
+        };
+        fig12(&scale, &out).unwrap();
         let mut count = 0;
         for entry in std::fs::read_dir(&dir).unwrap() {
             let p = entry.unwrap().path();

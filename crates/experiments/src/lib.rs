@@ -32,11 +32,13 @@
 //! | `ablate-traversal` | scanline vs tiled rasterization order (§2.3) |
 //! | `l2-tile-sweep` | L2 tile sizes 8/16/32 (§5.3.2's "similar results") |
 //! | `l1-assoc-sweep` | L1 associativity (Hakura's 2-way argument) |
+//! | `fault` | host-link fault sweep: pull vs multi-level degradation |
 
 mod exp_ablate;
 mod exp_analytic;
 mod exp_cache;
 mod exp_extended;
+mod exp_fault;
 mod exp_stats;
 mod exp_tlb;
 mod exp_visual;
@@ -46,17 +48,23 @@ mod scale;
 
 pub use exp_ablate::{ablate_replacement, ablate_sector, ablate_zprepass, future_workloads};
 pub use exp_analytic::{fig3, table4};
-pub use exp_cache::{fig10, fig9, host_bytes_by_architecture, perf_model, table2, table3, table5_6, table7};
+pub use exp_cache::{
+    fig10, fig9, host_bytes_by_architecture, perf_model, table2, table3, table5_6, table7,
+};
 pub use exp_extended::{ablate_storage, ablate_traversal, l1_assoc_sweep, l2_tile_sweep};
+pub use exp_fault::exp_fault;
 pub use exp_stats::{calibrate, fig4, fig5, fig6, table1};
 pub use exp_tlb::{fig11, table8};
 pub use exp_visual::fig12;
 pub use outputs::{Outputs, TextTable};
-pub use runner::{engine_run, engine_run_traversal, stats_run};
+pub use runner::{
+    engine_run, engine_run_all, engine_run_traversal, engine_run_traversal_all, stats_run, RunError,
+};
 pub use scale::Scale;
 
-/// An experiment entry point.
-pub type ExperimentFn = fn(&Scale, &Outputs);
+/// An experiment entry point. Experiments report run failures instead of
+/// panicking so a suite run can record the failure and move on.
+pub type ExperimentFn = fn(&Scale, &Outputs) -> Result<(), RunError>;
 
 /// Every experiment id in run order, with its runner.
 pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
@@ -83,6 +91,7 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("ablate-traversal", ablate_traversal),
     ("l2-tile-sweep", l2_tile_sweep),
     ("l1-assoc-sweep", l1_assoc_sweep),
+    ("fault", exp_fault),
     ("perf-model", perf_model),
     ("calibrate", calibrate),
 ];
@@ -98,8 +107,10 @@ mod tests {
 
     #[test]
     fn registry_has_every_paper_artifact() {
-        for id in ["fig3", "table1", "fig4", "fig5", "fig6", "fig9", "table2", "fig10",
-                   "table3", "table4", "table5_6", "table7", "fig11", "table8", "fig12"] {
+        for id in [
+            "fig3", "table1", "fig4", "fig5", "fig6", "fig9", "table2", "fig10", "table3",
+            "table4", "table5_6", "table7", "fig11", "table8", "fig12",
+        ] {
             assert!(find_experiment(id).is_some(), "missing experiment {id}");
         }
     }

@@ -23,7 +23,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -98,12 +101,18 @@ pub struct Outputs {
 impl Outputs {
     /// Results rooted at `dir` (created on demand), echoing to stdout.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        Self { dir: dir.into(), quiet: false }
+        Self {
+            dir: dir.into(),
+            quiet: false,
+        }
     }
 
     /// Like [`Outputs::new`] but silent on stdout (tests).
     pub fn quiet(dir: impl Into<PathBuf>) -> Self {
-        Self { dir: dir.into(), quiet: true }
+        Self {
+            dir: dir.into(),
+            quiet: true,
+        }
     }
 
     /// The results directory.
@@ -124,7 +133,8 @@ impl Outputs {
         fs::create_dir_all(&self.dir).expect("create results dir");
         let path = self.dir.join(format!("{name}.csv"));
         let mut f = fs::File::create(&path).expect("create csv");
-        f.write_all(table.csv_string().as_bytes()).expect("write csv");
+        f.write_all(table.csv_string().as_bytes())
+            .expect("write csv");
     }
 
     /// Prints a free-form note to stdout.

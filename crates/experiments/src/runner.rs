@@ -1,10 +1,45 @@
 //! Shared run machinery: rasterize once, simulate many configurations.
 
-use crossbeam::channel::bounded;
-use mltc_core::{EngineConfig, SimEngine};
+use mltc_core::{EngineConfig, EngineError, SimEngine};
 use mltc_scene::Workload;
+use mltc_texture::TextureRegistry;
 use mltc_trace::{FilterMode, FrameStatsCollector, FrameTrace, FrameWorkingSet, WorkloadSummary};
+use std::fmt;
+use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::Arc;
+
+/// Why one configuration's replay produced no finished engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The engine rejected the configuration or the trace.
+    Engine(EngineError),
+    /// The worker thread panicked; the payload's message when it had one.
+    Panicked(String),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Engine(e) => write!(f, "engine error: {e}"),
+            RunError::Panicked(msg) => write!(f, "engine worker panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Engine(e) => Some(e),
+            RunError::Panicked(_) => None,
+        }
+    }
+}
+
+impl From<EngineError> for RunError {
+    fn from(e: EngineError) -> Self {
+        RunError::Engine(e)
+    }
+}
 
 /// Renders the whole animation with point sampling and collects the §4
 /// per-frame working-set statistics.
@@ -28,14 +63,23 @@ pub fn stats_run(workload: &Workload) -> (Vec<FrameWorkingSet>, WorkloadSummary)
 /// `zprepass` applies the §6 z-buffer-before-texture ablation to the
 /// generated traces.
 ///
-/// Returns one finished [`SimEngine`] per configuration, in input order.
+/// Returns one result per configuration, in input order. A configuration
+/// whose worker fails — invalid geometry, a trace referencing an unknown
+/// texture, or an outright panic — yields `Err` for that slot only; the
+/// surviving configurations keep receiving frames and finish normally.
 pub fn engine_run(
     workload: &Workload,
     filter: FilterMode,
     configs: &[EngineConfig],
     zprepass: bool,
-) -> Vec<SimEngine> {
-    engine_run_traversal(workload, filter, configs, zprepass, mltc_raster::Traversal::Scanline)
+) -> Vec<Result<SimEngine, RunError>> {
+    engine_run_traversal(
+        workload,
+        filter,
+        configs,
+        zprepass,
+        mltc_raster::Traversal::Scanline,
+    )
 }
 
 /// [`engine_run`] with an explicit fragment traversal order (for the
@@ -46,35 +90,105 @@ pub fn engine_run_traversal(
     configs: &[EngineConfig],
     zprepass: bool,
     traversal: mltc_raster::Traversal,
-) -> Vec<SimEngine> {
+) -> Vec<Result<SimEngine, RunError>> {
+    run_with(
+        workload,
+        filter,
+        configs,
+        zprepass,
+        traversal,
+        &|cfg, reg| SimEngine::try_new(cfg, reg),
+    )
+}
+
+/// All-or-nothing [`engine_run`]: the first failed configuration aborts the
+/// whole batch. Most experiments use this — their configurations are static
+/// and a failure is a bug worth surfacing, not routing around.
+pub fn engine_run_all(
+    workload: &Workload,
+    filter: FilterMode,
+    configs: &[EngineConfig],
+    zprepass: bool,
+) -> Result<Vec<SimEngine>, RunError> {
+    engine_run(workload, filter, configs, zprepass)
+        .into_iter()
+        .collect()
+}
+
+/// All-or-nothing [`engine_run_traversal`].
+pub fn engine_run_traversal_all(
+    workload: &Workload,
+    filter: FilterMode,
+    configs: &[EngineConfig],
+    zprepass: bool,
+    traversal: mltc_raster::Traversal,
+) -> Result<Vec<SimEngine>, RunError> {
+    engine_run_traversal(workload, filter, configs, zprepass, traversal)
+        .into_iter()
+        .collect()
+}
+
+/// The engine-construction seam: tests inject factories that fail or panic
+/// to exercise worker isolation without needing a genuinely broken engine.
+type EngineFactory =
+    dyn Fn(EngineConfig, &TextureRegistry) -> Result<SimEngine, EngineError> + Sync;
+
+fn run_with(
+    workload: &Workload,
+    filter: FilterMode,
+    configs: &[EngineConfig],
+    zprepass: bool,
+    traversal: mltc_raster::Traversal,
+    factory: &EngineFactory,
+) -> Vec<Result<SimEngine, RunError>> {
     std::thread::scope(|scope| {
-        let mut senders = Vec::with_capacity(configs.len());
+        let mut senders: Vec<Option<SyncSender<Arc<FrameTrace>>>> =
+            Vec::with_capacity(configs.len());
         let mut handles = Vec::with_capacity(configs.len());
         for cfg in configs {
-            let (tx, rx) = bounded::<Arc<FrameTrace>>(4);
-            senders.push(tx);
+            let (tx, rx) = sync_channel::<Arc<FrameTrace>>(4);
+            senders.push(Some(tx));
             let registry = workload.registry();
             let cfg = *cfg;
-            handles.push(scope.spawn(move || {
-                let mut engine = SimEngine::new(cfg, registry);
+            handles.push(scope.spawn(move || -> Result<SimEngine, RunError> {
+                let mut engine = factory(cfg, registry).map_err(RunError::Engine)?;
                 for trace in rx {
-                    engine.run_frame(&trace);
+                    engine.try_run_frame(&trace).map_err(RunError::Engine)?;
                 }
-                engine
+                Ok(engine)
             }));
         }
         workload.render_animation_traversal(filter, zprepass, traversal, |t| {
             let shared = Arc::new(t);
-            for tx in &senders {
-                tx.send(shared.clone()).expect("engine worker died");
+            for slot in &mut senders {
+                // A failed worker closes its receiver. Drop its sender and
+                // keep feeding the survivors; join() reports the failure.
+                if let Some(tx) = slot {
+                    if tx.send(shared.clone()).is_err() {
+                        *slot = None;
+                    }
+                }
             }
         });
         drop(senders);
         handles
             .into_iter()
-            .map(|h| h.join().expect("engine worker panicked"))
+            .map(|h| match h.join() {
+                Ok(result) => result,
+                Err(payload) => Err(RunError::Panicked(panic_message(payload.as_ref()))),
+            })
             .collect()
     })
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Formats bytes as megabytes with two decimals.
@@ -115,10 +229,16 @@ mod tests {
     fn engine_run_returns_engines_in_config_order() {
         let w = tiny_village();
         let configs = [
-            EngineConfig { l1: L1Config::kb(2), ..EngineConfig::default() },
-            EngineConfig { l1: L1Config::kb(16), ..EngineConfig::default() },
+            EngineConfig {
+                l1: L1Config::kb(2),
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                l1: L1Config::kb(16),
+                ..EngineConfig::default()
+            },
         ];
-        let engines = engine_run(&w, FilterMode::Bilinear, &configs, false);
+        let engines = engine_run_all(&w, FilterMode::Bilinear, &configs, false).unwrap();
         assert_eq!(engines.len(), 2);
         assert_eq!(engines[0].config().l1.size_bytes, 2048);
         assert_eq!(engines[1].config().l1.size_bytes, 16 * 1024);
@@ -127,7 +247,10 @@ mod tests {
             assert!(e.totals().l1_accesses > 0);
         }
         // Identical trace: both saw the same number of texel accesses.
-        assert_eq!(engines[0].totals().l1_accesses, engines[1].totals().l1_accesses);
+        assert_eq!(
+            engines[0].totals().l1_accesses,
+            engines[1].totals().l1_accesses
+        );
         // The bigger L1 downloads less.
         assert!(engines[1].totals().host_bytes <= engines[0].totals().host_bytes);
     }
@@ -136,13 +259,116 @@ mod tests {
     fn l2_reduces_host_traffic_on_the_real_workload() {
         let w = tiny_village();
         let configs = [
-            EngineConfig { l1: L1Config::kb(2), ..EngineConfig::default() },
-            EngineConfig { l1: L1Config::kb(2), l2: Some(L2Config::mb(2)), ..EngineConfig::default() },
+            EngineConfig {
+                l1: L1Config::kb(2),
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                l1: L1Config::kb(2),
+                l2: Some(L2Config::mb(2)),
+                ..EngineConfig::default()
+            },
         ];
-        let engines = engine_run(&w, FilterMode::Bilinear, &configs, false);
+        let engines = engine_run_all(&w, FilterMode::Bilinear, &configs, false).unwrap();
         let pull = engines[0].totals().host_bytes;
         let ml = engines[1].totals().host_bytes;
         assert!(ml < pull, "L2 must cut download traffic ({ml} vs {pull})");
+    }
+
+    #[test]
+    fn bad_config_fails_alone_and_survivors_finish() {
+        let w = tiny_village();
+        let configs = [
+            EngineConfig {
+                l1: L1Config::kb(2),
+                ..EngineConfig::default()
+            },
+            // 3 KB L1 = 24 sets: rejected as invalid geometry.
+            EngineConfig {
+                l1: L1Config {
+                    size_bytes: 3072,
+                    ..L1Config::kb(2)
+                },
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                l1: L1Config::kb(16),
+                ..EngineConfig::default()
+            },
+        ];
+        let results = engine_run(&w, FilterMode::Bilinear, &configs, false);
+        assert_eq!(results.len(), 3);
+        assert!(matches!(
+            &results[1],
+            Err(RunError::Engine(EngineError::InvalidGeometry(_)))
+        ));
+        for idx in [0, 2] {
+            let e = results[idx]
+                .as_ref()
+                .unwrap_or_else(|e| panic!("config {idx}: {e}"));
+            assert_eq!(
+                e.frames().len(),
+                w.frame_count as usize,
+                "survivor {idx} must see every frame"
+            );
+        }
+        // And the all-or-nothing wrapper surfaces the failure.
+        assert!(engine_run_all(&w, FilterMode::Bilinear, &configs, false).is_err());
+    }
+
+    #[test]
+    fn panicking_worker_fails_alone_and_survivors_finish() {
+        let w = tiny_village();
+        let configs = [
+            EngineConfig {
+                l1: L1Config::kb(2),
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                l1: L1Config::kb(4),
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                l1: L1Config::kb(16),
+                ..EngineConfig::default()
+            },
+        ];
+        // Suppress the expected panic's default stderr backtrace.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let results = run_with(
+            &w,
+            FilterMode::Bilinear,
+            &configs,
+            false,
+            mltc_raster::Traversal::Scanline,
+            &|cfg, reg| {
+                if cfg.l1.size_bytes == 4096 {
+                    panic!("injected worker failure");
+                }
+                SimEngine::try_new(cfg, reg)
+            },
+        );
+        std::panic::set_hook(prev_hook);
+        assert_eq!(results.len(), 3);
+        match &results[1] {
+            Err(RunError::Panicked(msg)) => assert!(msg.contains("injected"), "{msg}"),
+            other => panic!("expected a panic report, got {other:?}"),
+        }
+        for idx in [0, 2] {
+            let e = results[idx].as_ref().expect("survivors must finish");
+            assert_eq!(e.frames().len(), w.frame_count as usize);
+        }
+    }
+
+    #[test]
+    fn run_errors_format_usefully() {
+        let e = RunError::Engine(EngineError::EmptyPageTable);
+        assert!(e.to_string().contains("page table"));
+        assert!(RunError::Panicked("boom".into())
+            .to_string()
+            .contains("boom"));
+        assert_eq!(RunError::from(EngineError::EmptyPageTable), e);
     }
 
     #[test]

@@ -18,17 +18,26 @@ impl Scale {
     /// Tiny runs for smoke tests and benches: 256×192, 24 frames,
     /// quarter-size textures.
     pub fn quick() -> Self {
-        Self { name: "quick", params: WorkloadParams::quick() }
+        Self {
+            name: "quick",
+            params: WorkloadParams::quick(),
+        }
     }
 
     /// The default experiment scale: 640×480, 120 frames, full textures.
     pub fn default_scale() -> Self {
-        Self { name: "default", params: WorkloadParams::default_scale() }
+        Self {
+            name: "default",
+            params: WorkloadParams::default_scale(),
+        }
     }
 
     /// The paper's scale: 1024×768, 411/525 frames, full textures.
     pub fn full() -> Self {
-        Self { name: "full", params: WorkloadParams::paper_scale() }
+        Self {
+            name: "full",
+            params: WorkloadParams::paper_scale(),
+        }
     }
 
     /// Parses a scale flag (`--quick`, `--default`, `--full`).

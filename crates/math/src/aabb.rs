@@ -35,7 +35,10 @@ impl Aabb {
     pub fn from_points<I: IntoIterator<Item = Vec3>>(points: I) -> Option<Self> {
         let mut it = points.into_iter();
         let first = it.next()?;
-        let mut b = Self { min: first, max: first };
+        let mut b = Self {
+            min: first,
+            max: first,
+        };
         for p in it {
             b.min = b.min.min(p);
             b.max = b.max.max(p);
@@ -57,7 +60,10 @@ impl Aabb {
 
     /// Returns the union of two boxes.
     pub fn union(&self, other: &Self) -> Self {
-        Self { min: self.min.min(other.min), max: self.max.max(other.max) }
+        Self {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
     }
 
     /// Grows the box to contain `p`.
@@ -98,7 +104,11 @@ mod tests {
 
     #[test]
     fn from_points_bounds_all() {
-        let pts = [Vec3::new(1.0, -1.0, 0.0), Vec3::new(-2.0, 3.0, 5.0), Vec3::ZERO];
+        let pts = [
+            Vec3::new(1.0, -1.0, 0.0),
+            Vec3::new(-2.0, 3.0, 5.0),
+            Vec3::ZERO,
+        ];
         let b = Aabb::from_points(pts).unwrap();
         for p in pts {
             assert!(b.contains(p));

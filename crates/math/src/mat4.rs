@@ -182,7 +182,12 @@ impl Mat4 {
     /// Panics if `i >= 4`.
     #[inline]
     pub fn row(&self, i: usize) -> Vec4 {
-        Vec4::new(self.cols[0][i], self.cols[1][i], self.cols[2][i], self.cols[3][i])
+        Vec4::new(
+            self.cols[0][i],
+            self.cols[1][i],
+            self.cols[2][i],
+            self.cols[3][i],
+        )
     }
 }
 
@@ -241,7 +246,10 @@ mod tests {
     #[test]
     fn scale_scales() {
         let m = Mat4::scale(Vec3::new(2.0, 3.0, 4.0));
-        assert_eq!(m.transform_point(Vec3::splat(1.0)), Vec3::new(2.0, 3.0, 4.0));
+        assert_eq!(
+            m.transform_point(Vec3::splat(1.0)),
+            Vec3::new(2.0, 3.0, 4.0)
+        );
     }
 
     #[test]

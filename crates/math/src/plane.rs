@@ -29,7 +29,10 @@ impl Plane {
     /// plane equation is `ax + by + cz + d = 0`.
     #[inline]
     pub fn from_coefficients(v: Vec4) -> Self {
-        Self { normal: v.xyz(), d: v.w }
+        Self {
+            normal: v.xyz(),
+            d: v.w,
+        }
     }
 
     /// Returns the plane with its normal scaled to unit length.
@@ -40,7 +43,10 @@ impl Plane {
     pub fn normalized(self) -> Self {
         let len = self.normal.length();
         debug_assert!(len > 0.0, "cannot normalize a degenerate plane");
-        Self { normal: self.normal / len, d: self.d / len }
+        Self {
+            normal: self.normal / len,
+            d: self.d / len,
+        }
     }
 
     /// Signed distance of `p` from the plane (exact distance only when the
@@ -68,7 +74,11 @@ mod tests {
     fn normalization_preserves_zero_set() {
         let p = Plane::new(Vec3::new(0.0, 2.0, 0.0), -4.0); // plane y = 2
         let n = p.normalized();
-        assert!(approx_eq(n.signed_distance(Vec3::new(1.0, 2.0, 3.0)), 0.0, 1e-6));
+        assert!(approx_eq(
+            n.signed_distance(Vec3::new(1.0, 2.0, 3.0)),
+            0.0,
+            1e-6
+        ));
         assert!(approx_eq(n.normal.length(), 1.0, 1e-6));
     }
 

@@ -157,13 +157,29 @@ impl Vec2 {
 
 impl Vec3 {
     /// The zero vector.
-    pub const ZERO: Self = Self { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Self = Self {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// Unit vector along +X.
-    pub const X: Self = Self { x: 1.0, y: 0.0, z: 0.0 };
+    pub const X: Self = Self {
+        x: 1.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// Unit vector along +Y.
-    pub const Y: Self = Self { x: 0.0, y: 1.0, z: 0.0 };
+    pub const Y: Self = Self {
+        x: 0.0,
+        y: 1.0,
+        z: 0.0,
+    };
     /// Unit vector along +Z.
-    pub const Z: Self = Self { x: 0.0, y: 0.0, z: 1.0 };
+    pub const Z: Self = Self {
+        x: 0.0,
+        y: 0.0,
+        z: 1.0,
+    };
 
     /// Creates a vector from components.
     #[inline]
@@ -190,7 +206,12 @@ impl Vec3 {
 
 impl Vec4 {
     /// The zero vector.
-    pub const ZERO: Self = Self { x: 0.0, y: 0.0, z: 0.0, w: 0.0 };
+    pub const ZERO: Self = Self {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+        w: 0.0,
+    };
 
     /// Creates a vector from components.
     #[inline]
@@ -201,13 +222,23 @@ impl Vec4 {
     /// Homogeneous point (`w = 1`).
     #[inline]
     pub const fn from_point(p: Vec3) -> Self {
-        Self { x: p.x, y: p.y, z: p.z, w: 1.0 }
+        Self {
+            x: p.x,
+            y: p.y,
+            z: p.z,
+            w: 1.0,
+        }
     }
 
     /// Homogeneous direction (`w = 0`).
     #[inline]
     pub const fn from_dir(d: Vec3) -> Self {
-        Self { x: d.x, y: d.y, z: d.z, w: 0.0 }
+        Self {
+            x: d.x,
+            y: d.y,
+            z: d.z,
+            w: 0.0,
+        }
     }
 
     /// Drops the `w` component.
@@ -346,7 +377,10 @@ mod tests {
 
     #[test]
     fn from_array_roundtrip() {
-        assert_eq!(Vec4::from([1.0, 2.0, 3.0, 4.0]), Vec4::new(1.0, 2.0, 3.0, 4.0));
+        assert_eq!(
+            Vec4::from([1.0, 2.0, 3.0, 4.0]),
+            Vec4::new(1.0, 2.0, 3.0, 4.0)
+        );
     }
 
     #[test]

@@ -4,8 +4,7 @@ use mltc_math::{Aabb, Frustum, Mat4, Vec3, Vec4};
 use proptest::prelude::*;
 
 fn vec3s() -> impl Strategy<Value = Vec3> {
-    (-100.0f32..100.0, -100.0f32..100.0, -100.0f32..100.0)
-        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+    (-100.0f32..100.0, -100.0f32..100.0, -100.0f32..100.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
 }
 
 fn near(a: f32, b: f32, eps: f32) -> bool {

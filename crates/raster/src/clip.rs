@@ -16,7 +16,10 @@ pub struct ClipVertex {
 
 impl ClipVertex {
     fn lerp(&self, other: &Self, t: f32) -> Self {
-        Self { pos: self.pos.lerp(other.pos, t), uv: self.uv.lerp(other.uv, t) }
+        Self {
+            pos: self.pos.lerp(other.pos, t),
+            uv: self.uv.lerp(other.uv, t),
+        }
     }
 }
 
@@ -79,26 +82,41 @@ mod tests {
     use super::*;
 
     fn v(x: f32, y: f32, z: f32, w: f32) -> ClipVertex {
-        ClipVertex { pos: Vec4::new(x, y, z, w), uv: Vec2::new(x, y) }
+        ClipVertex {
+            pos: Vec4::new(x, y, z, w),
+            uv: Vec2::new(x, y),
+        }
     }
 
     #[test]
     fn fully_inside_passes_through() {
-        let out = clip_triangle(&v(0.0, 0.5, 0.0, 1.0), &v(0.5, -0.5, 0.0, 1.0), &v(-0.5, -0.5, 0.0, 1.0));
+        let out = clip_triangle(
+            &v(0.0, 0.5, 0.0, 1.0),
+            &v(0.5, -0.5, 0.0, 1.0),
+            &v(-0.5, -0.5, 0.0, 1.0),
+        );
         assert_eq!(out.len(), 3);
     }
 
     #[test]
     fn fully_outside_one_plane_is_discarded() {
         // All x > w: outside the right plane.
-        let out = clip_triangle(&v(2.0, 0.0, 0.0, 1.0), &v(3.0, 0.0, 0.0, 1.0), &v(2.5, 1.0, 0.0, 1.0));
+        let out = clip_triangle(
+            &v(2.0, 0.0, 0.0, 1.0),
+            &v(3.0, 0.0, 0.0, 1.0),
+            &v(2.5, 1.0, 0.0, 1.0),
+        );
         assert!(out.is_empty());
     }
 
     #[test]
     fn edge_crossing_produces_quad() {
         // Two vertices inside, one outside the right plane: quad (4 verts).
-        let out = clip_triangle(&v(0.0, -0.5, 0.0, 1.0), &v(2.0, 0.0, 0.0, 1.0), &v(0.0, 0.5, 0.0, 1.0));
+        let out = clip_triangle(
+            &v(0.0, -0.5, 0.0, 1.0),
+            &v(2.0, 0.0, 0.0, 1.0),
+            &v(0.0, 0.5, 0.0, 1.0),
+        );
         assert_eq!(out.len(), 4);
         for cv in &out {
             assert!(cv.pos.x <= cv.pos.w + 1e-5);
@@ -107,7 +125,11 @@ mod tests {
 
     #[test]
     fn one_vertex_inside_keeps_triangle() {
-        let out = clip_triangle(&v(0.0, 0.0, 0.0, 1.0), &v(3.0, 0.1, 0.0, 1.0), &v(3.0, -0.1, 0.0, 1.0));
+        let out = clip_triangle(
+            &v(0.0, 0.0, 0.0, 1.0),
+            &v(3.0, 0.1, 0.0, 1.0),
+            &v(3.0, -0.1, 0.0, 1.0),
+        );
         assert_eq!(out.len(), 3);
     }
 
@@ -120,7 +142,11 @@ mod tests {
             &v(0.1, 0.1, -2.0, -1.0),
         );
         for cv in &out {
-            assert!(cv.pos.z >= -cv.pos.w - 1e-4, "vertex {:?} violates near plane", cv.pos);
+            assert!(
+                cv.pos.z >= -cv.pos.w - 1e-4,
+                "vertex {:?} violates near plane",
+                cv.pos
+            );
             assert!(cv.pos.w > 0.0, "clipped vertices must have positive w");
         }
         assert!(!out.is_empty());
@@ -129,9 +155,15 @@ mod tests {
     #[test]
     fn uv_interpolates_at_the_crossing() {
         // Edge from x=0 (uv.x=0) to x=2 (uv.x=2) crossing x=w=1 at t=0.5.
-        let out = clip_triangle(&v(0.0, -0.1, 0.0, 1.0), &v(2.0, 0.0, 0.0, 1.0), &v(0.0, 0.1, 0.0, 1.0));
-        let crossing: Vec<&ClipVertex> =
-            out.iter().filter(|c| (c.pos.x - 1.0).abs() < 1e-5).collect();
+        let out = clip_triangle(
+            &v(0.0, -0.1, 0.0, 1.0),
+            &v(2.0, 0.0, 0.0, 1.0),
+            &v(0.0, 0.1, 0.0, 1.0),
+        );
+        let crossing: Vec<&ClipVertex> = out
+            .iter()
+            .filter(|c| (c.pos.x - 1.0).abs() < 1e-5)
+            .collect();
         assert!(!crossing.is_empty());
         for c in crossing {
             assert!((c.uv.x - 1.0).abs() < 1e-5);

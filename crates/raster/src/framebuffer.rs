@@ -27,7 +27,12 @@ impl Framebuffer {
     pub fn new(width: u32, height: u32) -> Self {
         assert!(width > 0 && height > 0, "framebuffer must be non-empty");
         let n = (width * height) as usize;
-        Self { width, height, color: vec![0xff00_0000; n], depth: vec![f32::INFINITY; n] }
+        Self {
+            width,
+            height,
+            color: vec![0xff00_0000; n],
+            depth: vec![f32::INFINITY; n],
+        }
     }
 
     /// Width in pixels.

@@ -32,7 +32,11 @@ impl Plane {
         let (x2, y2) = p[2];
         let ax = ((a[1] - a[0]) * (y2 - y0) - (a[2] - a[0]) * (y1 - y0)) * inv_area;
         let ay = ((x1 - x0) * (a[2] - a[0]) - (x2 - x0) * (a[1] - a[0])) * inv_area;
-        Self { a0: a[0] - ax * x0 - ay * y0, ax, ay }
+        Self {
+            a0: a[0] - ax * x0 - ay * y0,
+            ax,
+            ay,
+        }
     }
 
     #[inline]
@@ -122,7 +126,10 @@ impl<'reg> Rasterizer<'reg> {
     /// Panics if a tiled traversal has a zero or non-power-of-two edge.
     pub fn set_traversal(&mut self, traversal: Traversal) {
         if let Traversal::Tiled(edge) = traversal {
-            assert!(edge > 0 && edge.is_power_of_two(), "tile edge must be a power of two");
+            assert!(
+                edge > 0 && edge.is_power_of_two(),
+                "tile edge must be a power of two"
+            );
         }
         self.traversal = traversal;
     }
@@ -155,11 +162,24 @@ impl<'reg> Rasterizer<'reg> {
     ///
     /// Panics if `tid` refers to a texture unknown to (or deleted from) the
     /// registry.
-    pub fn draw_triangle(&mut self, a: &ClipVertex, b: &ClipVertex, c: &ClipVertex, tid: TextureId) {
+    pub fn draw_triangle(
+        &mut self,
+        a: &ClipVertex,
+        b: &ClipVertex,
+        c: &ClipVertex,
+        tid: TextureId,
+    ) {
         self.draw_clipped(a, b, c, tid, Pass::Normal);
     }
 
-    fn draw_clipped(&mut self, a: &ClipVertex, b: &ClipVertex, c: &ClipVertex, tid: TextureId, pass: Pass) {
+    fn draw_clipped(
+        &mut self,
+        a: &ClipVertex,
+        b: &ClipVertex,
+        c: &ClipVertex,
+        tid: TextureId,
+        pass: Pass,
+    ) {
         let poly = clip_triangle(a, b, c);
         if poly.len() < 3 {
             return;
@@ -174,8 +194,9 @@ impl<'reg> Rasterizer<'reg> {
     fn raster_tri(&mut self, v: [&ClipVertex; 3], tid: TextureId, pass: Pass) {
         let (w0, h0) = match pass {
             Pass::DepthOnly => (1.0, 1.0),
-            Pass::Normal => self.base_dims[tid.index() as usize]
-                .expect("triangle references unknown texture"),
+            Pass::Normal => {
+                self.base_dims[tid.index() as usize].expect("triangle references unknown texture")
+            }
         };
 
         // Project to screen space, keeping 1/w and texel-space uv/w.
@@ -220,7 +241,9 @@ impl<'reg> Rasterizer<'reg> {
 
         match self.traversal {
             Traversal::Scanline => {
-                self.fill_rows(y_start, y_end, 0, self.width, &pts, &p_invw, &p_uw, &p_vw, &p_z, tid, pass);
+                self.fill_rows(
+                    y_start, y_end, 0, self.width, &pts, &p_invw, &p_uw, &p_vw, &p_z, tid, pass,
+                );
             }
             Traversal::Tiled(edge) => {
                 // Visit the triangle's bounding box tile by tile; the span
@@ -235,9 +258,17 @@ impl<'reg> Rasterizer<'reg> {
                     let mut tx = x_start & !(edge - 1);
                     while tx < x_end {
                         self.fill_rows(
-                            ty.max(y_start), (ty + edge).min(y_end),
-                            tx.max(x_start), (tx + edge).min(x_end),
-                            &pts, &p_invw, &p_uw, &p_vw, &p_z, tid, pass,
+                            ty.max(y_start),
+                            (ty + edge).min(y_end),
+                            tx.max(x_start),
+                            (tx + edge).min(x_end),
+                            &pts,
+                            &p_invw,
+                            &p_uw,
+                            &p_vw,
+                            &p_z,
+                            tid,
+                            pass,
                         );
                         tx += edge;
                     }
@@ -358,7 +389,10 @@ mod tests {
     }
 
     fn vx(x: f32, y: f32, z: f32, w: f32, u: f32, v: f32) -> ClipVertex {
-        ClipVertex { pos: Vec4::new(x, y, z, w), uv: Vec2::new(u, v) }
+        ClipVertex {
+            pos: Vec4::new(x, y, z, w),
+            uv: Vec2::new(u, v),
+        }
     }
 
     fn fullscreen_quad(r: &mut Rasterizer<'_>, tid: TextureId, z: f32, uv_scale: f32) {
@@ -384,7 +418,11 @@ mod tests {
         r.begin_frame(0);
         fullscreen_quad(&mut r, TextureId::from_index(0), 0.0, 1.0);
         let t = r.finish_frame();
-        assert_eq!(t.pixels_rendered, 32 * 32, "exact fill, no double-drawn diagonal");
+        assert_eq!(
+            t.pixels_rendered,
+            32 * 32,
+            "exact fill, no double-drawn diagonal"
+        );
         assert!((t.depth_complexity() - 1.0).abs() < 1e-9);
     }
 
@@ -428,8 +466,11 @@ mod tests {
             assert!(req.v >= 0.0 && req.v < 64.0);
         }
         // Every texel of level 0 is touched exactly once.
-        let set: std::collections::HashSet<(u32, u32)> =
-            t.requests.iter().map(|r| (r.u as u32, r.v as u32)).collect();
+        let set: std::collections::HashSet<(u32, u32)> = t
+            .requests
+            .iter()
+            .map(|r| (r.u as u32, r.v as u32))
+            .collect();
         assert_eq!(set.len(), 64 * 64);
     }
 
@@ -441,8 +482,7 @@ mod tests {
         r.begin_frame(0);
         fullscreen_quad(&mut r, TextureId::from_index(0), 0.0, 4.0);
         let t = r.finish_frame();
-        let mean_lod: f32 =
-            t.requests.iter().map(|r| r.lod).sum::<f32>() / t.requests.len() as f32;
+        let mean_lod: f32 = t.requests.iter().map(|r| r.lod).sum::<f32>() / t.requests.len() as f32;
         assert!((mean_lod - 2.0).abs() < 0.05, "mean lod {mean_lod}");
     }
 
@@ -528,7 +568,11 @@ mod tests {
         let t = r.finish_frame();
         // Only the near triangle's fragments were textured: depth ~ 1.
         let half = 16 * 16 / 2;
-        assert!(t.pixels_rendered as i64 - half < 20, "got {}", t.pixels_rendered);
+        assert!(
+            t.pixels_rendered as i64 - half < 20,
+            "got {}",
+            t.pixels_rendered
+        );
     }
 
     #[test]

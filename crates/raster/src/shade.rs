@@ -26,7 +26,9 @@ use mltc_trace::{filter_taps, FilterMode, PixelRequest};
 /// assert!(r > 240 && g < 10);
 /// ```
 pub fn shade_request(registry: &TextureRegistry, req: &PixelRequest, filter: FilterMode) -> u32 {
-    let pyr = registry.pyramid(req.tid).expect("shading request for unknown texture");
+    let pyr = registry
+        .pyramid(req.tid)
+        .expect("shading request for unknown texture");
     let levels = pyr.level_count() as u32;
     let taps = filter_taps(req, filter, levels, |m| {
         let l = pyr.level(m as usize);
@@ -63,23 +65,58 @@ mod tests {
     #[test]
     fn point_sampling_picks_exact_texel() {
         let img = Image::from_fn(4, 4, synth::HOST_FORMAT, |x, y| {
-            if x == 2 && y == 1 { [255, 255, 255] } else { [0, 0, 0] }
+            if x == 2 && y == 1 {
+                [255, 255, 255]
+            } else {
+                [0, 0, 0]
+            }
         });
         let (reg, tid) = reg_with(img);
-        let c = shade_request(&reg, &PixelRequest { tid, u: 2.5, v: 1.5, lod: 0.0 }, FilterMode::Point);
+        let c = shade_request(
+            &reg,
+            &PixelRequest {
+                tid,
+                u: 2.5,
+                v: 1.5,
+                lod: 0.0,
+            },
+            FilterMode::Point,
+        );
         assert_eq!(c & 0xff, 255);
-        let c = shade_request(&reg, &PixelRequest { tid, u: 0.5, v: 0.5, lod: 0.0 }, FilterMode::Point);
+        let c = shade_request(
+            &reg,
+            &PixelRequest {
+                tid,
+                u: 0.5,
+                v: 0.5,
+                lod: 0.0,
+            },
+            FilterMode::Point,
+        );
         assert_eq!(c & 0xff, 0);
     }
 
     #[test]
     fn bilinear_blends_neighbours() {
         let img = Image::from_fn(4, 4, synth::HOST_FORMAT, |x, _| {
-            if x < 2 { [0, 0, 0] } else { [255, 255, 255] }
+            if x < 2 {
+                [0, 0, 0]
+            } else {
+                [255, 255, 255]
+            }
         });
         let (reg, tid) = reg_with(img);
         // Exactly between texels 1 and 2: a 50/50 blend.
-        let c = shade_request(&reg, &PixelRequest { tid, u: 2.0, v: 0.5, lod: 0.0 }, FilterMode::Bilinear);
+        let c = shade_request(
+            &reg,
+            &PixelRequest {
+                tid,
+                u: 2.0,
+                v: 0.5,
+                lod: 0.0,
+            },
+            FilterMode::Bilinear,
+        );
         let [r, _, _, _] = c.to_le_bytes();
         assert!((r as i32 - 128).abs() <= 4, "r = {r}");
     }
@@ -90,7 +127,16 @@ mod tests {
         // any lod must stay white — checks weight normalisation.
         let (reg, tid) = reg_with(Image::filled(8, 8, synth::HOST_FORMAT, [255, 255, 255]));
         for lod in [0.0, 0.3, 0.5, 1.7, 2.5] {
-            let c = shade_request(&reg, &PixelRequest { tid, u: 3.0, v: 3.0, lod }, FilterMode::Trilinear);
+            let c = shade_request(
+                &reg,
+                &PixelRequest {
+                    tid,
+                    u: 3.0,
+                    v: 3.0,
+                    lod,
+                },
+                FilterMode::Trilinear,
+            );
             let [r, g, b, a] = c.to_le_bytes();
             assert_eq!((r, g, b, a), (255, 255, 255, 255), "lod {lod}");
         }
@@ -100,10 +146,23 @@ mod tests {
     fn high_lod_reads_coarse_level() {
         // Half black / half white: the 1x1 coarsest level is mid-grey.
         let img = Image::from_fn(8, 8, synth::HOST_FORMAT, |x, _| {
-            if x < 4 { [0, 0, 0] } else { [255, 255, 255] }
+            if x < 4 {
+                [0, 0, 0]
+            } else {
+                [255, 255, 255]
+            }
         });
         let (reg, tid) = reg_with(img);
-        let c = shade_request(&reg, &PixelRequest { tid, u: 1.0, v: 1.0, lod: 10.0 }, FilterMode::Point);
+        let c = shade_request(
+            &reg,
+            &PixelRequest {
+                tid,
+                u: 1.0,
+                v: 1.0,
+                lod: 10.0,
+            },
+            FilterMode::Point,
+        );
         let [r, _, _, _] = c.to_le_bytes();
         assert!(r > 90 && r < 170, "coarsest level should be grey, got {r}");
     }
@@ -114,7 +173,12 @@ mod tests {
         let reg = TextureRegistry::new();
         let _ = shade_request(
             &reg,
-            &PixelRequest { tid: TextureId::from_index(3), u: 0.0, v: 0.0, lod: 0.0 },
+            &PixelRequest {
+                tid: TextureId::from_index(3),
+                u: 0.0,
+                v: 0.0,
+                lod: 0.0,
+            },
             FilterMode::Point,
         );
     }

@@ -28,7 +28,10 @@ pub struct CityOptions {
 
 impl Default for CityOptions {
     fn default() -> Self {
-        Self { blocks: BLOCKS, facade_base: 256 }
+        Self {
+            blocks: BLOCKS,
+            facade_base: 256,
+        }
     }
 }
 
@@ -36,7 +39,10 @@ impl CityOptions {
     /// The §6 "workloads of the future" variant: a larger downtown with
     /// double-resolution facades (4x the texel count per building).
     pub fn future() -> Self {
-        Self { blocks: 14, facade_base: 512 }
+        Self {
+            blocks: 14,
+            facade_base: 512,
+        }
     }
 }
 
@@ -58,16 +64,32 @@ pub fn build_with(params: &WorkloadParams, opts: CityOptions) -> (Scene, CameraP
     // sharing in the City.
     let concrete = scene.registry.load(
         "concrete",
-        MipPyramid::from_image(synth::noise(ts(512), 21, 10, [105, 105, 100], [140, 140, 135])),
+        MipPyramid::from_image(synth::noise(
+            ts(512),
+            21,
+            10,
+            [105, 105, 100],
+            [140, 140, 135],
+        )),
     );
-    let road = scene.registry.load("road", MipPyramid::from_image(synth::road(ts(512), 22)));
+    let road = scene
+        .registry
+        .load("road", MipPyramid::from_image(synth::road(ts(512), 22)));
     let sky = scene.registry.load(
         "sky",
         MipPyramid::from_image(synth::gradient_v(ts(512), [70, 120, 225], [190, 210, 240])),
     );
 
     scene.add(Object::new(
-        Mesh::ground(-extent - 60.0, extent + 60.0, 0.0, -extent - 60.0, extent + 60.0, 30.0, 30.0),
+        Mesh::ground(
+            -extent - 60.0,
+            extent + 60.0,
+            0.0,
+            -extent - 60.0,
+            extent + 60.0,
+            30.0,
+            30.0,
+        ),
         concrete,
     ));
     scene.add(Object::new(Mesh::dome(Vec3::ZERO, 700.0, 24, 10), sky));
@@ -77,8 +99,24 @@ pub fn build_with(params: &WorkloadParams, opts: CityOptions) -> (Scene, CameraP
     let mut ew = Mesh::new();
     for i in 0..=blocks {
         let c = -extent + i as f32 * PITCH;
-        ns.append(&Mesh::ground(c - 3.0, c + 3.0, 0.02, -extent, extent, 1.0, blocks as f32 * 3.0));
-        ew.append(&Mesh::ground(-extent, extent, 0.02, c - 3.0, c + 3.0, blocks as f32 * 3.0, 1.0));
+        ns.append(&Mesh::ground(
+            c - 3.0,
+            c + 3.0,
+            0.02,
+            -extent,
+            extent,
+            1.0,
+            blocks as f32 * 3.0,
+        ));
+        ew.append(&Mesh::ground(
+            -extent,
+            extent,
+            0.02,
+            c - 3.0,
+            c + 3.0,
+            blocks as f32 * 3.0,
+            1.0,
+        ));
     }
     scene.add(Object::new(ns, road));
     scene.add(Object::new(ew, road));
@@ -116,11 +154,23 @@ pub fn build_with(params: &WorkloadParams, opts: CityOptions) -> (Scene, CameraP
     // at rooftop height (the forward view cone keeps a sizeable part of the
     // city outside the frustum each frame), then climb out the far side.
     let path = CameraPath::new(vec![
-        (Vec3::new(-extent - 40.0, 60.0, -extent * 0.55), Vec3::new(-extent * 0.3, 24.0, -extent * 0.45)),
-        (Vec3::new(-extent * 0.4, 38.0, -extent * 0.35), Vec3::new(10.0, 22.0, -20.0)),
+        (
+            Vec3::new(-extent - 40.0, 60.0, -extent * 0.55),
+            Vec3::new(-extent * 0.3, 24.0, -extent * 0.45),
+        ),
+        (
+            Vec3::new(-extent * 0.4, 38.0, -extent * 0.35),
+            Vec3::new(10.0, 22.0, -20.0),
+        ),
         (Vec3::new(0.0, 30.0, 0.0), Vec3::new(60.0, 20.0, 50.0)),
-        (Vec3::new(extent * 0.45, 34.0, extent * 0.4), Vec3::new(extent, 20.0, extent * 0.75)),
-        (Vec3::new(extent + 30.0, 55.0, extent * 0.6), Vec3::new(extent + 120.0, 45.0, extent * 0.8)),
+        (
+            Vec3::new(extent * 0.45, 34.0, extent * 0.4),
+            Vec3::new(extent, 20.0, extent * 0.75),
+        ),
+        (
+            Vec3::new(extent + 30.0, 55.0, extent * 0.6),
+            Vec3::new(extent + 120.0, 45.0, extent * 0.8),
+        ),
     ]);
 
     (scene, path)
@@ -137,7 +187,10 @@ mod tests {
     fn every_building_has_unique_texture() {
         let (scene, _) = build(&WorkloadParams::tiny());
         // 3 shared (concrete/road/sky) + one per building.
-        assert_eq!(scene.registry().live_count(), 3 + (BLOCKS * BLOCKS) as usize);
+        assert_eq!(
+            scene.registry().live_count(),
+            3 + (BLOCKS * BLOCKS) as usize
+        );
         let mut seen = std::collections::HashSet::new();
         for obj in scene.objects().iter().skip(4) {
             seen.insert(obj.texture);

@@ -75,8 +75,12 @@ impl Mesh {
         let base = self.positions.len() as u32;
         self.positions.extend_from_slice(&other.positions);
         self.uvs.extend_from_slice(&other.uvs);
-        self.tris
-            .extend(other.tris.iter().map(|t| [t[0] + base, t[1] + base, t[2] + base]));
+        self.tris.extend(
+            other
+                .tris
+                .iter()
+                .map(|t| [t[0] + base, t[1] + base, t[2] + base]),
+        );
     }
 
     /// World-space bounding box, or `None` for an empty mesh.
@@ -235,13 +239,11 @@ impl Mesh {
             let phi = std::f32::consts::PI * r as f32 / rings as f32;
             for s in 0..=segments {
                 let theta = 2.0 * std::f32::consts::PI * s as f32 / segments as f32;
-                let p = Vec3::new(
-                    phi.sin() * theta.cos(),
-                    phi.cos(),
-                    phi.sin() * theta.sin(),
+                let p = Vec3::new(phi.sin() * theta.cos(), phi.cos(), phi.sin() * theta.sin());
+                m.push_vertex(
+                    center + p * radius,
+                    Vec2::new(s as f32 / segments as f32 * 4.0, r as f32 / rings as f32),
                 );
-                m.push_vertex(center + p * radius,
-                              Vec2::new(s as f32 / segments as f32 * 4.0, r as f32 / rings as f32));
             }
         }
         let stride = segments + 1;
@@ -341,7 +343,10 @@ impl Mesh {
             let dir = Vec3::new(theta.cos(), 0.0, theta.sin());
             let u = u_rep * s as f32 / segments as f32;
             m.push_vertex(center + dir * radius, Vec2::new(u, 0.0));
-            m.push_vertex(center + dir * radius + Vec3::new(0.0, height, 0.0), Vec2::new(u, 1.0));
+            m.push_vertex(
+                center + dir * radius + Vec3::new(0.0, height, 0.0),
+                Vec2::new(u, 1.0),
+            );
         }
         for s in 0..segments {
             let a = 2 * s;
@@ -360,12 +365,16 @@ mod tests {
 
     #[test]
     fn quad_has_two_ccw_triangles() {
-        let q = Mesh::quad([Vec3::ZERO, Vec3::X, Vec3::new(1.0, 1.0, 0.0), Vec3::Y], 1.0, 1.0);
+        let q = Mesh::quad(
+            [Vec3::ZERO, Vec3::X, Vec3::new(1.0, 1.0, 0.0), Vec3::Y],
+            1.0,
+            1.0,
+        );
         assert_eq!(q.triangle_count(), 2);
         for t in q.triangles() {
             let p = q.positions();
-            let n = (p[t[1] as usize] - p[t[0] as usize])
-                .cross(p[t[2] as usize] - p[t[0] as usize]);
+            let n =
+                (p[t[1] as usize] - p[t[0] as usize]).cross(p[t[2] as usize] - p[t[0] as usize]);
             assert!(n.z > 0.0, "CCW in the XY plane must face +Z");
         }
     }
@@ -375,8 +384,8 @@ mod tests {
         let g = Mesh::ground(-1.0, 1.0, 0.0, -1.0, 1.0, 2.0, 2.0);
         for t in g.triangles() {
             let p = g.positions();
-            let n = (p[t[1] as usize] - p[t[0] as usize])
-                .cross(p[t[2] as usize] - p[t[0] as usize]);
+            let n =
+                (p[t[1] as usize] - p[t[0] as usize]).cross(p[t[2] as usize] - p[t[0] as usize]);
             assert!(n.y > 0.0);
         }
     }
@@ -388,10 +397,13 @@ mod tests {
         let c = Vec3::new(1.0, 1.5, 2.0);
         for t in b.triangles() {
             let p = b.positions();
-            let n = (p[t[1] as usize] - p[t[0] as usize])
-                .cross(p[t[2] as usize] - p[t[0] as usize]);
+            let n =
+                (p[t[1] as usize] - p[t[0] as usize]).cross(p[t[2] as usize] - p[t[0] as usize]);
             let centroid = (p[t[0] as usize] + p[t[1] as usize] + p[t[2] as usize]) / 3.0;
-            assert!(n.dot(centroid - c) > 0.0, "wall normal must point away from centre");
+            assert!(
+                n.dot(centroid - c) > 0.0,
+                "wall normal must point away from centre"
+            );
         }
     }
 
@@ -417,21 +429,31 @@ mod tests {
         let p = s.positions();
         let mut checked = 0;
         for t in s.triangles() {
-            let n = (p[t[1] as usize] - p[t[0] as usize])
-                .cross(p[t[2] as usize] - p[t[0] as usize]);
+            let n =
+                (p[t[1] as usize] - p[t[0] as usize]).cross(p[t[2] as usize] - p[t[0] as usize]);
             if n.length() < 1e-6 {
                 continue; // degenerate pole triangle
             }
             checked += 1;
             let centroid = (p[t[0] as usize] + p[t[1] as usize] + p[t[2] as usize]) / 3.0;
-            assert!(n.dot(centroid) < 0.0, "non-degenerate dome triangle must face inward");
+            assert!(
+                n.dot(centroid) < 0.0,
+                "non-degenerate dome triangle must face inward"
+            );
         }
-        assert!(checked * 10 >= s.triangle_count() * 7, "most triangles are non-degenerate");
+        assert!(
+            checked * 10 >= s.triangle_count() * 7,
+            "most triangles are non-degenerate"
+        );
     }
 
     #[test]
     fn append_offsets_indices() {
-        let mut a = Mesh::quad([Vec3::ZERO, Vec3::X, Vec3::new(1.0, 1.0, 0.0), Vec3::Y], 1.0, 1.0);
+        let mut a = Mesh::quad(
+            [Vec3::ZERO, Vec3::X, Vec3::new(1.0, 1.0, 0.0), Vec3::Y],
+            1.0,
+            1.0,
+        );
         let b = a.clone();
         a.append(&b);
         assert_eq!(a.vertex_count(), 8);
@@ -461,8 +483,8 @@ mod tests {
         let c = Mesh::cylinder(Vec3::ZERO, 1.0, 2.0, 12, 3.0);
         let p = c.positions();
         for t in c.triangles() {
-            let n = (p[t[1] as usize] - p[t[0] as usize])
-                .cross(p[t[2] as usize] - p[t[0] as usize]);
+            let n =
+                (p[t[1] as usize] - p[t[0] as usize]).cross(p[t[2] as usize] - p[t[0] as usize]);
             let centroid = (p[t[0] as usize] + p[t[1] as usize] + p[t[2] as usize]) / 3.0;
             let radial = Vec3::new(centroid.x, 0.0, centroid.z);
             assert!(n.dot(radial) > 0.0, "cylinder wall must face outward");

@@ -22,13 +22,23 @@ impl Object {
     /// Creates a single-sided object.
     pub fn new(mesh: Mesh, texture: TextureId) -> Self {
         let aabb = mesh.aabb();
-        Self { mesh, texture, two_sided: false, aabb }
+        Self {
+            mesh,
+            texture,
+            two_sided: false,
+            aabb,
+        }
     }
 
     /// Creates a double-sided object (e.g. tree billboards).
     pub fn new_two_sided(mesh: Mesh, texture: TextureId) -> Self {
         let aabb = mesh.aabb();
-        Self { mesh, texture, two_sided: true, aabb }
+        Self {
+            mesh,
+            texture,
+            two_sided: true,
+            aabb,
+        }
     }
 
     /// World bounding box (`None` for empty meshes).
@@ -102,7 +112,12 @@ impl Scene {
         self.draw_inner(raster, camera, true)
     }
 
-    fn draw_inner(&self, raster: &mut Rasterizer<'_>, camera: &Camera, depth_only: bool) -> DrawStats {
+    fn draw_inner(
+        &self,
+        raster: &mut Rasterizer<'_>,
+        camera: &Camera,
+        depth_only: bool,
+    ) -> DrawStats {
         let aspect = raster.framebuffer().width() as f32 / raster.framebuffer().height() as f32;
         let vp = camera.view_projection(aspect);
         let frustum = camera.frustum(aspect);
@@ -134,7 +149,10 @@ impl Scene {
                     }
                 }
                 stats.triangles_drawn += 1;
-                let cv = |p, uv| ClipVertex { pos: transform(&vp, p), uv };
+                let cv = |p, uv| ClipVertex {
+                    pos: transform(&vp, p),
+                    uv,
+                };
                 let a = cv(p0, uvs[tri[0] as usize]);
                 let b = cv(p1, uvs[tri[1] as usize]);
                 let c = cv(p2, uvs[tri[2] as usize]);
@@ -185,7 +203,13 @@ mod tests {
     }
 
     fn draw_from(scene: &Scene, eye: Vec3) -> (DrawStats, u64) {
-        let mut r = Rasterizer::new(32, 32, FilterMode::Point, RasterMode::Trace, scene.registry());
+        let mut r = Rasterizer::new(
+            32,
+            32,
+            FilterMode::Point,
+            RasterMode::Trace,
+            scene.registry(),
+        );
         r.begin_frame(0);
         let cam = Camera::new(eye, Vec3::ZERO);
         let stats = scene.draw(&mut r, &cam);
@@ -213,7 +237,8 @@ mod tests {
     #[test]
     fn two_sided_objects_skip_culling() {
         let mut scene = test_scene();
-        let obj = Object::new_two_sided(scene.objects()[0].mesh.clone(), scene.objects()[0].texture);
+        let obj =
+            Object::new_two_sided(scene.objects()[0].mesh.clone(), scene.objects()[0].texture);
         scene.add(obj);
         let (stats, pixels) = draw_from(&scene, Vec3::new(0.0, 0.0, -3.0));
         assert_eq!(stats.triangles_drawn, 2, "only the two-sided copy draws");
@@ -262,21 +287,39 @@ mod tests {
         ));
         let cam = Camera::new(Vec3::new(0.0, 0.0, 3.0), Vec3::ZERO);
 
-        let mut late_z = Rasterizer::new(32, 32, FilterMode::Point, RasterMode::Trace, scene.registry());
+        let mut late_z = Rasterizer::new(
+            32,
+            32,
+            FilterMode::Point,
+            RasterMode::Trace,
+            scene.registry(),
+        );
         late_z.begin_frame(0);
         scene.draw(&mut late_z, &cam);
         let late = late_z.finish_frame().pixels_rendered;
 
-        let mut pre = Rasterizer::new(32, 32, FilterMode::Point, RasterMode::Trace, scene.registry());
+        let mut pre = Rasterizer::new(
+            32,
+            32,
+            FilterMode::Point,
+            RasterMode::Trace,
+            scene.registry(),
+        );
         pre.begin_frame(0);
         scene.draw_depth_prepass(&mut pre, &cam);
         pre.set_after_z(true);
         scene.draw(&mut pre, &cam);
         let prepassed = pre.finish_frame().pixels_rendered;
 
-        assert!(prepassed < late, "pre-pass {prepassed} must texture fewer than late-z {late}");
+        assert!(
+            prepassed < late,
+            "pre-pass {prepassed} must texture fewer than late-z {late}"
+        );
         // The far wall projects to ~73% of the near wall's pixels, all of
         // them occluded: the pre-pass should cut well over a quarter.
-        assert!(prepassed * 3 < late * 2, "hidden wall should be suppressed ({prepassed}/{late})");
+        assert!(
+            prepassed * 3 < late * 2,
+            "hidden wall should be suppressed ({prepassed}/{late})"
+        );
     }
 }

@@ -33,7 +33,10 @@ impl CameraPath {
     ///
     /// Panics with fewer than two keyframes.
     pub fn new(keys: Vec<(Vec3, Vec3)>) -> Self {
-        assert!(keys.len() >= 2, "a camera path needs at least two keyframes");
+        assert!(
+            keys.len() >= 2,
+            "a camera path needs at least two keyframes"
+        );
         Self { keys }
     }
 
@@ -68,7 +71,11 @@ impl CameraPath {
     /// Panics if `frame_count` is zero.
     pub fn camera_for_frame(&self, frame: u32, frame_count: u32) -> Camera {
         assert!(frame_count > 0);
-        let t = if frame_count == 1 { 0.0 } else { frame as f32 / (frame_count - 1) as f32 };
+        let t = if frame_count == 1 {
+            0.0
+        } else {
+            frame as f32 / (frame_count - 1) as f32
+        };
         self.camera_at(t)
     }
 }
@@ -157,7 +164,10 @@ mod tests {
         let p = line_path();
         let a = p.camera_for_frame(40, 100).eye;
         let b = p.camera_for_frame(41, 100).eye;
-        assert!((b - a).length() < 0.2, "inter-frame step should be incremental");
+        assert!(
+            (b - a).length() < 0.2,
+            "inter-frame step should be incremental"
+        );
     }
 
     #[test]

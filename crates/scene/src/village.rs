@@ -24,10 +24,21 @@ pub fn build(params: &WorkloadParams) -> (Scene, CameraPath) {
         scene.registry.load(name, MipPyramid::from_image(img))
     };
 
-    let grass = load(&mut scene, "grass".into(), synth::noise(ts(512), 11, 24, [40, 90, 35], [80, 140, 60]));
-    let pavement = load(&mut scene, "pavement".into(),
-        synth::noise(ts(512), 12, 6, [120, 118, 112], [160, 158, 150]));
-    let sky = load(&mut scene, "sky".into(), synth::gradient_v(ts(512), [90, 140, 235], [200, 220, 245]));
+    let grass = load(
+        &mut scene,
+        "grass".into(),
+        synth::noise(ts(512), 11, 24, [40, 90, 35], [80, 140, 60]),
+    );
+    let pavement = load(
+        &mut scene,
+        "pavement".into(),
+        synth::noise(ts(512), 12, 6, [120, 118, 112], [160, 158, 150]),
+    );
+    let sky = load(
+        &mut scene,
+        "sky".into(),
+        synth::gradient_v(ts(512), [90, 140, 235], [200, 220, 245]),
+    );
 
     let wall_tones: [[u8; 3]; 6] = [
         [196, 160, 120],
@@ -40,31 +51,70 @@ pub fn build(params: &WorkloadParams) -> (Scene, CameraPath) {
     let mut walls = Vec::new();
     for i in 0..12u64 {
         let img = if i % 2 == 0 {
-            synth::brick(ts(512), 100 + i, wall_tones[(i / 2) as usize % 6], [185, 185, 180])
+            synth::brick(
+                ts(512),
+                100 + i,
+                wall_tones[(i / 2) as usize % 6],
+                [185, 185, 180],
+            )
         } else {
-            synth::window_grid(ts(512), 200 + i, wall_tones[(i / 2) as usize % 6],
-                               [255, 240, 180], [35, 40, 55])
+            synth::window_grid(
+                ts(512),
+                200 + i,
+                wall_tones[(i / 2) as usize % 6],
+                [255, 240, 180],
+                [35, 40, 55],
+            )
         };
         walls.push(load(&mut scene, format!("wall{i}"), img));
     }
     let mut roofs = Vec::new();
-    for (i, tone) in [[150, 60, 50], [120, 70, 60], [90, 90, 100], [140, 100, 60]].iter().enumerate() {
-        roofs.push(load(&mut scene, format!("roof{i}"), synth::roof_tiles(ts(256), 300 + i as u64, *tone)));
+    for (i, tone) in [[150, 60, 50], [120, 70, 60], [90, 90, 100], [140, 100, 60]]
+        .iter()
+        .enumerate()
+    {
+        roofs.push(load(
+            &mut scene,
+            format!("roof{i}"),
+            synth::roof_tiles(ts(256), 300 + i as u64, *tone),
+        ));
     }
     let foliage_a = load(&mut scene, "foliage_a".into(), synth::foliage(ts(256), 41));
     let foliage_b = load(&mut scene, "foliage_b".into(), synth::foliage(ts(256), 42));
-    let wood = load(&mut scene, "wood".into(), synth::stripes(ts(256), 16, 14, [120, 85, 50], [90, 60, 35]));
-    let detail_a = load(&mut scene, "detail_a".into(),
-        synth::window_grid(ts(256), 777, [150, 110, 80], [255, 250, 200], [30, 30, 40]));
-    let detail_b = load(&mut scene, "detail_b".into(),
-        synth::stripes(ts(256), 24, 12, [60, 90, 140], [220, 220, 210]));
+    let wood = load(
+        &mut scene,
+        "wood".into(),
+        synth::stripes(ts(256), 16, 14, [120, 85, 50], [90, 60, 35]),
+    );
+    let detail_a = load(
+        &mut scene,
+        "detail_a".into(),
+        synth::window_grid(ts(256), 777, [150, 110, 80], [255, 250, 200], [30, 30, 40]),
+    );
+    let detail_b = load(
+        &mut scene,
+        "detail_b".into(),
+        synth::stripes(ts(256), 24, 12, [60, 90, 140], [220, 220, 210]),
+    );
 
     // --- Terrain, streets, sky -----------------------------------------
-    scene.add(Object::new(Mesh::ground(-150.0, 150.0, 0.0, -150.0, 150.0, 40.0, 40.0), grass));
+    scene.add(Object::new(
+        Mesh::ground(-150.0, 150.0, 0.0, -150.0, 150.0, 40.0, 40.0),
+        grass,
+    ));
     // Main street along Z and a cross street along X, slightly raised.
-    scene.add(Object::new(Mesh::ground(-5.0, 5.0, 0.02, -110.0, 110.0, 4.0, 60.0), pavement));
-    scene.add(Object::new(Mesh::ground(-110.0, 110.0, 0.02, -5.0, 5.0, 60.0, 4.0), pavement));
-    scene.add(Object::new(Mesh::dome(Vec3::new(0.0, 0.0, 0.0), 500.0, 24, 10), sky));
+    scene.add(Object::new(
+        Mesh::ground(-5.0, 5.0, 0.02, -110.0, 110.0, 4.0, 60.0),
+        pavement,
+    ));
+    scene.add(Object::new(
+        Mesh::ground(-110.0, 110.0, 0.02, -5.0, 5.0, 60.0, 4.0),
+        pavement,
+    ));
+    scene.add(Object::new(
+        Mesh::dome(Vec3::new(0.0, 0.0, 0.0), 500.0, 24, 10),
+        sky,
+    ));
 
     // --- Buildings -------------------------------------------------------
     // Rows flanking both streets; nearer rows occlude farther ones, giving
@@ -72,7 +122,10 @@ pub fn build(params: &WorkloadParams) -> (Scene, CameraPath) {
     // `face` is the outward direction of the street-facing wall, which
     // receives an additional decal quad (shopfront/awning) — the paper's §4
     // notes hardware increasingly maps multiple textures onto one object.
-    let add_building = |scene: &mut Scene, rng: &mut rand::rngs::StdRng, cx: f32, cz: f32,
+    let add_building = |scene: &mut Scene,
+                        rng: &mut rand::rngs::StdRng,
+                        cx: f32,
+                        cz: f32,
                         face: Option<(f32, f32)>| {
         let half = rng.gen_range(3.0..5.0);
         let height = rng.gen_range(6.0..16.0);
@@ -81,9 +134,16 @@ pub fn build(params: &WorkloadParams) -> (Scene, CameraPath) {
         let wall = walls[rng.gen_range(0..walls.len())];
         let roof = roofs[rng.gen_range(0..roofs.len())];
         scene.add(Object::new(Mesh::box_walls(min, max, 3.0), wall));
-        scene.add(Object::new(Mesh::gabled_roof(min, max, rng.gen_range(1.5..3.0), 2.0, 1.0), roof));
+        scene.add(Object::new(
+            Mesh::gabled_roof(min, max, rng.gen_range(1.5..3.0), 2.0, 1.0),
+            roof,
+        ));
         if let Some((fx, fz)) = face {
-            let detail = if rng.gen_range(0..2) == 0 { detail_a } else { detail_b };
+            let detail = if rng.gen_range(0..2) == 0 {
+                detail_a
+            } else {
+                detail_b
+            };
             let w = half * 1.4;
             let h0 = 0.3;
             let h1 = height * rng.gen_range(0.55..0.8);
@@ -143,10 +203,18 @@ pub fn build(params: &WorkloadParams) -> (Scene, CameraPath) {
     while z < 90.0 {
         for side in [-7.0f32, 7.0] {
             if z.abs() > 8.0 {
-                let tex = if (z as i32) % 2 == 0 { foliage_a } else { foliage_b };
+                let tex = if (z as i32) % 2 == 0 {
+                    foliage_a
+                } else {
+                    foliage_b
+                };
                 let h = rng.gen_range(3.0..6.0);
                 scene.add(Object::new_two_sided(
-                    Mesh::billboard_cross(Vec3::new(side, 0.0, z + rng.gen_range(-2.0..2.0)), h * 0.8, h),
+                    Mesh::billboard_cross(
+                        Vec3::new(side, 0.0, z + rng.gen_range(-2.0..2.0)),
+                        h * 0.8,
+                        h,
+                    ),
                     tex,
                 ));
             }
@@ -164,7 +232,10 @@ pub fn build(params: &WorkloadParams) -> (Scene, CameraPath) {
     }
 
     // The village well on the central plaza.
-    scene.add(Object::new(Mesh::cylinder(Vec3::new(6.5, 0.0, 6.5), 1.5, 1.2, 12, 4.0), wood));
+    scene.add(Object::new(
+        Mesh::cylinder(Vec3::new(6.5, 0.0, 6.5), 1.5, 1.2, 12, 4.0),
+        wood,
+    ));
 
     // --- Walk-through path ----------------------------------------------
     // Eye level, down the main street, a glance across the plaza, then on.
@@ -174,7 +245,10 @@ pub fn build(params: &WorkloadParams) -> (Scene, CameraPath) {
         (Vec3::new(-1.5, eye, 60.0), Vec3::new(0.5, eye, 38.0)),
         (Vec3::new(1.0, eye, 30.0), Vec3::new(-1.0, eye + 1.0, 8.0)),
         (Vec3::new(0.0, eye, 8.0), Vec3::new(20.0, eye + 2.0, 2.0)), // look down the cross street
-        (Vec3::new(-1.0, eye, -8.0), Vec3::new(-20.0, eye + 2.0, -4.0)),
+        (
+            Vec3::new(-1.0, eye, -8.0),
+            Vec3::new(-20.0, eye + 2.0, -4.0),
+        ),
         (Vec3::new(1.0, eye, -30.0), Vec3::new(0.0, eye, -52.0)),
         (Vec3::new(-1.0, eye, -60.0), Vec3::new(0.5, eye, -82.0)),
         (Vec3::new(0.0, eye, -92.0), Vec3::new(0.0, eye, -114.0)),
@@ -219,7 +293,10 @@ mod tests {
         p.texture_scale = 1;
         let (scene, _) = build(&p);
         let mb = scene.registry().host_byte_size() as f64 / (1 << 20) as f64;
-        assert!((10.0..20.0).contains(&mb), "texture set {mb:.1} MB should be ~14 MB");
+        assert!(
+            (10.0..20.0).contains(&mb),
+            "texture set {mb:.1} MB should be ~14 MB"
+        );
     }
 
     #[test]

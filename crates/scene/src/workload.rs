@@ -29,22 +29,46 @@ pub struct WorkloadParams {
 impl WorkloadParams {
     /// Minimal scale for unit tests: 64×48, 4 frames, 1/8-size textures.
     pub fn tiny() -> Self {
-        Self { width: 64, height: 48, frames: 4, texture_scale: 8, seed: 0x5eed }
+        Self {
+            width: 64,
+            height: 48,
+            frames: 4,
+            texture_scale: 8,
+            seed: 0x5eed,
+        }
     }
 
     /// Small scale for quick experiments and benches: 256×192, 24 frames.
     pub fn quick() -> Self {
-        Self { width: 256, height: 192, frames: 24, texture_scale: 4, seed: 0x5eed }
+        Self {
+            width: 256,
+            height: 192,
+            frames: 24,
+            texture_scale: 4,
+            seed: 0x5eed,
+        }
     }
 
     /// The default experiment scale: 640×480, 120 frames, full textures.
     pub fn default_scale() -> Self {
-        Self { width: 640, height: 480, frames: 120, texture_scale: 1, seed: 0x5eed }
+        Self {
+            width: 640,
+            height: 480,
+            frames: 120,
+            texture_scale: 1,
+            seed: 0x5eed,
+        }
     }
 
     /// The paper's scale: 1024×768, full animation length, full textures.
     pub fn paper_scale() -> Self {
-        Self { width: 1024, height: 768, frames: 0, texture_scale: 1, seed: 0x5eed }
+        Self {
+            width: 1024,
+            height: 768,
+            frames: 0,
+            texture_scale: 1,
+            seed: 0x5eed,
+        }
     }
 
     /// Applies `texture_scale` to a base texture dimension.
@@ -80,15 +104,37 @@ impl Workload {
     /// Builds the Village walk-through (paper §3.1).
     pub fn village(params: &WorkloadParams) -> Self {
         let (scene, path) = village::build(params);
-        let frames = if params.frames == 0 { village::PAPER_FRAMES } else { params.frames };
-        Self { name: "village", scene, path, width: params.width, height: params.height, frame_count: frames }
+        let frames = if params.frames == 0 {
+            village::PAPER_FRAMES
+        } else {
+            params.frames
+        };
+        Self {
+            name: "village",
+            scene,
+            path,
+            width: params.width,
+            height: params.height,
+            frame_count: frames,
+        }
     }
 
     /// Builds the City fly-through (paper §3.1).
     pub fn city(params: &WorkloadParams) -> Self {
         let (scene, path) = city::build(params);
-        let frames = if params.frames == 0 { city::PAPER_FRAMES } else { params.frames };
-        Self { name: "city", scene, path, width: params.width, height: params.height, frame_count: frames }
+        let frames = if params.frames == 0 {
+            city::PAPER_FRAMES
+        } else {
+            params.frames
+        };
+        Self {
+            name: "city",
+            scene,
+            path,
+            width: params.width,
+            height: params.height,
+            frame_count: frames,
+        }
     }
 
     /// Builds the "workload of the future" City variant the paper's §6
@@ -96,8 +142,19 @@ impl Workload {
     /// facades, stressing L2 capacity.
     pub fn future_city(params: &WorkloadParams) -> Self {
         let (scene, path) = city::build_with(params, city::CityOptions::future());
-        let frames = if params.frames == 0 { city::PAPER_FRAMES } else { params.frames };
-        Self { name: "future-city", scene, path, width: params.width, height: params.height, frame_count: frames }
+        let frames = if params.frames == 0 {
+            city::PAPER_FRAMES
+        } else {
+            params.frames
+        };
+        Self {
+            name: "future-city",
+            scene,
+            path,
+            width: params.width,
+            height: params.height,
+            frame_count: frames,
+        }
     }
 
     /// The scene.
@@ -217,7 +274,11 @@ mod tests {
         assert_eq!(WorkloadParams::paper_scale().width, 1024);
         assert_eq!(WorkloadParams::default(), WorkloadParams::default_scale());
         assert_eq!(WorkloadParams::tiny().scaled_texture(512), 64);
-        assert_eq!(WorkloadParams::tiny().scaled_texture(64), 16, "clamped at 16");
+        assert_eq!(
+            WorkloadParams::tiny().scaled_texture(64),
+            16,
+            "clamped at 16"
+        );
     }
 
     #[test]
@@ -265,13 +326,22 @@ mod tests {
         // Inter-frame locality is the premise of L2 caching: most texels
         // touched in frame n are touched in frame n+1 too. Sample the path
         // densely enough that adjacent frames are incremental.
-        let params = WorkloadParams { frames: 60, ..WorkloadParams::tiny() };
+        let params = WorkloadParams {
+            frames: 60,
+            ..WorkloadParams::tiny()
+        };
         let w = Workload::village(&params);
         let collect = |f: u32| -> std::collections::HashSet<(u32, u64, u64)> {
             w.trace_frame(f, FilterMode::Point)
                 .requests
                 .iter()
-                .map(|r| (r.tid.index(), (r.u as i64 / 16) as u64, (r.v as i64 / 16) as u64))
+                .map(|r| {
+                    (
+                        r.tid.index(),
+                        (r.u as i64 / 16) as u64,
+                        (r.v as i64 / 16) as u64,
+                    )
+                })
                 .collect()
         };
         let a = collect(0);
@@ -289,7 +359,10 @@ mod tests {
         let w = Workload::village(&WorkloadParams::tiny());
         let full = w.trace_frame(0, FilterMode::Point).pixels_rendered;
         let pre = w.trace_frame_zprepass(0, FilterMode::Point).pixels_rendered;
-        assert!(pre < full, "z-pre-pass {pre} must texture fewer fragments than {full}");
+        assert!(
+            pre < full,
+            "z-pre-pass {pre} must texture fewer fragments than {full}"
+        );
         // The screen is fully covered, so at least width*height survive.
         assert!(pre >= (w.width * w.height) as u64 * 9 / 10);
     }
@@ -327,6 +400,9 @@ mod tests {
                 }
             }
         }
-        assert!(lit * 10 > (fb.width() * fb.height()) * 9, "snapshot mostly covered");
+        assert!(
+            lit * 10 > (fb.width() * fb.height()) * 9,
+            "snapshot mostly covered"
+        );
     }
 }

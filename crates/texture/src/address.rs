@@ -35,7 +35,10 @@ impl VirtualBlockAddr {
     #[inline]
     pub fn new(tid: TextureId, l2: u32, l1: u16) -> Self {
         debug_assert!(l2 < (1 << 24), "l2 block number {l2} exceeds packing limit");
-        debug_assert!(l1 < (1 << 8), "l1 sub-block number {l1} exceeds packing limit");
+        debug_assert!(
+            l1 < (1 << 8),
+            "l1 sub-block number {l1} exceeds packing limit"
+        );
         Self { tid, l2, l1 }
     }
 
@@ -146,9 +149,19 @@ impl TextureLayout {
         let levels = dims
             .iter()
             .zip(&bases)
-            .map(|(&(w, h), &base)| LevelLayout { width: w, height: h, grid_w: w.div_ceil(l2t), base })
+            .map(|(&(w, h), &base)| LevelLayout {
+                width: w,
+                height: h,
+                grid_w: w.div_ceil(l2t),
+                base,
+            })
             .collect();
-        Self { tid, tiling, levels, total_l2_blocks: next }
+        Self {
+            tid,
+            tiling,
+            levels,
+            total_l2_blocks: next,
+        }
     }
 
     /// Total number of L2 blocks across all mip levels (`tlen` in the
@@ -184,8 +197,12 @@ impl TextureLayout {
     #[inline]
     pub fn translate(&self, u: u32, v: u32, m: u32) -> VirtualBlockAddr {
         let lvl = &self.levels[m as usize];
-        debug_assert!(u < lvl.width && v < lvl.height,
-                      "texel ({u},{v}) out of bounds for level {m} ({}x{})", lvl.width, lvl.height);
+        debug_assert!(
+            u < lvl.width && v < lvl.height,
+            "texel ({u},{v}) out of bounds for level {m} ({}x{})",
+            lvl.width,
+            lvl.height
+        );
         let l2s = self.tiling.l2().shift();
         let l1s = self.tiling.l1().shift();
         let bx = u >> l2s;
@@ -226,14 +243,17 @@ impl PageTableLayout {
             (0..registry.issued_count()).map(|_| None).collect();
         let mut next = 0u32;
         for (tid, pyr) in registry.iter() {
-            let dims: Vec<(u32, u32)> =
-                pyr.iter().map(|img| (img.width(), img.height())).collect();
+            let dims: Vec<(u32, u32)> = pyr.iter().map(|img| (img.width(), img.height())).collect();
             let layout = TextureLayout::new(tid, &dims, tiling);
             let tlen = layout.l2_block_count();
             textures[tid.index() as usize] = Some((next, layout));
             next += tlen;
         }
-        Self { tiling, textures, entry_count: next }
+        Self {
+            tiling,
+            textures,
+            entry_count: next,
+        }
     }
 
     /// The tiling this layout was built for.
@@ -251,17 +271,26 @@ impl PageTableLayout {
 
     /// The `tstart` of a texture's contiguous page-table run.
     pub fn tstart(&self, tid: TextureId) -> Option<u32> {
-        self.textures.get(tid.index() as usize)?.as_ref().map(|(s, _)| *s)
+        self.textures
+            .get(tid.index() as usize)?
+            .as_ref()
+            .map(|(s, _)| *s)
     }
 
     /// The `tlen` (number of page-table entries) of a texture.
     pub fn tlen(&self, tid: TextureId) -> Option<u32> {
-        self.textures.get(tid.index() as usize)?.as_ref().map(|(_, l)| l.l2_block_count())
+        self.textures
+            .get(tid.index() as usize)?
+            .as_ref()
+            .map(|(_, l)| l.l2_block_count())
     }
 
     /// Per-texture layout.
     pub fn texture_layout(&self, tid: TextureId) -> Option<&TextureLayout> {
-        self.textures.get(tid.index() as usize)?.as_ref().map(|(_, l)| l)
+        self.textures
+            .get(tid.index() as usize)?
+            .as_ref()
+            .map(|(_, l)| l)
     }
 
     /// Translates ⟨u,v,m⟩ of texture `tid` to a virtual block address, or
@@ -400,8 +429,14 @@ mod tests {
     #[test]
     fn page_table_runs_are_contiguous_and_disjoint() {
         let mut reg = TextureRegistry::new();
-        let a = reg.load("a", MipPyramid::from_image(synth::checkerboard(64, 4, [0; 3], [255; 3])));
-        let b = reg.load("b", MipPyramid::from_image(synth::checkerboard(32, 4, [0; 3], [255; 3])));
+        let a = reg.load(
+            "a",
+            MipPyramid::from_image(synth::checkerboard(64, 4, [0; 3], [255; 3])),
+        );
+        let b = reg.load(
+            "b",
+            MipPyramid::from_image(synth::checkerboard(32, 4, [0; 3], [255; 3])),
+        );
         let layout = PageTableLayout::new(&reg, TilingConfig::PAPER_DEFAULT);
         let (sa, la) = (layout.tstart(a).unwrap(), layout.tlen(a).unwrap());
         let (sb, lb) = (layout.tstart(b).unwrap(), layout.tlen(b).unwrap());
@@ -413,7 +448,10 @@ mod tests {
     #[test]
     fn deleted_textures_absent_from_layout() {
         let mut reg = TextureRegistry::new();
-        let a = reg.load("a", MipPyramid::from_image(synth::checkerboard(32, 4, [0; 3], [255; 3])));
+        let a = reg.load(
+            "a",
+            MipPyramid::from_image(synth::checkerboard(32, 4, [0; 3], [255; 3])),
+        );
         reg.delete(a);
         let layout = PageTableLayout::new(&reg, TilingConfig::PAPER_DEFAULT);
         assert!(layout.translate(a, 0, 0, 0).is_none());
@@ -427,7 +465,10 @@ mod tests {
         assert_eq!(a, L1BlockKey::new(t, 0, 3, 3, TileSize::X4));
         assert_ne!(a, L1BlockKey::new(t, 0, 4, 0, TileSize::X4));
         assert_ne!(a, L1BlockKey::new(t, 1, 0, 0, TileSize::X4));
-        assert_ne!(a, L1BlockKey::new(TextureId::from_index(3), 0, 0, 0, TileSize::X4));
+        assert_ne!(
+            a,
+            L1BlockKey::new(TextureId::from_index(3), 0, 0, 0, TileSize::X4)
+        );
     }
 
     #[test]

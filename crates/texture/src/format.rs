@@ -64,9 +64,7 @@ impl TexelFormat {
     #[inline]
     pub fn decode(self, bytes: &[u8]) -> u32 {
         match self {
-            TexelFormat::Rgba8888 => {
-                u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]])
-            }
+            TexelFormat::Rgba8888 => u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]),
             TexelFormat::Rgb565 => {
                 let v = u16::from_le_bytes([bytes[0], bytes[1]]);
                 let r5 = ((v >> 11) & 0x1f) as u32;
@@ -135,13 +133,19 @@ mod tests {
     #[test]
     fn rgb565_white_expands_to_full_white() {
         let enc = TexelFormat::Rgb565.encode([255, 255, 255]);
-        assert_eq!(unpack_rgba(TexelFormat::Rgb565.decode(&enc)), [255, 255, 255, 255]);
+        assert_eq!(
+            unpack_rgba(TexelFormat::Rgb565.decode(&enc)),
+            [255, 255, 255, 255]
+        );
     }
 
     #[test]
     fn rgb565_black_stays_black() {
         let enc = TexelFormat::Rgb565.encode([0, 0, 0]);
-        assert_eq!(unpack_rgba(TexelFormat::Rgb565.decode(&enc)), [0, 0, 0, 255]);
+        assert_eq!(
+            unpack_rgba(TexelFormat::Rgb565.decode(&enc)),
+            [0, 0, 0, 255]
+        );
     }
 
     #[test]

@@ -28,15 +28,25 @@ impl Image {
     /// Panics if `width` or `height` is zero or not a power of two, or
     /// exceeds 4096 (the largest texture the addressing scheme is sized for).
     pub fn filled(width: u32, height: u32, format: TexelFormat, rgb: [u8; 3]) -> Self {
-        assert!(width.is_power_of_two() && height.is_power_of_two(),
-                "image dimensions must be powers of two, got {width}x{height}");
-        assert!(width <= 4096 && height <= 4096, "image dimensions capped at 4096");
+        assert!(
+            width.is_power_of_two() && height.is_power_of_two(),
+            "image dimensions must be powers of two, got {width}x{height}"
+        );
+        assert!(
+            width <= 4096 && height <= 4096,
+            "image dimensions capped at 4096"
+        );
         let texel = format.encode(rgb);
         let mut data = Vec::with_capacity((width * height) as usize * texel.len());
         for _ in 0..width * height {
             data.extend_from_slice(&texel);
         }
-        Self { width, height, format, data }
+        Self {
+            width,
+            height,
+            format,
+            data,
+        }
     }
 
     /// Creates an image by evaluating `f(x, y) -> [r, g, b]` at every texel.
@@ -99,8 +109,12 @@ impl Image {
     /// Panics if `(x, y)` is out of bounds.
     #[inline]
     pub fn texel(&self, x: u32, y: u32) -> u32 {
-        assert!(x < self.width && y < self.height,
-                "texel ({x},{y}) out of bounds for {}x{}", self.width, self.height);
+        assert!(
+            x < self.width && y < self.height,
+            "texel ({x},{y}) out of bounds for {}x{}",
+            self.width,
+            self.height
+        );
         let bpt = self.format.bytes_per_texel();
         let off = (y as usize * self.width as usize + x as usize) * bpt;
         self.format.decode(&self.data[off..off + bpt])
@@ -181,7 +195,13 @@ mod tests {
 
     #[test]
     fn byte_size_tracks_format() {
-        assert_eq!(Image::filled(16, 16, TexelFormat::Rgb565, [0; 3]).byte_size(), 512);
-        assert_eq!(Image::filled(16, 16, TexelFormat::L8, [0; 3]).byte_size(), 256);
+        assert_eq!(
+            Image::filled(16, 16, TexelFormat::Rgb565, [0; 3]).byte_size(),
+            512
+        );
+        assert_eq!(
+            Image::filled(16, 16, TexelFormat::L8, [0; 3]).byte_size(),
+            256
+        );
     }
 }

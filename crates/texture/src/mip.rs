@@ -71,7 +71,10 @@ impl MipPyramid {
 
     /// Total texel count across all levels.
     pub fn texel_count(&self) -> usize {
-        self.levels.iter().map(|l| (l.width() * l.height()) as usize).sum()
+        self.levels
+            .iter()
+            .map(|l| (l.width() * l.height()) as usize)
+            .sum()
     }
 }
 
@@ -138,7 +141,11 @@ mod tests {
     #[test]
     fn box_filter_averages() {
         let base = Image::from_fn(2, 2, TexelFormat::Rgba8888, |x, y| {
-            if x == 0 && y == 0 { [100, 0, 0] } else { [0, 0, 0] }
+            if x == 0 && y == 0 {
+                [100, 0, 0]
+            } else {
+                [0, 0, 0]
+            }
         });
         let pyr = MipPyramid::from_image(base);
         assert_eq!(pyr.level(1).rgb(0, 0), [25, 0, 0]);
@@ -146,7 +153,8 @@ mod tests {
 
     #[test]
     fn uniform_image_stays_uniform() {
-        let pyr = MipPyramid::from_image(Image::filled(16, 16, TexelFormat::Rgba8888, [60, 70, 80]));
+        let pyr =
+            MipPyramid::from_image(Image::filled(16, 16, TexelFormat::Rgba8888, [60, 70, 80]));
         for lvl in &pyr {
             assert_eq!(lvl.rgb(0, 0), [60, 70, 80]);
         }

@@ -67,7 +67,11 @@ impl TextureRegistry {
     /// Loads a texture and returns its new `tid`.
     pub fn load(&mut self, name: impl Into<String>, pyramid: MipPyramid) -> TextureId {
         let id = TextureId(self.entries.len() as u32);
-        self.entries.push(Entry { name: name.into(), pyramid, live: true });
+        self.entries.push(Entry {
+            name: name.into(),
+            pyramid,
+            live: true,
+        });
         id
     }
 
@@ -82,12 +86,18 @@ impl TextureRegistry {
 
     /// The mip pyramid of a live texture.
     pub fn pyramid(&self, tid: TextureId) -> Option<&MipPyramid> {
-        self.entries.get(tid.0 as usize).filter(|e| e.live).map(|e| &e.pyramid)
+        self.entries
+            .get(tid.0 as usize)
+            .filter(|e| e.live)
+            .map(|e| &e.pyramid)
     }
 
     /// The (human-readable) name of a live texture.
     pub fn name(&self, tid: TextureId) -> Option<&str> {
-        self.entries.get(tid.0 as usize).filter(|e| e.live).map(|e| e.name.as_str())
+        self.entries
+            .get(tid.0 as usize)
+            .filter(|e| e.live)
+            .map(|e| e.name.as_str())
     }
 
     /// Number of currently live textures.

@@ -44,7 +44,11 @@ fn hash_noise(x: u32, y: u32, seed: u64) -> f32 {
 pub fn checkerboard(size: u32, cell: u32, a: [u8; 3], b: [u8; 3]) -> Image {
     assert!(cell > 0);
     Image::from_fn(size, size, HOST_FORMAT, |x, y| {
-        if ((x / cell) + (y / cell)).is_multiple_of(2) { a } else { b }
+        if ((x / cell) + (y / cell)).is_multiple_of(2) {
+            a
+        } else {
+            b
+        }
     })
 }
 
@@ -104,10 +108,13 @@ pub fn window_grid(size: u32, seed: u64, wall: [u8; 3], lit: [u8; 3], dark: [u8;
     Image::from_fn(size, size, HOST_FORMAT, |x, y| {
         let (cx, cy) = (x / cell, y / cell);
         let (lx, ly) = (x % cell, y % cell);
-        let in_window =
-            lx >= margin && lx < margin + win && ly >= margin && ly < margin + win;
+        let in_window = lx >= margin && lx < margin + win && ly >= margin && ly < margin + win;
         if in_window {
-            if hash_noise(cx, cy, seed) > 0.6 { lit } else { dark }
+            if hash_noise(cx, cy, seed) > 0.6 {
+                lit
+            } else {
+                dark
+            }
         } else {
             let shade = hash_noise(x, y, seed ^ 0x9e37) * 0.1;
             mix(wall, [0, 0, 0], shade)
@@ -118,7 +125,13 @@ pub fn window_grid(size: u32, seed: u64, wall: [u8; 3], lit: [u8; 3], dark: [u8;
 /// Horizontal stripes (road markings, awnings).
 pub fn stripes(size: u32, period: u32, duty: u32, a: [u8; 3], b: [u8; 3]) -> Image {
     let period = period.max(1);
-    Image::from_fn(size, size, HOST_FORMAT, |_, y| if y % period < duty { a } else { b })
+    Image::from_fn(size, size, HOST_FORMAT, |_, y| {
+        if y % period < duty {
+            a
+        } else {
+            b
+        }
+    })
 }
 
 /// Asphalt with a dashed centre line (streets).
@@ -185,16 +198,26 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        assert_eq!(brick(32, 7, [170, 60, 40], [180, 180, 180]),
-                   brick(32, 7, [170, 60, 40], [180, 180, 180]));
-        assert_eq!(noise(32, 1, 4, [0; 3], [255; 3]), noise(32, 1, 4, [0; 3], [255; 3]));
-        assert_eq!(window_grid(32, 3, [100; 3], [255, 255, 200], [20; 3]),
-                   window_grid(32, 3, [100; 3], [255, 255, 200], [20; 3]));
+        assert_eq!(
+            brick(32, 7, [170, 60, 40], [180, 180, 180]),
+            brick(32, 7, [170, 60, 40], [180, 180, 180])
+        );
+        assert_eq!(
+            noise(32, 1, 4, [0; 3], [255; 3]),
+            noise(32, 1, 4, [0; 3], [255; 3])
+        );
+        assert_eq!(
+            window_grid(32, 3, [100; 3], [255, 255, 200], [20; 3]),
+            window_grid(32, 3, [100; 3], [255, 255, 200], [20; 3])
+        );
     }
 
     #[test]
     fn different_seeds_differ() {
-        assert_ne!(noise(32, 1, 4, [0; 3], [255; 3]), noise(32, 2, 4, [0; 3], [255; 3]));
+        assert_ne!(
+            noise(32, 1, 4, [0; 3], [255; 3]),
+            noise(32, 2, 4, [0; 3], [255; 3])
+        );
     }
 
     #[test]

@@ -108,7 +108,10 @@ pub struct TilingConfig {
 
 impl TilingConfig {
     /// The paper's reference configuration: 16×16 L2 tiles of 4×4 L1 tiles.
-    pub const PAPER_DEFAULT: Self = Self { l2: TileSize::X16, l1: TileSize::X4 };
+    pub const PAPER_DEFAULT: Self = Self {
+        l2: TileSize::X16,
+        l1: TileSize::X4,
+    };
 
     /// Creates a tiling configuration.
     ///

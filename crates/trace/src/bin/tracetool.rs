@@ -54,7 +54,12 @@ fn main() -> ExitCode {
                     lod_max = lod_max.max(r.lod);
                 }
                 if per_frame {
-                    println!("{:>6} {:>10} {:>8.2}", t.frame, t.requests.len(), t.depth_complexity());
+                    println!(
+                        "{:>6} {:>10} {:>8.2}",
+                        t.frame,
+                        t.requests.len(),
+                        t.depth_complexity()
+                    );
                 }
             }
             Ok(None) => break,
@@ -72,7 +77,10 @@ fn main() -> ExitCode {
     println!("\n{path}:");
     println!("  frames           : {frames}");
     println!("  resolution       : {}x{}", dims.0, dims.1);
-    println!("  filter           : {}", filter.map(|f| f.name()).unwrap_or("?"));
+    println!(
+        "  filter           : {}",
+        filter.map(|f| f.name()).unwrap_or("?")
+    );
     println!("  total requests   : {requests}");
     println!("  mean depth compl.: {:.2}", depth_sum / frames as f64);
     println!("  distinct textures: {}", tids.len());
@@ -81,7 +89,10 @@ fn main() -> ExitCode {
     top.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
     println!("  hottest textures :");
     for (tid, n) in top.into_iter().take(5) {
-        println!("    tid{tid:<6} {:>6.2}% of requests", n as f64 * 100.0 / requests as f64);
+        println!(
+            "    tid{tid:<6} {:>6.2}% of requests",
+            n as f64 * 100.0 / requests as f64
+        );
     }
     ExitCode::SUCCESS
 }

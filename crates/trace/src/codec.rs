@@ -21,6 +21,15 @@ use std::io::{Read, Write};
 
 const MAGIC: u32 = u32::from_le_bytes(*b"MLTC");
 
+/// Upper bound on requests in one decoded frame.
+///
+/// A paper-scale frame (1024×768, trilinear, depth complexity ~4) needs
+/// ~25 M taps; 2²² per *recorded* frame is generous for everything this
+/// simulator produces while keeping the worst-case decode allocation at
+/// 64 MiB. A corrupt or hostile header with a larger count is rejected with
+/// [`CodecError::Oversized`] *before* any allocation happens.
+pub const MAX_FRAME_REQUESTS: u32 = 1 << 22;
+
 /// Error decoding a trace stream.
 #[derive(Debug)]
 pub enum CodecError {
@@ -32,6 +41,13 @@ pub enum CodecError {
     BadFilter(u8),
     /// The stream ended inside a frame.
     Truncated,
+    /// The header's request count exceeds [`MAX_FRAME_REQUESTS`].
+    Oversized {
+        /// The count the header claimed.
+        count: u32,
+        /// The cap that rejected it.
+        max: u32,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -41,6 +57,9 @@ impl fmt::Display for CodecError {
             CodecError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
             CodecError::BadFilter(b) => write!(f, "unknown filter byte {b}"),
             CodecError::Truncated => f.write_str("trace stream truncated mid-frame"),
+            CodecError::Oversized { count, max } => {
+                write!(f, "frame claims {count} requests, over the {max} cap")
+            }
         }
     }
 }
@@ -101,7 +120,9 @@ pub fn encode_frame(t: &FrameTrace) -> Bytes {
 /// # Errors
 ///
 /// Returns [`CodecError::Truncated`] if `buf` ends mid-frame,
-/// [`CodecError::BadMagic`]/[`CodecError::BadFilter`] on corrupt headers.
+/// [`CodecError::BadMagic`]/[`CodecError::BadFilter`] on corrupt headers,
+/// and [`CodecError::Oversized`] — before allocating anything — when the
+/// header claims more than [`MAX_FRAME_REQUESTS`] requests.
 pub fn decode_frame(buf: &mut impl Buf) -> Result<FrameTrace, CodecError> {
     if buf.remaining() < 29 {
         return Err(CodecError::Truncated);
@@ -115,8 +136,16 @@ pub fn decode_frame(buf: &mut impl Buf) -> Result<FrameTrace, CodecError> {
     let height = buf.get_u32_le();
     let filter = filter_from_byte(buf.get_u8())?;
     let pixels_rendered = buf.get_u64_le();
-    let count = buf.get_u32_le() as usize;
-    if buf.remaining() < count * 16 {
+    let raw_count = buf.get_u32_le();
+    if raw_count > MAX_FRAME_REQUESTS {
+        return Err(CodecError::Oversized {
+            count: raw_count,
+            max: MAX_FRAME_REQUESTS,
+        });
+    }
+    let count = raw_count as usize;
+    // u64 math: count * 16 could wrap on a 32-bit usize.
+    if (buf.remaining() as u64) < raw_count as u64 * 16 {
         return Err(CodecError::Truncated);
     }
     let mut requests = Vec::with_capacity(count);
@@ -128,7 +157,14 @@ pub fn decode_frame(buf: &mut impl Buf) -> Result<FrameTrace, CodecError> {
             lod: buf.get_f32_le(),
         });
     }
-    Ok(FrameTrace { frame, width, height, filter, pixels_rendered, requests })
+    Ok(FrameTrace {
+        frame,
+        width,
+        height,
+        filter,
+        pixels_rendered,
+        requests,
+    })
 }
 
 /// Streams frames to a writer.
@@ -208,7 +244,14 @@ impl<R: Read> TraceReader<R> {
         let height = hdr.get_u32_le();
         let filter = filter_from_byte(hdr.get_u8())?;
         let pixels_rendered = hdr.get_u64_le();
-        let count = hdr.get_u32_le() as usize;
+        let raw_count = hdr.get_u32_le();
+        if raw_count > MAX_FRAME_REQUESTS {
+            return Err(CodecError::Oversized {
+                count: raw_count,
+                max: MAX_FRAME_REQUESTS,
+            });
+        }
+        let count = raw_count as usize;
         let mut payload = vec![0u8; count * 16];
         self.inner.read_exact(&mut payload).map_err(|e| {
             if e.kind() == std::io::ErrorKind::UnexpectedEof {
@@ -227,7 +270,14 @@ impl<R: Read> TraceReader<R> {
                 lod: body.get_f32_le(),
             });
         }
-        Ok(Some(FrameTrace { frame, width, height, filter, pixels_rendered, requests }))
+        Ok(Some(FrameTrace {
+            frame,
+            width,
+            height,
+            filter,
+            pixels_rendered,
+            requests,
+        }))
     }
 }
 
@@ -306,7 +356,10 @@ mod tests {
         let mut bytes = encode_frame(&t).to_vec();
         bytes[0] ^= 0xff;
         let mut buf = bytes.as_slice();
-        assert!(matches!(decode_frame(&mut buf), Err(CodecError::BadMagic(_))));
+        assert!(matches!(
+            decode_frame(&mut buf),
+            Err(CodecError::BadMagic(_))
+        ));
     }
 
     #[test]
@@ -315,7 +368,10 @@ mod tests {
         let mut bytes = encode_frame(&t).to_vec();
         bytes[16] = 9; // filter byte
         let mut buf = bytes.as_slice();
-        assert!(matches!(decode_frame(&mut buf), Err(CodecError::BadFilter(9))));
+        assert!(matches!(
+            decode_frame(&mut buf),
+            Err(CodecError::BadFilter(9))
+        ));
     }
 
     #[test]
@@ -329,8 +385,37 @@ mod tests {
     }
 
     #[test]
+    fn oversized_count_rejected_on_both_paths() {
+        let t = sample_trace(2);
+        let mut bytes = encode_frame(&t).to_vec();
+        // The count field sits at offset 25 in the 29-byte header.
+        bytes[25..29].copy_from_slice(&(MAX_FRAME_REQUESTS + 1).to_le_bytes());
+        let mut buf = bytes.as_slice();
+        assert!(matches!(
+            decode_frame(&mut buf),
+            Err(CodecError::Oversized { count, max })
+                if count == MAX_FRAME_REQUESTS + 1 && max == MAX_FRAME_REQUESTS
+        ));
+        let mut r = TraceReader::new(bytes.as_slice());
+        assert!(matches!(r.read_frame(), Err(CodecError::Oversized { .. })));
+    }
+
+    #[test]
+    fn max_request_count_itself_is_accepted_shapewise() {
+        // A frame claiming exactly the cap fails with Truncated (payload
+        // missing), never Oversized: the cap is exclusive of valid sizes.
+        let t = sample_trace(0);
+        let mut bytes = encode_frame(&t).to_vec();
+        bytes[25..29].copy_from_slice(&MAX_FRAME_REQUESTS.to_le_bytes());
+        let mut buf = bytes.as_slice();
+        assert!(matches!(decode_frame(&mut buf), Err(CodecError::Truncated)));
+    }
+
+    #[test]
     fn error_display_strings() {
         assert!(CodecError::Truncated.to_string().contains("truncated"));
         assert!(CodecError::BadMagic(5).to_string().contains("magic"));
+        let e = CodecError::Oversized { count: 99, max: 10 };
+        assert!(e.to_string().contains("99") && e.to_string().contains("10"));
     }
 }

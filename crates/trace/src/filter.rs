@@ -69,10 +69,18 @@ pub struct TapList {
 }
 
 impl TapList {
-    const EMPTY_TAP: Tap = Tap { m: 0, u: 0, v: 0, weight: 0.0 };
+    const EMPTY_TAP: Tap = Tap {
+        m: 0,
+        u: 0,
+        v: 0,
+        weight: 0.0,
+    };
 
     fn new() -> Self {
-        Self { taps: [Self::EMPTY_TAP; 8], len: 0 }
+        Self {
+            taps: [Self::EMPTY_TAP; 8],
+            len: 0,
+        }
     }
 
     #[inline]
@@ -221,7 +229,12 @@ fn bilinear_taps(
         (x0 + 1, y0 + 1, fx * fy),
     ];
     for (x, y, wgt) in corners {
-        out.push(Tap { m, u: wrap(x, w), v: wrap(y, h), weight: wgt * weight });
+        out.push(Tap {
+            m,
+            u: wrap(x, w),
+            v: wrap(y, h),
+            weight: wgt * weight,
+        });
     }
 }
 
@@ -231,7 +244,12 @@ mod tests {
     use mltc_texture::TextureId;
 
     fn req(u: f32, v: f32, lod: f32) -> PixelRequest {
-        PixelRequest { tid: TextureId::from_index(0), u, v, lod }
+        PixelRequest {
+            tid: TextureId::from_index(0),
+            u,
+            v,
+            lod,
+        }
     }
 
     fn square_dims(base: u32) -> impl Fn(u32) -> (u32, u32) {
@@ -268,7 +286,12 @@ mod tests {
 
     #[test]
     fn bilinear_weights_sum_to_one() {
-        let t = filter_taps(&req(3.3, 7.8, 0.2), FilterMode::Bilinear, 5, square_dims(16));
+        let t = filter_taps(
+            &req(3.3, 7.8, 0.2),
+            FilterMode::Bilinear,
+            5,
+            square_dims(16),
+        );
         assert_eq!(t.len(), 4);
         assert!((weight_sum(&t) - 1.0).abs() < 1e-5);
     }
@@ -276,7 +299,12 @@ mod tests {
     #[test]
     fn bilinear_at_texel_centre_is_single_texel() {
         // u = 2.5 is the centre of texel 2: all weight on one corner.
-        let t = filter_taps(&req(2.5, 2.5, 0.0), FilterMode::Bilinear, 5, square_dims(16));
+        let t = filter_taps(
+            &req(2.5, 2.5, 0.0),
+            FilterMode::Bilinear,
+            5,
+            square_dims(16),
+        );
         let big: Vec<&Tap> = t.iter().filter(|t| t.weight > 0.99).collect();
         assert_eq!(big.len(), 1);
         assert_eq!((big[0].u, big[0].v), (2, 2));
@@ -284,7 +312,12 @@ mod tests {
 
     #[test]
     fn bilinear_wraps_at_edges() {
-        let t = filter_taps(&req(0.1, 0.1, 0.0), FilterMode::Bilinear, 5, square_dims(16));
+        let t = filter_taps(
+            &req(0.1, 0.1, 0.0),
+            FilterMode::Bilinear,
+            5,
+            square_dims(16),
+        );
         // Neighbours of texel (-1,-1) wrap to 15.
         assert!(t.iter().any(|t| t.u == 15 && t.v == 15));
         assert!(t.iter().any(|t| t.u == 0 && t.v == 0));
@@ -292,7 +325,12 @@ mod tests {
 
     #[test]
     fn trilinear_straddles_two_levels() {
-        let t = filter_taps(&req(4.0, 4.0, 0.5), FilterMode::Trilinear, 5, square_dims(16));
+        let t = filter_taps(
+            &req(4.0, 4.0, 0.5),
+            FilterMode::Trilinear,
+            5,
+            square_dims(16),
+        );
         assert_eq!(t.len(), 8);
         let levels: std::collections::HashSet<u32> = t.iter().map(|t| t.m).collect();
         assert_eq!(levels, [0u32, 1].into_iter().collect());
@@ -304,14 +342,24 @@ mod tests {
 
     #[test]
     fn trilinear_integral_lod_uses_one_level() {
-        let t = filter_taps(&req(4.0, 4.0, 1.0), FilterMode::Trilinear, 5, square_dims(16));
+        let t = filter_taps(
+            &req(4.0, 4.0, 1.0),
+            FilterMode::Trilinear,
+            5,
+            square_dims(16),
+        );
         assert_eq!(t.len(), 4);
         assert!(t.iter().all(|t| t.m == 1));
     }
 
     #[test]
     fn trilinear_clamped_at_coarsest_uses_one_level() {
-        let t = filter_taps(&req(0.0, 0.0, 10.0), FilterMode::Trilinear, 5, square_dims(16));
+        let t = filter_taps(
+            &req(0.0, 0.0, 10.0),
+            FilterMode::Trilinear,
+            5,
+            square_dims(16),
+        );
         assert_eq!(t.len(), 4);
         assert!(t.iter().all(|t| t.m == 4));
     }
@@ -327,9 +375,17 @@ mod tests {
     #[test]
     fn taps_always_in_bounds() {
         let dims = square_dims(8);
-        for mode in [FilterMode::Point, FilterMode::Bilinear, FilterMode::Trilinear] {
+        for mode in [
+            FilterMode::Point,
+            FilterMode::Bilinear,
+            FilterMode::Trilinear,
+        ] {
             for i in 0..200 {
-                let r = req(i as f32 * 1.37 - 50.0, i as f32 * -2.11 + 33.3, i as f32 * 0.07 - 1.0);
+                let r = req(
+                    i as f32 * 1.37 - 50.0,
+                    i as f32 * -2.11 + 33.3,
+                    i as f32 * 0.07 - 1.0,
+                );
                 for tap in &filter_taps(&r, mode, 4, &dims) {
                     let (w, h) = dims(tap.m);
                     assert!(tap.u < w && tap.v < h, "{mode:?} tap {tap:?} out of bounds");

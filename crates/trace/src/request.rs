@@ -47,7 +47,14 @@ pub struct FrameTrace {
 impl FrameTrace {
     /// Creates an empty trace for a frame.
     pub fn new(frame: u32, width: u32, height: u32, filter: FilterMode) -> Self {
-        Self { frame, width, height, filter, pixels_rendered: 0, requests: Vec::new() }
+        Self {
+            frame,
+            width,
+            height,
+            filter,
+            pixels_rendered: 0,
+            requests: Vec::new(),
+        }
     }
 
     /// Appends a request and counts the fragment.
@@ -71,8 +78,18 @@ mod tests {
     #[test]
     fn push_counts_fragments() {
         let mut t = FrameTrace::new(0, 4, 4, FilterMode::Point);
-        t.push(PixelRequest { tid: TextureId::from_index(0), u: 0.0, v: 0.0, lod: 0.0 });
-        t.push(PixelRequest { tid: TextureId::from_index(0), u: 1.0, v: 0.0, lod: 0.0 });
+        t.push(PixelRequest {
+            tid: TextureId::from_index(0),
+            u: 0.0,
+            v: 0.0,
+            lod: 0.0,
+        });
+        t.push(PixelRequest {
+            tid: TextureId::from_index(0),
+            u: 1.0,
+            v: 0.0,
+            lod: 0.0,
+        });
         assert_eq!(t.pixels_rendered, 2);
         assert_eq!(t.requests.len(), 2);
     }
@@ -81,7 +98,12 @@ mod tests {
     fn depth_complexity_counts_overdraw() {
         let mut t = FrameTrace::new(0, 2, 2, FilterMode::Point);
         for _ in 0..8 {
-            t.push(PixelRequest { tid: TextureId::from_index(0), u: 0.0, v: 0.0, lod: 0.0 });
+            t.push(PixelRequest {
+                tid: TextureId::from_index(0),
+                u: 0.0,
+                v: 0.0,
+                lod: 0.0,
+            });
         }
         assert_eq!(t.depth_complexity(), 2.0);
     }

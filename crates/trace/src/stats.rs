@@ -24,8 +24,13 @@ pub enum TileClass {
 
 impl TileClass {
     /// All classes, in the order used by [`FrameWorkingSet`].
-    pub const ALL: [TileClass; 5] =
-        [TileClass::L1x4, TileClass::L1x8, TileClass::L2x8, TileClass::L2x16, TileClass::L2x32];
+    pub const ALL: [TileClass; 5] = [
+        TileClass::L1x4,
+        TileClass::L1x8,
+        TileClass::L2x8,
+        TileClass::L2x16,
+        TileClass::L2x32,
+    ];
 
     /// `log2` of the tile edge in texels.
     pub const fn shift(self) -> u32 {
@@ -145,7 +150,11 @@ impl FrameStatsCollector {
                 Some(pyr.iter().map(|l| (l.width(), l.height())).collect());
             host_bytes[tid.index() as usize] = pyr.byte_size() as u64;
         }
-        Self { dims, host_bytes, prev: Default::default() }
+        Self {
+            dims,
+            host_bytes,
+            prev: Default::default(),
+        }
     }
 
     /// Processes one frame's trace.
@@ -187,10 +196,12 @@ impl FrameStatsCollector {
         }
         self.prev = cur;
 
-        let mut touched: Vec<TextureId> =
-            tids.iter().map(|&t| TextureId::from_index(t)).collect();
+        let mut touched: Vec<TextureId> = tids.iter().map(|&t| TextureId::from_index(t)).collect();
         touched.sort_unstable();
-        let push_min_bytes = touched.iter().map(|t| self.host_bytes[t.index() as usize]).sum();
+        let push_min_bytes = touched
+            .iter()
+            .map(|t| self.host_bytes[t.index() as usize])
+            .sum();
 
         FrameWorkingSet {
             frame: trace.frame,
@@ -240,14 +251,25 @@ impl WorkloadSummary {
         assert!(!frames.is_empty(), "cannot summarise zero frames");
         let n = frames.len() as f64;
         let depth_complexity = frames.iter().map(|f| f.depth_complexity).sum::<f64>() / n;
-        let utilization_16 =
-            frames.iter().map(|f| f.utilization(TileClass::L2x16)).sum::<f64>() / n;
+        let utilization_16 = frames
+            .iter()
+            .map(|f| f.utilization(TileClass::L2x16))
+            .sum::<f64>()
+            / n;
         let mut mean_total_bytes = [0.0; 5];
         let mut mean_new_bytes = [0.0; 5];
         for class in TileClass::ALL {
             let i = class.idx();
-            mean_total_bytes[i] = frames.iter().map(|f| f.total_bytes(class) as f64).sum::<f64>() / n;
-            mean_new_bytes[i] = frames.iter().map(|f| f.new_bytes(class) as f64).sum::<f64>() / n;
+            mean_total_bytes[i] = frames
+                .iter()
+                .map(|f| f.total_bytes(class) as f64)
+                .sum::<f64>()
+                / n;
+            mean_new_bytes[i] = frames
+                .iter()
+                .map(|f| f.new_bytes(class) as f64)
+                .sum::<f64>()
+                / n;
         }
         let r = width as f64 * height as f64;
         let expected_working_set = if utilization_16 > 0.0 {
@@ -285,7 +307,12 @@ mod tests {
     fn trace_of(tid: TextureId, pts: &[(f32, f32)]) -> FrameTrace {
         let mut t = FrameTrace::new(0, 8, 8, FilterMode::Point);
         for &(u, v) in pts {
-            t.push(PixelRequest { tid, u, v, lod: 0.0 });
+            t.push(PixelRequest {
+                tid,
+                u,
+                v,
+                lod: 0.0,
+            });
         }
         t
     }
@@ -356,14 +383,30 @@ mod tests {
     #[test]
     fn push_min_counts_touched_textures_once() {
         let mut reg = TextureRegistry::new();
-        let a = reg.load("a", MipPyramid::from_image(synth::checkerboard(32, 4, [0; 3], [255; 3])));
-        let b = reg.load("b", MipPyramid::from_image(synth::checkerboard(32, 4, [0; 3], [255; 3])));
+        let a = reg.load(
+            "a",
+            MipPyramid::from_image(synth::checkerboard(32, 4, [0; 3], [255; 3])),
+        );
+        let b = reg.load(
+            "b",
+            MipPyramid::from_image(synth::checkerboard(32, 4, [0; 3], [255; 3])),
+        );
         let mut c = FrameStatsCollector::new(&reg);
         let mut t = FrameTrace::new(0, 8, 8, FilterMode::Point);
         for _ in 0..3 {
-            t.push(PixelRequest { tid: a, u: 0.0, v: 0.0, lod: 0.0 });
+            t.push(PixelRequest {
+                tid: a,
+                u: 0.0,
+                v: 0.0,
+                lod: 0.0,
+            });
         }
-        t.push(PixelRequest { tid: b, u: 0.0, v: 0.0, lod: 0.0 });
+        t.push(PixelRequest {
+            tid: b,
+            u: 0.0,
+            v: 0.0,
+            lod: 0.0,
+        });
         let ws = c.process_frame(&t);
         let pyr_bytes = reg.pyramid(a).unwrap().byte_size() as u64;
         assert_eq!(ws.push_min_bytes, 2 * pyr_bytes);

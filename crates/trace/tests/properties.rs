@@ -1,7 +1,7 @@
 //! Property-based tests for filtering and the trace codec.
 
 use mltc_texture::TextureId;
-use mltc_trace::codec::{decode_frame, encode_frame};
+use mltc_trace::codec::{decode_frame, encode_frame, CodecError, MAX_FRAME_REQUESTS};
 use mltc_trace::{filter_taps, FilterMode, FrameTrace, PixelRequest};
 use proptest::prelude::*;
 
@@ -14,9 +14,18 @@ fn filters() -> impl Strategy<Value = FilterMode> {
 }
 
 fn requests() -> impl Strategy<Value = PixelRequest> {
-    (0u32..8, -1000.0f32..1000.0, -1000.0f32..1000.0, -4.0f32..16.0).prop_map(
-        |(tid, u, v, lod)| PixelRequest { tid: TextureId::from_index(tid), u, v, lod },
+    (
+        0u32..8,
+        -1000.0f32..1000.0,
+        -1000.0f32..1000.0,
+        -4.0f32..16.0,
     )
+        .prop_map(|(tid, u, v, lod)| PixelRequest {
+            tid: TextureId::from_index(tid),
+            u,
+            v,
+            lod,
+        })
 }
 
 fn square_dims(base: u32) -> impl Fn(u32) -> (u32, u32) {
@@ -113,5 +122,35 @@ proptest! {
         let cut = 1 + (cut_frac * (bytes.len() - 2) as f64) as usize;
         let mut buf = &bytes[..cut];
         prop_assert!(decode_frame(&mut buf).is_err());
+    }
+
+    /// Arbitrary bytes never panic the decoder: every input yields either a
+    /// frame or a typed error.
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut buf = bytes.as_slice();
+        let _ = decode_frame(&mut buf);
+    }
+
+    /// A header claiming more than [`MAX_FRAME_REQUESTS`] requests is
+    /// rejected as `Oversized` before the decoder allocates for the payload
+    /// — regardless of how much (or little) payload follows.
+    #[test]
+    fn oversized_counts_are_rejected_before_allocation(
+        excess in 1u32..=(u32::MAX - MAX_FRAME_REQUESTS),
+        tail in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut t = FrameTrace::new(0, 8, 8, FilterMode::Point);
+        t.push(PixelRequest { tid: TextureId::from_index(0), u: 0.0, v: 0.0, lod: 0.0 });
+        let mut bytes = encode_frame(&t).to_vec();
+        let huge = MAX_FRAME_REQUESTS + excess;
+        bytes[25..29].copy_from_slice(&huge.to_le_bytes());
+        bytes.extend_from_slice(&tail);
+        let mut buf = bytes.as_slice();
+        prop_assert!(matches!(
+            decode_frame(&mut buf),
+            Err(CodecError::Oversized { count, max })
+                if count == huge && max == MAX_FRAME_REQUESTS
+        ));
     }
 }

@@ -10,13 +10,15 @@
 //! `--l2-mb 0` means "no L2" (the pull architecture).
 
 use mltc::core::{EngineConfig, L1Config, L2Config};
-use mltc::experiments::engine_run;
+use mltc::experiments::engine_run_all;
 use mltc::scene::{Workload, WorkloadParams};
 use mltc::texture::{TileSize, TilingConfig};
 use mltc::trace::FilterMode;
 
 fn parse_list(s: &str) -> Vec<usize> {
-    s.split(',').map(|v| v.trim().parse().expect("numeric list")).collect()
+    s.split(',')
+        .map(|v| v.trim().parse().expect("numeric list"))
+        .collect()
 }
 
 fn main() {
@@ -45,7 +47,10 @@ fn main() {
     };
     let tiling = TilingConfig::new(l2_tile, TileSize::X4).expect("valid tiling");
 
-    let params = WorkloadParams { frames, ..WorkloadParams::quick() };
+    let params = WorkloadParams {
+        frames,
+        ..WorkloadParams::quick()
+    };
     let w = if workload_name == "city" {
         Workload::city(&params)
     } else {
@@ -61,14 +66,18 @@ fn main() {
         for &mb in &l2_list {
             configs.push(EngineConfig {
                 l1: L1Config::kb(kb),
-                l2: (mb > 0).then(|| L2Config { size_bytes: mb << 20, ..L2Config::mb(2) }),
+                l2: (mb > 0).then(|| L2Config {
+                    size_bytes: mb << 20,
+                    ..L2Config::mb(2)
+                }),
                 tiling,
                 ..EngineConfig::default()
             });
         }
     }
 
-    let engines = engine_run(&w, filter, &configs, false);
+    let engines =
+        engine_run_all(&w, filter, &configs, false).expect("all explorer configurations are valid");
     println!(
         "\n{:<22} {:>9} {:>9} {:>9} {:>9} {:>10}",
         "architecture", "L1 hit%", "L2 full%", "L2 part%", "MB/frame", "MB/s@30Hz"

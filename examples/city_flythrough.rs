@@ -6,7 +6,7 @@
 //! ```
 
 use mltc::core::{EngineConfig, L1Config, L2Config};
-use mltc::experiments::{engine_run, stats_run};
+use mltc::experiments::{engine_run_all, stats_run};
 use mltc::scene::{Workload, WorkloadParams};
 use mltc::trace::FilterMode;
 
@@ -27,16 +27,30 @@ fn main() {
     );
 
     let (_, summary) = stats_run(&city);
-    println!("\ndepth complexity d: {:.2} (paper: 1.9)", summary.depth_complexity);
-    println!("block utilization : {:.2} (paper: 7.8 at 1024x768)", summary.utilization_16);
+    println!(
+        "\ndepth complexity d: {:.2} (paper: 1.9)",
+        summary.depth_complexity
+    );
+    println!(
+        "block utilization : {:.2} (paper: 7.8 at 1024x768)",
+        summary.utilization_16
+    );
 
     // Bandwidth with and without an L2 (bilinear).
     let base = EngineConfig::default();
     let configs = vec![
-        EngineConfig { l1: L1Config::kb(2), ..base },
-        EngineConfig { l1: L1Config::kb(2), l2: Some(L2Config::mb(2)), ..base },
+        EngineConfig {
+            l1: L1Config::kb(2),
+            ..base
+        },
+        EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(2)),
+            ..base
+        },
     ];
-    let engines = engine_run(&city, FilterMode::Bilinear, &configs, false);
+    let engines = engine_run_all(&city, FilterMode::Bilinear, &configs, false)
+        .expect("all fly-through configurations are valid");
     println!("\n-- download traffic (bilinear) --");
     for e in &engines {
         println!(
@@ -58,7 +72,8 @@ fn main() {
             ..base
         })
         .collect();
-    let engines = engine_run(&city, FilterMode::Bilinear, &tlb_configs, false);
+    let engines = engine_run_all(&city, FilterMode::Bilinear, &tlb_configs, false)
+        .expect("all TLB configurations are valid");
     println!("{:<12} {:>10}", "TLB entries", "hit rate");
     for e in &engines {
         println!(

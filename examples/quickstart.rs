@@ -26,11 +26,18 @@ fn main() {
     //   pull  = 2 KB on-chip L1 only, every miss downloads over AGP;
     //   multi = the paper's proposal, a 2 MB L2 in local memory under the L1.
     let mut pull = SimEngine::new(
-        EngineConfig { l1: L1Config::kb(2), ..EngineConfig::default() },
+        EngineConfig {
+            l1: L1Config::kb(2),
+            ..EngineConfig::default()
+        },
         village.registry(),
     );
     let mut multi = SimEngine::new(
-        EngineConfig { l1: L1Config::kb(2), l2: Some(L2Config::mb(2)), ..EngineConfig::default() },
+        EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(2)),
+            ..EngineConfig::default()
+        },
         village.registry(),
     );
 

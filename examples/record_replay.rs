@@ -14,7 +14,9 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
 fn main() {
-    let path = std::env::args().nth(1).unwrap_or_else(|| "village.trace".to_string());
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "village.trace".to_string());
     let params = WorkloadParams::quick();
     let village = Workload::village(&params);
 
@@ -54,6 +56,9 @@ fn main() {
             engine.totals().host_mb() / village.frame_count as f64
         );
     }
-    println!("\nreplayed 3 architectures in {:.1}s", t1.elapsed().as_secs_f64());
+    println!(
+        "\nreplayed 3 architectures in {:.1}s",
+        t1.elapsed().as_secs_f64()
+    );
     println!("inspect the trace with: cargo run --release -p mltc-trace --bin tracetool -- {path}");
 }

@@ -9,11 +9,17 @@ use mltc::trace::FilterMode;
 use std::path::PathBuf;
 
 fn main() {
-    let out: PathBuf =
-        std::env::args().nth(1).unwrap_or_else(|| "snapshots".to_string()).into();
+    let out: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "snapshots".to_string())
+        .into();
     std::fs::create_dir_all(&out).expect("create output directory");
 
-    let params = WorkloadParams { width: 640, height: 480, ..WorkloadParams::quick() };
+    let params = WorkloadParams {
+        width: 640,
+        height: 480,
+        ..WorkloadParams::quick()
+    };
     for w in [Workload::village(&params), Workload::city(&params)] {
         for q in 0..3u32 {
             let frame = (w.frame_count - 1) * q / 2;

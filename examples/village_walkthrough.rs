@@ -6,7 +6,7 @@
 //! ```
 
 use mltc::core::{EngineConfig, L1Config, L2Config};
-use mltc::experiments::{engine_run, stats_run};
+use mltc::experiments::{engine_run_all, stats_run};
 use mltc::scene::{Workload, WorkloadParams};
 use mltc::trace::{FilterMode, TileClass};
 
@@ -25,8 +25,14 @@ fn main() {
     // Section 4 statistics (point-sampled).
     let (frames, summary) = stats_run(&village);
     println!("\n-- locality and working sets (paper §4) --");
-    println!("depth complexity d       : {:.2}   (paper: 3.8)", summary.depth_complexity);
-    println!("block utilization (16x16): {:.2}   (paper: 4.7)", summary.utilization_16);
+    println!(
+        "depth complexity d       : {:.2}   (paper: 3.8)",
+        summary.depth_complexity
+    );
+    println!(
+        "block utilization (16x16): {:.2}   (paper: 4.7)",
+        summary.utilization_16
+    );
     println!(
         "expected working set W   : {:.2} MB (paper: 2.43 MB at 1024x768)",
         summary.expected_working_set / (1 << 20) as f64
@@ -44,19 +50,49 @@ fn main() {
     println!("\n-- download bandwidth (paper Fig. 10, trilinear) --");
     let base = EngineConfig::default();
     let configs = vec![
-        EngineConfig { l1: L1Config::kb(2), ..base },
-        EngineConfig { l1: L1Config::kb(16), ..base },
-        EngineConfig { l1: L1Config::kb(2), l2: Some(L2Config::mb(2)), ..base },
-        EngineConfig { l1: L1Config::kb(2), l2: Some(L2Config::mb(4)), ..base },
-        EngineConfig { l1: L1Config::kb(2), l2: Some(L2Config::mb(8)), ..base },
+        EngineConfig {
+            l1: L1Config::kb(2),
+            ..base
+        },
+        EngineConfig {
+            l1: L1Config::kb(16),
+            ..base
+        },
+        EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(2)),
+            ..base
+        },
+        EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(4)),
+            ..base
+        },
+        EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(8)),
+            ..base
+        },
     ];
-    let engines = engine_run(&village, FilterMode::Trilinear, &configs, false);
-    println!("{:<22} {:>12} {:>12}", "architecture", "MB/frame", "MB/s @30Hz");
+    let engines = engine_run_all(&village, FilterMode::Trilinear, &configs, false)
+        .expect("all walkthrough configurations are valid");
+    println!(
+        "{:<22} {:>12} {:>12}",
+        "architecture", "MB/frame", "MB/s @30Hz"
+    );
     for e in &engines {
         let mbf = e.totals().host_mb() / village.frame_count as f64;
-        println!("{:<22} {:>12.2} {:>12.0}", e.config().label(), mbf, mbf * 30.0);
+        println!(
+            "{:<22} {:>12.2} {:>12.0}",
+            e.config().label(),
+            mbf,
+            mbf * 30.0
+        );
     }
     let pull = engines[0].totals().host_bytes as f64;
     let ml = engines[2].totals().host_bytes as f64;
-    println!("\n2 MB L2 saves {:.1}x bandwidth over the vanilla pull architecture", pull / ml);
+    println!(
+        "\n2 MB L2 saves {:.1}x bandwidth over the vanilla pull architecture",
+        pull / ml
+    );
 }

@@ -2,7 +2,7 @@
 //! asserting the paper's qualitative results hold on the real pipeline.
 
 use mltc::core::{EngineConfig, L1Config, L2Config};
-use mltc::experiments::{engine_run, stats_run};
+use mltc::experiments::{engine_run_all, stats_run};
 use mltc::scene::{Workload, WorkloadParams};
 use mltc::trace::{FilterMode, TileClass};
 
@@ -12,7 +12,10 @@ fn tiny() -> WorkloadParams {
 
 /// Denser-sampled params so inter-frame effects are visible.
 fn smooth() -> WorkloadParams {
-    WorkloadParams { frames: 30, ..WorkloadParams::tiny() }
+    WorkloadParams {
+        frames: 30,
+        ..WorkloadParams::tiny()
+    }
 }
 
 #[test]
@@ -23,8 +26,12 @@ fn statistics_pipeline_produces_consistent_working_sets() {
         for f in &frames {
             // Finer tilings touch at least as many blocks as coarser ones...
             assert!(f.total_blocks[TileClass::L1x4.idx()] >= f.total_blocks[TileClass::L1x8.idx()]);
-            assert!(f.total_blocks[TileClass::L2x8.idx()] >= f.total_blocks[TileClass::L2x16.idx()]);
-            assert!(f.total_blocks[TileClass::L2x16.idx()] >= f.total_blocks[TileClass::L2x32.idx()]);
+            assert!(
+                f.total_blocks[TileClass::L2x8.idx()] >= f.total_blocks[TileClass::L2x16.idx()]
+            );
+            assert!(
+                f.total_blocks[TileClass::L2x16.idx()] >= f.total_blocks[TileClass::L2x32.idx()]
+            );
             // ...but coarser tilings cover at least as many bytes.
             assert!(f.total_bytes(TileClass::L2x32) >= f.total_bytes(TileClass::L2x16));
             assert!(f.total_bytes(TileClass::L2x16) >= f.total_bytes(TileClass::L2x8));
@@ -63,15 +70,21 @@ fn l2_saves_bandwidth_against_pull_architecture() {
     // from host memory than the pull architecture.
     let w = Workload::village(&smooth());
     let configs = [
-        EngineConfig { l1: L1Config::kb(2), ..EngineConfig::default() },
-        EngineConfig { l1: L1Config::kb(2), l2: Some(L2Config::mb(2)), ..EngineConfig::default() },
+        EngineConfig {
+            l1: L1Config::kb(2),
+            ..EngineConfig::default()
+        },
+        EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(2)),
+            ..EngineConfig::default()
+        },
     ];
-    let engines = engine_run(&w, FilterMode::Trilinear, &configs, false);
+    let engines = engine_run_all(&w, FilterMode::Trilinear, &configs, false).unwrap();
     // Skip warm-up: compare steady-state (last half of the animation).
     let half = w.frame_count as usize / 2;
-    let late = |e: &mltc::core::SimEngine| {
-        e.frames()[half..].iter().map(|f| f.host_bytes).sum::<u64>()
-    };
+    let late =
+        |e: &mltc::core::SimEngine| e.frames()[half..].iter().map(|f| f.host_bytes).sum::<u64>();
     let pull = late(&engines[0]);
     let ml = late(&engines[1]);
     assert!(
@@ -85,7 +98,10 @@ fn bigger_l1_and_bigger_l2_both_monotonically_reduce_traffic() {
     let w = Workload::city(&smooth());
     let mut configs = Vec::new();
     for kb in [2usize, 16] {
-        configs.push(EngineConfig { l1: L1Config::kb(kb), ..EngineConfig::default() });
+        configs.push(EngineConfig {
+            l1: L1Config::kb(kb),
+            ..EngineConfig::default()
+        });
     }
     for mb in [1usize, 2, 4] {
         configs.push(EngineConfig {
@@ -94,25 +110,46 @@ fn bigger_l1_and_bigger_l2_both_monotonically_reduce_traffic() {
             ..EngineConfig::default()
         });
     }
-    let engines = engine_run(&w, FilterMode::Bilinear, &configs, false);
+    let engines = engine_run_all(&w, FilterMode::Bilinear, &configs, false).unwrap();
     let host: Vec<u64> = engines.iter().map(|e| e.totals().host_bytes).collect();
-    assert!(host[1] <= host[0], "16 KB L1 must not download more than 2 KB L1");
-    assert!(host[3] <= host[2], "2 MB L2 must not download more than 1 MB L2");
-    assert!(host[4] <= host[3], "4 MB L2 must not download more than 2 MB L2");
+    assert!(
+        host[1] <= host[0],
+        "16 KB L1 must not download more than 2 KB L1"
+    );
+    assert!(
+        host[3] <= host[2],
+        "2 MB L2 must not download more than 1 MB L2"
+    );
+    assert!(
+        host[4] <= host[3],
+        "4 MB L2 must not download more than 2 MB L2"
+    );
     // And L1 hit behaviour is identical across L2 sizes (paper §3.3).
     let l1_hits: Vec<u64> = engines[2..].iter().map(|e| e.totals().l1_hits).collect();
-    assert!(l1_hits.windows(2).all(|w| w[0] == w[1]), "L1 isolated from L2 sweep: {l1_hits:?}");
+    assert!(
+        l1_hits.windows(2).all(|w| w[0] == w[1]),
+        "L1 isolated from L2 sweep: {l1_hits:?}"
+    );
 }
 
 #[test]
 fn interframe_reuse_dominates_after_warmup() {
     // Paper finding (1): significant re-use of texture between frames.
     // Dense frame sampling, as in the paper's 411-frame walk-through.
-    let w = Workload::village(&WorkloadParams { frames: 80, ..WorkloadParams::tiny() });
+    let w = Workload::village(&WorkloadParams {
+        frames: 80,
+        ..WorkloadParams::tiny()
+    });
     let (frames, _) = stats_run(&w);
     let steady = &frames[5..];
-    let total: u64 = steady.iter().map(|f| f.total_blocks[TileClass::L1x4.idx()]).sum();
-    let new: u64 = steady.iter().map(|f| f.new_blocks[TileClass::L1x4.idx()]).sum();
+    let total: u64 = steady
+        .iter()
+        .map(|f| f.total_blocks[TileClass::L1x4.idx()])
+        .sum();
+    let new: u64 = steady
+        .iter()
+        .map(|f| f.new_blocks[TileClass::L1x4.idx()])
+        .sum();
     assert!(
         new * 4 < total,
         "most L1 blocks should be re-used from the previous frame (new {new} / total {total})"
@@ -123,7 +160,10 @@ fn interframe_reuse_dominates_after_warmup() {
 fn city_and_village_keep_their_calibrated_contrast() {
     let v = stats_run(&Workload::village(&tiny())).1;
     let c = stats_run(&Workload::city(&tiny())).1;
-    assert!(v.depth_complexity > c.depth_complexity, "village overdraws more than city");
+    assert!(
+        v.depth_complexity > c.depth_complexity,
+        "village overdraws more than city"
+    );
 }
 
 #[test]
@@ -132,13 +172,21 @@ fn filters_order_texel_traffic() {
     // point sampling, on the same frames.
     let w = Workload::village(&tiny());
     let mut totals = Vec::new();
-    for filter in [FilterMode::Point, FilterMode::Bilinear, FilterMode::Trilinear] {
-        let engines = engine_run(
+    for filter in [
+        FilterMode::Point,
+        FilterMode::Bilinear,
+        FilterMode::Trilinear,
+    ] {
+        let engines = engine_run_all(
             &w,
             filter,
-            &[EngineConfig { l1: L1Config::kb(16), ..EngineConfig::default() }],
+            &[EngineConfig {
+                l1: L1Config::kb(16),
+                ..EngineConfig::default()
+            }],
             false,
-        );
+        )
+        .unwrap();
         totals.push(engines[0].totals().l1_accesses);
     }
     assert!(totals[0] < totals[1] && totals[1] < totals[2], "{totals:?}");
@@ -152,16 +200,22 @@ fn infinite_l2_traffic_is_bounded_by_new_block_statistics() {
     // traffic can never exceed the §4 statistics' per-frame "new" L1 bytes
     // summed over the animation (which re-counts blocks that leave and
     // return).
-    let w = Workload::village(&WorkloadParams { frames: 12, ..WorkloadParams::tiny() });
+    let w = Workload::village(&WorkloadParams {
+        frames: 12,
+        ..WorkloadParams::tiny()
+    });
     let (frames, _) = stats_run(&w);
     let new_bytes_total: u64 = frames.iter().map(|f| f.new_bytes(TileClass::L1x4)).sum();
 
     let huge = EngineConfig {
         l1: L1Config::kb(2),
-        l2: Some(L2Config { size_bytes: 512 << 20, ..L2Config::mb(2) }),
+        l2: Some(L2Config {
+            size_bytes: 512 << 20,
+            ..L2Config::mb(2)
+        }),
         ..EngineConfig::default()
     };
-    let engines = engine_run(&w, FilterMode::Point, &[huge], false);
+    let engines = engine_run_all(&w, FilterMode::Point, &[huge], false).unwrap();
     let host = engines[0].totals().host_bytes;
     assert!(
         host <= new_bytes_total,
@@ -169,7 +223,10 @@ fn infinite_l2_traffic_is_bounded_by_new_block_statistics() {
     );
     // And it must at least download the last frame's distinct blocks once.
     let last_total = frames.last().unwrap().total_bytes(TileClass::L1x4);
-    assert!(host >= last_total / 2, "sanity: {host} vs last frame {last_total}");
+    assert!(
+        host >= last_total / 2,
+        "sanity: {host} vs last frame {last_total}"
+    );
 }
 
 #[test]

@@ -2,7 +2,7 @@
 //! precisely on misuse, and degrades gracefully where the paper's design
 //! says it should.
 
-use mltc::core::{EngineConfig, L1Config, L2Config, SimEngine};
+use mltc::core::{EngineConfig, EngineError, L1Config, L2Config, SimEngine};
 use mltc::scene::{Workload, WorkloadParams};
 use mltc::texture::{synth, MipPyramid, TextureId, TextureRegistry, TileSize, TilingConfig};
 use mltc::trace::codec::{CodecError, TraceReader};
@@ -10,31 +10,88 @@ use mltc::trace::{FilterMode, FrameTrace, PixelRequest};
 
 fn one_texture_registry() -> TextureRegistry {
     let mut reg = TextureRegistry::new();
-    reg.load("t", MipPyramid::from_image(synth::checkerboard(64, 8, [0; 3], [255; 3])));
+    reg.load(
+        "t",
+        MipPyramid::from_image(synth::checkerboard(64, 8, [0; 3], [255; 3])),
+    );
     reg
 }
 
 #[test]
-#[should_panic(expected = "unknown")]
 fn engine_rejects_traces_for_unknown_textures() {
     let reg = one_texture_registry();
     let mut e = SimEngine::new(
-        EngineConfig { l1: L1Config::kb(2), l2: Some(L2Config::mb(2)), ..EngineConfig::default() },
+        EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(2)),
+            ..EngineConfig::default()
+        },
         &reg,
     );
     let mut t = FrameTrace::new(0, 8, 8, FilterMode::Point);
-    t.push(PixelRequest { tid: TextureId::from_index(42), u: 0.0, v: 0.0, lod: 0.0 });
-    e.run_frame(&t);
+    t.push(PixelRequest {
+        tid: TextureId::from_index(42),
+        u: 0.0,
+        v: 0.0,
+        lod: 0.0,
+    });
+    let err = e.try_run_frame(&t).unwrap_err();
+    assert_eq!(err, EngineError::UnknownTexture(TextureId::from_index(42)));
+    assert!(err.to_string().contains("unknown"));
 }
 
 #[test]
-#[should_panic(expected = "empty texture page table")]
 fn l2_engine_requires_textures() {
     let reg = TextureRegistry::new();
-    let _ = SimEngine::new(
-        EngineConfig { l2: Some(L2Config::mb(2)), ..EngineConfig::default() },
+    let err = SimEngine::try_new(
+        EngineConfig {
+            l2: Some(L2Config::mb(2)),
+            ..EngineConfig::default()
+        },
         &reg,
+    )
+    .unwrap_err();
+    assert_eq!(err, EngineError::EmptyPageTable);
+    assert!(err.to_string().contains("empty texture page table"));
+}
+
+#[test]
+fn invalid_geometry_is_a_typed_error() {
+    let reg = one_texture_registry();
+    let err = SimEngine::try_new(
+        EngineConfig {
+            l1: L1Config {
+                ways: 0,
+                ..L1Config::kb(2)
+            },
+            ..EngineConfig::default()
+        },
+        &reg,
+    )
+    .unwrap_err();
+    assert!(matches!(err, EngineError::InvalidGeometry(_)));
+    assert!(err.to_string().contains("at least one way"));
+}
+
+#[test]
+fn out_of_range_texel_coords_are_a_typed_error() {
+    let reg = one_texture_registry();
+    let mut e = SimEngine::new(EngineConfig::default(), &reg);
+    let tid = TextureId::from_index(0);
+    let err = e.try_access_texel(tid, 0, 64, 0).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            EngineError::CoordsOutOfRange {
+                u: 64,
+                v: 0,
+                m: 0,
+                ..
+            }
+        ),
+        "{err:?}"
     );
+    assert!(err.to_string().contains("out of range"));
 }
 
 #[test]
@@ -79,10 +136,20 @@ fn corrupt_trace_stream_reports_precise_errors() {
 #[test]
 fn deleting_a_texture_mid_run_releases_l2_blocks_without_corruption() {
     let mut reg = TextureRegistry::new();
-    let a = reg.load("a", MipPyramid::from_image(synth::checkerboard(64, 8, [0; 3], [255; 3])));
-    let b = reg.load("b", MipPyramid::from_image(synth::checkerboard(64, 8, [0; 3], [255; 3])));
+    let a = reg.load(
+        "a",
+        MipPyramid::from_image(synth::checkerboard(64, 8, [0; 3], [255; 3])),
+    );
+    let b = reg.load(
+        "b",
+        MipPyramid::from_image(synth::checkerboard(64, 8, [0; 3], [255; 3])),
+    );
     let mut e = SimEngine::new(
-        EngineConfig { l1: L1Config::kb(2), l2: Some(L2Config::mb(2)), ..EngineConfig::default() },
+        EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(2)),
+            ..EngineConfig::default()
+        },
         &reg,
     );
     for v in (0..64).step_by(4) {
@@ -104,14 +171,20 @@ fn deleting_a_texture_mid_run_releases_l2_blocks_without_corruption() {
     }
     e.end_frame();
     let f = e.frame_stats();
-    assert_eq!(f.l2_full_misses, 0, "b's pages must have survived a's deallocation");
+    assert_eq!(
+        f.l2_full_misses, 0,
+        "b's pages must have survived a's deallocation"
+    );
 }
 
 #[test]
 fn workload_rejects_out_of_range_frames() {
     let w = Workload::city(&WorkloadParams::tiny());
     let result = std::panic::catch_unwind(|| w.camera_at(w.frame_count));
-    assert!(result.is_err(), "frame index beyond the animation must panic");
+    assert!(
+        result.is_err(),
+        "frame index beyond the animation must panic"
+    );
 }
 
 #[test]

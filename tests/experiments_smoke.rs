@@ -5,7 +5,10 @@ use mltc::experiments::{find_experiment, Outputs, Scale, EXPERIMENTS};
 use mltc::scene::WorkloadParams;
 
 fn tiny_scale() -> Scale {
-    Scale { name: "tiny", params: WorkloadParams::tiny() }
+    Scale {
+        name: "tiny",
+        params: WorkloadParams::tiny(),
+    }
 }
 
 fn temp_out(tag: &str) -> (Outputs, std::path::PathBuf) {
@@ -19,14 +22,16 @@ fn every_experiment_runs_at_tiny_scale() {
     let scale = tiny_scale();
     let (out, dir) = temp_out("all");
     for (id, f) in EXPERIMENTS {
-        f(&scale, &out);
+        f(&scale, &out).unwrap_or_else(|e| panic!("experiment {id} failed: {e}"));
         // Each experiment leaves at least one CSV mentioning itself.
         let base = id.replace('-', "_");
         let found = std::fs::read_dir(&dir)
             .unwrap()
             .filter_map(|e| e.ok())
-            .any(|e| e.file_name().to_string_lossy().starts_with(&base)
-                || e.file_name().to_string_lossy().starts_with(*id));
+            .any(|e| {
+                e.file_name().to_string_lossy().starts_with(&base)
+                    || e.file_name().to_string_lossy().starts_with(*id)
+            });
         assert!(found, "experiment {id} left no artefacts");
     }
     let _ = std::fs::remove_dir_all(&dir);
@@ -37,7 +42,7 @@ fn experiment_csvs_are_parseable_tables() {
     let scale = tiny_scale();
     let (out, dir) = temp_out("csv");
     for id in ["table1", "table2", "table4", "table7", "table8"] {
-        find_experiment(id).unwrap()(&scale, &out);
+        find_experiment(id).unwrap()(&scale, &out).unwrap();
         let csv = std::fs::read_to_string(dir.join(format!("{id}.csv"))).unwrap();
         let mut lines = csv.lines();
         let header_cols = lines.next().unwrap().split(',').count();
@@ -45,7 +50,11 @@ fn experiment_csvs_are_parseable_tables() {
         for line in lines {
             // Naive comma-splitting is only valid for unquoted rows.
             if !line.contains('"') {
-                assert_eq!(line.split(',').count(), header_cols, "{id}: ragged row {line}");
+                assert_eq!(
+                    line.split(',').count(),
+                    header_cols,
+                    "{id}: ragged row {line}"
+                );
             }
             rows += 1;
         }
@@ -60,7 +69,7 @@ fn table2_hit_rates_behave_like_the_paper() {
     // by much (trilinear touches two levels).
     let scale = tiny_scale();
     let (out, dir) = temp_out("t2");
-    find_experiment("table2").unwrap()(&scale, &out);
+    find_experiment("table2").unwrap()(&scale, &out).unwrap();
     let csv = std::fs::read_to_string(dir.join("table2.csv")).unwrap();
     let rows: Vec<Vec<f64>> = csv
         .lines()
@@ -84,15 +93,21 @@ fn fractional_advantage_is_below_one_with_an_effective_l2() {
     let scale = Scale {
         name: "tiny",
         // More frames so the L2 warm-up amortises and f reflects steady state.
-        params: WorkloadParams { frames: 24, ..WorkloadParams::tiny() },
+        params: WorkloadParams {
+            frames: 24,
+            ..WorkloadParams::tiny()
+        },
     };
     let (out, dir) = temp_out("t7");
-    find_experiment("table7").unwrap()(&scale, &out);
+    find_experiment("table7").unwrap()(&scale, &out).unwrap();
     let csv = std::fs::read_to_string(dir.join("table7.csv")).unwrap();
     for line in csv.lines().skip(1) {
         let cols: Vec<&str> = line.split(',').collect();
         let f_c8: f64 = cols[4].parse().unwrap();
-        assert!(f_c8 < 1.5, "f(c=8) should be near/below 1, got {f_c8} in {line}");
+        assert!(
+            f_c8 < 1.5,
+            "f(c=8) should be near/below 1, got {f_c8} in {line}"
+        );
     }
     let _ = std::fs::remove_dir_all(&dir);
 }

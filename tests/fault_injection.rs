@@ -1,0 +1,147 @@
+//! Fault-injection integration: determinism guarantees of the faulty host
+//! link and per-configuration failure isolation in the parallel harness,
+//! all through the public API.
+
+use mltc::core::{EngineConfig, EngineError, FaultPlan, L1Config, L2Config};
+use mltc::experiments::{engine_run, engine_run_all, RunError};
+use mltc::scene::{Workload, WorkloadParams};
+use mltc::trace::FilterMode;
+
+fn tiny_village() -> Workload {
+    Workload::village(&WorkloadParams::tiny())
+}
+
+#[test]
+fn zero_rate_plan_is_identical_to_no_plan() {
+    // FaultPlan::none() must be a guaranteed no-op: every counter of every
+    // frame matches an engine built without any fault configuration.
+    let w = tiny_village();
+    let base = EngineConfig {
+        l1: L1Config::kb(2),
+        l2: Some(L2Config::mb(2)),
+        ..EngineConfig::default()
+    };
+    let configs = [
+        base,
+        EngineConfig {
+            fault: FaultPlan::none(),
+            ..base
+        },
+        // A nonzero seed alone changes nothing: with no failure modes
+        // enabled the link never draws from it.
+        EngineConfig {
+            fault: FaultPlan {
+                seed: 77,
+                ..FaultPlan::none()
+            },
+            ..base
+        },
+    ];
+    let engines = engine_run_all(&w, FilterMode::Trilinear, &configs, false).unwrap();
+    assert_eq!(
+        engines[0].frames(),
+        engines[1].frames(),
+        "explicit none() must be bit-identical"
+    );
+    assert_eq!(
+        engines[0].frames(),
+        engines[2].frames(),
+        "an unused seed must change nothing"
+    );
+    let t = engines[0].totals();
+    assert_eq!(t.retries, 0);
+    assert_eq!(t.failed_transfers, 0);
+    assert_eq!(t.degraded_taps + t.dropped_taps, 0);
+}
+
+#[test]
+fn same_seed_and_rate_reproduce_identical_counters() {
+    let w = tiny_village();
+    let faulty = EngineConfig {
+        l1: L1Config::kb(2),
+        l2: Some(L2Config::mb(2)),
+        fault: FaultPlan::with_rate(123, 50_000), // 5 % per attempt
+        ..EngineConfig::default()
+    };
+    let a = engine_run_all(&w, FilterMode::Trilinear, &[faulty], false).unwrap();
+    let b = engine_run_all(&w, FilterMode::Trilinear, &[faulty], false).unwrap();
+    assert_eq!(
+        a[0].frames(),
+        b[0].frames(),
+        "same seed + rate must replay identically"
+    );
+    let t = a[0].totals();
+    assert!(
+        t.retries > 0 || t.failed_transfers > 0,
+        "5 % must actually fire: {t:?}"
+    );
+    // The degradation invariant holds across the whole animation.
+    assert_eq!(t.degraded_taps + t.dropped_taps, t.failed_transfers);
+}
+
+#[test]
+fn architectures_degrade_differently_under_the_same_faults() {
+    let w = tiny_village();
+    let fault = FaultPlan::with_rate(9, 200_000).attempts(1); // 20 %, no retries
+    let configs = [
+        EngineConfig {
+            l1: L1Config::kb(2),
+            fault,
+            ..EngineConfig::default()
+        },
+        EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(2)),
+            fault,
+            ..EngineConfig::default()
+        },
+    ];
+    let engines = engine_run_all(&w, FilterMode::Trilinear, &configs, false).unwrap();
+    let pull = engines[0].totals();
+    let ml = engines[1].totals();
+    // Pull has no fallback: every failed transfer is a dropped tap.
+    assert!(pull.failed_transfers > 0);
+    assert_eq!(pull.dropped_taps, pull.failed_transfers);
+    assert_eq!(pull.degraded_taps, 0);
+    // The multi-level design serves at least some failures from coarser
+    // mips already resident in L2.
+    assert!(ml.failed_transfers > 0);
+    assert_eq!(ml.degraded_taps + ml.dropped_taps, ml.failed_transfers);
+    assert!(
+        ml.degraded_taps > 0,
+        "an L2 should degrade rather than drop: {ml:?}"
+    );
+}
+
+#[test]
+fn one_bad_config_does_not_poison_the_batch() {
+    let w = tiny_village();
+    let good = EngineConfig {
+        l1: L1Config::kb(2),
+        ..EngineConfig::default()
+    };
+    let bad = EngineConfig {
+        l1: L1Config {
+            size_bytes: 3072,
+            ..L1Config::kb(2)
+        }, // 24 sets: not a power of two
+        ..EngineConfig::default()
+    };
+    let results = engine_run(&w, FilterMode::Bilinear, &[good, bad, good], false);
+    assert!(results[0].is_ok() && results[2].is_ok());
+    assert!(matches!(
+        &results[1],
+        Err(RunError::Engine(EngineError::InvalidGeometry(_)))
+    ));
+    for idx in [0, 2] {
+        let e = results[idx].as_ref().unwrap();
+        assert_eq!(
+            e.frames().len(),
+            w.frame_count as usize,
+            "survivor {idx} saw every frame"
+        );
+    }
+    // The surviving runs match a clean solo run exactly.
+    let solo = engine_run_all(&w, FilterMode::Bilinear, &[good], false).unwrap();
+    assert_eq!(results[0].as_ref().unwrap().frames(), solo[0].frames());
+}

@@ -62,7 +62,11 @@ fn recorded_traces_are_portable_across_configs() {
     let mut results = Vec::new();
     for l2 in [None, Some(L2Config::mb(2))] {
         let mut engine = SimEngine::new(
-            EngineConfig { l1: L1Config::kb(2), l2, ..EngineConfig::default() },
+            EngineConfig {
+                l1: L1Config::kb(2),
+                l2,
+                ..EngineConfig::default()
+            },
             w.registry(),
         );
         let mut reader = TraceReader::new(file.as_slice());
@@ -71,7 +75,10 @@ fn recorded_traces_are_portable_across_configs() {
         }
         results.push(engine.totals());
     }
-    assert_eq!(results[0].l1_accesses, results[1].l1_accesses, "same trace, same accesses");
+    assert_eq!(
+        results[0].l1_accesses, results[1].l1_accesses,
+        "same trace, same accesses"
+    );
     assert!(results[1].host_bytes <= results[0].host_bytes);
 }
 
@@ -85,5 +92,8 @@ fn rerendering_is_deterministic() {
     };
     let a = collect(&Workload::village(&params));
     let b = collect(&Workload::village(&params));
-    assert_eq!(a, b, "two builds of the same workload must trace identically");
+    assert_eq!(
+        a, b,
+        "two builds of the same workload must trace identically"
+    );
 }
