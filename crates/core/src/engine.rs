@@ -6,7 +6,7 @@ use crate::{
 };
 use mltc_cache::RoundRobinTlb;
 use mltc_texture::{PageTableLayout, TextureId, TextureRegistry, TilingConfig};
-use mltc_trace::{filter_taps, FrameTrace};
+use mltc_trace::{filter_taps, FilterMode, FrameTrace};
 
 /// Full configuration of a simulated architecture.
 ///
@@ -425,6 +425,27 @@ impl SimEngine {
     /// request stay in the current (unclosed) frame's counters and
     /// [`end_frame`](Self::end_frame) has not run.
     pub fn try_run_frame(&mut self, trace: &FrameTrace) -> Result<(), EngineError> {
+        self.try_run_frame_as(trace, trace.filter)
+    }
+
+    /// [`try_run_frame`](Self::try_run_frame) with the filter mode
+    /// overridden.
+    ///
+    /// A recorded request stream is filter-independent — the rasterizer
+    /// emits one request per textured fragment regardless of filtering, and
+    /// tap expansion happens here — so one canonical (point-filtered) trace
+    /// can be replayed as bilinear or trilinear without re-rendering. This
+    /// is what lets the experiment suite's trace store key traces without
+    /// the filter.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`try_run_frame`](Self::try_run_frame).
+    pub fn try_run_frame_as(
+        &mut self,
+        trace: &FrameTrace,
+        filter: FilterMode,
+    ) -> Result<(), EngineError> {
         for req in &trace.requests {
             let dims = self
                 .dims
@@ -432,7 +453,7 @@ impl SimEngine {
                 .and_then(|d| d.as_ref())
                 .ok_or(EngineError::UnknownTexture(req.tid))?;
             let levels = dims.len() as u32;
-            let taps = filter_taps(req, trace.filter, levels, |m| dims[m as usize]);
+            let taps = filter_taps(req, filter, levels, |m| dims[m as usize]);
             for tap in &taps {
                 self.access_texel(req.tid, tap.m, tap.u, tap.v);
             }

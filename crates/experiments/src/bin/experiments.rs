@@ -1,17 +1,31 @@
 //! Experiment runner binary.
 //!
 //! ```text
-//! experiments <id>... [--quick|--default|--full] [--out <dir>]
+//! experiments <id>... [--tiny|--quick|--default|--full] [--out <dir>] [--no-store] [--expect-warm]
 //! experiments all [--default]
 //! experiments list
 //! ```
+//!
+//! Rendered traces are memoized in a [`TraceStore`] persisted under
+//! `<out>/traces/`: the first run at a given scale rasterizes each unique
+//! animation once and later runs replay from disk without rasterizing at
+//! all (`--expect-warm` turns that expectation into an exit code, for
+//! CI). Per-experiment wall times and store throughput counters append to
+//! `<out>/BENCH_experiments.json`. Delete `<out>/traces/` to force a
+//! cold re-render (for example after changing the renderer).
 
-use mltc_experiments::{find_experiment, Outputs, Scale, EXPERIMENTS};
+use mltc_experiments::{find_experiment, Outputs, Scale, TraceStore, EXPERIMENTS};
+use mltc_raster::Traversal;
+use std::path::Path;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: experiments <id>... [--quick|--default|--full] [--out <dir>]\n\
+        "usage: experiments <id>... [--tiny|--quick|--default|--full] [--out <dir>] \
+         [--no-store] [--expect-warm]\n\
+         \n\
+         --no-store     do not persist traces under <out>/traces/\n\
+         --expect-warm  fail if anything had to be rasterized (CI warm-run check)\n\
          \n\
          ids: all, list, {}",
         EXPERIMENTS
@@ -31,17 +45,21 @@ fn main() -> ExitCode {
 
     let mut scale = Scale::default_scale();
     let mut out_dir = "results".to_string();
+    let mut persist = true;
+    let mut expect_warm = false;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--quick" | "--default" | "--full" => {
+            "--tiny" | "--quick" | "--default" | "--full" => {
                 scale = Scale::from_flag(&a).expect("known flag");
             }
             "--out" => match it.next() {
                 Some(d) => out_dir = d,
                 None => return usage(),
             },
+            "--no-store" => persist = false,
+            "--expect-warm" => expect_warm = true,
             "list" => {
                 for (n, _) in EXPERIMENTS {
                     println!("{n}");
@@ -57,6 +75,11 @@ fn main() -> ExitCode {
     }
 
     let outputs = Outputs::new(&out_dir);
+    let store = if persist {
+        TraceStore::persistent(Path::new(&out_dir).join("traces"))
+    } else {
+        TraceStore::in_memory()
+    };
     println!(
         "# mltc experiments — scale: {} ({}x{})",
         scale.name, scale.params.width, scale.params.height
@@ -75,17 +98,31 @@ fn main() -> ExitCode {
     // One broken experiment must not take the suite down: failures (typed
     // errors and outright panics alike) are collected and reported at the
     // end, and the process exits nonzero.
+    let suite_start = std::time::Instant::now();
     let mut failures: Vec<(String, String)> = Vec::new();
-    for id in run_list {
+    let mut timings: Vec<(String, f64)> = Vec::new();
+    if let Some(first) = run_list.first() {
+        prefetch_for(&store, &scale, first);
+    }
+    for (i, id) in run_list.iter().enumerate() {
         match find_experiment(id) {
             Some(f) => {
+                // Overlap: while this experiment replays its (likely
+                // cached) traces, the next experiment's uncached keys
+                // render on background threads.
+                if let Some(next) = run_list.get(i + 1) {
+                    prefetch_for(&store, &scale, next);
+                }
                 let start = std::time::Instant::now();
                 println!("\n### running {id} ...");
-                let outcome =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&scale, &outputs)));
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    f(&scale, &outputs, &store)
+                }));
+                let secs = start.elapsed().as_secs_f64();
+                timings.push((id.to_string(), secs));
                 match outcome {
                     Ok(Ok(())) => {
-                        println!("### {id} done in {:.1}s", start.elapsed().as_secs_f64())
+                        println!("### {id} done in {secs:.1}s")
                     }
                     Ok(Err(e)) => {
                         eprintln!("### {id} FAILED: {e}");
@@ -110,6 +147,42 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    let wall = suite_start.elapsed().as_secs_f64();
+    let stats = store.snapshot();
+    println!(
+        "\n### trace store: {} renders ({} frames, {:.1} Mfrag/s), {} memory hits, \
+         {} disk hits, {:.1} Mtaps/s simulated",
+        stats.renders,
+        stats.frames_rendered,
+        stats.fragments_per_sec() / 1e6,
+        stats.mem_hits,
+        stats.disk_hits,
+        stats.taps_per_sec() / 1e6,
+    );
+    if stats.bytes_written + stats.bytes_read > 0 {
+        println!(
+            "### trace files: {:.1} MB written, {:.1} MB read, {} corrupt, {} stale",
+            stats.bytes_written as f64 / 1e6,
+            stats.bytes_read as f64 / 1e6,
+            stats.corrupt_files,
+            stats.stale_files,
+        );
+    }
+    let bench = Path::new(&out_dir).join("BENCH_experiments.json");
+    if let Err(e) = append_bench_run(&bench, &scale, wall, &timings, &stats) {
+        eprintln!("could not write {}: {e}", bench.display());
+    } else {
+        println!("### bench report: {}", bench.display());
+    }
+
+    if expect_warm && stats.renders > 0 {
+        eprintln!(
+            "--expect-warm: store rasterized {} animation(s); expected 100% trace hits",
+            stats.renders
+        );
+        return ExitCode::FAILURE;
+    }
     if failures.is_empty() {
         ExitCode::SUCCESS
     } else {
@@ -119,4 +192,97 @@ fn main() -> ExitCode {
         }
         ExitCode::FAILURE
     }
+}
+
+/// Warms the store for one experiment: background threads render (or load)
+/// the traces it is about to ask for.
+fn prefetch_for(store: &TraceStore, scale: &Scale, id: &str) {
+    let p = &scale.params;
+    match id {
+        // Analytic and snapshot experiments touch no traces.
+        "fig3" | "table4" | "fig12" => {}
+        "ablate-zprepass" => {
+            store.prefetch(store.village(p), false, Traversal::Scanline);
+            store.prefetch(store.city(p), false, Traversal::Scanline);
+            store.prefetch(store.village(p), true, Traversal::Scanline);
+            store.prefetch(store.city(p), true, Traversal::Scanline);
+        }
+        "ablate-traversal" => {
+            store.prefetch(store.village(p), false, Traversal::Scanline);
+            store.prefetch(store.village(p), false, Traversal::Tiled(8));
+        }
+        "future-workloads" => {
+            store.prefetch(store.city(p), false, Traversal::Scanline);
+            store.prefetch(store.future_city(p), false, Traversal::Scanline);
+        }
+        // Everything else replays the late-Z scanline animations.
+        _ => {
+            store.prefetch(store.village(p), false, Traversal::Scanline);
+            store.prefetch(store.city(p), false, Traversal::Scanline);
+        }
+    }
+}
+
+/// Appends one run record to `BENCH_experiments.json`, a hand-rolled
+/// `{"schema":1,"runs":[...]}` document (the repo has no JSON dependency).
+fn append_bench_run(
+    path: &Path,
+    scale: &Scale,
+    wall_seconds: f64,
+    timings: &[(String, f64)],
+    stats: &mltc_experiments::StoreStats,
+) -> std::io::Result<()> {
+    let mut run = format!(
+        "{{\"scale\":\"{}\",\"wall_seconds\":{:.3},\"experiments\":[",
+        scale.name, wall_seconds
+    );
+    for (i, (id, secs)) in timings.iter().enumerate() {
+        if i > 0 {
+            run.push(',');
+        }
+        run.push_str(&format!("{{\"id\":\"{id}\",\"seconds\":{secs:.3}}}"));
+    }
+    run.push_str(&format!(
+        "],\"store\":{{\"renders\":{},\"mem_hits\":{},\"disk_hits\":{},\
+         \"frames_rendered\":{},\"fragments_rasterized\":{},\
+         \"fragments_per_sec\":{:.0},\"render_seconds\":{:.3},\
+         \"taps_simulated\":{},\"taps_per_sec\":{:.0},\"sim_seconds\":{:.3},\
+         \"bytes_written\":{},\"bytes_read\":{},\"corrupt_files\":{},\
+         \"stale_files\":{},\"io_errors\":{},\"evictions\":{},\"spills\":{},\
+         \"resident_bytes\":{}}}}}",
+        stats.renders,
+        stats.mem_hits,
+        stats.disk_hits,
+        stats.frames_rendered,
+        stats.fragments_rasterized,
+        stats.fragments_per_sec(),
+        stats.render_nanos as f64 / 1e9,
+        stats.taps_simulated,
+        stats.taps_per_sec(),
+        stats.sim_nanos as f64 / 1e9,
+        stats.bytes_written,
+        stats.bytes_read,
+        stats.corrupt_files,
+        stats.stale_files,
+        stats.io_errors,
+        stats.evictions,
+        stats.spills,
+        stats.resident_bytes,
+    ));
+
+    const HEAD: &str = "{\"schema\":1,\"runs\":[";
+    const TAIL: &str = "]}";
+    let content = match std::fs::read_to_string(path) {
+        Ok(s) if s.starts_with(HEAD) && s.trim_end().ends_with(TAIL) => {
+            let trimmed = s.trim_end();
+            let body = &trimmed[..trimmed.len() - TAIL.len()];
+            if body.ends_with('[') {
+                format!("{body}{run}{TAIL}")
+            } else {
+                format!("{body},{run}{TAIL}")
+            }
+        }
+        _ => format!("{HEAD}{run}{TAIL}"),
+    };
+    std::fs::write(path, content)
 }

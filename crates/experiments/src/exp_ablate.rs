@@ -6,6 +6,7 @@
 //! * sector mapping on/off — §5.2's download-granularity decision.
 
 use crate::runner::{engine_run_all, pct, stats_run, RunError};
+use crate::store::TraceStore;
 use crate::{Outputs, Scale, TextTable};
 use mltc_core::{EngineConfig, L1Config, L2Config, ReplacementPolicy};
 use mltc_trace::FilterMode;
@@ -20,7 +21,11 @@ fn ml_config() -> EngineConfig {
 
 /// **Ablation A** — L2 replacement policy: clock vs LRU vs FIFO, plus the
 /// clock's victim-search cost ("pesky" behaviour, §5.4.2/§6).
-pub fn ablate_replacement(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
+pub fn ablate_replacement(
+    scale: &Scale,
+    out: &Outputs,
+    store: &TraceStore,
+) -> Result<(), RunError> {
     let mut t = TextTable::new(&[
         "workload",
         "policy",
@@ -29,7 +34,7 @@ pub fn ablate_replacement(scale: &Scale, out: &Outputs) -> Result<(), RunError> 
         "clock max search",
         "max cycles @16/cycle",
     ]);
-    for w in [scale.village(), scale.city()] {
+    for w in [store.village(&scale.params), store.city(&scale.params)] {
         let configs: Vec<EngineConfig> = [
             ReplacementPolicy::Clock,
             ReplacementPolicy::Lru,
@@ -44,7 +49,7 @@ pub fn ablate_replacement(scale: &Scale, out: &Outputs) -> Result<(), RunError> 
             ..ml_config()
         })
         .collect();
-        let engines = engine_run_all(&w, FilterMode::Trilinear, &configs, false)?;
+        let engines = engine_run_all(store, &w, FilterMode::Trilinear, &configs, false)?;
         for e in &engines {
             let tot = e.totals();
             let l2 = e.l2().expect("ablation engines all have L2");
@@ -82,30 +87,23 @@ pub fn ablate_replacement(scale: &Scale, out: &Outputs) -> Result<(), RunError> 
 
 /// **Ablation B** — z-buffering before texture retrieval (§6): depth
 /// complexity collapses toward 1 and download traffic shrinks.
-pub fn ablate_zprepass(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
+pub fn ablate_zprepass(scale: &Scale, out: &Outputs, store: &TraceStore) -> Result<(), RunError> {
     let mut t = TextTable::new(&[
         "workload",
         "mode",
         "depth complexity",
         "avg MB/frame (TL, 2KB+2MB)",
     ]);
-    for w in [scale.village(), scale.city()] {
+    for w in [store.village(&scale.params), store.city(&scale.params)] {
         for (label, zpre) in [("late-Z (paper)", false), ("z-pre-pass (§6)", true)] {
-            // Depth complexity from a point-sampled stats pass.
+            // Depth complexity straight off the cached traces — the same
+            // traces the bandwidth run below replays, never a re-render.
             let d = if zpre {
-                let mut acc = 0.0;
-                let mut n = 0u32;
-                for f in 0..w.frame_count {
-                    acc += w
-                        .trace_frame_zprepass(f, FilterMode::Point)
-                        .depth_complexity();
-                    n += 1;
-                }
-                acc / n as f64
+                store.mean_depth_complexity(&w, true)
             } else {
-                stats_run(&w).1.depth_complexity
+                stats_run(store, &w).summary.depth_complexity
             };
-            let engines = engine_run_all(&w, FilterMode::Trilinear, &[ml_config()], zpre)?;
+            let engines = engine_run_all(store, &w, FilterMode::Trilinear, &[ml_config()], zpre)?;
             t.row(vec![
                 w.name.to_string(),
                 label.to_string(),
@@ -131,14 +129,14 @@ pub fn ablate_zprepass(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
 
 /// **Ablation C** — sector mapping on/off: downloading whole L2 blocks on a
 /// miss vs only the missing L1 sub-block.
-pub fn ablate_sector(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
+pub fn ablate_sector(scale: &Scale, out: &Outputs, store: &TraceStore) -> Result<(), RunError> {
     let mut t = TextTable::new(&[
         "workload",
         "sector mapping",
         "avg MB/frame",
         "L2 full hit %",
     ]);
-    for w in [scale.village(), scale.city()] {
+    for w in [store.village(&scale.params), store.city(&scale.params)] {
         let configs = [
             ml_config(),
             EngineConfig {
@@ -149,7 +147,7 @@ pub fn ablate_sector(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
                 ..ml_config()
             },
         ];
-        let engines = engine_run_all(&w, FilterMode::Trilinear, &configs, false)?;
+        let engines = engine_run_all(store, &w, FilterMode::Trilinear, &configs, false)?;
         for e in &engines {
             let tot = e.totals();
             t.row(vec![
@@ -176,7 +174,7 @@ pub fn ablate_sector(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
 /// 'workloads of the future' are worthy of pursuit" — a larger City with
 /// double-resolution facades, swept over L2 sizes to find where the
 /// inter-frame working set stops fitting.
-pub fn future_workloads(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
+pub fn future_workloads(scale: &Scale, out: &Outputs, store: &TraceStore) -> Result<(), RunError> {
     use mltc_trace::TileClass;
 
     let mut t = TextTable::new(&[
@@ -188,11 +186,9 @@ pub fn future_workloads(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
         "avg MB/frame 4MB L2",
         "avg MB/frame 8MB L2",
     ]);
-    for w in [
-        mltc_scene::Workload::city(&scale.params),
-        mltc_scene::Workload::future_city(&scale.params),
-    ] {
-        let (_, s) = stats_run(&w);
+    for w in [store.city(&scale.params), store.future_city(&scale.params)] {
+        let bundle = stats_run(store, &w);
+        let s = &bundle.summary;
         let configs: Vec<EngineConfig> = [2usize, 4, 8]
             .iter()
             .map(|&mb| EngineConfig {
@@ -201,7 +197,7 @@ pub fn future_workloads(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
                 ..EngineConfig::default()
             })
             .collect();
-        let engines = engine_run_all(&w, FilterMode::Trilinear, &configs, false)?;
+        let engines = engine_run_all(store, &w, FilterMode::Trilinear, &configs, false)?;
         let mut row = vec![
             w.name.to_string(),
             format!(
@@ -247,7 +243,7 @@ mod tests {
             name: "tiny",
             params: WorkloadParams::tiny(),
         };
-        ablate_replacement(&scale, &out).unwrap();
+        ablate_replacement(&scale, &out, &TraceStore::in_memory()).unwrap();
         let csv = std::fs::read_to_string(dir.join("ablate_replacement.csv")).unwrap();
         assert_eq!(csv.lines().count(), 1 + 6, "2 workloads x 3 policies");
         assert!(csv.contains("clock") && csv.contains("lru") && csv.contains("fifo"));
@@ -260,9 +256,11 @@ mod tests {
             name: "tiny",
             params: WorkloadParams::tiny(),
         };
-        let w = scale.village();
-        let late = engine_run_all(&w, FilterMode::Trilinear, &[ml_config()], false).unwrap();
-        let pre = engine_run_all(&w, FilterMode::Trilinear, &[ml_config()], true).unwrap();
+        let store = TraceStore::in_memory();
+        let w = store.village(&scale.params);
+        let late =
+            engine_run_all(&store, &w, FilterMode::Trilinear, &[ml_config()], false).unwrap();
+        let pre = engine_run_all(&store, &w, FilterMode::Trilinear, &[ml_config()], true).unwrap();
         assert!(pre[0].totals().l1_accesses < late[0].totals().l1_accesses);
         assert!(pre[0].totals().host_bytes <= late[0].totals().host_bytes);
     }

@@ -1,13 +1,14 @@
 //! Analytic experiments: Fig. 3 and Table 4 (no simulation required).
 
 use crate::runner::RunError;
+use crate::store::TraceStore;
 use crate::{Outputs, Scale, TextTable};
 use mltc_core::model;
 use mltc_texture::TilingConfig;
 
 /// **Fig. 3** — expected inter-frame working set `W` as a function of
 /// resolution, depth complexity and block utilization (§4.1).
-pub fn fig3(_scale: &Scale, out: &Outputs) -> Result<(), RunError> {
+pub fn fig3(_scale: &Scale, out: &Outputs, _store: &TraceStore) -> Result<(), RunError> {
     let resolutions: [(&str, u64); 5] = [
         ("640x480", 640 * 480),
         ("800x600", 800 * 600),
@@ -43,7 +44,7 @@ pub fn fig3(_scale: &Scale, out: &Outputs) -> Result<(), RunError> {
 
 /// **Table 4** — memory requirements of the L2 caching structures, for
 /// 16×16 L2 tiles of 4×4 sub-blocks (§5.4.1).
-pub fn table4(_scale: &Scale, out: &Outputs) -> Result<(), RunError> {
+pub fn table4(_scale: &Scale, out: &Outputs, _store: &TraceStore) -> Result<(), RunError> {
     let tiling = TilingConfig::PAPER_DEFAULT;
     let l2_sizes = [2u64, 4, 8];
 
@@ -96,8 +97,9 @@ mod tests {
     #[test]
     fn fig3_and_table4_produce_csvs() {
         let (out, dir) = outputs();
-        fig3(&Scale::quick(), &out).unwrap();
-        table4(&Scale::quick(), &out).unwrap();
+        let store = TraceStore::in_memory();
+        fig3(&Scale::quick(), &out, &store).unwrap();
+        table4(&Scale::quick(), &out, &store).unwrap();
         let fig3_csv = std::fs::read_to_string(dir.join("fig3.csv")).unwrap();
         assert_eq!(fig3_csv.lines().count(), 1 + 15, "5 resolutions x 3 depths");
         let t4 = std::fs::read_to_string(dir.join("table4.csv")).unwrap();

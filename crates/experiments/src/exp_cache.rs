@@ -1,6 +1,7 @@
 //! Cache-simulation experiments: Figs. 9–10 and Tables 2, 3, 5–7 (§5.3–5.4).
 
 use crate::runner::{engine_run_all, pct, RunError};
+use crate::store::TraceStore;
 use crate::{Outputs, Scale, TextTable};
 use mltc_core::{model, EngineConfig, L1Config, L2Config, SimEngine};
 use mltc_scene::Workload;
@@ -50,10 +51,10 @@ fn arch_configs() -> Vec<EngineConfig> {
 }
 
 /// **Fig. 9** — per-frame L1 miss rate by cache size (Village).
-pub fn fig9(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
-    let village = scale.village();
+pub fn fig9(scale: &Scale, out: &Outputs, store: &TraceStore) -> Result<(), RunError> {
+    let village = store.village(&scale.params);
     for filter in [FilterMode::Bilinear, FilterMode::Trilinear] {
-        let engines = engine_run_all(&village, filter, &l1_sweep_configs(), false)?;
+        let engines = engine_run_all(store, &village, filter, &l1_sweep_configs(), false)?;
         let mut per_frame = TextTable::new(
             &std::iter::once("frame".to_string())
                 .chain(L1_SIZES_KB.iter().map(|kb| format!("miss_{kb}KB")))
@@ -100,10 +101,22 @@ pub fn fig9(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
 }
 
 /// **Table 2** — average L1 hit rates, bilinear and trilinear (Village).
-pub fn table2(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
-    let village = scale.village();
-    let bl = engine_run_all(&village, FilterMode::Bilinear, &l1_sweep_configs(), false)?;
-    let tl = engine_run_all(&village, FilterMode::Trilinear, &l1_sweep_configs(), false)?;
+pub fn table2(scale: &Scale, out: &Outputs, store: &TraceStore) -> Result<(), RunError> {
+    let village = store.village(&scale.params);
+    let bl = engine_run_all(
+        store,
+        &village,
+        FilterMode::Bilinear,
+        &l1_sweep_configs(),
+        false,
+    )?;
+    let tl = engine_run_all(
+        store,
+        &village,
+        FilterMode::Trilinear,
+        &l1_sweep_configs(),
+        false,
+    )?;
     let mut t = TextTable::new(&["L1 size", "BL hit rate %", "TL hit rate %"]);
     for ((b, l), kb) in bl.iter().zip(&tl).zip(L1_SIZES_KB) {
         t.row(vec![
@@ -118,9 +131,9 @@ pub fn table2(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
 
 /// **Fig. 10** — per-frame download bandwidth with and without L2 cache
 /// (trilinear; 2/16 KB L1 alone, 2 KB L1 + 2/4/8 MB L2 of 16×16 tiles).
-pub fn fig10(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
-    for w in [scale.village(), scale.city()] {
-        let engines = engine_run_all(&w, FilterMode::Trilinear, &arch_configs(), false)?;
+pub fn fig10(scale: &Scale, out: &Outputs, store: &TraceStore) -> Result<(), RunError> {
+    for w in [store.village(&scale.params), store.city(&scale.params)] {
+        let engines = engine_run_all(store, &w, FilterMode::Trilinear, &arch_configs(), false)?;
         let labels: Vec<String> = engines.iter().map(|e| e.config().label()).collect();
         let mut headers = vec!["frame".to_string()];
         headers.extend(labels.iter().cloned());
@@ -160,11 +173,11 @@ pub fn fig10(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
 
 /// **Table 3** — average AGP / system-memory bandwidth (MB/frame), bilinear
 /// and trilinear, with and without L2.
-pub fn table3(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
+pub fn table3(scale: &Scale, out: &Outputs, store: &TraceStore) -> Result<(), RunError> {
     let mut t = TextTable::new(&["workload", "architecture", "BL MB/frame", "TL MB/frame"]);
-    for w in [scale.village(), scale.city()] {
-        let bl = engine_run_all(&w, FilterMode::Bilinear, &arch_configs(), false)?;
-        let tl = engine_run_all(&w, FilterMode::Trilinear, &arch_configs(), false)?;
+    for w in [store.village(&scale.params), store.city(&scale.params)] {
+        let bl = engine_run_all(store, &w, FilterMode::Bilinear, &arch_configs(), false)?;
+        let tl = engine_run_all(store, &w, FilterMode::Trilinear, &arch_configs(), false)?;
         for (b, l) in bl.iter().zip(&tl) {
             t.row(vec![
                 w.name.to_string(),
@@ -192,16 +205,19 @@ pub(crate) struct HitRates {
     pub h2_partial: f64,
 }
 
-pub(crate) fn measure_hit_rates(scale: &Scale) -> Result<Vec<HitRates>, RunError> {
+pub(crate) fn measure_hit_rates(
+    scale: &Scale,
+    store: &TraceStore,
+) -> Result<Vec<HitRates>, RunError> {
     let cfg = EngineConfig {
         l1: L1Config::kb(2),
         l2: Some(L2Config::mb(2)),
         ..EngineConfig::default()
     };
     let mut rows = Vec::new();
-    for w in [scale.village(), scale.city()] {
+    for w in [store.village(&scale.params), store.city(&scale.params)] {
         for filter in [FilterMode::Bilinear, FilterMode::Trilinear] {
-            let engines = engine_run_all(&w, filter, std::slice::from_ref(&cfg), false)?;
+            let engines = engine_run_all(store, &w, filter, std::slice::from_ref(&cfg), false)?;
             let tot = engines[0].totals();
             rows.push(HitRates {
                 workload: if w.name == "village" {
@@ -221,7 +237,7 @@ pub(crate) fn measure_hit_rates(scale: &Scale) -> Result<Vec<HitRates>, RunError
 
 /// **Tables 5–6** — measured L1 hit rate and conditional L2 full/partial
 /// hit rates (2 KB L1 + 2 MB L2, 16×16 tiles).
-pub fn table5_6(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
+pub fn table5_6(scale: &Scale, out: &Outputs, store: &TraceStore) -> Result<(), RunError> {
     let mut t = TextTable::new(&[
         "workload",
         "filter",
@@ -229,7 +245,7 @@ pub fn table5_6(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
         "L2 full hit %",
         "L2 partial hit %",
     ]);
-    for r in measure_hit_rates(scale)? {
+    for r in measure_hit_rates(scale, store)? {
         t.row(vec![
             r.workload.to_string(),
             r.filter.to_string(),
@@ -252,8 +268,8 @@ pub fn table5_6(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
 
 /// **Table 7** — fractional advantage `f` of L2 caching (`c = 8`), plus a
 /// sensitivity sweep over `c`.
-pub fn table7(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
-    let rates = measure_hit_rates(scale)?;
+pub fn table7(scale: &Scale, out: &Outputs, store: &TraceStore) -> Result<(), RunError> {
+    let rates = measure_hit_rates(scale, store)?;
     let mut t = TextTable::new(&[
         "workload", "filter", "f (c=2)", "f (c=4)", "f (c=8)", "f (c=16)",
     ]);
@@ -283,8 +299,8 @@ pub fn table7(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
 /// for the pull and L2 architectures from the measured hit rates, with
 /// `t1 = 1` cycle, an L1-miss download cost `t3 = 8`, and a full L2 miss
 /// bounded by `c = 8` downloads (the paper's assumption).
-pub fn perf_model(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
-    let rates = measure_hit_rates(scale)?;
+pub fn perf_model(scale: &Scale, out: &Outputs, store: &TraceStore) -> Result<(), RunError> {
+    let rates = measure_hit_rates(scale, store)?;
     let (t1, t3, c) = (1.0, 8.0, 8.0);
     let mut t = TextTable::new(&[
         "workload", "filter", "h1 %", "f (c=8)", "A_pull", "A_L2", "speedup",
@@ -318,10 +334,11 @@ pub fn perf_model(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
 /// Shared assertion helper for integration tests: bandwidth must shrink
 /// monotonically as the architecture gains cache.
 pub fn host_bytes_by_architecture(
+    store: &TraceStore,
     w: &Workload,
     filter: FilterMode,
 ) -> Result<Vec<(String, u64)>, RunError> {
-    let engines = engine_run_all(w, filter, &arch_configs(), false)?;
+    let engines = engine_run_all(store, w, filter, &arch_configs(), false)?;
     Ok(engines
         .iter()
         .map(|e: &SimEngine| (e.config().label(), e.totals().host_bytes))
@@ -352,7 +369,7 @@ mod tests {
     fn table2_runs_and_orders_hit_rates() {
         let dir = std::env::temp_dir().join(format!("mltc_cache_{}", std::process::id()));
         let out = Outputs::quiet(&dir);
-        table2(&tiny_scale(), &out).unwrap();
+        table2(&tiny_scale(), &out, &TraceStore::in_memory()).unwrap();
         let csv = std::fs::read_to_string(dir.join("table2.csv")).unwrap();
         assert_eq!(csv.lines().count(), 1 + 5);
         // Hit rates must be non-decreasing with L1 size.
@@ -372,7 +389,7 @@ mod tests {
 
     #[test]
     fn hit_rate_measurement_is_sane() {
-        let rows = measure_hit_rates(&tiny_scale()).unwrap();
+        let rows = measure_hit_rates(&tiny_scale(), &TraceStore::in_memory()).unwrap();
         assert_eq!(rows.len(), 4);
         for r in &rows {
             assert!(r.h1 > 0.5 && r.h1 <= 1.0, "{} h1 = {}", r.workload, r.h1);

@@ -5,6 +5,7 @@
 //! these experiments re-derive the evidence on our workloads.
 
 use crate::runner::{engine_run_all, engine_run_traversal_all, pct, RunError};
+use crate::store::TraceStore;
 use crate::{Outputs, Scale, TextTable};
 use mltc_core::{EngineConfig, L1Config, L2Config, StorageFormat};
 use mltc_raster::Traversal;
@@ -13,8 +14,8 @@ use mltc_trace::FilterMode;
 
 /// **Storage format** — tiled vs linear texture storage (§2.3: "advantage
 /// can be taken … by storing texture images in tiles rather than linearly").
-pub fn ablate_storage(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
-    let village = scale.village();
+pub fn ablate_storage(scale: &Scale, out: &Outputs, store: &TraceStore) -> Result<(), RunError> {
+    let village = store.village(&scale.params);
     let mut t = TextTable::new(&["L1 size", "storage", "BL hit %", "TL hit %"]);
     for kb in [2usize, 16] {
         for storage in [StorageFormat::Tiled, StorageFormat::Linear] {
@@ -25,8 +26,8 @@ pub fn ablate_storage(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
                 },
                 ..EngineConfig::default()
             };
-            let bl = engine_run_all(&village, FilterMode::Bilinear, &[cfg], false)?;
-            let tl = engine_run_all(&village, FilterMode::Trilinear, &[cfg], false)?;
+            let bl = engine_run_all(store, &village, FilterMode::Bilinear, &[cfg], false)?;
+            let tl = engine_run_all(store, &village, FilterMode::Trilinear, &[cfg], false)?;
             t.row(vec![
                 format!("{kb} KB"),
                 format!("{storage:?}").to_lowercase(),
@@ -50,8 +51,8 @@ pub fn ablate_storage(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
 /// **Traversal order** — scanline vs tiled rasterization (§2.3: tiled
 /// rasterization improves texture locality but is not always
 /// cost-effective; the paper studies scanline order).
-pub fn ablate_traversal(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
-    let village = scale.village();
+pub fn ablate_traversal(scale: &Scale, out: &Outputs, store: &TraceStore) -> Result<(), RunError> {
+    let village = store.village(&scale.params);
     let mut t = TextTable::new(&["L1 size", "traversal", "BL hit %", "BL misses"]);
     for kb in [2usize, 16] {
         for (label, traversal) in [
@@ -62,8 +63,14 @@ pub fn ablate_traversal(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
                 l1: L1Config::kb(kb),
                 ..EngineConfig::default()
             };
-            let engines =
-                engine_run_traversal_all(&village, FilterMode::Bilinear, &[cfg], false, traversal)?;
+            let engines = engine_run_traversal_all(
+                store,
+                &village,
+                FilterMode::Bilinear,
+                &[cfg],
+                false,
+                traversal,
+            )?;
             let tot = engines[0].totals();
             t.row(vec![
                 format!("{kb} KB"),
@@ -88,7 +95,7 @@ pub fn ablate_traversal(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
 
 /// **L2 tile size sweep** — the paper reports "similar results were
 /// observed for tiles 8x8 and 32x32" (§5.3.2); this regenerates that check.
-pub fn l2_tile_sweep(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
+pub fn l2_tile_sweep(scale: &Scale, out: &Outputs, store: &TraceStore) -> Result<(), RunError> {
     let mut t = TextTable::new(&[
         "workload",
         "L2 tile",
@@ -96,7 +103,7 @@ pub fn l2_tile_sweep(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
         "L2 full hit %",
         "L2 partial hit %",
     ]);
-    for w in [scale.village(), scale.city()] {
+    for w in [store.village(&scale.params), store.city(&scale.params)] {
         let configs: Vec<EngineConfig> = [TileSize::X8, TileSize::X16, TileSize::X32]
             .iter()
             .map(|&l2t| EngineConfig {
@@ -106,7 +113,7 @@ pub fn l2_tile_sweep(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
                 ..EngineConfig::default()
             })
             .collect();
-        let engines = engine_run_all(&w, FilterMode::Trilinear, &configs, false)?;
+        let engines = engine_run_all(store, &w, FilterMode::Trilinear, &configs, false)?;
         for e in &engines {
             let tot = e.totals();
             t.row(vec![
@@ -132,8 +139,8 @@ pub fn l2_tile_sweep(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
 
 /// **L1 associativity sweep** — Hakura argues 2-way suffices to avoid
 /// conflict misses under trilinear interpolation (§2.3).
-pub fn l1_assoc_sweep(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
-    let village = scale.village();
+pub fn l1_assoc_sweep(scale: &Scale, out: &Outputs, store: &TraceStore) -> Result<(), RunError> {
+    let village = store.village(&scale.params);
     let mut t = TextTable::new(&["ways", "BL hit %", "TL hit %"]);
     let configs: Vec<EngineConfig> = [1usize, 2, 4, 8]
         .iter()
@@ -145,8 +152,8 @@ pub fn l1_assoc_sweep(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
             ..EngineConfig::default()
         })
         .collect();
-    let bl = engine_run_all(&village, FilterMode::Bilinear, &configs, false)?;
-    let tl = engine_run_all(&village, FilterMode::Trilinear, &configs, false)?;
+    let bl = engine_run_all(store, &village, FilterMode::Bilinear, &configs, false)?;
+    let tl = engine_run_all(store, &village, FilterMode::Trilinear, &configs, false)?;
     for (b, l) in bl.iter().zip(&tl) {
         t.row(vec![
             b.config().l1.ways.to_string(),
@@ -186,7 +193,7 @@ mod tests {
     #[test]
     fn storage_ablation_shows_tiled_advantage() {
         let (out, dir) = temp_out("storage");
-        ablate_storage(&tiny_scale(), &out).unwrap();
+        ablate_storage(&tiny_scale(), &out, &TraceStore::in_memory()).unwrap();
         let csv = std::fs::read_to_string(dir.join("ablate_storage.csv")).unwrap();
         let rows: Vec<Vec<String>> = csv
             .lines()
@@ -206,7 +213,7 @@ mod tests {
     #[test]
     fn tile_sweep_produces_all_rows() {
         let (out, dir) = temp_out("tiles");
-        l2_tile_sweep(&tiny_scale(), &out).unwrap();
+        l2_tile_sweep(&tiny_scale(), &out, &TraceStore::in_memory()).unwrap();
         let csv = std::fs::read_to_string(dir.join("l2_tile_sweep.csv")).unwrap();
         assert_eq!(csv.lines().count(), 1 + 6, "2 workloads x 3 tile sizes");
         let _ = std::fs::remove_dir_all(&dir);
@@ -215,7 +222,7 @@ mod tests {
     #[test]
     fn associativity_is_monotone_enough() {
         let (out, dir) = temp_out("assoc");
-        l1_assoc_sweep(&tiny_scale(), &out).unwrap();
+        l1_assoc_sweep(&tiny_scale(), &out, &TraceStore::in_memory()).unwrap();
         let csv = std::fs::read_to_string(dir.join("l1_assoc_sweep.csv")).unwrap();
         let rates: Vec<f64> = csv
             .lines()

@@ -9,6 +9,7 @@
 //! must drop the tap outright.
 
 use crate::runner::{engine_run_all, pct, RunError};
+use crate::store::TraceStore;
 use crate::{Outputs, Scale, TextTable};
 use mltc_core::{EngineConfig, FaultPlan, L1Config, L2Config};
 use mltc_trace::FilterMode;
@@ -43,9 +44,15 @@ fn sweep_configs() -> Vec<EngineConfig> {
 
 /// **Fault sweep** — download failure rates 0 / 0.1 / 1 / 5 % per attempt
 /// (3 attempts per transfer) against both architectures on the Village.
-pub fn exp_fault(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
-    let village = scale.village();
-    let engines = engine_run_all(&village, FilterMode::Trilinear, &sweep_configs(), false)?;
+pub fn exp_fault(scale: &Scale, out: &Outputs, store: &TraceStore) -> Result<(), RunError> {
+    let village = store.village(&scale.params);
+    let engines = engine_run_all(
+        store,
+        &village,
+        FilterMode::Trilinear,
+        &sweep_configs(),
+        false,
+    )?;
 
     let mut t = TextTable::new(&[
         "fail %/attempt",
@@ -102,7 +109,7 @@ mod tests {
             name: "tiny",
             params: WorkloadParams::tiny(),
         };
-        exp_fault(&scale, &out).unwrap();
+        exp_fault(&scale, &out, &TraceStore::in_memory()).unwrap();
         let csv = std::fs::read_to_string(dir.join("fault.csv")).unwrap();
         assert_eq!(
             csv.lines().count(),
@@ -118,8 +125,10 @@ mod tests {
             name: "tiny",
             params: WorkloadParams::tiny(),
         };
+        let store = TraceStore::in_memory();
         let engines = engine_run_all(
-            &scale.village(),
+            &store,
+            &store.village(&scale.params),
             FilterMode::Trilinear,
             &sweep_configs(),
             false,

@@ -1,17 +1,19 @@
 //! Working-set statistics experiments: Table 1 and Figs. 4–6 (§4.2).
 
 use crate::runner::{mb, mb_f, stats_run, RunError};
+use crate::store::TraceStore;
 use crate::{Outputs, Scale, TextTable};
 use mltc_scene::Workload;
 use mltc_trace::{FrameWorkingSet, TileClass, WorkloadSummary};
+use std::sync::Arc;
 
-fn each_workload(scale: &Scale) -> Vec<Workload> {
-    vec![scale.village(), scale.city()]
+fn each_workload(scale: &Scale, store: &TraceStore) -> Vec<Arc<Workload>> {
+    vec![store.village(&scale.params), store.city(&scale.params)]
 }
 
 /// **Table 1** — per-workload statistics and expected inter-frame working
 /// set (1024×768 at full scale, 16×16 L2 tiles, point sampling).
-pub fn table1(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
+pub fn table1(scale: &Scale, out: &Outputs, store: &TraceStore) -> Result<(), RunError> {
     let mut t = TextTable::new(&[
         "workload",
         "depth complexity d",
@@ -21,8 +23,9 @@ pub fn table1(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
         "paper util",
         "paper W",
     ]);
-    for w in each_workload(scale) {
-        let (_, s) = stats_run(&w);
+    for w in each_workload(scale, store) {
+        let bundle = stats_run(store, &w);
+        let s = &bundle.summary;
         let (pd, pu, pw) = if w.name == "village" {
             ("3.8", "4.7", "2.43 MB")
         } else {
@@ -48,10 +51,11 @@ pub fn table1(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
 
 /// **Fig. 4** — per-frame minimum memory: texture loaded in host memory,
 /// push-architecture minimum, and L2 minimum for 32×32 / 16×16 / 8×8 tiles.
-pub fn fig4(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
-    for w in each_workload(scale) {
+pub fn fig4(scale: &Scale, out: &Outputs, store: &TraceStore) -> Result<(), RunError> {
+    for w in each_workload(scale, store) {
         let loaded = w.registry().host_byte_size() as u64;
-        let (frames, s) = stats_run(&w);
+        let bundle = stats_run(store, &w);
+        let (frames, s) = (&bundle.frames[..], &bundle.summary);
         let mut t = TextTable::new(&[
             "frame",
             "loaded_MB",
@@ -60,7 +64,7 @@ pub fn fig4(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
             "l2_16x16_MB",
             "l2_8x8_MB",
         ]);
-        for f in &frames {
+        for f in frames {
             t.row(vec![
                 f.frame.to_string(),
                 mb(loaded),
@@ -73,7 +77,7 @@ pub fn fig4(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
         out.table(
             &format!("fig4_{}", w.name),
             &format!("Fig. 4 ({}) — minimum memory per frame", w.name),
-            &summarise_fig4(&frames, &s, loaded),
+            &summarise_fig4(frames, s, loaded),
         );
         // The full per-frame series goes to its own CSV.
         let csv_path = out.artefact_path(&format!("fig4_{}_frames.csv", w.name));
@@ -114,11 +118,12 @@ fn summarise_fig4(frames: &[FrameWorkingSet], s: &WorkloadSummary, loaded: u64) 
 }
 
 /// **Fig. 5** — total vs new L2 memory per frame (16×16 tiles).
-pub fn fig5(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
-    for w in each_workload(scale) {
-        let (frames, s) = stats_run(&w);
+pub fn fig5(scale: &Scale, out: &Outputs, store: &TraceStore) -> Result<(), RunError> {
+    for w in each_workload(scale, store) {
+        let bundle = stats_run(store, &w);
+        let (frames, s) = (&bundle.frames[..], &bundle.summary);
         let mut per_frame = TextTable::new(&["frame", "total_MB", "new_MB"]);
-        for f in &frames {
+        for f in frames {
             per_frame.row(vec![
                 f.frame.to_string(),
                 mb(f.total_bytes(TileClass::L2x16)),
@@ -156,9 +161,10 @@ pub fn fig5(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
 
 /// **Fig. 6** — minimum L1 download bandwidth per frame (total vs new, for
 /// 8×8 and 4×4 L1 tiles).
-pub fn fig6(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
-    for w in each_workload(scale) {
-        let (frames, s) = stats_run(&w);
+pub fn fig6(scale: &Scale, out: &Outputs, store: &TraceStore) -> Result<(), RunError> {
+    for w in each_workload(scale, store) {
+        let bundle = stats_run(store, &w);
+        let (frames, s) = (&bundle.frames[..], &bundle.summary);
         let mut per_frame = TextTable::new(&[
             "frame",
             "total_4x4_MB",
@@ -166,7 +172,7 @@ pub fn fig6(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
             "total_8x8_MB",
             "new_8x8_MB",
         ]);
-        for f in &frames {
+        for f in frames {
             per_frame.row(vec![
                 f.frame.to_string(),
                 mb(f.total_bytes(TileClass::L1x4)),
@@ -205,7 +211,7 @@ pub fn fig6(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
 
 /// `calibrate` — workload calibration report: everything Table 1 / Fig. 4
 /// rest on, plus scene inventory.
-pub fn calibrate(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
+pub fn calibrate(scale: &Scale, out: &Outputs, store: &TraceStore) -> Result<(), RunError> {
     let mut t = TextTable::new(&[
         "workload",
         "objects",
@@ -218,8 +224,9 @@ pub fn calibrate(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
         "push_min_mean_MB",
         "l2_16_mean_MB",
     ]);
-    for w in each_workload(scale) {
-        let (frames, s) = stats_run(&w);
+    for w in each_workload(scale, store) {
+        let bundle = stats_run(store, &w);
+        let (frames, s) = (&bundle.frames[..], &bundle.summary);
         let mean_push =
             frames.iter().map(|f| f.push_min_bytes).sum::<u64>() as f64 / frames.len() as f64;
         t.row(vec![
@@ -252,8 +259,10 @@ mod tests {
             name: "tiny",
             params: WorkloadParams::tiny(),
         };
-        table1(&scale, &out).unwrap();
-        fig5(&scale, &out).unwrap();
+        let store = TraceStore::in_memory();
+        table1(&scale, &out, &store).unwrap();
+        fig5(&scale, &out, &store).unwrap();
+        assert_eq!(store.snapshot().renders, 2, "one render per workload");
         let t1 = std::fs::read_to_string(dir.join("table1.csv")).unwrap();
         assert_eq!(t1.lines().count(), 3, "header + village + city");
         assert!(dir.join("fig5_village_frames.csv").exists());

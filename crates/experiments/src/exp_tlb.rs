@@ -1,6 +1,7 @@
 //! Texture page-table TLB experiments: Fig. 11 and Table 8 (§5.4.3).
 
 use crate::runner::{engine_run_all, pct, RunError};
+use crate::store::TraceStore;
 use crate::{Outputs, Scale, TextTable};
 use mltc_core::{EngineConfig, L1Config, L2Config};
 use mltc_trace::FilterMode;
@@ -23,9 +24,15 @@ fn tlb_configs() -> Vec<EngineConfig> {
 /// **Fig. 11** — per-frame texture-page-table TLB hit rates for the Village
 /// as a function of entry count (trilinear, 2 KB L1 + 2 MB L2, 16×16 tiles,
 /// round-robin replacement).
-pub fn fig11(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
-    let village = scale.village();
-    let engines = engine_run_all(&village, FilterMode::Trilinear, &tlb_configs(), false)?;
+pub fn fig11(scale: &Scale, out: &Outputs, store: &TraceStore) -> Result<(), RunError> {
+    let village = store.village(&scale.params);
+    let engines = engine_run_all(
+        store,
+        &village,
+        FilterMode::Trilinear,
+        &tlb_configs(),
+        false,
+    )?;
 
     let headers: Vec<String> = std::iter::once("frame".to_string())
         .chain(TLB_ENTRIES.iter().map(|n| format!("hit_{n}e")))
@@ -55,7 +62,7 @@ pub fn fig11(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
 }
 
 /// **Table 8** — average TLB hit rates for the Village and City (bilinear).
-pub fn table8(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
+pub fn table8(scale: &Scale, out: &Outputs, store: &TraceStore) -> Result<(), RunError> {
     let mut t = TextTable::new(&[
         "TLB entries",
         "village hit %",
@@ -64,12 +71,19 @@ pub fn table8(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
         "paper city",
     ]);
     let village = engine_run_all(
-        &scale.village(),
+        store,
+        &store.village(&scale.params),
         FilterMode::Bilinear,
         &tlb_configs(),
         false,
     )?;
-    let city = engine_run_all(&scale.city(), FilterMode::Bilinear, &tlb_configs(), false)?;
+    let city = engine_run_all(
+        store,
+        &store.city(&scale.params),
+        FilterMode::Bilinear,
+        &tlb_configs(),
+        false,
+    )?;
     let paper = [
         ("36%", "36%"),
         ("63%", "63%"),
@@ -101,8 +115,10 @@ mod tests {
             name: "tiny",
             params: WorkloadParams::tiny(),
         };
+        let store = TraceStore::in_memory();
         let engines = engine_run_all(
-            &scale.village(),
+            &store,
+            &store.village(&scale.params),
             FilterMode::Bilinear,
             &tlb_configs(),
             false,
@@ -130,7 +146,7 @@ mod tests {
             name: "tiny",
             params: WorkloadParams::tiny(),
         };
-        fig11(&scale, &out).unwrap();
+        fig11(&scale, &out, &TraceStore::in_memory()).unwrap();
         let csv = std::fs::read_to_string(dir.join("fig11.csv")).unwrap();
         assert_eq!(csv.lines().count(), 1 + 5);
         assert!(dir.join("fig11_frames.csv").exists());

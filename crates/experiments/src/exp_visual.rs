@@ -1,14 +1,15 @@
 //! Fig. 12 — shaded snapshots of the workloads.
 
 use crate::runner::RunError;
+use crate::store::TraceStore;
 use crate::{Outputs, Scale, TextTable};
 use mltc_trace::FilterMode;
 
 /// **Fig. 12** — renders shaded snapshots of both animations at four points
 /// along each path, as binary PPM images in the results directory.
-pub fn fig12(scale: &Scale, out: &Outputs) -> Result<(), RunError> {
+pub fn fig12(scale: &Scale, out: &Outputs, store: &TraceStore) -> Result<(), RunError> {
     let mut t = TextTable::new(&["workload", "frame", "file"]);
-    for w in [scale.village(), scale.city()] {
+    for w in [store.village(&scale.params), store.city(&scale.params)] {
         for q in 0..4u32 {
             let frame = (w.frame_count - 1) * q / 3;
             let fb = w.render_snapshot(frame, FilterMode::Bilinear);
@@ -38,7 +39,7 @@ mod tests {
             name: "tiny",
             params: WorkloadParams::tiny(),
         };
-        fig12(&scale, &out).unwrap();
+        fig12(&scale, &out, &TraceStore::in_memory()).unwrap();
         let mut count = 0;
         for entry in std::fs::read_dir(&dir).unwrap() {
             let p = entry.unwrap().path();

@@ -45,6 +45,7 @@ mod exp_visual;
 mod outputs;
 mod runner;
 mod scale;
+mod store;
 
 pub use exp_ablate::{ablate_replacement, ablate_sector, ablate_zprepass, future_workloads};
 pub use exp_analytic::{fig3, table4};
@@ -58,13 +59,18 @@ pub use exp_tlb::{fig11, table8};
 pub use exp_visual::fig12;
 pub use outputs::{Outputs, TextTable};
 pub use runner::{
-    engine_run, engine_run_all, engine_run_traversal, engine_run_traversal_all, stats_run, RunError,
+    engine_run, engine_run_all, engine_run_traversal, engine_run_traversal_all, replay_run,
+    stats_run, RunError,
 };
 pub use scale::Scale;
+pub use store::{
+    StatsBundle, StoreStats, TraceHandle, TraceKey, TraceSet, TraceStore, DEFAULT_MEM_BUDGET,
+};
 
 /// An experiment entry point. Experiments report run failures instead of
-/// panicking so a suite run can record the failure and move on.
-pub type ExperimentFn = fn(&Scale, &Outputs) -> Result<(), RunError>;
+/// panicking so a suite run can record the failure and move on. The
+/// [`TraceStore`] supplies (and memoizes) every rendered trace.
+pub type ExperimentFn = fn(&Scale, &Outputs, &TraceStore) -> Result<(), RunError>;
 
 /// Every experiment id in run order, with its runner.
 pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[

@@ -1,12 +1,32 @@
-//! Shared run machinery: rasterize once, simulate many configurations.
+//! Shared run machinery: look up (or render once) a trace, replay it
+//! through many cache configurations.
+//!
+//! The historical shape — rasterize the animation inside every
+//! `engine_run` call — is gone: every entry point now asks the
+//! [`TraceStore`] for the trace and *replays* it. Three replay paths
+//! cover the store's handle states:
+//!
+//! * **memory** ([`TraceHandle::Memory`]): each configuration's worker
+//!   iterates the shared frames directly — no channels, no copies;
+//! * **disk** ([`TraceHandle::Disk`]): one reader streams frames out of
+//!   the persisted file and fans them out over bounded channels;
+//! * **uncached** ([`TraceHandle::Uncached`]): the workload renders live,
+//!   exactly the pre-store behaviour.
+//!
+//! Because stored traces are point-sampled (filter-independent — see the
+//! [store docs](crate::store)), replays apply the requested filter via
+//! [`SimEngine::try_run_frame_as`].
 
+use crate::store::{stream_trace_file, StatsBundle, TraceHandle, TraceStore};
 use mltc_core::{EngineConfig, EngineError, SimEngine};
 use mltc_scene::Workload;
 use mltc_texture::TextureRegistry;
-use mltc_trace::{FilterMode, FrameStatsCollector, FrameTrace, FrameWorkingSet, WorkloadSummary};
+use mltc_trace::{FilterMode, FrameTrace};
 use std::fmt;
+use std::path::Path;
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Why one configuration's replay produced no finished engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -15,6 +35,9 @@ pub enum RunError {
     Engine(EngineError),
     /// The worker thread panicked; the payload's message when it had one.
     Panicked(String),
+    /// A persisted trace file failed mid-replay (corruption detected
+    /// after streaming began), so the replay's counters are unusable.
+    Trace(String),
 }
 
 impl fmt::Display for RunError {
@@ -22,6 +45,7 @@ impl fmt::Display for RunError {
         match self {
             RunError::Engine(e) => write!(f, "engine error: {e}"),
             RunError::Panicked(msg) => write!(f, "engine worker panicked: {msg}"),
+            RunError::Trace(msg) => write!(f, "trace replay failed: {msg}"),
         }
     }
 }
@@ -30,7 +54,7 @@ impl std::error::Error for RunError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RunError::Engine(e) => Some(e),
-            RunError::Panicked(_) => None,
+            RunError::Panicked(_) | RunError::Trace(_) => None,
         }
     }
 }
@@ -41,39 +65,51 @@ impl From<EngineError> for RunError {
     }
 }
 
-/// Renders the whole animation with point sampling and collects the §4
-/// per-frame working-set statistics.
-pub fn stats_run(workload: &Workload) -> (Vec<FrameWorkingSet>, WorkloadSummary) {
-    let mut collector = FrameStatsCollector::new(workload.registry());
-    let mut frames = Vec::with_capacity(workload.frame_count as usize);
-    workload.render_animation(FilterMode::Point, false, |t| {
-        frames.push(collector.process_frame(&t));
-    });
-    let summary = WorkloadSummary::from_frames(&frames, workload.width, workload.height);
-    (frames, summary)
+/// The §4 per-frame working-set statistics for `workload`, computed at
+/// most once per process (memoized in the store, derived from the cached
+/// trace).
+pub fn stats_run(store: &TraceStore, workload: &Workload) -> Arc<StatsBundle> {
+    store.stats_bundle(workload)
 }
 
-/// Renders the animation once and replays every frame through each cache
-/// configuration — one worker thread per configuration, frames streamed in
-/// order over bounded channels (the paper's rasterize-once, trace-driven
-/// methodology, parallelised across the *configurations*, never across
-/// frames: cache state must carry between frames to capture inter-frame
-/// locality).
+/// Replays already-rendered frames through each cache configuration — one
+/// worker thread per configuration, every worker reading the same shared
+/// frames (the paper's rasterize-once, trace-driven methodology,
+/// parallelised across the *configurations*, never across frames: cache
+/// state must carry between frames to capture inter-frame locality).
 ///
-/// `zprepass` applies the §6 z-buffer-before-texture ablation to the
-/// generated traces.
+/// `filter` selects the tap expansion applied at simulation time; the
+/// frames themselves are filter-independent.
 ///
 /// Returns one result per configuration, in input order. A configuration
-/// whose worker fails — invalid geometry, a trace referencing an unknown
-/// texture, or an outright panic — yields `Err` for that slot only; the
-/// surviving configurations keep receiving frames and finish normally.
+/// whose worker fails yields `Err` for that slot only; the surviving
+/// configurations finish normally.
+pub fn replay_run(
+    registry: &TextureRegistry,
+    frames: &[Arc<FrameTrace>],
+    filter: FilterMode,
+    configs: &[EngineConfig],
+) -> Vec<Result<SimEngine, RunError>> {
+    replay_with(registry, frames, filter, configs, &|cfg, reg| {
+        SimEngine::try_new(cfg, reg)
+    })
+}
+
+/// Looks up (or renders once) the workload's trace and replays it through
+/// each configuration. See [`replay_run`] for the per-configuration
+/// failure contract.
+///
+/// `zprepass` applies the §6 z-buffer-before-texture ablation to the
+/// trace.
 pub fn engine_run(
+    store: &TraceStore,
     workload: &Workload,
     filter: FilterMode,
     configs: &[EngineConfig],
     zprepass: bool,
 ) -> Vec<Result<SimEngine, RunError>> {
     engine_run_traversal(
+        store,
         workload,
         filter,
         configs,
@@ -85,13 +121,15 @@ pub fn engine_run(
 /// [`engine_run`] with an explicit fragment traversal order (for the
 /// tiled-rasterization ablation of §2.3).
 pub fn engine_run_traversal(
+    store: &TraceStore,
     workload: &Workload,
     filter: FilterMode,
     configs: &[EngineConfig],
     zprepass: bool,
     traversal: mltc_raster::Traversal,
 ) -> Vec<Result<SimEngine, RunError>> {
-    run_with(
+    engine_run_traversal_with(
+        store,
         workload,
         filter,
         configs,
@@ -105,25 +143,27 @@ pub fn engine_run_traversal(
 /// whole batch. Most experiments use this — their configurations are static
 /// and a failure is a bug worth surfacing, not routing around.
 pub fn engine_run_all(
+    store: &TraceStore,
     workload: &Workload,
     filter: FilterMode,
     configs: &[EngineConfig],
     zprepass: bool,
 ) -> Result<Vec<SimEngine>, RunError> {
-    engine_run(workload, filter, configs, zprepass)
+    engine_run(store, workload, filter, configs, zprepass)
         .into_iter()
         .collect()
 }
 
 /// All-or-nothing [`engine_run_traversal`].
 pub fn engine_run_traversal_all(
+    store: &TraceStore,
     workload: &Workload,
     filter: FilterMode,
     configs: &[EngineConfig],
     zprepass: bool,
     traversal: mltc_raster::Traversal,
 ) -> Result<Vec<SimEngine>, RunError> {
-    engine_run_traversal(workload, filter, configs, zprepass, traversal)
+    engine_run_traversal(store, workload, filter, configs, zprepass, traversal)
         .into_iter()
         .collect()
 }
@@ -133,7 +173,122 @@ pub fn engine_run_traversal_all(
 type EngineFactory =
     dyn Fn(EngineConfig, &TextureRegistry) -> Result<SimEngine, EngineError> + Sync;
 
-fn run_with(
+fn engine_run_traversal_with(
+    store: &TraceStore,
+    workload: &Workload,
+    filter: FilterMode,
+    configs: &[EngineConfig],
+    zprepass: bool,
+    traversal: mltc_raster::Traversal,
+    factory: &EngineFactory,
+) -> Vec<Result<SimEngine, RunError>> {
+    let handle = store.get_or_render(workload, zprepass, traversal);
+    let start = Instant::now();
+    let results = match &handle {
+        TraceHandle::Memory(set) => {
+            replay_with(workload.registry(), &set.frames, filter, configs, factory)
+        }
+        TraceHandle::Disk(path) => {
+            stream_replay_with(workload.registry(), path, filter, configs, factory)
+        }
+        TraceHandle::Uncached => run_live(workload, filter, configs, zprepass, traversal, factory),
+    };
+    let taps: u64 = results
+        .iter()
+        .filter_map(|r| r.as_ref().ok())
+        .map(|e| e.totals().l1_accesses)
+        .sum();
+    store.note_sim(taps, start.elapsed().as_nanos() as u64);
+    results
+}
+
+/// Memory-resident replay: no channels — every worker walks the shared
+/// frame list at its own pace.
+fn replay_with(
+    registry: &TextureRegistry,
+    frames: &[Arc<FrameTrace>],
+    filter: FilterMode,
+    configs: &[EngineConfig],
+    factory: &EngineFactory,
+) -> Vec<Result<SimEngine, RunError>> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = configs
+            .iter()
+            .map(|cfg| {
+                let cfg = *cfg;
+                scope.spawn(move || -> Result<SimEngine, RunError> {
+                    let mut engine = factory(cfg, registry).map_err(RunError::Engine)?;
+                    for trace in frames {
+                        engine
+                            .try_run_frame_as(trace, filter)
+                            .map_err(RunError::Engine)?;
+                    }
+                    Ok(engine)
+                })
+            })
+            .collect();
+        handles.into_iter().map(join_worker).collect()
+    })
+}
+
+/// Disk streaming replay: one reader decodes the persisted file and fans
+/// frames out over bounded channels. A codec failure mid-stream taints
+/// every still-successful configuration with [`RunError::Trace`] — their
+/// engines only saw a prefix of the animation.
+fn stream_replay_with(
+    registry: &TextureRegistry,
+    path: &Path,
+    filter: FilterMode,
+    configs: &[EngineConfig],
+    factory: &EngineFactory,
+) -> Vec<Result<SimEngine, RunError>> {
+    std::thread::scope(|scope| {
+        let mut senders: Vec<Option<SyncSender<Arc<FrameTrace>>>> =
+            Vec::with_capacity(configs.len());
+        let mut handles = Vec::with_capacity(configs.len());
+        for cfg in configs {
+            let (tx, rx) = sync_channel::<Arc<FrameTrace>>(4);
+            senders.push(Some(tx));
+            let cfg = *cfg;
+            handles.push(scope.spawn(move || -> Result<SimEngine, RunError> {
+                let mut engine = factory(cfg, registry).map_err(RunError::Engine)?;
+                for trace in rx {
+                    engine
+                        .try_run_frame_as(&trace, filter)
+                        .map_err(RunError::Engine)?;
+                }
+                Ok(engine)
+            }));
+        }
+        let streamed = stream_trace_file(path, |t| {
+            let shared = Arc::new(t);
+            for slot in &mut senders {
+                if let Some(tx) = slot {
+                    if tx.send(shared.clone()).is_err() {
+                        *slot = None;
+                    }
+                }
+            }
+        });
+        drop(senders);
+        let mut results: Vec<Result<SimEngine, RunError>> =
+            handles.into_iter().map(join_worker).collect();
+        if let Err(e) = streamed {
+            let msg = format!("{}: {e}", path.display());
+            for r in &mut results {
+                if r.is_ok() {
+                    *r = Err(RunError::Trace(msg.clone()));
+                }
+            }
+        }
+        results
+    })
+}
+
+/// Live-render replay for uncached traces: the pre-store code path,
+/// rendering with the requested filter and streaming frames to workers as
+/// they finish.
+fn run_live(
     workload: &Workload,
     filter: FilterMode,
     configs: &[EngineConfig],
@@ -171,14 +326,17 @@ fn run_with(
             }
         });
         drop(senders);
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(result) => result,
-                Err(payload) => Err(RunError::Panicked(panic_message(payload.as_ref()))),
-            })
-            .collect()
+        handles.into_iter().map(join_worker).collect()
     })
+}
+
+fn join_worker(
+    handle: std::thread::ScopedJoinHandle<'_, Result<SimEngine, RunError>>,
+) -> Result<SimEngine, RunError> {
+    match handle.join() {
+        Ok(result) => result,
+        Err(payload) => Err(RunError::Panicked(panic_message(payload.as_ref()))),
+    }
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -218,15 +376,17 @@ mod tests {
 
     #[test]
     fn stats_run_covers_all_frames() {
+        let store = TraceStore::in_memory();
         let w = tiny_village();
-        let (frames, summary) = stats_run(&w);
-        assert_eq!(frames.len(), w.frame_count as usize);
-        assert_eq!(summary.frames, frames.len());
-        assert!(summary.depth_complexity > 1.0);
+        let bundle = stats_run(&store, &w);
+        assert_eq!(bundle.frames.len(), w.frame_count as usize);
+        assert_eq!(bundle.summary.frames, bundle.frames.len());
+        assert!(bundle.summary.depth_complexity > 1.0);
     }
 
     #[test]
     fn engine_run_returns_engines_in_config_order() {
+        let store = TraceStore::in_memory();
         let w = tiny_village();
         let configs = [
             EngineConfig {
@@ -238,7 +398,7 @@ mod tests {
                 ..EngineConfig::default()
             },
         ];
-        let engines = engine_run_all(&w, FilterMode::Bilinear, &configs, false).unwrap();
+        let engines = engine_run_all(&store, &w, FilterMode::Bilinear, &configs, false).unwrap();
         assert_eq!(engines.len(), 2);
         assert_eq!(engines[0].config().l1.size_bytes, 2048);
         assert_eq!(engines[1].config().l1.size_bytes, 16 * 1024);
@@ -253,30 +413,75 @@ mod tests {
         );
         // The bigger L1 downloads less.
         assert!(engines[1].totals().host_bytes <= engines[0].totals().host_bytes);
+        // And the animation was rendered exactly once.
+        assert_eq!(store.snapshot().renders, 1);
     }
 
     #[test]
-    fn l2_reduces_host_traffic_on_the_real_workload() {
+    fn repeated_runs_share_one_render() {
+        let store = TraceStore::in_memory();
         let w = tiny_village();
-        let configs = [
-            EngineConfig {
-                l1: L1Config::kb(2),
-                ..EngineConfig::default()
-            },
-            EngineConfig {
-                l1: L1Config::kb(2),
-                l2: Some(L2Config::mb(2)),
-                ..EngineConfig::default()
-            },
-        ];
-        let engines = engine_run_all(&w, FilterMode::Bilinear, &configs, false).unwrap();
-        let pull = engines[0].totals().host_bytes;
-        let ml = engines[1].totals().host_bytes;
-        assert!(ml < pull, "L2 must cut download traffic ({ml} vs {pull})");
+        let cfg = EngineConfig::default();
+        for filter in [
+            FilterMode::Point,
+            FilterMode::Bilinear,
+            FilterMode::Trilinear,
+        ] {
+            engine_run_all(&store, &w, filter, &[cfg], false).unwrap();
+        }
+        let s = store.snapshot();
+        assert_eq!(s.renders, 1, "filters must share one point-sampled trace");
+        assert_eq!(s.mem_hits, 2);
+        assert!(s.taps_simulated > 0);
+        assert!(s.sim_nanos > 0);
+    }
+
+    #[test]
+    fn store_replay_matches_a_direct_render_per_filter() {
+        let w = tiny_village();
+        let cfg = EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(2)),
+            ..EngineConfig::default()
+        };
+        for filter in [
+            FilterMode::Point,
+            FilterMode::Bilinear,
+            FilterMode::Trilinear,
+        ] {
+            let store = TraceStore::in_memory();
+            let via_store = engine_run_all(&store, &w, filter, &[cfg], false).unwrap();
+            let mut direct = SimEngine::try_new(cfg, w.registry()).unwrap();
+            w.render_animation(filter, false, |t| direct.try_run_frame(&t).unwrap());
+            assert_eq!(
+                via_store[0].totals(),
+                direct.totals(),
+                "filter {filter:?} must replay identically through the store"
+            );
+        }
+    }
+
+    #[test]
+    fn disk_streamed_replay_matches_memory_replay() {
+        let dir = std::env::temp_dir().join(format!("mltc-runner-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let w = tiny_village();
+        let cfg = EngineConfig::default();
+        let mem_store = TraceStore::in_memory();
+        let from_memory =
+            engine_run_all(&mem_store, &w, FilterMode::Bilinear, &[cfg], false).unwrap();
+        // A tiny budget forces the persistent store to stream from disk.
+        let disk_store = TraceStore::persistent(&dir).with_budget(64);
+        let from_disk =
+            engine_run_all(&disk_store, &w, FilterMode::Bilinear, &[cfg], false).unwrap();
+        assert_eq!(from_memory[0].totals(), from_disk[0].totals());
+        assert_eq!(from_memory[0].frames(), from_disk[0].frames());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn bad_config_fails_alone_and_survivors_finish() {
+        let store = TraceStore::in_memory();
         let w = tiny_village();
         let configs = [
             EngineConfig {
@@ -296,7 +501,7 @@ mod tests {
                 ..EngineConfig::default()
             },
         ];
-        let results = engine_run(&w, FilterMode::Bilinear, &configs, false);
+        let results = engine_run(&store, &w, FilterMode::Bilinear, &configs, false);
         assert_eq!(results.len(), 3);
         assert!(matches!(
             &results[1],
@@ -313,11 +518,12 @@ mod tests {
             );
         }
         // And the all-or-nothing wrapper surfaces the failure.
-        assert!(engine_run_all(&w, FilterMode::Bilinear, &configs, false).is_err());
+        assert!(engine_run_all(&store, &w, FilterMode::Bilinear, &configs, false).is_err());
     }
 
     #[test]
     fn panicking_worker_fails_alone_and_survivors_finish() {
+        let store = TraceStore::in_memory();
         let w = tiny_village();
         let configs = [
             EngineConfig {
@@ -336,7 +542,8 @@ mod tests {
         // Suppress the expected panic's default stderr backtrace.
         let prev_hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
-        let results = run_with(
+        let results = engine_run_traversal_with(
+            &store,
             &w,
             FilterMode::Bilinear,
             &configs,
@@ -362,12 +569,47 @@ mod tests {
     }
 
     #[test]
+    fn mid_stream_corruption_taints_the_batch_with_typed_errors() {
+        let dir = std::env::temp_dir().join(format!("mltc-runner-taint-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let w = tiny_village();
+        let cfg = EngineConfig::default();
+        {
+            // Persist the trace, then truncate it mid-body.
+            let store = TraceStore::persistent(&dir);
+            engine_run_all(&store, &w, FilterMode::Point, &[cfg], false).unwrap();
+        }
+        let file = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .find(|e| e.path().extension().is_some_and(|x| x == "mltct"))
+            .expect("a persisted trace")
+            .path();
+        let bytes = std::fs::read(&file).unwrap();
+        std::fs::write(&file, &bytes[..bytes.len() - 7]).unwrap();
+        // A tiny budget forces streaming; the truncated tail must surface
+        // as RunError::Trace on every config, not a panic.
+        let store = TraceStore::persistent(&dir).with_budget(64);
+        let results = engine_run(&store, &w, FilterMode::Point, &[cfg, cfg], false);
+        for r in &results {
+            match r {
+                Err(RunError::Trace(msg)) => assert!(msg.contains("mltct"), "{msg}"),
+                other => panic!("expected RunError::Trace, got {other:?}"),
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn run_errors_format_usefully() {
         let e = RunError::Engine(EngineError::EmptyPageTable);
         assert!(e.to_string().contains("page table"));
         assert!(RunError::Panicked("boom".into())
             .to_string()
             .contains("boom"));
+        assert!(RunError::Trace("bad file".into())
+            .to_string()
+            .contains("bad file"));
         assert_eq!(RunError::from(EngineError::EmptyPageTable), e);
     }
 

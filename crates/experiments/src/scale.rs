@@ -15,6 +15,15 @@ pub struct Scale {
 }
 
 impl Scale {
+    /// Minimal runs for CI end-to-end checks: 64×48, 4 frames,
+    /// eighth-size textures.
+    pub fn tiny() -> Self {
+        Self {
+            name: "tiny",
+            params: WorkloadParams::tiny(),
+        }
+    }
+
     /// Tiny runs for smoke tests and benches: 256×192, 24 frames,
     /// quarter-size textures.
     pub fn quick() -> Self {
@@ -40,9 +49,10 @@ impl Scale {
         }
     }
 
-    /// Parses a scale flag (`--quick`, `--default`, `--full`).
+    /// Parses a scale flag (`--tiny`, `--quick`, `--default`, `--full`).
     pub fn from_flag(flag: &str) -> Option<Self> {
         match flag.trim_start_matches("--") {
+            "tiny" => Some(Self::tiny()),
             "quick" => Some(Self::quick()),
             "default" => Some(Self::default_scale()),
             "full" => Some(Self::full()),
@@ -73,6 +83,7 @@ mod tests {
 
     #[test]
     fn flags_parse() {
+        assert_eq!(Scale::from_flag("--tiny").unwrap().name, "tiny");
         assert_eq!(Scale::from_flag("--quick").unwrap().name, "quick");
         assert_eq!(Scale::from_flag("full").unwrap().name, "full");
         assert!(Scale::from_flag("--huge").is_none());

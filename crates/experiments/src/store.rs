@@ -1,0 +1,1043 @@
+//! Render-once trace store: memoized + persisted frame traces shared
+//! across the whole experiment suite.
+//!
+//! Every experiment in this crate consumes the same handful of rendered
+//! animations (Village / City / future-City, with or without a z-prepass,
+//! scanline or tiled traversal) and replays them through many cache
+//! configurations. Pre-store, each experiment re-rasterized its workload
+//! from scratch — the same animation dozens of times per suite run. The
+//! [`TraceStore`] renders each unique trace **exactly once per process**
+//! and, when given a directory, **once per machine**: traces persist as
+//! versioned binary files (the `MLTS` container from
+//! [`mltc_trace::codec`]) and later runs replay from disk without touching
+//! the rasterizer at all.
+//!
+//! # Cache key
+//!
+//! A trace is identified by [`TraceKey`]: workload identity
+//! ([`WorkloadKind`] + [`WorkloadParams`]), the z-prepass flag, and the
+//! fragment [`Traversal`] order. The texture **filter is deliberately not
+//! part of the key**: a [`FrameTrace`] records per-pixel requests whose
+//! expansion into taps happens at *simulation* time
+//! ([`mltc_core::SimEngine::try_run_frame_as`]), so one point-sampled
+//! render serves every filter mode. This alone collapses the suite's
+//! renders by another 2–3× beyond memoization.
+//!
+//! # Memory budget and handle states
+//!
+//! Traces are large (a default-scale Village animation is gigabytes of
+//! requests), so the store enforces a byte budget (default 4 GiB):
+//!
+//! * within budget, a trace lives in memory ([`TraceHandle::Memory`]) and
+//!   replays at full speed;
+//! * over budget, least-recently-used traces are demoted — to their disk
+//!   file when one exists ([`TraceHandle::Disk`], replayed by streaming),
+//!   otherwise dropped for on-demand re-render;
+//! * a trace too large to hold that also could not be persisted degrades
+//!   to [`TraceHandle::Uncached`]: callers render live, which is exactly
+//!   the pre-store behaviour.
+//!
+//! Corrupt, truncated, or wrong-version files are never fatal: the codec
+//! reports a typed [`CodecError`], the store counts it and silently
+//! re-renders.
+
+use mltc_raster::Traversal;
+use mltc_scene::{Workload, WorkloadKind, WorkloadParams};
+use mltc_trace::codec::{CodecError, TraceFileReader, TraceFileWriter};
+use mltc_trace::{FilterMode, FrameStatsCollector, FrameTrace, FrameWorkingSet, WorkloadSummary};
+use std::collections::HashMap;
+use std::fs::{self, File};
+use std::io::{BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Default in-memory budget: 4 GiB of decoded trace data.
+pub const DEFAULT_MEM_BUDGET: u64 = 4 << 30;
+
+/// Identity of one rendered animation trace.
+///
+/// Note the absence of a filter field — see the [module docs](self) for
+/// why traces are filter-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceKey {
+    /// Which procedural workload.
+    pub kind: WorkloadKind,
+    /// Its scale parameters.
+    pub params: WorkloadParams,
+    /// Whether the §6 z-buffer-before-texture prepass was applied.
+    pub zprepass: bool,
+    /// Fragment traversal order (§2.3 tiled ablation).
+    pub traversal: Traversal,
+}
+
+impl TraceKey {
+    /// The key for a workload's trace under the given render options.
+    pub fn of(w: &Workload, zprepass: bool, traversal: Traversal) -> Self {
+        Self {
+            kind: w.kind,
+            params: w.params,
+            zprepass,
+            traversal,
+        }
+    }
+}
+
+/// A fully decoded animation: every frame behind an [`Arc`] so replay
+/// workers share them without copying.
+#[derive(Debug)]
+pub struct TraceSet {
+    /// The frames, in animation order.
+    pub frames: Vec<Arc<FrameTrace>>,
+    /// Approximate decoded size in bytes (for budget accounting).
+    pub bytes: u64,
+}
+
+/// Where a requested trace currently lives.
+#[derive(Debug, Clone)]
+pub enum TraceHandle {
+    /// Decoded and resident: replay directly.
+    Memory(Arc<TraceSet>),
+    /// Persisted but not resident: stream frames from this file.
+    Disk(PathBuf),
+    /// Too large to hold and not persisted: render live per use.
+    Uncached,
+}
+
+/// Approximate decoded footprint of one frame (requests + fixed overhead).
+fn frame_cost(t: &FrameTrace) -> u64 {
+    (t.requests.len() * std::mem::size_of::<mltc_trace::PixelRequest>()) as u64 + 96
+}
+
+enum CellState {
+    Empty,
+    Building,
+    Ready(TraceHandle),
+}
+
+/// One key's slot: a tiny state machine guarded by a mutex + condvar so
+/// concurrent requests for the same key render it once and the rest wait.
+struct KeyCell {
+    state: Mutex<CellState>,
+    cv: Condvar,
+    last_used: AtomicU64,
+}
+
+impl KeyCell {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(CellState::Empty),
+            cv: Condvar::new(),
+            last_used: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Restores a cell to `Empty` (and wakes waiters) if the builder panics,
+/// so a failed render never wedges every other thread on the condvar.
+struct BuildGuard<'a> {
+    cell: &'a KeyCell,
+    armed: bool,
+}
+
+impl Drop for BuildGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            *self.cell.state.lock().unwrap() = CellState::Empty;
+            self.cell.cv.notify_all();
+        }
+    }
+}
+
+/// Per-frame working-set statistics for a whole workload, memoized by the
+/// store (replaces ad-hoc `stats_run` re-renders).
+#[derive(Debug)]
+pub struct StatsBundle {
+    /// Per-frame §4 working sets, in animation order.
+    pub frames: Vec<FrameWorkingSet>,
+    /// The aggregate summary over those frames.
+    pub summary: WorkloadSummary,
+}
+
+#[derive(Default)]
+struct Counters {
+    renders: AtomicU64,
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    frames_rendered: AtomicU64,
+    fragments_rasterized: AtomicU64,
+    render_nanos: AtomicU64,
+    taps_simulated: AtomicU64,
+    sim_nanos: AtomicU64,
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
+    corrupt_files: AtomicU64,
+    stale_files: AtomicU64,
+    io_errors: AtomicU64,
+    evictions: AtomicU64,
+    spills: AtomicU64,
+}
+
+/// A point-in-time snapshot of the store's instrumentation, cheap to copy
+/// into reports ([`TraceStore::snapshot`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Animations rendered from scratch this process.
+    pub renders: u64,
+    /// Requests served from a resident [`TraceHandle::Memory`].
+    pub mem_hits: u64,
+    /// Requests served from a persisted file (loaded or streamed).
+    pub disk_hits: u64,
+    /// Frames rasterized (cold renders only).
+    pub frames_rendered: u64,
+    /// Textured fragments rasterized (cold renders only).
+    pub fragments_rasterized: u64,
+    /// Wall time spent rasterizing, in nanoseconds.
+    pub render_nanos: u64,
+    /// Texture taps replayed through cache simulations.
+    pub taps_simulated: u64,
+    /// Wall time spent simulating, in nanoseconds.
+    pub sim_nanos: u64,
+    /// Bytes persisted to trace files.
+    pub bytes_written: u64,
+    /// Bytes loaded back from trace files.
+    pub bytes_read: u64,
+    /// Files rejected by the codec (corrupt / truncated / wrong version).
+    pub corrupt_files: u64,
+    /// Files whose embedded key did not match (stale generator).
+    pub stale_files: u64,
+    /// Filesystem errors swallowed while persisting.
+    pub io_errors: u64,
+    /// Resident traces demoted to disk or dropped by the byte budget.
+    pub evictions: u64,
+    /// Renders that overflowed the budget mid-flight and kept only the
+    /// on-disk copy.
+    pub spills: u64,
+    /// Decoded bytes currently resident.
+    pub resident_bytes: u64,
+}
+
+impl StoreStats {
+    /// Fragments rasterized per second of render wall time.
+    pub fn fragments_per_sec(&self) -> f64 {
+        per_sec(self.fragments_rasterized, self.render_nanos)
+    }
+
+    /// Texture taps simulated per second of simulation wall time.
+    pub fn taps_per_sec(&self) -> f64 {
+        per_sec(self.taps_simulated, self.sim_nanos)
+    }
+}
+
+fn per_sec(count: u64, nanos: u64) -> f64 {
+    if nanos == 0 {
+        0.0
+    } else {
+        count as f64 / (nanos as f64 / 1e9)
+    }
+}
+
+struct StoreInner {
+    dir: Option<PathBuf>,
+    budget: AtomicU64,
+    clock: AtomicU64,
+    mem_bytes: AtomicU64,
+    entries: Mutex<HashMap<TraceKey, Arc<KeyCell>>>,
+    workloads: Mutex<HashMap<(WorkloadKind, WorkloadParams), Arc<Workload>>>,
+    bundles: Mutex<HashMap<(WorkloadKind, WorkloadParams), Arc<StatsBundle>>>,
+    counters: Counters,
+}
+
+/// The render-once trace store. Cheap to clone (shared internally); see
+/// the [module docs](self) for the full design.
+#[derive(Clone)]
+pub struct TraceStore {
+    inner: Arc<StoreInner>,
+}
+
+impl TraceStore {
+    fn new(dir: Option<PathBuf>) -> Self {
+        Self {
+            inner: Arc::new(StoreInner {
+                dir,
+                budget: AtomicU64::new(DEFAULT_MEM_BUDGET),
+                clock: AtomicU64::new(0),
+                mem_bytes: AtomicU64::new(0),
+                entries: Mutex::new(HashMap::new()),
+                workloads: Mutex::new(HashMap::new()),
+                bundles: Mutex::new(HashMap::new()),
+                counters: Counters::default(),
+            }),
+        }
+    }
+
+    /// A store that memoizes within this process only.
+    pub fn in_memory() -> Self {
+        Self::new(None)
+    }
+
+    /// A store that additionally persists traces under `dir` (created on
+    /// first write). Leftover temporary files from crashed writers are
+    /// swept on construction.
+    pub fn persistent(dir: impl Into<PathBuf>) -> Self {
+        let dir = dir.into();
+        sweep_stale_tmp(&dir);
+        Self::new(Some(dir))
+    }
+
+    /// Overrides the in-memory byte budget (default 4 GiB).
+    pub fn with_budget(self, bytes: u64) -> Self {
+        self.inner.budget.store(bytes, Relaxed);
+        self
+    }
+
+    /// The directory traces persist to, when persistence is enabled.
+    pub fn dir(&self) -> Option<&Path> {
+        self.inner.dir.as_deref()
+    }
+
+    /// Current instrumentation counters.
+    pub fn snapshot(&self) -> StoreStats {
+        let c = &self.inner.counters;
+        StoreStats {
+            renders: c.renders.load(Relaxed),
+            mem_hits: c.mem_hits.load(Relaxed),
+            disk_hits: c.disk_hits.load(Relaxed),
+            frames_rendered: c.frames_rendered.load(Relaxed),
+            fragments_rasterized: c.fragments_rasterized.load(Relaxed),
+            render_nanos: c.render_nanos.load(Relaxed),
+            taps_simulated: c.taps_simulated.load(Relaxed),
+            sim_nanos: c.sim_nanos.load(Relaxed),
+            bytes_written: c.bytes_written.load(Relaxed),
+            bytes_read: c.bytes_read.load(Relaxed),
+            corrupt_files: c.corrupt_files.load(Relaxed),
+            stale_files: c.stale_files.load(Relaxed),
+            io_errors: c.io_errors.load(Relaxed),
+            evictions: c.evictions.load(Relaxed),
+            spills: c.spills.load(Relaxed),
+            resident_bytes: self.inner.mem_bytes.load(Relaxed),
+        }
+    }
+
+    /// Records simulation throughput (called by the run machinery after
+    /// each replay).
+    pub fn note_sim(&self, taps: u64, nanos: u64) {
+        self.inner.counters.taps_simulated.fetch_add(taps, Relaxed);
+        self.inner.counters.sim_nanos.fetch_add(nanos, Relaxed);
+    }
+
+    /// The memoized workload for `kind` at `params`: builds the scene at
+    /// most once per process (scenes carry full texture pyramids, so
+    /// rebuilding them per experiment was measurable).
+    pub fn workload(&self, kind: WorkloadKind, params: &WorkloadParams) -> Arc<Workload> {
+        if let Some(w) = self.inner.workloads.lock().unwrap().get(&(kind, *params)) {
+            return w.clone();
+        }
+        // Build outside the lock; a concurrent duplicate build loses the
+        // race below and is dropped.
+        let built = Arc::new(kind.build(params));
+        self.inner
+            .workloads
+            .lock()
+            .unwrap()
+            .entry((kind, *params))
+            .or_insert(built)
+            .clone()
+    }
+
+    /// Memoized Village workload.
+    pub fn village(&self, params: &WorkloadParams) -> Arc<Workload> {
+        self.workload(WorkloadKind::Village, params)
+    }
+
+    /// Memoized City workload.
+    pub fn city(&self, params: &WorkloadParams) -> Arc<Workload> {
+        self.workload(WorkloadKind::City, params)
+    }
+
+    /// Memoized future-City workload.
+    pub fn future_city(&self, params: &WorkloadParams) -> Arc<Workload> {
+        self.workload(WorkloadKind::FutureCity, params)
+    }
+
+    /// The trace for `w` under the given render options: served from
+    /// memory or disk when available, rendered (exactly once, however many
+    /// threads ask) otherwise. Infallible — every failure mode degrades to
+    /// re-rendering, which is the pre-store behaviour.
+    pub fn get_or_render(&self, w: &Workload, zprepass: bool, traversal: Traversal) -> TraceHandle {
+        let key = TraceKey::of(w, zprepass, traversal);
+        let cell = {
+            let mut entries = self.inner.entries.lock().unwrap();
+            entries
+                .entry(key)
+                .or_insert_with(|| Arc::new(KeyCell::new()))
+                .clone()
+        };
+        cell.last_used
+            .store(self.inner.clock.fetch_add(1, Relaxed) + 1, Relaxed);
+        {
+            let mut st = cell.state.lock().unwrap();
+            loop {
+                match &*st {
+                    CellState::Ready(h) => {
+                        match h {
+                            TraceHandle::Memory(_) => {
+                                self.inner.counters.mem_hits.fetch_add(1, Relaxed)
+                            }
+                            TraceHandle::Disk(_) | TraceHandle::Uncached => {
+                                self.inner.counters.disk_hits.fetch_add(1, Relaxed)
+                            }
+                        };
+                        return h.clone();
+                    }
+                    CellState::Building => st = cell.cv.wait(st).unwrap(),
+                    CellState::Empty => {
+                        *st = CellState::Building;
+                        break;
+                    }
+                }
+            }
+        }
+        let mut guard = BuildGuard {
+            cell: &cell,
+            armed: true,
+        };
+        let handle = self.produce(&key, w);
+        *cell.state.lock().unwrap() = CellState::Ready(handle.clone());
+        guard.armed = false;
+        drop(guard);
+        cell.cv.notify_all();
+        if let TraceHandle::Memory(set) = &handle {
+            self.inner.mem_bytes.fetch_add(set.bytes, Relaxed);
+            self.evict_to_budget(&key);
+        }
+        handle
+    }
+
+    /// Starts rendering (or loading) a trace on a detached background
+    /// thread so it is warm by the time an experiment asks — the overlap
+    /// that keeps the rasterizer busy while replay workers drain the
+    /// previous key.
+    pub fn prefetch(&self, w: Arc<Workload>, zprepass: bool, traversal: Traversal) {
+        let store = self.clone();
+        std::thread::spawn(move || {
+            let _ = store.get_or_render(&w, zprepass, traversal);
+        });
+    }
+
+    /// The memoized §4 working-set statistics for a workload (computed
+    /// from the cached late-depth scanline trace, never a dedicated
+    /// render).
+    pub fn stats_bundle(&self, w: &Workload) -> Arc<StatsBundle> {
+        let id = (w.kind, w.params);
+        if let Some(b) = self.inner.bundles.lock().unwrap().get(&id) {
+            return b.clone();
+        }
+        let handle = self.get_or_render(w, false, Traversal::Scanline);
+        let collector = FrameStatsCollector::new(w.registry());
+        let frames = Vec::with_capacity(w.frame_count as usize);
+        let mut state = (collector, frames);
+        self.visit_or_rerender(
+            &handle,
+            w,
+            false,
+            Traversal::Scanline,
+            |t, s: &mut (FrameStatsCollector, Vec<FrameWorkingSet>)| {
+                let ws = s.0.process_frame(t);
+                s.1.push(ws);
+            },
+            |s| {
+                s.0.reset();
+                s.1.clear();
+            },
+            &mut state,
+        );
+        let frames = state.1;
+        let summary = WorkloadSummary::from_frames(&frames, w.width, w.height);
+        let bundle = Arc::new(StatsBundle { frames, summary });
+        self.inner
+            .bundles
+            .lock()
+            .unwrap()
+            .entry(id)
+            .or_insert(bundle)
+            .clone()
+    }
+
+    /// Mean per-frame depth complexity under the given prepass setting,
+    /// derived from the cached trace (accumulated in frame order, so the
+    /// result is bit-identical to the historical per-frame re-render
+    /// loop).
+    pub fn mean_depth_complexity(&self, w: &Workload, zprepass: bool) -> f64 {
+        let handle = self.get_or_render(w, zprepass, Traversal::Scanline);
+        let mut acc = (0.0f64, 0u64);
+        self.visit_or_rerender(
+            &handle,
+            w,
+            zprepass,
+            Traversal::Scanline,
+            |t, acc: &mut (f64, u64)| {
+                acc.0 += t.depth_complexity();
+                acc.1 += 1;
+            },
+            |acc| *acc = (0.0, 0),
+            &mut acc,
+        );
+        if acc.1 == 0 {
+            0.0
+        } else {
+            acc.0 / acc.1 as f64
+        }
+    }
+
+    /// Visits every frame of `handle` in order, threading `state` through
+    /// the visitor. A disk stream that turns out corrupt mid-flight calls
+    /// `reset` and re-renders from scratch, so accumulators never see a
+    /// frame twice.
+    #[allow(clippy::too_many_arguments)]
+    fn visit_or_rerender<S>(
+        &self,
+        handle: &TraceHandle,
+        w: &Workload,
+        zprepass: bool,
+        traversal: Traversal,
+        mut visit: impl FnMut(&FrameTrace, &mut S),
+        reset: impl FnOnce(&mut S),
+        state: &mut S,
+    ) {
+        match handle {
+            TraceHandle::Memory(set) => {
+                for t in &set.frames {
+                    visit(t, state);
+                }
+            }
+            TraceHandle::Disk(path) => {
+                if stream_trace_file(path, |t| visit(&t, state)).is_err() {
+                    self.inner.counters.corrupt_files.fetch_add(1, Relaxed);
+                    reset(state);
+                    w.render_animation_traversal(FilterMode::Point, zprepass, traversal, |t| {
+                        visit(&t, state)
+                    });
+                }
+            }
+            TraceHandle::Uncached => {
+                w.render_animation_traversal(FilterMode::Point, zprepass, traversal, |t| {
+                    visit(&t, state)
+                });
+            }
+        }
+    }
+
+    fn produce(&self, key: &TraceKey, w: &Workload) -> TraceHandle {
+        if let Some(h) = self.try_load(key) {
+            return h;
+        }
+        self.render(key, w)
+    }
+
+    /// Attempts to serve `key` from its persisted file. Any codec error —
+    /// corruption, truncation, a foreign format version — is counted and
+    /// answered with `None` (re-render), never a panic.
+    fn try_load(&self, key: &TraceKey) -> Option<TraceHandle> {
+        let path = self.file_path(key)?;
+        let file = File::open(&path).ok()?;
+        let file_len = file.metadata().map(|m| m.len()).unwrap_or(0);
+        let c = &self.inner.counters;
+        let mut reader = match TraceFileReader::new(BufReader::new(file)) {
+            Ok(r) => r,
+            Err(_) => {
+                c.corrupt_files.fetch_add(1, Relaxed);
+                return None;
+            }
+        };
+        if reader.key() != key_string(key) {
+            c.stale_files.fetch_add(1, Relaxed);
+            return None;
+        }
+        if file_len > self.inner.budget.load(Relaxed) {
+            // Too big to decode into memory: stream it per replay.
+            c.disk_hits.fetch_add(1, Relaxed);
+            return Some(TraceHandle::Disk(path));
+        }
+        let mut frames = Vec::with_capacity(reader.frame_count() as usize);
+        let mut bytes = 0u64;
+        for _ in 0..reader.frame_count() {
+            match reader.read_frame() {
+                Ok(t) => {
+                    bytes += frame_cost(&t);
+                    frames.push(Arc::new(t));
+                }
+                Err(_) => {
+                    c.corrupt_files.fetch_add(1, Relaxed);
+                    return None;
+                }
+            }
+        }
+        c.disk_hits.fetch_add(1, Relaxed);
+        c.bytes_read.fetch_add(file_len, Relaxed);
+        Some(TraceHandle::Memory(Arc::new(TraceSet { frames, bytes })))
+    }
+
+    /// Renders the animation once, persisting frames as they stream out
+    /// (when a directory is configured) and keeping them resident while
+    /// the budget allows. Returned request buffers are recycled into the
+    /// rasterizer whenever a frame is not being retained.
+    fn render(&self, key: &TraceKey, w: &Workload) -> TraceHandle {
+        let c = &self.inner.counters;
+        c.renders.fetch_add(1, Relaxed);
+        let start = Instant::now();
+        let budget = self.inner.budget.load(Relaxed);
+        let final_path = self.file_path(key);
+
+        let mut writer = None;
+        let mut tmp_path: Option<PathBuf> = None;
+        if let (Some(path), Some(dir)) = (&final_path, &self.inner.dir) {
+            let _ = fs::create_dir_all(dir);
+            let tmp = tmp_file_path(path);
+            match File::create(&tmp) {
+                Ok(f) => {
+                    match TraceFileWriter::new(BufWriter::new(f), &key_string(key), w.frame_count) {
+                        Ok(wr) => {
+                            writer = Some(wr);
+                            tmp_path = Some(tmp);
+                        }
+                        Err(_) => {
+                            c.io_errors.fetch_add(1, Relaxed);
+                            let _ = fs::remove_file(&tmp);
+                        }
+                    }
+                }
+                Err(_) => {
+                    c.io_errors.fetch_add(1, Relaxed);
+                }
+            }
+        }
+
+        let mut frames: Vec<Arc<FrameTrace>> = Vec::with_capacity(w.frame_count as usize);
+        let mut bytes = 0u64;
+        let mut keep_in_memory = true;
+        let mut frames_rendered = 0u64;
+        let mut fragments = 0u64;
+        w.render_animation_feed(FilterMode::Point, key.zprepass, key.traversal, |t| {
+            frames_rendered += 1;
+            fragments += t.pixels_rendered;
+            let mut write_failed = false;
+            if let Some(wr) = writer.as_mut() {
+                if wr.write_frame(&t).is_err() {
+                    write_failed = true;
+                }
+            }
+            if write_failed {
+                c.io_errors.fetch_add(1, Relaxed);
+                writer = None;
+            }
+            let cost = frame_cost(&t);
+            if keep_in_memory && bytes + cost > budget {
+                keep_in_memory = false;
+                frames.clear();
+                frames.shrink_to_fit();
+                bytes = 0;
+                if writer.is_some() {
+                    c.spills.fetch_add(1, Relaxed);
+                }
+            }
+            if keep_in_memory {
+                bytes += cost;
+                frames.push(Arc::new(t));
+                None
+            } else {
+                Some(t.requests)
+            }
+        });
+        c.frames_rendered.fetch_add(frames_rendered, Relaxed);
+        c.fragments_rasterized.fetch_add(fragments, Relaxed);
+        c.render_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Relaxed);
+
+        let mut persisted = false;
+        if let Some(wr) = writer {
+            match wr.finish() {
+                Ok(_) => {
+                    let (tmp, path) = (tmp_path.take().unwrap(), final_path.as_ref().unwrap());
+                    if fs::rename(&tmp, path).is_ok() {
+                        persisted = true;
+                        if let Ok(meta) = fs::metadata(path) {
+                            c.bytes_written.fetch_add(meta.len(), Relaxed);
+                        }
+                    } else {
+                        c.io_errors.fetch_add(1, Relaxed);
+                        let _ = fs::remove_file(&tmp);
+                    }
+                }
+                Err(_) => {
+                    c.io_errors.fetch_add(1, Relaxed);
+                }
+            }
+        }
+        if let Some(tmp) = tmp_path {
+            let _ = fs::remove_file(tmp);
+        }
+
+        if keep_in_memory {
+            TraceHandle::Memory(Arc::new(TraceSet { frames, bytes }))
+        } else if persisted {
+            TraceHandle::Disk(final_path.unwrap())
+        } else {
+            // Nowhere to put it: callers render live, as before the store.
+            TraceHandle::Uncached
+        }
+    }
+
+    /// Demotes least-recently-used resident traces until the budget holds,
+    /// sparing `keep` (the trace being returned right now). Lock order is
+    /// entries map → cell, matching every other path.
+    fn evict_to_budget(&self, keep: &TraceKey) {
+        let budget = self.inner.budget.load(Relaxed);
+        if self.inner.mem_bytes.load(Relaxed) <= budget {
+            return;
+        }
+        let mut candidates: Vec<(u64, TraceKey, Arc<KeyCell>)> = {
+            let entries = self.inner.entries.lock().unwrap();
+            entries
+                .iter()
+                .filter(|(k, _)| *k != keep)
+                .map(|(k, cell)| (cell.last_used.load(Relaxed), *k, cell.clone()))
+                .collect()
+        };
+        candidates.sort_by_key(|(stamp, _, _)| *stamp);
+        for (_, key, cell) in candidates {
+            if self.inner.mem_bytes.load(Relaxed) <= budget {
+                break;
+            }
+            let mut st = cell.state.lock().unwrap();
+            if let CellState::Ready(TraceHandle::Memory(set)) = &*st {
+                let freed = set.bytes;
+                *st = match self.file_path(&key) {
+                    Some(path) if path.exists() => CellState::Ready(TraceHandle::Disk(path)),
+                    _ => CellState::Empty,
+                };
+                drop(st);
+                self.inner.mem_bytes.fetch_sub(freed, Relaxed);
+                self.inner.counters.evictions.fetch_add(1, Relaxed);
+            }
+        }
+    }
+
+    fn file_path(&self, key: &TraceKey) -> Option<PathBuf> {
+        self.inner.dir.as_ref().map(|d| d.join(file_name(key)))
+    }
+}
+
+/// Streams every frame of a persisted trace file through `visit`.
+/// Crate-internal: the replay machinery uses this for over-budget traces.
+pub(crate) fn stream_trace_file(
+    path: &Path,
+    mut visit: impl FnMut(FrameTrace),
+) -> Result<u32, CodecError> {
+    let file = File::open(path).map_err(CodecError::Io)?;
+    let mut reader = TraceFileReader::new(BufReader::new(file))?;
+    let n = reader.frame_count();
+    for _ in 0..n {
+        visit(reader.read_frame()?);
+    }
+    Ok(n)
+}
+
+fn trav_tag(t: Traversal) -> String {
+    match t {
+        Traversal::Scanline => "scanline".to_string(),
+        Traversal::Tiled(edge) => format!("tiled{edge}"),
+    }
+}
+
+/// The canonical identity string embedded in (and verified against) every
+/// persisted trace file.
+pub(crate) fn key_string(key: &TraceKey) -> String {
+    let p = &key.params;
+    format!(
+        "mltc-trace kind={} w={} h={} frames={} ts={} seed={:#x} zprepass={} traversal={}",
+        key.kind.name(),
+        p.width,
+        p.height,
+        p.frames,
+        p.texture_scale,
+        p.seed,
+        key.zprepass,
+        trav_tag(key.traversal)
+    )
+}
+
+fn file_name(key: &TraceKey) -> String {
+    let p = &key.params;
+    format!(
+        "{}-{}x{}-f{}-ts{}-s{:x}-{}-{}.mltct",
+        key.kind.name(),
+        p.width,
+        p.height,
+        p.frames,
+        p.texture_scale,
+        p.seed,
+        if key.zprepass { "zpre" } else { "late" },
+        trav_tag(key.traversal)
+    )
+}
+
+fn tmp_file_path(final_path: &Path) -> PathBuf {
+    let mut name = final_path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(format!(".tmp.{}", std::process::id()));
+    final_path.with_file_name(name)
+}
+
+/// Deletes temporary files abandoned by a previous crashed writer.
+fn sweep_stale_tmp(dir: &Path) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        if name.to_string_lossy().contains(".mltct.tmp.") {
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_village() -> Workload {
+        Workload::village(&WorkloadParams::tiny())
+    }
+
+    fn frame_counts(h: &TraceHandle) -> usize {
+        match h {
+            TraceHandle::Memory(set) => set.frames.len(),
+            other => panic!("expected a resident handle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn second_request_is_a_memory_hit() {
+        let store = TraceStore::in_memory();
+        let w = tiny_village();
+        let a = store.get_or_render(&w, false, Traversal::Scanline);
+        let b = store.get_or_render(&w, false, Traversal::Scanline);
+        assert_eq!(frame_counts(&a), w.frame_count as usize);
+        let stats = store.snapshot();
+        assert_eq!(stats.renders, 1);
+        assert_eq!(stats.mem_hits, 1);
+        assert_eq!(stats.frames_rendered, w.frame_count as u64);
+        assert!(stats.fragments_rasterized > 0);
+        // The two handles share the same frames.
+        match (&a, &b) {
+            (TraceHandle::Memory(x), TraceHandle::Memory(y)) => {
+                assert!(Arc::ptr_eq(x, y));
+            }
+            other => panic!("expected resident handles, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn distinct_options_are_distinct_keys() {
+        let store = TraceStore::in_memory();
+        let w = tiny_village();
+        store.get_or_render(&w, false, Traversal::Scanline);
+        store.get_or_render(&w, true, Traversal::Scanline);
+        store.get_or_render(&w, false, Traversal::Tiled(8));
+        assert_eq!(store.snapshot().renders, 3);
+    }
+
+    #[test]
+    fn persisted_trace_survives_a_new_store() {
+        let dir = std::env::temp_dir().join(format!("mltc-store-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let w = tiny_village();
+        {
+            let store = TraceStore::persistent(&dir);
+            store.get_or_render(&w, false, Traversal::Scanline);
+            let s = store.snapshot();
+            assert_eq!(s.renders, 1);
+            assert!(s.bytes_written > 0, "cold run must persist");
+        }
+        let store = TraceStore::persistent(&dir);
+        let h = store.get_or_render(&w, false, Traversal::Scanline);
+        let s = store.snapshot();
+        assert_eq!(s.renders, 0, "warm run must not rasterize");
+        assert_eq!(s.disk_hits, 1);
+        assert!(s.bytes_read > 0);
+        assert_eq!(frame_counts(&h), w.frame_count as usize);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_file_is_counted_and_rerendered() {
+        let dir = std::env::temp_dir().join(format!("mltc-store-corrupt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let w = tiny_village();
+        {
+            let store = TraceStore::persistent(&dir);
+            store.get_or_render(&w, false, Traversal::Scanline);
+        }
+        // Truncate the persisted file mid-body.
+        let key = TraceKey::of(&w, false, Traversal::Scanline);
+        let path = dir.join(file_name(&key));
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+        let store = TraceStore::persistent(&dir);
+        let h = store.get_or_render(&w, false, Traversal::Scanline);
+        let s = store.snapshot();
+        assert_eq!(s.corrupt_files, 1);
+        assert_eq!(s.renders, 1, "corruption falls back to rendering");
+        assert_eq!(frame_counts(&h), w.frame_count as usize);
+        // The re-render healed the file.
+        let healed = TraceStore::persistent(&dir);
+        healed.get_or_render(&w, false, Traversal::Scanline);
+        assert_eq!(healed.snapshot().renders, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn over_budget_in_memory_store_degrades_to_uncached() {
+        let store = TraceStore::in_memory().with_budget(64);
+        let w = tiny_village();
+        let h = store.get_or_render(&w, false, Traversal::Scanline);
+        assert!(matches!(h, TraceHandle::Uncached), "got {h:?}");
+        // Sticky: asking again does not re-render eagerly.
+        let h2 = store.get_or_render(&w, false, Traversal::Scanline);
+        assert!(matches!(h2, TraceHandle::Uncached));
+        assert_eq!(store.snapshot().renders, 1);
+    }
+
+    #[test]
+    fn over_budget_persistent_store_streams_from_disk() {
+        let dir = std::env::temp_dir().join(format!("mltc-store-budget-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = TraceStore::persistent(&dir).with_budget(64);
+        let w = tiny_village();
+        let h = store.get_or_render(&w, false, Traversal::Scanline);
+        match &h {
+            TraceHandle::Disk(path) => {
+                let mut n = 0;
+                stream_trace_file(path, |_| n += 1).unwrap();
+                assert_eq!(n, w.frame_count);
+            }
+            other => panic!("expected a disk handle, got {other:?}"),
+        }
+        assert_eq!(store.snapshot().spills, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_demotes_the_least_recently_used_key() {
+        let store = TraceStore::in_memory();
+        let w = tiny_village();
+        let a = store.get_or_render(&w, false, Traversal::Scanline);
+        let a_bytes = match &a {
+            TraceHandle::Memory(set) => set.bytes,
+            other => panic!("expected resident, got {other:?}"),
+        };
+        // Shrink the budget so the *next* resident trace evicts this one.
+        let store = store.with_budget(a_bytes);
+        store.get_or_render(&w, true, Traversal::Scanline);
+        let s = store.snapshot();
+        assert!(s.evictions >= 1, "stats: {s:?}");
+        // The evicted key re-renders on demand (no file to demote to).
+        store.get_or_render(&w, false, Traversal::Scanline);
+        assert_eq!(store.snapshot().renders, 3);
+    }
+
+    #[test]
+    fn stats_bundle_is_memoized_and_matches_a_direct_run() {
+        let store = TraceStore::in_memory();
+        let w = tiny_village();
+        let a = store.stats_bundle(&w);
+        let b = store.stats_bundle(&w);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(store.snapshot().renders, 1);
+
+        let mut collector = FrameStatsCollector::new(w.registry());
+        let mut frames = Vec::new();
+        w.render_animation(FilterMode::Point, false, |t| {
+            frames.push(collector.process_frame(&t));
+        });
+        let direct = WorkloadSummary::from_frames(&frames, w.width, w.height);
+        assert_eq!(a.frames.len(), frames.len());
+        assert_eq!(
+            a.summary.depth_complexity.to_bits(),
+            direct.depth_complexity.to_bits()
+        );
+        assert_eq!(
+            a.summary.expected_working_set.to_bits(),
+            direct.expected_working_set.to_bits()
+        );
+    }
+
+    #[test]
+    fn mean_depth_complexity_matches_per_frame_rendering() {
+        let store = TraceStore::in_memory();
+        let w = tiny_village();
+        let via_store = store.mean_depth_complexity(&w, true);
+        let mut acc = 0.0;
+        let mut n = 0u32;
+        for f in 0..w.frame_count {
+            acc += w
+                .trace_frame_zprepass(f, FilterMode::Point)
+                .depth_complexity();
+            n += 1;
+        }
+        let direct = acc / n as f64;
+        assert_eq!(via_store.to_bits(), direct.to_bits());
+    }
+
+    #[test]
+    fn workloads_are_memoized() {
+        let store = TraceStore::in_memory();
+        let p = WorkloadParams::tiny();
+        let a = store.village(&p);
+        let b = store.village(&p);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = store.city(&p);
+        assert_eq!(c.kind, WorkloadKind::City);
+    }
+
+    #[test]
+    fn concurrent_requests_render_once() {
+        let store = TraceStore::in_memory();
+        let w = Arc::new(tiny_village());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let store = store.clone();
+                let w = w.clone();
+                scope.spawn(move || {
+                    store.get_or_render(&w, false, Traversal::Scanline);
+                });
+            }
+        });
+        assert_eq!(store.snapshot().renders, 1);
+    }
+
+    #[test]
+    fn key_strings_and_file_names_are_distinct_per_key() {
+        let w = tiny_village();
+        let keys = [
+            TraceKey::of(&w, false, Traversal::Scanline),
+            TraceKey::of(&w, true, Traversal::Scanline),
+            TraceKey::of(&w, false, Traversal::Tiled(8)),
+            TraceKey::of(&w, false, Traversal::Tiled(16)),
+        ];
+        let mut strings: Vec<String> = keys.iter().map(key_string).collect();
+        let mut names: Vec<String> = keys.iter().map(file_name).collect();
+        strings.sort();
+        strings.dedup();
+        names.sort();
+        names.dedup();
+        assert_eq!(strings.len(), keys.len());
+        assert_eq!(names.len(), keys.len());
+        assert!(names.iter().all(|n| n.ends_with(".mltct")));
+    }
+}

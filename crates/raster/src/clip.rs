@@ -49,13 +49,30 @@ fn plane_distance(v: &Vec4, plane: usize) -> f32 {
 /// assert_eq!(out.len(), 3);
 /// ```
 pub fn clip_triangle(a: &ClipVertex, b: &ClipVertex, c: &ClipVertex) -> Vec<ClipVertex> {
-    let mut poly: Vec<ClipVertex> = vec![*a, *b, *c];
-    let mut next: Vec<ClipVertex> = Vec::with_capacity(9);
+    let mut poly = Vec::with_capacity(9);
+    let mut scratch = Vec::with_capacity(9);
+    clip_triangle_into(a, b, c, &mut poly, &mut scratch);
+    poly
+}
+
+/// Allocation-free form of [`clip_triangle`]: the result lands in `poly`
+/// and `scratch` is working space, both cleared on entry. The rasterizer
+/// keeps a pair of these buffers alive across every triangle of a frame,
+/// which removes two heap allocations from the per-triangle hot path.
+pub fn clip_triangle_into(
+    a: &ClipVertex,
+    b: &ClipVertex,
+    c: &ClipVertex,
+    poly: &mut Vec<ClipVertex>,
+    scratch: &mut Vec<ClipVertex>,
+) {
+    poly.clear();
+    poly.extend_from_slice(&[*a, *b, *c]);
     for plane in 0..6 {
         if poly.is_empty() {
             break;
         }
-        next.clear();
+        scratch.clear();
         for i in 0..poly.len() {
             let cur = poly[i];
             let prev = poly[(i + poly.len() - 1) % poly.len()];
@@ -66,15 +83,14 @@ pub fn clip_triangle(a: &ClipVertex, b: &ClipVertex, c: &ClipVertex) -> Vec<Clip
             if cur_in != prev_in {
                 // Edge crosses the plane: emit the intersection.
                 let t = dp / (dp - dc);
-                next.push(prev.lerp(&cur, t));
+                scratch.push(prev.lerp(&cur, t));
             }
             if cur_in {
-                next.push(cur);
+                scratch.push(cur);
             }
         }
-        std::mem::swap(&mut poly, &mut next);
+        std::mem::swap(poly, scratch);
     }
-    poly
 }
 
 #[cfg(test)]

@@ -50,7 +50,7 @@ mod raster;
 mod shade;
 
 pub use camera::Camera;
-pub use clip::{clip_triangle, ClipVertex};
+pub use clip::{clip_triangle, clip_triangle_into, ClipVertex};
 pub use framebuffer::Framebuffer;
 pub use raster::{RasterMode, Rasterizer, Traversal};
 pub use shade::shade_request;

@@ -1,6 +1,6 @@
 //! Triangle setup and scanline-order rasterization.
 
-use crate::{clip_triangle, shade_request, ClipVertex, Framebuffer};
+use crate::{clip_triangle_into, shade_request, ClipVertex, Framebuffer};
 use mltc_texture::{TextureId, TextureRegistry};
 use mltc_trace::{FilterMode, FrameTrace, PixelRequest};
 
@@ -57,7 +57,7 @@ enum Pass {
 /// caching assuming that primitives are rasterized in scanline order",
 /// §2.3) but discusses Hakura's finding that rasterization by screen tiles
 /// improves texture locality; `Tiled` reproduces that ablation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Traversal {
     /// Top-to-bottom scanlines, left-to-right pixels (the paper's choice).
     #[default]
@@ -85,6 +85,12 @@ pub struct Rasterizer<'reg> {
     trace: FrameTrace,
     after_z: bool,
     traversal: Traversal,
+    /// Recycled request buffer for the next frame (see
+    /// [`Rasterizer::recycle`]).
+    spare: Option<Vec<PixelRequest>>,
+    /// Clipper output/working buffers, reused across every triangle.
+    clip_poly: Vec<ClipVertex>,
+    clip_scratch: Vec<ClipVertex>,
 }
 
 impl<'reg> Rasterizer<'reg> {
@@ -116,6 +122,9 @@ impl<'reg> Rasterizer<'reg> {
             trace: FrameTrace::new(0, width, height, filter),
             after_z: false,
             traversal: Traversal::Scanline,
+            spare: None,
+            clip_poly: Vec::with_capacity(9),
+            clip_scratch: Vec::with_capacity(9),
         }
     }
 
@@ -135,10 +144,16 @@ impl<'reg> Rasterizer<'reg> {
     }
 
     /// Starts a new frame: clears depth (and colour in shaded mode) and the
-    /// trace.
+    /// trace. The trace's request buffer keeps its capacity, so steady-state
+    /// rendering does no per-frame allocation.
     pub fn begin_frame(&mut self, frame: u32) {
         self.fb.clear(0xff00_0000, f32::INFINITY);
-        self.trace = FrameTrace::new(frame, self.width, self.height, self.filter);
+        self.trace.frame = frame;
+        self.trace.width = self.width;
+        self.trace.height = self.height;
+        self.trace.filter = self.filter;
+        self.trace.pixels_rendered = 0;
+        self.trace.requests.clear();
         self.after_z = false;
     }
 
@@ -180,13 +195,16 @@ impl<'reg> Rasterizer<'reg> {
         tid: TextureId,
         pass: Pass,
     ) {
-        let poly = clip_triangle(a, b, c);
-        if poly.len() < 3 {
-            return;
+        let mut poly = std::mem::take(&mut self.clip_poly);
+        let mut scratch = std::mem::take(&mut self.clip_scratch);
+        clip_triangle_into(a, b, c, &mut poly, &mut scratch);
+        if poly.len() >= 3 {
+            for i in 1..poly.len() - 1 {
+                self.raster_tri([&poly[0], &poly[i], &poly[i + 1]], tid, pass);
+            }
         }
-        for i in 1..poly.len() - 1 {
-            self.raster_tri([&poly[0], &poly[i], &poly[i + 1]], tid, pass);
-        }
+        self.clip_poly = poly;
+        self.clip_scratch = scratch;
     }
 
     /// Screen-space triangle setup; fragments are emitted in the
@@ -360,11 +378,30 @@ impl<'reg> Rasterizer<'reg> {
 
     /// Finishes the frame and returns its trace, leaving the rasterizer
     /// ready for [`Rasterizer::begin_frame`].
+    ///
+    /// The replacement trace adopts any buffer donated via
+    /// [`Rasterizer::recycle`], so a consumer that hands frames back keeps
+    /// the render loop allocation-free.
     pub fn finish_frame(&mut self) -> FrameTrace {
-        std::mem::replace(
-            &mut self.trace,
-            FrameTrace::new(0, self.width, self.height, self.filter),
-        )
+        let mut fresh = FrameTrace::new(0, self.width, self.height, self.filter);
+        if let Some(spare) = self.spare.take() {
+            fresh.requests = spare;
+        }
+        std::mem::replace(&mut self.trace, fresh)
+    }
+
+    /// Donates a request buffer (typically from a consumed [`FrameTrace`])
+    /// back to the rasterizer; the next [`Rasterizer::finish_frame`] reuses
+    /// its capacity instead of growing a fresh vector.
+    pub fn recycle(&mut self, mut requests: Vec<PixelRequest>) {
+        requests.clear();
+        let keep = match &self.spare {
+            Some(held) => requests.capacity() > held.capacity(),
+            None => true,
+        };
+        if keep {
+            self.spare = Some(requests);
+        }
     }
 
     /// The framebuffer (colours are only meaningful in shaded mode).

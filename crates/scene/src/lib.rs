@@ -39,4 +39,4 @@ mod workload;
 pub use mesh::Mesh;
 pub use object::{Object, Scene};
 pub use path::CameraPath;
-pub use workload::{Workload, WorkloadParams};
+pub use workload::{Workload, WorkloadKind, WorkloadParams};

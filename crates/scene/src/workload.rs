@@ -10,7 +10,7 @@ use mltc_trace::{FilterMode, FrameTrace};
 /// The spatial content and camera path are scale-independent; `frames`
 /// controls how densely the path is sampled, `texture_scale` divides
 /// texture dimensions (1 = the calibrated full-size assets).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WorkloadParams {
     /// Screen width in pixels.
     pub width: u32,
@@ -83,6 +83,40 @@ impl Default for WorkloadParams {
     }
 }
 
+/// The procedural workloads by identity, without their (heavyweight) built
+/// scenes — hashable, so a `(WorkloadKind, WorkloadParams)` pair can key
+/// memoized traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// The Village walk-through ([`Workload::village`]).
+    Village,
+    /// The City fly-through ([`Workload::city`]).
+    City,
+    /// The §6 "workload of the future" City variant
+    /// ([`Workload::future_city`]).
+    FutureCity,
+}
+
+impl WorkloadKind {
+    /// The workload's stable name (matches [`Workload::name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Village => "village",
+            WorkloadKind::City => "city",
+            WorkloadKind::FutureCity => "future-city",
+        }
+    }
+
+    /// Builds the scene + camera path for this kind.
+    pub fn build(self, params: &WorkloadParams) -> Workload {
+        match self {
+            WorkloadKind::Village => Workload::village(params),
+            WorkloadKind::City => Workload::city(params),
+            WorkloadKind::FutureCity => Workload::future_city(params),
+        }
+    }
+}
+
 /// A scene plus its scripted animation, ready to trace or render.
 ///
 /// See the [crate docs](crate) for an example.
@@ -90,6 +124,10 @@ impl Default for WorkloadParams {
 pub struct Workload {
     /// Workload name (`"village"` or `"city"`).
     pub name: &'static str,
+    /// Which procedural workload this is.
+    pub kind: WorkloadKind,
+    /// The parameters the workload was built with.
+    pub params: WorkloadParams,
     scene: Scene,
     path: CameraPath,
     /// Screen width in pixels.
@@ -111,6 +149,8 @@ impl Workload {
         };
         Self {
             name: "village",
+            kind: WorkloadKind::Village,
+            params: *params,
             scene,
             path,
             width: params.width,
@@ -129,6 +169,8 @@ impl Workload {
         };
         Self {
             name: "city",
+            kind: WorkloadKind::City,
+            params: *params,
             scene,
             path,
             width: params.width,
@@ -149,6 +191,8 @@ impl Workload {
         };
         Self {
             name: "future-city",
+            kind: WorkloadKind::FutureCity,
+            params: *params,
             scene,
             path,
             width: params.width,
@@ -229,6 +273,23 @@ impl Workload {
         traversal: Traversal,
         mut sink: impl FnMut(FrameTrace),
     ) {
+        self.render_animation_feed(filter, zprepass, traversal, |t| {
+            sink(t);
+            None
+        });
+    }
+
+    /// Like [`Workload::render_animation_traversal`], but the sink may hand
+    /// a request buffer back (e.g. after serialising the frame to disk);
+    /// the rasterizer reuses its capacity for the next frame, making a
+    /// consume-as-you-go render loop allocation-free in steady state.
+    pub fn render_animation_feed(
+        &self,
+        filter: FilterMode,
+        zprepass: bool,
+        traversal: Traversal,
+        mut sink: impl FnMut(FrameTrace) -> Option<Vec<mltc_trace::PixelRequest>>,
+    ) {
         let mut raster = Rasterizer::new(
             self.width,
             self.height,
@@ -238,7 +299,10 @@ impl Workload {
         );
         raster.set_traversal(traversal);
         for frame in 0..self.frame_count {
-            sink(self.trace_into(&mut raster, frame, zprepass));
+            let t = self.trace_into(&mut raster, frame, zprepass);
+            if let Some(buf) = sink(t) {
+                raster.recycle(buf);
+            }
         }
     }
 
@@ -365,6 +429,35 @@ mod tests {
         );
         // The screen is fully covered, so at least width*height survive.
         assert!(pre >= (w.width * w.height) as u64 * 9 / 10);
+    }
+
+    #[test]
+    fn kind_builds_the_matching_workload() {
+        let p = WorkloadParams::tiny();
+        for kind in [
+            WorkloadKind::Village,
+            WorkloadKind::City,
+            WorkloadKind::FutureCity,
+        ] {
+            let w = kind.build(&p);
+            assert_eq!(w.kind, kind);
+            assert_eq!(w.name, kind.name());
+            assert_eq!(w.params, p);
+        }
+    }
+
+    #[test]
+    fn feed_with_recycling_traces_identically() {
+        let p = WorkloadParams::tiny();
+        let w = Workload::village(&p);
+        let mut plain = Vec::new();
+        w.render_animation(FilterMode::Point, false, |t| plain.push(t));
+        let mut fed = Vec::new();
+        w.render_animation_feed(FilterMode::Point, false, Traversal::Scanline, |t| {
+            fed.push(t.clone());
+            Some(t.requests) // donate the buffer back every frame
+        });
+        assert_eq!(plain, fed, "buffer recycling must not change the trace");
     }
 
     #[test]

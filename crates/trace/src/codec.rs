@@ -1,8 +1,8 @@
 //! Compact binary trace format for record/replay.
 //!
-//! A trace file is a sequence of independently-encoded frames. Recording an
-//! animation once and replaying it through many cache configurations is the
-//! paper's methodology; the on-disk format additionally lets experiments
+//! A trace stream is a sequence of independently-encoded frames. Recording
+//! an animation once and replaying it through many cache configurations is
+//! the paper's methodology; the on-disk format additionally lets experiments
 //! skip re-rendering entirely.
 //!
 //! Layout (all integers little-endian):
@@ -12,6 +12,19 @@
 //!            filter:u8 pixels_rendered:u64 count:u32 request*count
 //! request := tid:u32 u:f32 v:f32 lod:f32
 //! ```
+//!
+//! On top of the raw frame stream sits the versioned *trace file* container
+//! used by the experiment suite's persistent trace store
+//! ([`TraceFileWriter`] / [`TraceFileReader`]):
+//!
+//! ```text
+//! file    := fmagic:u32 ("MLTS") version:u32 key_len:u16 key_bytes
+//!            frame_count:u32 (frame_len:u32 frame)*frame_count
+//! ```
+//!
+//! `key` is an opaque caller-defined identity string (the trace store encodes
+//! the workload, its parameters and the render settings there) verified on
+//! load, so a stale or mislabeled file is never silently replayed.
 
 use crate::{FilterMode, FrameTrace, PixelRequest};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -20,6 +33,18 @@ use std::fmt;
 use std::io::{Read, Write};
 
 const MAGIC: u32 = u32::from_le_bytes(*b"MLTC");
+
+/// Magic number opening a versioned trace *file* (as opposed to a bare
+/// frame stream).
+pub const FILE_MAGIC: u32 = u32::from_le_bytes(*b"MLTS");
+
+/// Current trace-file format version. Bump on any layout change; readers
+/// reject every other version with [`CodecError::BadVersion`].
+pub const FILE_VERSION: u32 = 1;
+
+/// Upper bound on one encoded frame inside a trace file, implied by
+/// [`MAX_FRAME_REQUESTS`]: header (29 bytes) plus 16 bytes per request.
+pub const MAX_FRAME_BYTES: u32 = 29 + MAX_FRAME_REQUESTS * 16;
 
 /// Upper bound on requests in one decoded frame.
 ///
@@ -48,6 +73,31 @@ pub enum CodecError {
         /// The cap that rejected it.
         max: u32,
     },
+    /// A trace file did not open with [`FILE_MAGIC`].
+    BadFileMagic(u32),
+    /// A trace file's format version is not [`FILE_VERSION`].
+    BadVersion {
+        /// The version the file claimed.
+        found: u32,
+        /// The only version this reader understands.
+        expected: u32,
+    },
+    /// A trace file's per-frame length prefix is impossible (too small for
+    /// a frame header or over [`MAX_FRAME_BYTES`]).
+    BadFrameLength {
+        /// The length the prefix claimed.
+        declared: u32,
+        /// The cap that rejected it.
+        max: u32,
+    },
+    /// A frame decoded to fewer bytes than its length prefix declared —
+    /// the prefix and payload disagree, so the file is corrupt.
+    FrameLengthMismatch {
+        /// The length the prefix claimed.
+        declared: u32,
+        /// The bytes the frame decoder actually consumed.
+        decoded: u32,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -59,6 +109,19 @@ impl fmt::Display for CodecError {
             CodecError::Truncated => f.write_str("trace stream truncated mid-frame"),
             CodecError::Oversized { count, max } => {
                 write!(f, "frame claims {count} requests, over the {max} cap")
+            }
+            CodecError::BadFileMagic(m) => write!(f, "bad trace-file magic {m:#010x}"),
+            CodecError::BadVersion { found, expected } => {
+                write!(f, "trace-file version {found}, expected {expected}")
+            }
+            CodecError::BadFrameLength { declared, max } => {
+                write!(f, "frame length prefix {declared} outside 29..={max}")
+            }
+            CodecError::FrameLengthMismatch { declared, decoded } => {
+                write!(
+                    f,
+                    "frame length prefix {declared} but frame decoded {decoded} bytes"
+                )
             }
         }
     }
@@ -281,6 +344,219 @@ impl<R: Read> TraceReader<R> {
     }
 }
 
+/// Writes a versioned trace *file*: header (magic, version, key, frame
+/// count) followed by length-prefixed frames.
+///
+/// The declared `frame_count` is part of the header, so the writer enforces
+/// it: writing more frames than declared is an error, and [`finish`]
+/// (`TraceFileWriter::finish`) fails if fewer were written. This makes a
+/// half-written file (e.g. the process died mid-render) detectable on read
+/// as [`CodecError::Truncated`] rather than silently short.
+///
+/// ```
+/// use mltc_trace::{codec::{TraceFileReader, TraceFileWriter}, FilterMode, FrameTrace};
+/// let mut buf = Vec::new();
+/// let mut w = TraceFileWriter::new(&mut buf, "village-tiny", 1)?;
+/// w.write_frame(&FrameTrace::new(0, 8, 8, FilterMode::Point))?;
+/// w.finish()?;
+/// let mut r = TraceFileReader::new(buf.as_slice())?;
+/// assert_eq!(r.key(), "village-tiny");
+/// assert_eq!(r.frame_count(), 1);
+/// assert_eq!(r.read_frame()?.frame, 0);
+/// # Ok::<(), mltc_trace::codec::CodecError>(())
+/// ```
+#[derive(Debug)]
+pub struct TraceFileWriter<W: Write> {
+    inner: W,
+    declared: u32,
+    written: u32,
+}
+
+impl<W: Write> TraceFileWriter<W> {
+    /// Writes the file header and returns a writer expecting exactly
+    /// `frame_count` frames.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; fails if `key` exceeds `u16::MAX` bytes.
+    pub fn new(mut inner: W, key: &str, frame_count: u32) -> Result<Self, CodecError> {
+        let key_len = u16::try_from(key.len()).map_err(|_| {
+            CodecError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "trace-file key over 64 KiB",
+            ))
+        })?;
+        let mut header = BytesMut::with_capacity(14 + key.len());
+        header.put_u32_le(FILE_MAGIC);
+        header.put_u32_le(FILE_VERSION);
+        header.put_slice(&key_len.to_le_bytes());
+        header.put_slice(key.as_bytes());
+        header.put_u32_le(frame_count);
+        inner.write_all(&header)?;
+        Ok(Self {
+            inner,
+            declared: frame_count,
+            written: 0,
+        })
+    }
+
+    /// Appends one length-prefixed frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; fails if the declared frame count would be
+    /// exceeded.
+    pub fn write_frame(&mut self, t: &FrameTrace) -> Result<(), CodecError> {
+        if self.written == self.declared {
+            return Err(CodecError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "more frames than the header declared",
+            )));
+        }
+        let frame = encode_frame(t);
+        self.inner.write_all(&(frame.len() as u32).to_le_bytes())?;
+        self.inner.write_all(&frame)?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Flushes and verifies that exactly the declared number of frames was
+    /// written, returning the inner writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush errors; fails if fewer frames than declared were
+    /// written.
+    pub fn finish(mut self) -> Result<W, CodecError> {
+        if self.written != self.declared {
+            return Err(CodecError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "trace file declared {} frames but {} were written",
+                    self.declared, self.written
+                ),
+            )));
+        }
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+/// Reads a versioned trace file written by [`TraceFileWriter`], validating
+/// magic, version, and every frame's length prefix.
+#[derive(Debug)]
+pub struct TraceFileReader<R: Read> {
+    inner: R,
+    key: String,
+    frame_count: u32,
+    read: u32,
+}
+
+impl<R: Read> TraceFileReader<R> {
+    /// Parses the file header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::BadFileMagic`] / [`CodecError::BadVersion`] on
+    /// a foreign or stale file, [`CodecError::Truncated`] if the header is
+    /// incomplete, and I/O errors from the reader.
+    pub fn new(mut inner: R) -> Result<Self, CodecError> {
+        let mut fixed = [0u8; 10];
+        if read_exact_or_eof(&mut inner, &mut fixed)? != fixed.len() {
+            return Err(CodecError::Truncated);
+        }
+        let mut hdr = &fixed[..];
+        let magic = hdr.get_u32_le();
+        if magic != FILE_MAGIC {
+            return Err(CodecError::BadFileMagic(magic));
+        }
+        let version = hdr.get_u32_le();
+        if version != FILE_VERSION {
+            return Err(CodecError::BadVersion {
+                found: version,
+                expected: FILE_VERSION,
+            });
+        }
+        let key_len = u16::from_le_bytes([hdr.get_u8(), hdr.get_u8()]) as usize;
+        let mut key_bytes = vec![0u8; key_len];
+        if read_exact_or_eof(&mut inner, &mut key_bytes)? != key_len {
+            return Err(CodecError::Truncated);
+        }
+        let key = String::from_utf8(key_bytes).map_err(|_| {
+            CodecError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "trace-file key is not UTF-8",
+            ))
+        })?;
+        let mut count = [0u8; 4];
+        if read_exact_or_eof(&mut inner, &mut count)? != count.len() {
+            return Err(CodecError::Truncated);
+        }
+        Ok(Self {
+            inner,
+            key,
+            frame_count: u32::from_le_bytes(count),
+            read: 0,
+        })
+    }
+
+    /// The caller-defined identity string stored in the header.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// Number of frames the header declares.
+    pub fn frame_count(&self) -> u32 {
+        self.frame_count
+    }
+
+    /// Frames read so far.
+    pub fn frames_read(&self) -> u32 {
+        self.read
+    }
+
+    /// Reads the next frame. Calling it more than [`frame_count`]
+    /// (`Self::frame_count`) times is a caller bug reported as
+    /// [`CodecError::Truncated`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::BadFrameLength`] on an impossible length
+    /// prefix, [`CodecError::FrameLengthMismatch`] when prefix and payload
+    /// disagree, [`CodecError::Truncated`] when the file ends early, plus
+    /// the frame decoder's own errors.
+    pub fn read_frame(&mut self) -> Result<FrameTrace, CodecError> {
+        if self.read == self.frame_count {
+            return Err(CodecError::Truncated);
+        }
+        let mut len = [0u8; 4];
+        if read_exact_or_eof(&mut self.inner, &mut len)? != len.len() {
+            return Err(CodecError::Truncated);
+        }
+        let declared = u32::from_le_bytes(len);
+        if !(29..=MAX_FRAME_BYTES).contains(&declared) {
+            return Err(CodecError::BadFrameLength {
+                declared,
+                max: MAX_FRAME_BYTES,
+            });
+        }
+        let mut payload = vec![0u8; declared as usize];
+        if read_exact_or_eof(&mut self.inner, &mut payload)? != payload.len() {
+            return Err(CodecError::Truncated);
+        }
+        let mut buf = payload.as_slice();
+        let frame = decode_frame(&mut buf)?;
+        if !buf.is_empty() {
+            return Err(CodecError::FrameLengthMismatch {
+                declared,
+                decoded: declared - buf.len() as u32,
+            });
+        }
+        self.read += 1;
+        Ok(frame)
+    }
+}
+
 /// Reads exactly `buf.len()` bytes, or 0 at immediate EOF; a partial read
 /// followed by EOF returns the partial count.
 fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<usize, CodecError> {
@@ -417,5 +693,147 @@ mod tests {
         assert!(CodecError::BadMagic(5).to_string().contains("magic"));
         let e = CodecError::Oversized { count: 99, max: 10 };
         assert!(e.to_string().contains("99") && e.to_string().contains("10"));
+        assert!(CodecError::BadFileMagic(1).to_string().contains("magic"));
+        let e = CodecError::BadVersion {
+            found: 3,
+            expected: 1,
+        };
+        assert!(e.to_string().contains('3') && e.to_string().contains('1'));
+        let e = CodecError::BadFrameLength {
+            declared: 7,
+            max: 9,
+        };
+        assert!(e.to_string().contains('7'));
+        let e = CodecError::FrameLengthMismatch {
+            declared: 40,
+            decoded: 30,
+        };
+        assert!(e.to_string().contains("40") && e.to_string().contains("30"));
+    }
+
+    fn sample_file(key: &str, frames: usize) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut w = TraceFileWriter::new(&mut buf, key, frames as u32).unwrap();
+        for i in 0..frames {
+            let mut t = sample_trace(5 * i);
+            t.frame = i as u32;
+            w.write_frame(&t).unwrap();
+        }
+        w.finish().unwrap();
+        buf
+    }
+
+    #[test]
+    fn trace_file_roundtrip() {
+        let file = sample_file("village-64x48-f3", 3);
+        let mut r = TraceFileReader::new(file.as_slice()).unwrap();
+        assert_eq!(r.key(), "village-64x48-f3");
+        assert_eq!(r.frame_count(), 3);
+        for i in 0..3u32 {
+            let t = r.read_frame().unwrap();
+            assert_eq!(t.frame, i);
+            assert_eq!(t.requests.len(), 5 * i as usize);
+        }
+        assert_eq!(r.frames_read(), 3);
+    }
+
+    #[test]
+    fn trace_file_wrong_magic_rejected() {
+        let mut file = sample_file("k", 1);
+        file[0] ^= 0xff;
+        assert!(matches!(
+            TraceFileReader::new(file.as_slice()),
+            Err(CodecError::BadFileMagic(_))
+        ));
+    }
+
+    #[test]
+    fn trace_file_wrong_version_rejected() {
+        let mut file = sample_file("k", 1);
+        file[4..8].copy_from_slice(&(FILE_VERSION + 1).to_le_bytes());
+        assert!(matches!(
+            TraceFileReader::new(file.as_slice()),
+            Err(CodecError::BadVersion { found, expected })
+                if found == FILE_VERSION + 1 && expected == FILE_VERSION
+        ));
+    }
+
+    #[test]
+    fn trace_file_truncation_rejected_everywhere() {
+        let file = sample_file("key", 2);
+        // Chop at every possible length; each must fail with a typed error,
+        // never a panic, and never succeed in reading both frames.
+        for cut in 0..file.len() {
+            let short = &file[..cut];
+            match TraceFileReader::new(short) {
+                Err(_) => {}
+                Ok(mut r) => {
+                    let outcome = (0..2).try_for_each(|_| r.read_frame().map(|_| ()));
+                    assert!(outcome.is_err(), "cut at {cut} read a whole file");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trace_file_bad_frame_length_rejected() {
+        let file = sample_file("k", 1);
+        // The frame length prefix sits right after the 10+3-byte header of
+        // key "k" — corrupt it to an absurd value.
+        let prefix_at = 4 + 4 + 2 + 1 + 4;
+        let mut big = file.clone();
+        big[prefix_at..prefix_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = TraceFileReader::new(big.as_slice()).unwrap();
+        assert!(matches!(
+            r.read_frame(),
+            Err(CodecError::BadFrameLength { .. })
+        ));
+        let mut small = file;
+        small[prefix_at..prefix_at + 4].copy_from_slice(&5u32.to_le_bytes());
+        let mut r = TraceFileReader::new(small.as_slice()).unwrap();
+        assert!(matches!(
+            r.read_frame(),
+            Err(CodecError::BadFrameLength { .. })
+        ));
+    }
+
+    #[test]
+    fn trace_file_length_mismatch_rejected() {
+        let t = sample_trace(2);
+        let mut buf = Vec::new();
+        let mut w = TraceFileWriter::new(&mut buf, "k", 1).unwrap();
+        w.write_frame(&t).unwrap();
+        w.finish().unwrap();
+        // Inflate the length prefix by 16 and append one spare request's
+        // worth of zero padding: the frame decodes fine but leaves bytes.
+        let prefix_at = 4 + 4 + 2 + 1 + 4;
+        let declared = u32::from_le_bytes(buf[prefix_at..prefix_at + 4].try_into().unwrap());
+        buf[prefix_at..prefix_at + 4].copy_from_slice(&(declared + 16).to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        let mut r = TraceFileReader::new(buf.as_slice()).unwrap();
+        assert!(matches!(
+            r.read_frame(),
+            Err(CodecError::FrameLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn trace_file_writer_enforces_declared_count() {
+        let mut buf = Vec::new();
+        let mut w = TraceFileWriter::new(&mut buf, "k", 1).unwrap();
+        w.write_frame(&sample_trace(0)).unwrap();
+        assert!(w.write_frame(&sample_trace(0)).is_err());
+
+        let mut buf = Vec::new();
+        let w = TraceFileWriter::new(&mut buf, "k", 2).unwrap();
+        assert!(w.finish().is_err(), "short file must not finish cleanly");
+    }
+
+    #[test]
+    fn trace_file_reading_past_end_is_an_error_not_a_panic() {
+        let file = sample_file("k", 1);
+        let mut r = TraceFileReader::new(file.as_slice()).unwrap();
+        r.read_frame().unwrap();
+        assert!(r.read_frame().is_err());
     }
 }

@@ -10,7 +10,7 @@
 //! `--l2-mb 0` means "no L2" (the pull architecture).
 
 use mltc::core::{EngineConfig, L1Config, L2Config};
-use mltc::experiments::engine_run_all;
+use mltc::experiments::{engine_run_all, TraceStore};
 use mltc::scene::{Workload, WorkloadParams};
 use mltc::texture::{TileSize, TilingConfig};
 use mltc::trace::FilterMode;
@@ -76,8 +76,8 @@ fn main() {
         }
     }
 
-    let engines =
-        engine_run_all(&w, filter, &configs, false).expect("all explorer configurations are valid");
+    let engines = engine_run_all(&TraceStore::in_memory(), &w, filter, &configs, false)
+        .expect("all explorer configurations are valid");
     println!(
         "\n{:<22} {:>9} {:>9} {:>9} {:>9} {:>10}",
         "architecture", "L1 hit%", "L2 full%", "L2 part%", "MB/frame", "MB/s@30Hz"

@@ -6,7 +6,7 @@
 //! ```
 
 use mltc::core::{EngineConfig, L1Config, L2Config};
-use mltc::experiments::{engine_run_all, stats_run};
+use mltc::experiments::{engine_run_all, stats_run, TraceStore};
 use mltc::scene::{Workload, WorkloadParams};
 use mltc::trace::FilterMode;
 
@@ -17,6 +17,7 @@ fn main() {
         WorkloadParams::quick()
     };
     let city = Workload::city(&params);
+    let store = TraceStore::in_memory();
     println!(
         "City fly-through: {}x{}, {} frames, {} textures ({} buildings with unique facades)",
         city.width,
@@ -26,7 +27,7 @@ fn main() {
         city.registry().live_count() - 3,
     );
 
-    let (_, summary) = stats_run(&city);
+    let summary = &stats_run(&store, &city).summary;
     println!(
         "\ndepth complexity d: {:.2} (paper: 1.9)",
         summary.depth_complexity
@@ -49,7 +50,7 @@ fn main() {
             ..base
         },
     ];
-    let engines = engine_run_all(&city, FilterMode::Bilinear, &configs, false)
+    let engines = engine_run_all(&store, &city, FilterMode::Bilinear, &configs, false)
         .expect("all fly-through configurations are valid");
     println!("\n-- download traffic (bilinear) --");
     for e in &engines {
@@ -72,7 +73,7 @@ fn main() {
             ..base
         })
         .collect();
-    let engines = engine_run_all(&city, FilterMode::Bilinear, &tlb_configs, false)
+    let engines = engine_run_all(&store, &city, FilterMode::Bilinear, &tlb_configs, false)
         .expect("all TLB configurations are valid");
     println!("{:<12} {:>10}", "TLB entries", "hit rate");
     for e in &engines {

@@ -6,7 +6,7 @@
 //! ```
 
 use mltc::core::{EngineConfig, L1Config, L2Config};
-use mltc::experiments::{engine_run_all, stats_run};
+use mltc::experiments::{engine_run_all, stats_run, TraceStore};
 use mltc::scene::{Workload, WorkloadParams};
 use mltc::trace::{FilterMode, TileClass};
 
@@ -17,13 +17,15 @@ fn main() {
         WorkloadParams::quick()
     };
     let village = Workload::village(&params);
+    let store = TraceStore::in_memory();
     println!(
         "Village walk-through: {}x{}, {} frames",
         village.width, village.height, village.frame_count
     );
 
     // Section 4 statistics (point-sampled).
-    let (frames, summary) = stats_run(&village);
+    let bundle = stats_run(&store, &village);
+    let (frames, summary) = (&bundle.frames, &bundle.summary);
     println!("\n-- locality and working sets (paper §4) --");
     println!(
         "depth complexity d       : {:.2}   (paper: 3.8)",
@@ -74,7 +76,7 @@ fn main() {
             ..base
         },
     ];
-    let engines = engine_run_all(&village, FilterMode::Trilinear, &configs, false)
+    let engines = engine_run_all(&store, &village, FilterMode::Trilinear, &configs, false)
         .expect("all walkthrough configurations are valid");
     println!(
         "{:<22} {:>12} {:>12}",

@@ -2,12 +2,16 @@
 //! asserting the paper's qualitative results hold on the real pipeline.
 
 use mltc::core::{EngineConfig, L1Config, L2Config};
-use mltc::experiments::{engine_run_all, stats_run};
+use mltc::experiments::{engine_run_all, stats_run, TraceStore};
 use mltc::scene::{Workload, WorkloadParams};
 use mltc::trace::{FilterMode, TileClass};
 
 fn tiny() -> WorkloadParams {
     WorkloadParams::tiny()
+}
+
+fn store() -> TraceStore {
+    TraceStore::in_memory()
 }
 
 /// Denser-sampled params so inter-frame effects are visible.
@@ -21,9 +25,10 @@ fn smooth() -> WorkloadParams {
 #[test]
 fn statistics_pipeline_produces_consistent_working_sets() {
     for w in [Workload::village(&tiny()), Workload::city(&tiny())] {
-        let (frames, summary) = stats_run(&w);
+        let bundle = stats_run(&store(), &w);
+        let (frames, summary) = (&bundle.frames, &bundle.summary);
         assert_eq!(frames.len(), w.frame_count as usize);
-        for f in &frames {
+        for f in frames {
             // Finer tilings touch at least as many blocks as coarser ones...
             assert!(f.total_blocks[TileClass::L1x4.idx()] >= f.total_blocks[TileClass::L1x8.idx()]);
             assert!(
@@ -52,7 +57,7 @@ fn l2_saves_memory_against_push_architecture() {
     // Paper finding (2): L2 caching requires significantly less memory than
     // the push architecture.
     let w = Workload::village(&tiny());
-    let (frames, _) = stats_run(&w);
+    let frames = &stats_run(&store(), &w).frames;
     let mean = |f: &dyn Fn(&mltc::trace::FrameWorkingSet) -> u64| {
         frames.iter().map(f).sum::<u64>() / frames.len() as u64
     };
@@ -80,7 +85,7 @@ fn l2_saves_bandwidth_against_pull_architecture() {
             ..EngineConfig::default()
         },
     ];
-    let engines = engine_run_all(&w, FilterMode::Trilinear, &configs, false).unwrap();
+    let engines = engine_run_all(&store(), &w, FilterMode::Trilinear, &configs, false).unwrap();
     // Skip warm-up: compare steady-state (last half of the animation).
     let half = w.frame_count as usize / 2;
     let late =
@@ -110,7 +115,7 @@ fn bigger_l1_and_bigger_l2_both_monotonically_reduce_traffic() {
             ..EngineConfig::default()
         });
     }
-    let engines = engine_run_all(&w, FilterMode::Bilinear, &configs, false).unwrap();
+    let engines = engine_run_all(&store(), &w, FilterMode::Bilinear, &configs, false).unwrap();
     let host: Vec<u64> = engines.iter().map(|e| e.totals().host_bytes).collect();
     assert!(
         host[1] <= host[0],
@@ -140,7 +145,7 @@ fn interframe_reuse_dominates_after_warmup() {
         frames: 80,
         ..WorkloadParams::tiny()
     });
-    let (frames, _) = stats_run(&w);
+    let frames = &stats_run(&store(), &w).frames;
     let steady = &frames[5..];
     let total: u64 = steady
         .iter()
@@ -158,8 +163,9 @@ fn interframe_reuse_dominates_after_warmup() {
 
 #[test]
 fn city_and_village_keep_their_calibrated_contrast() {
-    let v = stats_run(&Workload::village(&tiny())).1;
-    let c = stats_run(&Workload::city(&tiny())).1;
+    let st = store();
+    let v = stats_run(&st, &Workload::village(&tiny())).summary.clone();
+    let c = stats_run(&st, &Workload::city(&tiny())).summary.clone();
     assert!(
         v.depth_complexity > c.depth_complexity,
         "village overdraws more than city"
@@ -171,6 +177,7 @@ fn filters_order_texel_traffic() {
     // Trilinear touches more texels than bilinear, which touches more than
     // point sampling, on the same frames.
     let w = Workload::village(&tiny());
+    let st = store();
     let mut totals = Vec::new();
     for filter in [
         FilterMode::Point,
@@ -178,6 +185,7 @@ fn filters_order_texel_traffic() {
         FilterMode::Trilinear,
     ] {
         let engines = engine_run_all(
+            &st,
             &w,
             filter,
             &[EngineConfig {
@@ -204,7 +212,7 @@ fn infinite_l2_traffic_is_bounded_by_new_block_statistics() {
         frames: 12,
         ..WorkloadParams::tiny()
     });
-    let (frames, _) = stats_run(&w);
+    let frames = &stats_run(&store(), &w).frames;
     let new_bytes_total: u64 = frames.iter().map(|f| f.new_bytes(TileClass::L1x4)).sum();
 
     let huge = EngineConfig {
@@ -215,7 +223,7 @@ fn infinite_l2_traffic_is_bounded_by_new_block_statistics() {
         }),
         ..EngineConfig::default()
     };
-    let engines = engine_run_all(&w, FilterMode::Point, &[huge], false).unwrap();
+    let engines = engine_run_all(&store(), &w, FilterMode::Point, &[huge], false).unwrap();
     let host = engines[0].totals().host_bytes;
     assert!(
         host <= new_bytes_total,

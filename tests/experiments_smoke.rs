@@ -1,7 +1,7 @@
 //! Smoke-tests the experiment harness end-to-end at a tiny scale: every
 //! registered experiment must run and leave its CSV artefacts behind.
 
-use mltc::experiments::{find_experiment, Outputs, Scale, EXPERIMENTS};
+use mltc::experiments::{find_experiment, Outputs, Scale, TraceStore, EXPERIMENTS};
 use mltc::scene::WorkloadParams;
 
 fn tiny_scale() -> Scale {
@@ -21,8 +21,11 @@ fn temp_out(tag: &str) -> (Outputs, std::path::PathBuf) {
 fn every_experiment_runs_at_tiny_scale() {
     let scale = tiny_scale();
     let (out, dir) = temp_out("all");
+    // One shared in-memory store: the whole suite renders each unique
+    // animation exactly once.
+    let store = TraceStore::in_memory();
     for (id, f) in EXPERIMENTS {
-        f(&scale, &out).unwrap_or_else(|e| panic!("experiment {id} failed: {e}"));
+        f(&scale, &out, &store).unwrap_or_else(|e| panic!("experiment {id} failed: {e}"));
         // Each experiment leaves at least one CSV mentioning itself.
         let base = id.replace('-', "_");
         let found = std::fs::read_dir(&dir)
@@ -41,8 +44,9 @@ fn every_experiment_runs_at_tiny_scale() {
 fn experiment_csvs_are_parseable_tables() {
     let scale = tiny_scale();
     let (out, dir) = temp_out("csv");
+    let store = TraceStore::in_memory();
     for id in ["table1", "table2", "table4", "table7", "table8"] {
-        find_experiment(id).unwrap()(&scale, &out).unwrap();
+        find_experiment(id).unwrap()(&scale, &out, &store).unwrap();
         let csv = std::fs::read_to_string(dir.join(format!("{id}.csv"))).unwrap();
         let mut lines = csv.lines();
         let header_cols = lines.next().unwrap().split(',').count();
@@ -69,7 +73,7 @@ fn table2_hit_rates_behave_like_the_paper() {
     // by much (trilinear touches two levels).
     let scale = tiny_scale();
     let (out, dir) = temp_out("t2");
-    find_experiment("table2").unwrap()(&scale, &out).unwrap();
+    find_experiment("table2").unwrap()(&scale, &out, &TraceStore::in_memory()).unwrap();
     let csv = std::fs::read_to_string(dir.join("table2.csv")).unwrap();
     let rows: Vec<Vec<f64>> = csv
         .lines()
@@ -99,7 +103,7 @@ fn fractional_advantage_is_below_one_with_an_effective_l2() {
         },
     };
     let (out, dir) = temp_out("t7");
-    find_experiment("table7").unwrap()(&scale, &out).unwrap();
+    find_experiment("table7").unwrap()(&scale, &out, &TraceStore::in_memory()).unwrap();
     let csv = std::fs::read_to_string(dir.join("table7.csv")).unwrap();
     for line in csv.lines().skip(1) {
         let cols: Vec<&str> = line.split(',').collect();

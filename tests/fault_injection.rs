@@ -3,12 +3,16 @@
 //! all through the public API.
 
 use mltc::core::{EngineConfig, EngineError, FaultPlan, L1Config, L2Config};
-use mltc::experiments::{engine_run, engine_run_all, RunError};
+use mltc::experiments::{engine_run, engine_run_all, RunError, TraceStore};
 use mltc::scene::{Workload, WorkloadParams};
 use mltc::trace::FilterMode;
 
 fn tiny_village() -> Workload {
     Workload::village(&WorkloadParams::tiny())
+}
+
+fn store() -> TraceStore {
+    TraceStore::in_memory()
 }
 
 #[test]
@@ -37,7 +41,7 @@ fn zero_rate_plan_is_identical_to_no_plan() {
             ..base
         },
     ];
-    let engines = engine_run_all(&w, FilterMode::Trilinear, &configs, false).unwrap();
+    let engines = engine_run_all(&store(), &w, FilterMode::Trilinear, &configs, false).unwrap();
     assert_eq!(
         engines[0].frames(),
         engines[1].frames(),
@@ -63,8 +67,9 @@ fn same_seed_and_rate_reproduce_identical_counters() {
         fault: FaultPlan::with_rate(123, 50_000), // 5 % per attempt
         ..EngineConfig::default()
     };
-    let a = engine_run_all(&w, FilterMode::Trilinear, &[faulty], false).unwrap();
-    let b = engine_run_all(&w, FilterMode::Trilinear, &[faulty], false).unwrap();
+    let st = store();
+    let a = engine_run_all(&st, &w, FilterMode::Trilinear, &[faulty], false).unwrap();
+    let b = engine_run_all(&st, &w, FilterMode::Trilinear, &[faulty], false).unwrap();
     assert_eq!(
         a[0].frames(),
         b[0].frames(),
@@ -96,7 +101,7 @@ fn architectures_degrade_differently_under_the_same_faults() {
             ..EngineConfig::default()
         },
     ];
-    let engines = engine_run_all(&w, FilterMode::Trilinear, &configs, false).unwrap();
+    let engines = engine_run_all(&store(), &w, FilterMode::Trilinear, &configs, false).unwrap();
     let pull = engines[0].totals();
     let ml = engines[1].totals();
     // Pull has no fallback: every failed transfer is a dropped tap.
@@ -127,7 +132,8 @@ fn one_bad_config_does_not_poison_the_batch() {
         }, // 24 sets: not a power of two
         ..EngineConfig::default()
     };
-    let results = engine_run(&w, FilterMode::Bilinear, &[good, bad, good], false);
+    let st = store();
+    let results = engine_run(&st, &w, FilterMode::Bilinear, &[good, bad, good], false);
     assert!(results[0].is_ok() && results[2].is_ok());
     assert!(matches!(
         &results[1],
@@ -142,6 +148,6 @@ fn one_bad_config_does_not_poison_the_batch() {
         );
     }
     // The surviving runs match a clean solo run exactly.
-    let solo = engine_run_all(&w, FilterMode::Bilinear, &[good], false).unwrap();
+    let solo = engine_run_all(&st, &w, FilterMode::Bilinear, &[good], false).unwrap();
     assert_eq!(results[0].as_ref().unwrap().frames(), solo[0].frames());
 }

@@ -1,0 +1,171 @@
+//! Golden tests for the persisted trace store: a trace written to disk and
+//! reloaded by a fresh store must drive the simulator to bit-identical
+//! counters, and damaged files — truncated, corrupted, or written by a
+//! different format version — must be rejected with a re-render, never a
+//! panic.
+
+use mltc::core::{EngineConfig, FrameCounters, L1Config, L2Config};
+use mltc::experiments::{engine_run_all, TraceStore};
+use mltc::scene::{Workload, WorkloadParams};
+use mltc::trace::FilterMode;
+use std::path::{Path, PathBuf};
+
+fn tiny_village() -> Workload {
+    Workload::village(&WorkloadParams::tiny())
+}
+
+fn configs() -> Vec<EngineConfig> {
+    vec![
+        EngineConfig {
+            l1: L1Config::kb(2),
+            ..EngineConfig::default()
+        },
+        EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(2)),
+            ..EngineConfig::default()
+        },
+    ]
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mltc_golden_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs the full pipeline against a fresh store over `dir` and returns the
+/// per-configuration totals plus the store's counters.
+fn run_totals(dir: &Path, w: &Workload) -> (Vec<FrameCounters>, mltc::experiments::StoreStats) {
+    let store = TraceStore::persistent(dir);
+    let engines = engine_run_all(&store, w, FilterMode::Trilinear, &configs(), false)
+        .expect("valid configurations");
+    (
+        engines.iter().map(|e| e.totals()).collect(),
+        store.snapshot(),
+    )
+}
+
+fn trace_files(dir: &Path) -> Vec<PathBuf> {
+    std::fs::read_dir(dir)
+        .expect("trace dir exists after a cold run")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "mltct"))
+        .collect()
+}
+
+#[test]
+fn persisted_and_reloaded_trace_is_bit_identical() {
+    let dir = temp_dir("roundtrip");
+    let w = tiny_village();
+
+    let (cold, cold_stats) = run_totals(&dir, &w);
+    assert_eq!(cold_stats.renders, 1, "cold run rasterizes once");
+    assert!(!trace_files(&dir).is_empty(), "cold run persisted a file");
+
+    // A brand-new store over the same directory: zero rasterization, and
+    // every counter of every configuration matches the cold run exactly.
+    let (warm, warm_stats) = run_totals(&dir, &w);
+    assert_eq!(warm_stats.renders, 0, "warm run must not rasterize");
+    assert!(warm_stats.disk_hits >= 1);
+    assert_eq!(cold, warm, "replay from disk must be bit-identical");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_file_is_rejected_and_healed_by_a_rerender() {
+    let dir = temp_dir("truncate");
+    let w = tiny_village();
+    let (cold, _) = run_totals(&dir, &w);
+
+    for f in trace_files(&dir) {
+        let len = std::fs::metadata(&f).unwrap().len();
+        let file = std::fs::OpenOptions::new().write(true).open(&f).unwrap();
+        file.set_len(len / 2).unwrap();
+    }
+
+    let (healed, stats) = run_totals(&dir, &w);
+    assert!(stats.corrupt_files >= 1, "truncation must be detected");
+    assert_eq!(stats.renders, 1, "the damaged trace re-renders");
+    assert_eq!(cold, healed, "results survive the corruption");
+
+    // The re-render rewrote the file: a third store loads it cleanly.
+    let (reloaded, stats) = run_totals(&dir, &w);
+    assert_eq!(stats.renders, 0, "healed file loads without rasterizing");
+    assert_eq!(stats.corrupt_files, 0);
+    assert_eq!(cold, reloaded);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn garbage_bytes_are_rejected_not_a_panic() {
+    let dir = temp_dir("garbage");
+    let w = tiny_village();
+    let (cold, _) = run_totals(&dir, &w);
+
+    for f in trace_files(&dir) {
+        // Keep the length plausible but destroy the content entirely.
+        let len = std::fs::metadata(&f).unwrap().len() as usize;
+        std::fs::write(&f, vec![0xA5u8; len]).unwrap();
+    }
+
+    let (healed, stats) = run_totals(&dir, &w);
+    assert!(stats.corrupt_files >= 1);
+    assert_eq!(stats.renders, 1);
+    assert_eq!(cold, healed);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wrong_format_version_is_rejected_not_a_panic() {
+    let dir = temp_dir("version");
+    let w = tiny_village();
+    let (cold, _) = run_totals(&dir, &w);
+
+    for f in trace_files(&dir) {
+        // The container header is magic (4 bytes) then a little-endian
+        // format version; stamp a version from the future.
+        let mut bytes = std::fs::read(&f).unwrap();
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&f, bytes).unwrap();
+    }
+
+    let (healed, stats) = run_totals(&dir, &w);
+    assert!(stats.corrupt_files >= 1, "future versions must be rejected");
+    assert_eq!(stats.renders, 1);
+    assert_eq!(cold, healed);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn foreign_key_in_the_right_file_name_is_stale_not_wrong() {
+    let dir = temp_dir("stale");
+    let v = tiny_village();
+    let c = Workload::city(&WorkloadParams::tiny());
+    let (cold_v, _) = run_totals(&dir, &v);
+    {
+        let store = TraceStore::persistent(&dir);
+        engine_run_all(&store, &c, FilterMode::Trilinear, &configs(), false).unwrap();
+    }
+
+    // Swap the two files: each now holds a well-formed trace whose embedded
+    // key disagrees with the name the store will look it up under.
+    let files = trace_files(&dir);
+    assert_eq!(files.len(), 2);
+    let tmp = dir.join("swap.tmp");
+    std::fs::rename(&files[0], &tmp).unwrap();
+    std::fs::rename(&files[1], &files[0]).unwrap();
+    std::fs::rename(&tmp, &files[1]).unwrap();
+
+    let (healed, stats) = run_totals(&dir, &v);
+    assert!(stats.stale_files >= 1, "key mismatch must be detected");
+    assert_eq!(stats.renders, 1, "the mismatched trace re-renders");
+    assert_eq!(cold_v, healed, "village results are unaffected");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
