@@ -1,0 +1,87 @@
+//! The telemetry overhead contract, measured: a frame replayed through a
+//! detached engine, through one that refused a disabled recorder, and
+//! through one actively recording — plus the raw per-operation cost of
+//! disabled and enabled handles. The first two bars must be
+//! indistinguishable; that is the "single predictable branch" guarantee.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mltc_core::{EngineConfig, L1Config, L2Config, SimEngine};
+use mltc_scene::{Workload, WorkloadParams};
+use mltc_telemetry::Recorder;
+use mltc_trace::FilterMode;
+
+fn cfg() -> EngineConfig {
+    EngineConfig {
+        l1: L1Config::kb(2),
+        l2: Some(L2Config::mb(2)),
+        ..EngineConfig::default()
+    }
+}
+
+fn bench_engine_overhead(c: &mut Criterion) {
+    let w = Workload::village(&WorkloadParams::tiny());
+    let trace = w.trace_frame(7, FilterMode::Bilinear);
+    let taps: u64 = trace.requests.len() as u64 * 4;
+
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.throughput(Throughput::Elements(taps));
+    g.bench_function("frame_detached", |b| {
+        let mut engine = SimEngine::new(cfg(), w.scene().registry());
+        b.iter(|| {
+            engine.run_frame(black_box(&trace));
+        })
+    });
+    g.bench_function("frame_disabled_recorder", |b| {
+        let mut engine = SimEngine::new(cfg(), w.scene().registry());
+        engine.attach_telemetry(&Recorder::disabled(), "bench", "village");
+        b.iter(|| {
+            engine.run_frame(black_box(&trace));
+        })
+    });
+    g.bench_function("frame_recording", |b| {
+        let rec = Recorder::enabled();
+        let mut engine = SimEngine::new(cfg(), w.scene().registry());
+        engine.attach_telemetry(&rec, "bench", "village");
+        b.iter(|| {
+            engine.run_frame(black_box(&trace));
+        })
+    });
+    g.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_primitives");
+    g.throughput(Throughput::Elements(1));
+
+    let off = Recorder::disabled();
+    let on = Recorder::enabled();
+    let c_off = off.counter("bench/counter");
+    let c_on = on.counter("bench/counter");
+    let h_off = off.histogram("bench/hist");
+    let h_on = on.histogram("bench/hist");
+
+    g.bench_function("counter_incr_disabled", |b| b.iter(|| c_off.incr()));
+    g.bench_function("counter_incr_enabled", |b| b.iter(|| c_on.incr()));
+    g.bench_function("hist_record_disabled", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(2654435761);
+            h_off.record(black_box(v));
+        })
+    });
+    g.bench_function("hist_record_enabled", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(2654435761);
+            h_on.record(black_box(v));
+        })
+    });
+    g.bench_function("span_disabled", |b| {
+        b.iter(|| black_box(off.span("bench/span")))
+    });
+    g.bench_function("span_enabled", |b| b.iter(|| black_box(on.span("bench/span"))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_overhead, bench_primitives);
+criterion_main!(benches);

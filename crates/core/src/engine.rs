@@ -1,10 +1,12 @@
 //! The transaction-accurate multi-level cache simulator (paper §3.3, §5.3).
 
+use crate::telemetry::EngineTelemetry;
 use crate::{
     EngineError, FaultPlan, HostLink, L1Config, L1TextureCache, L2Cache, L2Config, L2Outcome,
     Transfer,
 };
 use mltc_cache::RoundRobinTlb;
+use mltc_telemetry::Recorder;
 use mltc_texture::{PageTableLayout, TextureId, TextureRegistry, TilingConfig};
 use mltc_trace::{filter_taps, FilterMode, FrameTrace};
 
@@ -176,6 +178,9 @@ pub struct SimEngine {
     host: HostLink,
     current: FrameCounters,
     frames: Vec<FrameCounters>,
+    /// Telemetry handles; `None` (detached) keeps every dynamic path
+    /// through [`access_texel`](Self::access_texel) at one extra branch.
+    tel: Option<Box<EngineTelemetry>>,
 }
 
 impl SimEngine {
@@ -248,12 +253,30 @@ impl SimEngine {
             host: HostLink::new(cfg.fault),
             current: FrameCounters::default(),
             frames: Vec::new(),
+            tel: None,
         })
     }
 
     /// The configuration.
     pub fn config(&self) -> EngineConfig {
         self.cfg
+    }
+
+    /// Attaches telemetry handles registered on `recorder`: outcome
+    /// counters and histograms under `group` (one namespace per workload,
+    /// merged across configurations) and a per-frame time series under
+    /// `label` (unique per run). A disabled recorder detaches — the engine
+    /// then pays a single not-taken branch per texel, and counters are
+    /// bit-identical either way because telemetry only observes.
+    pub fn attach_telemetry(&mut self, recorder: &Recorder, label: &str, group: &str) {
+        self.tel = recorder
+            .is_enabled()
+            .then(|| Box::new(EngineTelemetry::new(recorder, label, group)));
+    }
+
+    /// Whether telemetry is currently attached (i.e. recording).
+    pub fn telemetry_attached(&self) -> bool {
+        self.tel.is_some()
     }
 
     /// Simulates one texel read: `(u, v)` are in-bounds texel coordinates of
@@ -275,6 +298,9 @@ impl SimEngine {
         self.current.l1_accesses += 1;
         if self.l1.access(tid, m, u, v) {
             self.current.l1_hits += 1;
+            if let Some(tel) = &mut self.tel {
+                tel.l1_hits.incr();
+            }
             return;
         }
 
@@ -286,6 +312,12 @@ impl SimEngine {
                     Transfer::Delivered { retries } => {
                         self.current.retries += retries as u64;
                         self.current.host_bytes += l1_bytes;
+                        if let Some(tel) = &mut self.tel {
+                            tel.l1_misses.incr();
+                            tel.host_delivered.incr();
+                            tel.host_retries.add(retries as u64);
+                            tel.transfer_bytes.record(l1_bytes);
+                        }
                     }
                     Transfer::Failed { retries } => {
                         // No fallback storage exists without an L2: undo the
@@ -294,6 +326,12 @@ impl SimEngine {
                         self.current.failed_transfers += 1;
                         self.l1.invalidate(tid, m, u, v);
                         self.current.dropped_taps += 1;
+                        if let Some(tel) = &mut self.tel {
+                            tel.l1_misses.incr();
+                            tel.host_failed.incr();
+                            tel.host_retries.add(retries as u64);
+                            tel.dropped_taps.incr();
+                        }
                     }
                 }
             }
@@ -303,18 +341,26 @@ impl SimEngine {
                     .translate(tid, u, v, m)
                     .expect("texel access to texture unknown to the engine");
                 let pt_index = self.layout.page_table_index(&addr);
+                let mut tlb_hit = None;
                 if let Some(tlb) = &mut self.tlb {
                     self.current.tlb_accesses += 1;
-                    if tlb.access(pt_index as u64) {
+                    let hit = tlb.access(pt_index as u64);
+                    if hit {
                         self.current.tlb_hits += 1;
                     }
+                    tlb_hit = Some(hit);
                 }
                 let l2_block_bytes = self.cfg.tiling.l2().cache_bytes() as u64;
-                let dl = match l2.access(pt_index, addr.l1) {
+                let outcome = l2.access(pt_index, addr.l1);
+                let dl = match outcome {
                     L2Outcome::FullHit => {
                         // Served from local memory; no host transfer at all.
                         self.current.l2_full_hits += 1;
                         self.current.l2_local_bytes += l1_bytes;
+                        if let Some(tel) = &mut self.tel {
+                            tel.on_l2_access(pt_index as u64, tlb_hit);
+                            tel.l2_full_hits.incr();
+                        }
                         return;
                     }
                     L2Outcome::PartialHit => {
@@ -336,6 +382,20 @@ impl SimEngine {
                         // Downloaded into L2 and L1 in parallel (step F).
                         self.current.host_bytes += dl;
                         self.current.l2_local_bytes += dl;
+                        if let Some(tel) = &mut self.tel {
+                            tel.on_l2_access(pt_index as u64, tlb_hit);
+                            match outcome {
+                                L2Outcome::PartialHit => tel.l2_partial_hits.incr(),
+                                L2Outcome::FullMiss => {
+                                    tel.l2_full_misses.incr();
+                                    tel.on_full_miss_sweep(l2.clock_stats());
+                                }
+                                L2Outcome::FullHit => unreachable!("full hits return above"),
+                            }
+                            tel.host_delivered.incr();
+                            tel.host_retries.add(retries as u64);
+                            tel.transfer_bytes.record(dl);
+                        }
                     }
                     Transfer::Failed { retries } => {
                         self.current.retries += retries as u64;
@@ -369,6 +429,24 @@ impl SimEngine {
                             self.current.l2_local_bytes += l1_bytes;
                         } else {
                             self.current.dropped_taps += 1;
+                        }
+                        if let Some(tel) = &mut self.tel {
+                            tel.on_l2_access(pt_index as u64, tlb_hit);
+                            match outcome {
+                                L2Outcome::PartialHit => tel.l2_partial_hits.incr(),
+                                L2Outcome::FullMiss => {
+                                    tel.l2_full_misses.incr();
+                                    tel.on_full_miss_sweep(l2.clock_stats());
+                                }
+                                L2Outcome::FullHit => unreachable!("full hits return above"),
+                            }
+                            tel.host_failed.incr();
+                            tel.host_retries.add(retries as u64);
+                            if served {
+                                tel.degraded_taps.incr();
+                            } else {
+                                tel.dropped_taps.incr();
+                            }
                         }
                     }
                 }
@@ -464,6 +542,10 @@ impl SimEngine {
 
     /// Closes the current frame: pushes its counters and starts a new one.
     pub fn end_frame(&mut self) {
+        if let Some(tel) = &mut self.tel {
+            let clock = self.l2.as_ref().map(|l2| l2.clock_stats());
+            tel.on_frame_end(self.frames.len() as u64, &self.current, clock);
+        }
         self.frames.push(self.current);
         self.current = FrameCounters::default();
     }
@@ -928,6 +1010,160 @@ mod tests {
         assert!(t.host_bytes > 0);
         assert_eq!(t.degraded_taps + t.dropped_taps, t.failed_transfers);
         assert_eq!(t.retries, 0, "a single attempt never retries");
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let samples = [
+            FrameCounters {
+                l1_accesses: 7,
+                l1_hits: 3,
+                l2_full_hits: 2,
+                l2_partial_hits: 1,
+                l2_full_misses: 1,
+                host_bytes: 640,
+                l2_local_bytes: 192,
+                tlb_accesses: 4,
+                tlb_hits: 2,
+                retries: 1,
+                failed_transfers: 1,
+                degraded_taps: 1,
+                dropped_taps: 0,
+            },
+            FrameCounters {
+                l1_accesses: 100,
+                l1_hits: 90,
+                dropped_taps: 5,
+                ..FrameCounters::default()
+            },
+            FrameCounters {
+                l2_full_misses: 13,
+                host_bytes: 13 * 1024,
+                retries: 26,
+                ..FrameCounters::default()
+            },
+        ];
+        let [a, b, c] = samples;
+        // (a ⊕ b) ⊕ c
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        assert_eq!(left, right);
+        // Identity element.
+        let mut with_id = left;
+        with_id.merge(&FrameCounters::default());
+        assert_eq!(with_id, left);
+    }
+
+    #[test]
+    fn counters_bit_identical_with_telemetry_on_or_off() {
+        use mltc_telemetry::Recorder;
+        let reg = registry(2, 128);
+        let cfg = EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(2)),
+            tlb_entries: 4,
+            fault: FaultPlan::with_rate(7, 200_000), // some failures too
+            ..EngineConfig::default()
+        };
+        let mut plain = SimEngine::new(cfg, &reg);
+        let mut recorded = SimEngine::new(cfg, &reg);
+        let rec = Recorder::enabled();
+        recorded.attach_telemetry(&rec, "run0", "test");
+        assert!(recorded.telemetry_attached());
+        let mut detached = SimEngine::new(cfg, &reg);
+        detached.attach_telemetry(&Recorder::disabled(), "run0", "test");
+        assert!(!detached.telemetry_attached(), "disabled recorder detaches");
+
+        for e in [&mut plain, &mut recorded, &mut detached] {
+            sweep(e, TextureId::from_index(0), 128);
+            sweep(e, TextureId::from_index(1), 128);
+            sweep(e, TextureId::from_index(0), 128);
+        }
+        assert_eq!(plain.frames(), recorded.frames());
+        assert_eq!(plain.frames(), detached.frames());
+
+        // And the telemetry view reconciles with the engine's own counters.
+        let t = recorded.totals();
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["engine/test/l1_hits"], t.l1_hits);
+        assert_eq!(
+            snap.counters["engine/test/l1_misses"],
+            t.l1_accesses - t.l1_hits
+        );
+        assert_eq!(snap.counters["engine/test/l2_full_hits"], t.l2_full_hits);
+        assert_eq!(
+            snap.counters["engine/test/l2_full_misses"],
+            t.l2_full_misses
+        );
+        assert_eq!(snap.counters["engine/test/tlb_hits"], t.tlb_hits);
+        assert_eq!(
+            snap.counters["engine/test/tlb_misses"],
+            t.tlb_accesses - t.tlb_hits
+        );
+        assert_eq!(snap.counters["engine/test/host_retries"], t.retries);
+        assert_eq!(snap.counters["engine/test/host_failed"], t.failed_transfers);
+        assert_eq!(
+            snap.counters["engine/test/degraded_taps"] + snap.counters["engine/test/dropped_taps"],
+            t.degraded_taps + t.dropped_taps
+        );
+        // Every L2 access recorded a reuse observation (cold or distance).
+        let reuse = &snap.hists["l2_reuse_pages/test"];
+        assert_eq!(
+            reuse.count + snap.counters["engine/test/l2_reuse_cold"],
+            t.l2_accesses()
+        );
+        // Full misses each contributed one sweep-length sample.
+        assert_eq!(snap.hists["clock_sweep_len/test"].count, t.l2_full_misses);
+        assert_eq!(
+            snap.hists["host_transfer_bytes/test"].count,
+            snap.counters["engine/test/host_delivered"]
+        );
+    }
+
+    #[test]
+    fn frame_series_rows_match_frame_counters() {
+        use mltc_telemetry::Recorder;
+        let reg = registry(1, 128);
+        let cfg = EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(2)),
+            tlb_entries: 4,
+            ..EngineConfig::default()
+        };
+        let rec = Recorder::enabled();
+        let mut e = SimEngine::new(cfg, &reg);
+        e.attach_telemetry(&rec, "series-run", "test");
+        sweep(&mut e, TextureId::from_index(0), 128);
+        sweep(&mut e, TextureId::from_index(0), 128);
+        let snap = rec.snapshot();
+        let series = snap
+            .series
+            .iter()
+            .find(|s| s.label == "series-run")
+            .expect("series registered");
+        assert_eq!(series.columns, crate::FRAME_SERIES_COLUMNS);
+        assert_eq!(series.rows.len(), e.frames().len());
+        for (i, (row, f)) in series.rows.iter().zip(e.frames()).enumerate() {
+            assert_eq!(row[0], i as u64);
+            assert_eq!(row[1], f.l1_accesses);
+            assert_eq!(row[2], f.l1_hits);
+            assert_eq!(row[3], f.l2_full_hits);
+            assert_eq!(row[5], f.l2_full_misses);
+            assert_eq!(row[6], f.host_bytes);
+            assert_eq!(row[8], f.tlb_accesses);
+        }
+        // Per-frame sweep deltas sum to the cumulative clock stats.
+        let cs = e.l2().unwrap().clock_stats();
+        let sum_searches: u64 = series.rows.iter().map(|r| r[14]).sum();
+        let sum_entries: u64 = series.rows.iter().map(|r| r[15]).sum();
+        assert_eq!(sum_searches, cs.searches);
+        assert_eq!(sum_entries, cs.entries_examined);
     }
 
     #[test]

@@ -60,6 +60,7 @@ mod l1;
 mod l2;
 pub mod model;
 mod push;
+mod telemetry;
 
 pub use engine::{EngineConfig, FrameCounters, SimEngine};
 pub use error::EngineError;
@@ -67,3 +68,4 @@ pub use host_link::{FaultPlan, HostLink, TextureBlackout, Transfer};
 pub use l1::{L1Config, L1TextureCache, StorageFormat};
 pub use l2::{L2Cache, L2Config, L2Outcome, L2Stats, ReplacementPolicy};
 pub use push::PushArchitecture;
+pub use telemetry::{EngineTelemetry, FRAME_SERIES_COLUMNS};

@@ -1,0 +1,160 @@
+//! Engine-side telemetry: the handles [`SimEngine`](crate::SimEngine)
+//! records into when a [`Recorder`] is attached.
+//!
+//! The overhead contract (see `mltc-telemetry`): the engine stores
+//! `Option<Box<EngineTelemetry>>`, so with telemetry detached every dynamic
+//! path through `access_texel` pays exactly one not-taken branch, and
+//! attached or not, telemetry only *observes* — `FrameCounters`, cache and
+//! RNG state are bit-identical either way.
+//!
+//! Naming: histograms are keyed per workload *group* (so the parallel
+//! configs replaying one workload merge into one distribution, and the
+//! L2 reuse-distance histogram is "exported per workload"), while the
+//! per-frame series is keyed per *run label* so rows from different
+//! configurations never interleave.
+
+use mltc_cache::ClockStats;
+use mltc_telemetry::{Counter, Histogram, Recorder, ReuseDistance, Series};
+
+use crate::FrameCounters;
+
+/// Column names of the per-frame engine series, in row order.
+pub const FRAME_SERIES_COLUMNS: [&str; 16] = [
+    "frame",
+    "l1_accesses",
+    "l1_hits",
+    "l2_full_hits",
+    "l2_partial_hits",
+    "l2_full_misses",
+    "host_bytes",
+    "l2_local_bytes",
+    "tlb_accesses",
+    "tlb_hits",
+    "retries",
+    "failed_transfers",
+    "degraded_taps",
+    "dropped_taps",
+    "sweep_searches",
+    "sweep_entries",
+];
+
+/// All recording handles an instrumented engine holds, plus the small
+/// amount of state needed to turn cumulative clock statistics into
+/// per-miss and per-frame deltas.
+#[derive(Debug)]
+pub struct EngineTelemetry {
+    pub(crate) l1_hits: Counter,
+    pub(crate) l1_misses: Counter,
+    pub(crate) l2_full_hits: Counter,
+    pub(crate) l2_partial_hits: Counter,
+    pub(crate) l2_full_misses: Counter,
+    pub(crate) tlb_hits: Counter,
+    pub(crate) tlb_misses: Counter,
+    pub(crate) host_delivered: Counter,
+    pub(crate) host_failed: Counter,
+    pub(crate) host_retries: Counter,
+    pub(crate) degraded_taps: Counter,
+    pub(crate) dropped_taps: Counter,
+    /// Host transfer sizes in bytes (per delivered transfer).
+    pub(crate) transfer_bytes: Histogram,
+    /// Clock sweep length (entries examined) per L2 full miss.
+    pub(crate) sweep_len: Histogram,
+    /// L2 reuse distance at page granularity (distinct pages between
+    /// consecutive references to the same page).
+    pub(crate) reuse_hist: Histogram,
+    pub(crate) reuse_cold: Counter,
+    reuse: ReuseDistance,
+    frame_series: Series,
+    /// Cumulative `entries_examined` at the last observed full miss.
+    miss_base_entries: u64,
+    /// Cumulative clock stats at the last frame close.
+    frame_base: ClockStats,
+}
+
+impl EngineTelemetry {
+    /// Registers every handle on `recorder`. `label` keys the per-frame
+    /// series (one per run); `group` keys counters and histograms (shared
+    /// by all runs of one workload).
+    pub(crate) fn new(recorder: &Recorder, label: &str, group: &str) -> Self {
+        let c = |name: &str| recorder.counter(&format!("engine/{group}/{name}"));
+        Self {
+            l1_hits: c("l1_hits"),
+            l1_misses: c("l1_misses"),
+            l2_full_hits: c("l2_full_hits"),
+            l2_partial_hits: c("l2_partial_hits"),
+            l2_full_misses: c("l2_full_misses"),
+            tlb_hits: c("tlb_hits"),
+            tlb_misses: c("tlb_misses"),
+            host_delivered: c("host_delivered"),
+            host_failed: c("host_failed"),
+            host_retries: c("host_retries"),
+            degraded_taps: c("degraded_taps"),
+            dropped_taps: c("dropped_taps"),
+            transfer_bytes: recorder.histogram(&format!("host_transfer_bytes/{group}")),
+            sweep_len: recorder.histogram(&format!("clock_sweep_len/{group}")),
+            reuse_hist: recorder.histogram(&format!("l2_reuse_pages/{group}")),
+            reuse_cold: c("l2_reuse_cold"),
+            reuse: ReuseDistance::new(),
+            frame_series: recorder.series(label, &FRAME_SERIES_COLUMNS),
+            miss_base_entries: 0,
+            frame_base: ClockStats::default(),
+        }
+    }
+
+    /// Common bookkeeping for every L2 access (one per L1 miss): the L1
+    /// miss itself, the TLB outcome when a TLB is modelled, and the page
+    /// reuse distance.
+    #[inline]
+    pub(crate) fn on_l2_access(&mut self, pt_index: u64, tlb_hit: Option<bool>) {
+        self.l1_misses.incr();
+        match tlb_hit {
+            Some(true) => self.tlb_hits.incr(),
+            Some(false) => self.tlb_misses.incr(),
+            None => {}
+        }
+        match self.reuse.record(pt_index) {
+            Some(d) => self.reuse_hist.record(d),
+            None => self.reuse_cold.incr(),
+        }
+    }
+
+    /// Records the sweep a full miss just ran: the delta of cumulative
+    /// `entries_examined` since the previous full miss (sweeps only happen
+    /// on full misses, so the delta is exactly this miss's search).
+    #[inline]
+    pub(crate) fn on_full_miss_sweep(&mut self, clock: ClockStats) {
+        let delta = clock.entries_examined - self.miss_base_entries;
+        self.miss_base_entries = clock.entries_examined;
+        self.sweep_len.record(delta);
+    }
+
+    /// Pushes the closing frame's row onto the per-frame series.
+    pub(crate) fn on_frame_end(
+        &mut self,
+        frame: u64,
+        counters: &FrameCounters,
+        clock: Option<ClockStats>,
+    ) {
+        let clock = clock.unwrap_or_default();
+        let row = [
+            frame,
+            counters.l1_accesses,
+            counters.l1_hits,
+            counters.l2_full_hits,
+            counters.l2_partial_hits,
+            counters.l2_full_misses,
+            counters.host_bytes,
+            counters.l2_local_bytes,
+            counters.tlb_accesses,
+            counters.tlb_hits,
+            counters.retries,
+            counters.failed_transfers,
+            counters.degraded_taps,
+            counters.dropped_taps,
+            clock.searches - self.frame_base.searches,
+            clock.entries_examined - self.frame_base.entries_examined,
+        ];
+        self.frame_base = clock;
+        self.frame_series.push_row(&row);
+    }
+}

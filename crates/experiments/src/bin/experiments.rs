@@ -16,16 +16,23 @@
 
 use mltc_experiments::{find_experiment, Outputs, Scale, TraceStore, EXPERIMENTS};
 use mltc_raster::Traversal;
-use std::path::Path;
+use mltc_telemetry::{export, Recorder};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments <id>... [--tiny|--quick|--default|--full] [--out <dir>] \
-         [--no-store] [--expect-warm]\n\
+         [--no-store] [--expect-warm] [--telemetry <dir>] [--trace-events <file>] \
+         [--heartbeat <secs>]\n\
          \n\
-         --no-store     do not persist traces under <out>/traces/\n\
-         --expect-warm  fail if anything had to be rasterized (CI warm-run check)\n\
+         --no-store           do not persist traces under <out>/traces/\n\
+         --expect-warm        fail if anything had to be rasterized (CI warm-run check)\n\
+         --telemetry <dir>    record spans/counters/histograms; export JSONL, CSV and\n\
+         \x20                    summary JSON into <dir>\n\
+         --trace-events <f>   write a chrome://tracing (Perfetto) trace-event file\n\
+         --heartbeat <secs>   print store throughput every <secs> seconds\n\
          \n\
          ids: all, list, {}",
         EXPERIMENTS
@@ -47,6 +54,9 @@ fn main() -> ExitCode {
     let mut out_dir = "results".to_string();
     let mut persist = true;
     let mut expect_warm = false;
+    let mut telemetry_dir: Option<PathBuf> = None;
+    let mut trace_events: Option<PathBuf> = None;
+    let mut heartbeat_secs: u64 = 0;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -60,6 +70,18 @@ fn main() -> ExitCode {
             },
             "--no-store" => persist = false,
             "--expect-warm" => expect_warm = true,
+            "--telemetry" => match it.next() {
+                Some(d) => telemetry_dir = Some(PathBuf::from(d)),
+                None => return usage(),
+            },
+            "--trace-events" => match it.next() {
+                Some(f) => trace_events = Some(PathBuf::from(f)),
+                None => return usage(),
+            },
+            "--heartbeat" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(secs) => heartbeat_secs = secs,
+                None => return usage(),
+            },
             "list" => {
                 for (n, _) in EXPERIMENTS {
                     println!("{n}");
@@ -75,15 +97,26 @@ fn main() -> ExitCode {
     }
 
     let outputs = Outputs::new(&out_dir);
+    // One recorder for the whole suite: the store hands it to every run, so
+    // engine counters, store spans and per-frame series all land in one
+    // snapshot. Left disabled (a single not-taken branch per texel) unless
+    // an export destination was asked for.
+    let recorder = if telemetry_dir.is_some() || trace_events.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
     let store = if persist {
         TraceStore::persistent(Path::new(&out_dir).join("traces"))
     } else {
         TraceStore::in_memory()
-    };
+    }
+    .with_recorder(recorder.clone());
     println!(
         "# mltc experiments — scale: {} ({}x{})",
         scale.name, scale.params.width, scale.params.height
     );
+    let heartbeat = Heartbeat::start(&store, heartbeat_secs);
 
     let run_list: Vec<&str> = if ids.iter().any(|i| i == "all") {
         EXPERIMENTS
@@ -149,15 +182,17 @@ fn main() -> ExitCode {
     }
 
     let wall = suite_start.elapsed().as_secs_f64();
+    heartbeat.stop();
     let stats = store.snapshot();
     println!(
         "\n### trace store: {} renders ({} frames, {:.1} Mfrag/s), {} memory hits, \
-         {} disk hits, {:.1} Mtaps/s simulated",
+         {} disk hits, {} healed, {:.1} Mtaps/s simulated",
         stats.renders,
         stats.frames_rendered,
         stats.fragments_per_sec() / 1e6,
         stats.mem_hits,
         stats.disk_hits,
+        stats.healed_files,
         stats.taps_per_sec() / 1e6,
     );
     if stats.bytes_written + stats.bytes_read > 0 {
@@ -169,8 +204,43 @@ fn main() -> ExitCode {
             stats.stale_files,
         );
     }
+
+    // Telemetry exports: one snapshot feeds every destination, so the
+    // JSONL rows, the summary JSON and the bench record always agree.
+    let telemetry_json = recorder.is_enabled().then(|| {
+        let snap = recorder.snapshot();
+        if let Some(dir) = &telemetry_dir {
+            match export::export_dir(&snap, dir) {
+                Ok(()) => println!("### telemetry: {}", dir.display()),
+                Err(e) => eprintln!("could not export telemetry to {}: {e}", dir.display()),
+            }
+        }
+        if let Some(file) = &trace_events {
+            let written = std::fs::File::create(file).and_then(|f| {
+                let mut w = std::io::BufWriter::new(f);
+                export::write_chrome_trace(&snap, &mut w)
+            });
+            match written {
+                Ok(()) => println!(
+                    "### trace events: {} ({} spans, {} dropped) — load in chrome://tracing",
+                    file.display(),
+                    snap.spans.len(),
+                    snap.dropped_spans
+                ),
+                Err(e) => eprintln!("could not write {}: {e}", file.display()),
+            }
+        }
+        export::summaries_json(&snap)
+    });
     let bench = Path::new(&out_dir).join("BENCH_experiments.json");
-    if let Err(e) = append_bench_run(&bench, &scale, wall, &timings, &stats) {
+    if let Err(e) = append_bench_run(
+        &bench,
+        &scale,
+        wall,
+        &timings,
+        &stats,
+        telemetry_json.as_deref(),
+    ) {
         eprintln!("could not write {}: {e}", bench.display());
     } else {
         println!("### bench report: {}", bench.display());
@@ -191,6 +261,60 @@ fn main() -> ExitCode {
             eprintln!("  {id}: {why}");
         }
         ExitCode::FAILURE
+    }
+}
+
+/// A periodic progress printer: every `secs` seconds a background thread
+/// snapshots the trace store and reports cumulative throughput, so long
+/// `--full` runs show signs of life. Disabled (no thread) when `secs` is 0.
+struct Heartbeat {
+    stop_tx: Option<std::sync::mpsc::Sender<()>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    fn start(store: &TraceStore, secs: u64) -> Self {
+        if secs == 0 {
+            return Heartbeat {
+                stop_tx: None,
+                handle: None,
+            };
+        }
+        let (stop_tx, stop_rx) = std::sync::mpsc::channel::<()>();
+        let store = store.clone();
+        let start = std::time::Instant::now();
+        let handle = std::thread::spawn(move || loop {
+            match stop_rx.recv_timeout(Duration::from_secs(secs)) {
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                    let s = store.snapshot();
+                    eprintln!(
+                        "### heartbeat {:>6.0}s: {} renders, {} frames, {:.1} Mfrag/s, \
+                         {} mem hits, {} disk hits, {:.1} Mtaps/s",
+                        start.elapsed().as_secs_f64(),
+                        s.renders,
+                        s.frames_rendered,
+                        s.fragments_per_sec() / 1e6,
+                        s.mem_hits,
+                        s.disk_hits,
+                        s.taps_per_sec() / 1e6,
+                    );
+                }
+                Ok(()) | Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+            }
+        });
+        Heartbeat {
+            stop_tx: Some(stop_tx),
+            handle: Some(handle),
+        }
+    }
+
+    fn stop(mut self) {
+        if let Some(tx) = self.stop_tx.take() {
+            let _ = tx.send(());
+        }
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -231,6 +355,7 @@ fn append_bench_run(
     wall_seconds: f64,
     timings: &[(String, f64)],
     stats: &mltc_experiments::StoreStats,
+    telemetry_json: Option<&str>,
 ) -> std::io::Result<()> {
     let mut run = format!(
         "{{\"scale\":\"{}\",\"wall_seconds\":{:.3},\"experiments\":[",
@@ -249,7 +374,7 @@ fn append_bench_run(
          \"taps_simulated\":{},\"taps_per_sec\":{:.0},\"sim_seconds\":{:.3},\
          \"bytes_written\":{},\"bytes_read\":{},\"corrupt_files\":{},\
          \"stale_files\":{},\"io_errors\":{},\"evictions\":{},\"spills\":{},\
-         \"resident_bytes\":{}}}}}",
+         \"resident_bytes\":{},\"healed_files\":{}}}",
         stats.renders,
         stats.mem_hits,
         stats.disk_hits,
@@ -268,7 +393,12 @@ fn append_bench_run(
         stats.evictions,
         stats.spills,
         stats.resident_bytes,
+        stats.healed_files,
     ));
+    match telemetry_json {
+        Some(summary) => run.push_str(&format!(",\"telemetry\":{summary}}}")),
+        None => run.push('}'),
+    }
 
     const HEAD: &str = "{\"schema\":1,\"runs\":[";
     const TAIL: &str = "]}";

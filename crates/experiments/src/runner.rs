@@ -17,9 +17,10 @@
 //! [store docs](crate::store)), replays apply the requested filter via
 //! [`SimEngine::try_run_frame_as`].
 
-use crate::store::{stream_trace_file, StatsBundle, TraceHandle, TraceStore};
+use crate::store::{stream_trace_file, trav_tag, StatsBundle, TraceHandle, TraceStore};
 use mltc_core::{EngineConfig, EngineError, SimEngine};
 use mltc_scene::Workload;
+use mltc_telemetry::Recorder;
 use mltc_texture::TextureRegistry;
 use mltc_trace::{FilterMode, FrameTrace};
 use std::fmt;
@@ -90,9 +91,14 @@ pub fn replay_run(
     filter: FilterMode,
     configs: &[EngineConfig],
 ) -> Vec<Result<SimEngine, RunError>> {
-    replay_with(registry, frames, filter, configs, &|cfg, reg| {
-        SimEngine::try_new(cfg, reg)
-    })
+    replay_with(
+        registry,
+        frames,
+        filter,
+        configs,
+        &Recorder::disabled(),
+        &|cfg, reg| SimEngine::try_new(cfg, reg),
+    )
 }
 
 /// Looks up (or renders once) the workload's trace and replays it through
@@ -170,8 +176,8 @@ pub fn engine_run_traversal_all(
 
 /// The engine-construction seam: tests inject factories that fail or panic
 /// to exercise worker isolation without needing a genuinely broken engine.
-type EngineFactory =
-    dyn Fn(EngineConfig, &TextureRegistry) -> Result<SimEngine, EngineError> + Sync;
+type EngineFactory<'a> =
+    dyn Fn(EngineConfig, &TextureRegistry) -> Result<SimEngine, EngineError> + Sync + 'a;
 
 fn engine_run_traversal_with(
     store: &TraceStore,
@@ -180,18 +186,44 @@ fn engine_run_traversal_with(
     configs: &[EngineConfig],
     zprepass: bool,
     traversal: mltc_raster::Traversal,
-    factory: &EngineFactory,
+    factory: &EngineFactory<'_>,
 ) -> Vec<Result<SimEngine, RunError>> {
+    let rec = store.recorder();
+    // One tag per (workload, render options, filter) run: engine series
+    // labels hang off it, so rows from different runs never interleave.
+    let run_tag = format!(
+        "{}/{}/{}/{:?}",
+        workload.kind.name(),
+        if zprepass { "zpre" } else { "late" },
+        trav_tag(traversal),
+        filter
+    );
+    let _run_span = rec.span(&format!("run/{run_tag}"));
+    let group = workload.kind.name();
+    let wrapped = |cfg: EngineConfig, reg: &TextureRegistry| -> Result<SimEngine, EngineError> {
+        let mut engine = factory(cfg, reg)?;
+        if rec.is_enabled() {
+            engine.attach_telemetry(&rec, &format!("{run_tag}/{}", cfg.label()), group);
+        }
+        Ok(engine)
+    };
     let handle = store.get_or_render(workload, zprepass, traversal);
     let start = Instant::now();
     let results = match &handle {
-        TraceHandle::Memory(set) => {
-            replay_with(workload.registry(), &set.frames, filter, configs, factory)
-        }
+        TraceHandle::Memory(set) => replay_with(
+            workload.registry(),
+            &set.frames,
+            filter,
+            configs,
+            &rec,
+            &wrapped,
+        ),
         TraceHandle::Disk(path) => {
-            stream_replay_with(workload.registry(), path, filter, configs, factory)
+            stream_replay_with(workload.registry(), path, filter, configs, &rec, &wrapped)
         }
-        TraceHandle::Uncached => run_live(workload, filter, configs, zprepass, traversal, factory),
+        TraceHandle::Uncached => run_live(
+            workload, filter, configs, zprepass, traversal, &rec, &wrapped,
+        ),
     };
     let taps: u64 = results
         .iter()
@@ -209,14 +241,17 @@ fn replay_with(
     frames: &[Arc<FrameTrace>],
     filter: FilterMode,
     configs: &[EngineConfig],
-    factory: &EngineFactory,
+    rec: &Recorder,
+    factory: &EngineFactory<'_>,
 ) -> Vec<Result<SimEngine, RunError>> {
     std::thread::scope(|scope| {
         let handles: Vec<_> = configs
             .iter()
             .map(|cfg| {
                 let cfg = *cfg;
+                let rec = rec.clone();
                 scope.spawn(move || -> Result<SimEngine, RunError> {
+                    let _span = rec.span(&format!("replay/{}", cfg.label()));
                     let mut engine = factory(cfg, registry).map_err(RunError::Engine)?;
                     for trace in frames {
                         engine
@@ -240,7 +275,8 @@ fn stream_replay_with(
     path: &Path,
     filter: FilterMode,
     configs: &[EngineConfig],
-    factory: &EngineFactory,
+    rec: &Recorder,
+    factory: &EngineFactory<'_>,
 ) -> Vec<Result<SimEngine, RunError>> {
     std::thread::scope(|scope| {
         let mut senders: Vec<Option<SyncSender<Arc<FrameTrace>>>> =
@@ -250,7 +286,9 @@ fn stream_replay_with(
             let (tx, rx) = sync_channel::<Arc<FrameTrace>>(4);
             senders.push(Some(tx));
             let cfg = *cfg;
+            let rec = rec.clone();
             handles.push(scope.spawn(move || -> Result<SimEngine, RunError> {
+                let _span = rec.span(&format!("replay/{}", cfg.label()));
                 let mut engine = factory(cfg, registry).map_err(RunError::Engine)?;
                 for trace in rx {
                     engine
@@ -260,6 +298,7 @@ fn stream_replay_with(
                 Ok(engine)
             }));
         }
+        let stream_span = rec.span("replay/disk-stream");
         let streamed = stream_trace_file(path, |t| {
             let shared = Arc::new(t);
             for slot in &mut senders {
@@ -270,6 +309,7 @@ fn stream_replay_with(
                 }
             }
         });
+        stream_span.end();
         drop(senders);
         let mut results: Vec<Result<SimEngine, RunError>> =
             handles.into_iter().map(join_worker).collect();
@@ -294,7 +334,8 @@ fn run_live(
     configs: &[EngineConfig],
     zprepass: bool,
     traversal: mltc_raster::Traversal,
-    factory: &EngineFactory,
+    rec: &Recorder,
+    factory: &EngineFactory<'_>,
 ) -> Vec<Result<SimEngine, RunError>> {
     std::thread::scope(|scope| {
         let mut senders: Vec<Option<SyncSender<Arc<FrameTrace>>>> =
@@ -305,7 +346,9 @@ fn run_live(
             senders.push(Some(tx));
             let registry = workload.registry();
             let cfg = *cfg;
+            let rec = rec.clone();
             handles.push(scope.spawn(move || -> Result<SimEngine, RunError> {
+                let _span = rec.span(&format!("replay/{}", cfg.label()));
                 let mut engine = factory(cfg, registry).map_err(RunError::Engine)?;
                 for trace in rx {
                     engine.try_run_frame(&trace).map_err(RunError::Engine)?;
@@ -313,6 +356,7 @@ fn run_live(
                 Ok(engine)
             }));
         }
+        let render_span = rec.span("replay/live-render");
         workload.render_animation_traversal(filter, zprepass, traversal, |t| {
             let shared = Arc::new(t);
             for slot in &mut senders {
@@ -325,6 +369,7 @@ fn run_live(
                 }
             }
         });
+        render_span.end();
         drop(senders);
         handles.into_iter().map(join_worker).collect()
     })
@@ -598,6 +643,68 @@ mod tests {
             }
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn engine_run_records_telemetry_through_the_store() {
+        let rec = Recorder::enabled();
+        let store = TraceStore::in_memory().with_recorder(rec.clone());
+        let w = tiny_village();
+        let cfg = EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(2)),
+            ..EngineConfig::default()
+        };
+        let engines = engine_run_all(&store, &w, FilterMode::Bilinear, &[cfg], false).unwrap();
+        let totals = engines[0].totals();
+        let snap = rec.snapshot();
+        // Engine counters flowed into the recorder under the workload group.
+        assert_eq!(snap.counters["engine/village/l1_hits"], totals.l1_hits);
+        assert_eq!(
+            snap.counters["engine/village/l2_full_hits"],
+            totals.l2_full_hits
+        );
+        // Spans: the whole run plus one replay worker per configuration.
+        assert!(snap
+            .spans
+            .iter()
+            .any(|s| s.name.starts_with("run/village/")));
+        assert!(snap.spans.iter().any(|s| s.name.starts_with("replay/")));
+        // One per-frame series row per animation frame, labelled by run+config.
+        let series = snap
+            .series
+            .iter()
+            .find(|s| s.label.ends_with(&cfg.label()))
+            .unwrap_or_else(|| panic!("no series for {:?}", cfg.label()));
+        assert!(series.label.starts_with("village/late/scanline/Bilinear/"));
+        assert_eq!(series.rows.len(), w.frame_count as usize);
+        // The L2 reuse-distance histogram is exported per workload.
+        let reuse = &snap.hists["l2_reuse_pages/village"];
+        assert_eq!(
+            reuse.count + snap.counters["engine/village/l2_reuse_cold"],
+            totals.l2_accesses()
+        );
+    }
+
+    #[test]
+    fn disabled_recorder_store_runs_clean() {
+        // The default store recorder is disabled: nothing registers, and
+        // replays produce identical counters to an instrumented store.
+        let w = tiny_village();
+        let cfg = EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(2)),
+            ..EngineConfig::default()
+        };
+        let plain = TraceStore::in_memory();
+        let a = engine_run_all(&plain, &w, FilterMode::Bilinear, &[cfg], false).unwrap();
+        let rec = Recorder::enabled();
+        let recorded = TraceStore::in_memory().with_recorder(rec.clone());
+        let b = engine_run_all(&recorded, &w, FilterMode::Bilinear, &[cfg], false).unwrap();
+        assert_eq!(a[0].totals(), b[0].totals(), "telemetry only observes");
+        assert_eq!(a[0].frames(), b[0].frames());
+        assert!(plain.recorder().snapshot().series.is_empty());
+        assert!(!rec.snapshot().series.is_empty());
     }
 
     #[test]

@@ -43,6 +43,7 @@
 
 use mltc_raster::Traversal;
 use mltc_scene::{Workload, WorkloadKind, WorkloadParams};
+use mltc_telemetry::Recorder;
 use mltc_trace::codec::{CodecError, TraceFileReader, TraceFileWriter};
 use mltc_trace::{FilterMode, FrameStatsCollector, FrameTrace, FrameWorkingSet, WorkloadSummary};
 use std::collections::HashMap;
@@ -116,6 +117,17 @@ enum CellState {
     Ready(TraceHandle),
 }
 
+/// What [`TraceStore::try_load`] found on disk.
+enum LoadResult {
+    /// A good file (loaded or deferred to streaming).
+    Loaded(TraceHandle),
+    /// No persisted file for this key.
+    Missing,
+    /// A file exists but is corrupt, truncated, or stale — re-rendering
+    /// and re-persisting it counts as a heal.
+    Damaged,
+}
+
 /// One key's slot: a tiny state machine guarded by a mutex + condvar so
 /// concurrent requests for the same key render it once and the rest wait.
 struct KeyCell {
@@ -177,6 +189,7 @@ struct Counters {
     io_errors: AtomicU64,
     evictions: AtomicU64,
     spills: AtomicU64,
+    healed_files: AtomicU64,
 }
 
 /// A point-in-time snapshot of the store's instrumentation, cheap to copy
@@ -214,6 +227,9 @@ pub struct StoreStats {
     /// Renders that overflowed the budget mid-flight and kept only the
     /// on-disk copy.
     pub spills: u64,
+    /// Damaged (corrupt or stale) persisted files replaced by a good copy
+    /// from the re-render that followed.
+    pub healed_files: u64,
     /// Decoded bytes currently resident.
     pub resident_bytes: u64,
 }
@@ -247,6 +263,10 @@ struct StoreInner {
     workloads: Mutex<HashMap<(WorkloadKind, WorkloadParams), Arc<Workload>>>,
     bundles: Mutex<HashMap<(WorkloadKind, WorkloadParams), Arc<StatsBundle>>>,
     counters: Counters,
+    /// Telemetry recorder shared by the store and the replay machinery
+    /// riding on it (defaults to disabled). Behind a mutex only because it
+    /// is set after construction; cloned out once per operation.
+    recorder: Mutex<Recorder>,
 }
 
 /// The render-once trace store. Cheap to clone (shared internally); see
@@ -268,6 +288,7 @@ impl TraceStore {
                 workloads: Mutex::new(HashMap::new()),
                 bundles: Mutex::new(HashMap::new()),
                 counters: Counters::default(),
+                recorder: Mutex::new(Recorder::disabled()),
             }),
         }
     }
@@ -290,6 +311,21 @@ impl TraceStore {
     pub fn with_budget(self, bytes: u64) -> Self {
         self.inner.budget.store(bytes, Relaxed);
         self
+    }
+
+    /// Attaches a telemetry recorder: store operations emit spans and
+    /// hit/miss counters to it, and the replay machinery running on this
+    /// store instruments its engines through it. The default (a disabled
+    /// recorder) records nothing.
+    pub fn with_recorder(self, recorder: Recorder) -> Self {
+        *self.inner.recorder.lock().unwrap() = recorder;
+        self
+    }
+
+    /// The attached telemetry recorder (disabled unless
+    /// [`with_recorder`](Self::with_recorder) was called).
+    pub fn recorder(&self) -> Recorder {
+        self.inner.recorder.lock().unwrap().clone()
     }
 
     /// The directory traces persist to, when persistence is enabled.
@@ -316,6 +352,7 @@ impl TraceStore {
             io_errors: c.io_errors.load(Relaxed),
             evictions: c.evictions.load(Relaxed),
             spills: c.spills.load(Relaxed),
+            healed_files: c.healed_files.load(Relaxed),
             resident_bytes: self.inner.mem_bytes.load(Relaxed),
         }
     }
@@ -383,10 +420,12 @@ impl TraceStore {
                     CellState::Ready(h) => {
                         match h {
                             TraceHandle::Memory(_) => {
-                                self.inner.counters.mem_hits.fetch_add(1, Relaxed)
+                                self.inner.counters.mem_hits.fetch_add(1, Relaxed);
+                                self.recorder().counter("store/mem_hits").incr();
                             }
                             TraceHandle::Disk(_) | TraceHandle::Uncached => {
-                                self.inner.counters.disk_hits.fetch_add(1, Relaxed)
+                                self.inner.counters.disk_hits.fetch_add(1, Relaxed);
+                                self.recorder().counter("store/disk_hits").incr();
                             }
                         };
                         return h.clone();
@@ -422,6 +461,8 @@ impl TraceStore {
     pub fn prefetch(&self, w: Arc<Workload>, zprepass: bool, traversal: Traversal) {
         let store = self.clone();
         std::thread::spawn(move || {
+            let rec = store.recorder();
+            let _span = rec.span(&format!("store/prefetch/{}", w.kind.name()));
             let _ = store.get_or_render(&w, zprepass, traversal);
         });
     }
@@ -513,9 +554,14 @@ impl TraceStore {
                 }
             }
             TraceHandle::Disk(path) => {
-                if stream_trace_file(path, |t| visit(&t, state)).is_err() {
+                let rec = self.recorder();
+                let span = rec.span(&format!("store/disk-stream/{}", w.kind.name()));
+                let streamed = stream_trace_file(path, |t| visit(&t, state));
+                span.end();
+                if streamed.is_err() {
                     self.inner.counters.corrupt_files.fetch_add(1, Relaxed);
                     reset(state);
+                    let _span = rec.span(&format!("store/render/{}", w.kind.name()));
                     w.render_animation_traversal(FilterMode::Point, zprepass, traversal, |t| {
                         visit(&t, state)
                     });
@@ -530,35 +576,43 @@ impl TraceStore {
     }
 
     fn produce(&self, key: &TraceKey, w: &Workload) -> TraceHandle {
-        if let Some(h) = self.try_load(key) {
-            return h;
+        match self.try_load(key) {
+            LoadResult::Loaded(h) => h,
+            LoadResult::Missing => self.render(key, w, false),
+            // A damaged file exists on disk: the render below re-persists
+            // over it, which is the heal.
+            LoadResult::Damaged => self.render(key, w, true),
         }
-        self.render(key, w)
     }
 
     /// Attempts to serve `key` from its persisted file. Any codec error —
     /// corruption, truncation, a foreign format version — is counted and
-    /// answered with `None` (re-render), never a panic.
-    fn try_load(&self, key: &TraceKey) -> Option<TraceHandle> {
-        let path = self.file_path(key)?;
-        let file = File::open(&path).ok()?;
+    /// answered with [`LoadResult::Damaged`] (re-render + heal), never a
+    /// panic.
+    fn try_load(&self, key: &TraceKey) -> LoadResult {
+        let Some(path) = self.file_path(key) else {
+            return LoadResult::Missing;
+        };
+        let Ok(file) = File::open(&path) else {
+            return LoadResult::Missing;
+        };
         let file_len = file.metadata().map(|m| m.len()).unwrap_or(0);
         let c = &self.inner.counters;
         let mut reader = match TraceFileReader::new(BufReader::new(file)) {
             Ok(r) => r,
             Err(_) => {
                 c.corrupt_files.fetch_add(1, Relaxed);
-                return None;
+                return LoadResult::Damaged;
             }
         };
         if reader.key() != key_string(key) {
             c.stale_files.fetch_add(1, Relaxed);
-            return None;
+            return LoadResult::Damaged;
         }
         if file_len > self.inner.budget.load(Relaxed) {
             // Too big to decode into memory: stream it per replay.
             c.disk_hits.fetch_add(1, Relaxed);
-            return Some(TraceHandle::Disk(path));
+            return LoadResult::Loaded(TraceHandle::Disk(path));
         }
         let mut frames = Vec::with_capacity(reader.frame_count() as usize);
         let mut bytes = 0u64;
@@ -570,20 +624,29 @@ impl TraceStore {
                 }
                 Err(_) => {
                     c.corrupt_files.fetch_add(1, Relaxed);
-                    return None;
+                    return LoadResult::Damaged;
                 }
             }
         }
         c.disk_hits.fetch_add(1, Relaxed);
         c.bytes_read.fetch_add(file_len, Relaxed);
-        Some(TraceHandle::Memory(Arc::new(TraceSet { frames, bytes })))
+        LoadResult::Loaded(TraceHandle::Memory(Arc::new(TraceSet { frames, bytes })))
     }
 
     /// Renders the animation once, persisting frames as they stream out
     /// (when a directory is configured) and keeping them resident while
     /// the budget allows. Returned request buffers are recycled into the
-    /// rasterizer whenever a frame is not being retained.
-    fn render(&self, key: &TraceKey, w: &Workload) -> TraceHandle {
+    /// rasterizer whenever a frame is not being retained. `healing` marks
+    /// a render replacing a damaged persisted file: successfully
+    /// re-persisting then counts as a heal.
+    fn render(&self, key: &TraceKey, w: &Workload, healing: bool) -> TraceHandle {
+        let rec = self.recorder();
+        let _span = rec.span(&format!(
+            "store/{}/{}",
+            if healing { "heal" } else { "render" },
+            key.kind.name()
+        ));
+        rec.counter("store/renders").incr();
         let c = &self.inner.counters;
         c.renders.fetch_add(1, Relaxed);
         let start = Instant::now();
@@ -662,6 +725,10 @@ impl TraceStore {
                     let (tmp, path) = (tmp_path.take().unwrap(), final_path.as_ref().unwrap());
                     if fs::rename(&tmp, path).is_ok() {
                         persisted = true;
+                        if healing {
+                            c.healed_files.fetch_add(1, Relaxed);
+                            rec.counter("store/healed_files").incr();
+                        }
                         if let Ok(meta) = fs::metadata(path) {
                             c.bytes_written.fetch_add(meta.len(), Relaxed);
                         }
@@ -744,7 +811,7 @@ pub(crate) fn stream_trace_file(
     Ok(n)
 }
 
-fn trav_tag(t: Traversal) -> String {
+pub(crate) fn trav_tag(t: Traversal) -> String {
     match t {
         Traversal::Scanline => "scanline".to_string(),
         Traversal::Tiled(edge) => format!("tiled{edge}"),
@@ -893,12 +960,36 @@ mod tests {
         let s = store.snapshot();
         assert_eq!(s.corrupt_files, 1);
         assert_eq!(s.renders, 1, "corruption falls back to rendering");
+        assert_eq!(s.healed_files, 1, "the re-render re-persisted the file");
         assert_eq!(frame_counts(&h), w.frame_count as usize);
         // The re-render healed the file.
         let healed = TraceStore::persistent(&dir);
         healed.get_or_render(&w, false, Traversal::Scanline);
-        assert_eq!(healed.snapshot().renders, 0);
+        let hs = healed.snapshot();
+        assert_eq!(hs.renders, 0);
+        assert_eq!(hs.healed_files, 0, "a clean load is not a heal");
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recorder_sees_store_spans_and_hit_counters() {
+        let rec = Recorder::enabled();
+        let store = TraceStore::in_memory().with_recorder(rec.clone());
+        let w = tiny_village();
+        store.get_or_render(&w, false, Traversal::Scanline);
+        store.get_or_render(&w, false, Traversal::Scanline);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["store/renders"], 1);
+        assert_eq!(snap.counters["store/mem_hits"], 1);
+        assert!(
+            snap.spans.iter().any(|s| s.name == "store/render/village"),
+            "render span recorded, got {:?}",
+            snap.spans
+        );
+        // And the store's own counters agree with the recorder's.
+        let stats = store.snapshot();
+        assert_eq!(stats.renders, snap.counters["store/renders"]);
+        assert_eq!(stats.mem_hits, snap.counters["store/mem_hits"]);
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! Exporters: JSONL / CSV time series, histogram summaries as a JSON
+//! fragment for `BENCH_experiments.json`, and Chrome trace-event files.
+//!
+//! All JSON is hand-rolled (the workspace carries no serde); strings go
+//! through one escaping routine and numbers are plain `u64`/`f64`
+//! formatting, so the output is loadable by any JSON parser and by
+//! `chrome://tracing` / Perfetto for the span file.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::recorder::{SeriesSnapshot, TelemetrySnapshot};
+use crate::span::{chrome_trace_json, json_string};
+
+/// Writes one JSON object per row: series label, row sequence number, then
+/// each column. One physical line per row (JSONL).
+pub fn write_series_jsonl(series: &[SeriesSnapshot], out: &mut impl Write) -> io::Result<()> {
+    for s in series {
+        for (seq, row) in s.rows.iter().enumerate() {
+            let mut line = String::with_capacity(64 + 16 * row.len());
+            let _ = write!(
+                line,
+                "{{\"series\":{},\"seq\":{}",
+                json_string(&s.label),
+                seq
+            );
+            for (col, v) in s.columns.iter().zip(row) {
+                let _ = write!(line, ",{}:{}", json_string(col), v);
+            }
+            line.push('}');
+            writeln!(out, "{line}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes all series as one CSV: `series,seq,<union of columns>`, blank
+/// cells where a series lacks a column.
+pub fn write_series_csv(series: &[SeriesSnapshot], out: &mut impl Write) -> io::Result<()> {
+    let mut columns: Vec<&str> = Vec::new();
+    for s in series {
+        for c in &s.columns {
+            if !columns.contains(&c.as_str()) {
+                columns.push(c);
+            }
+        }
+    }
+    write!(out, "series,seq")?;
+    for c in &columns {
+        write!(out, ",{}", csv_field(c))?;
+    }
+    writeln!(out)?;
+    for s in series {
+        for (seq, row) in s.rows.iter().enumerate() {
+            write!(out, "{},{}", csv_field(&s.label), seq)?;
+            for c in &columns {
+                match s.columns.iter().position(|sc| sc == c) {
+                    Some(i) => write!(out, ",{}", row[i])?,
+                    None => write!(out, ",")?,
+                }
+            }
+            writeln!(out)?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes a single-series CSV with just that series' columns — the shape
+/// `tracetool stats --per-frame` emits.
+pub fn write_single_series_csv(series: &SeriesSnapshot, out: &mut impl Write) -> io::Result<()> {
+    writeln!(
+        out,
+        "{}",
+        series
+            .columns
+            .iter()
+            .map(|c| csv_field(c))
+            .collect::<Vec<_>>()
+            .join(",")
+    )?;
+    for row in &series.rows {
+        writeln!(
+            out,
+            "{}",
+            row.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        )?;
+    }
+    Ok(())
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Renders counter values and histogram summaries (count/mean/min/max and
+/// p50/p90/p99) as one JSON object — the fragment the experiments binary
+/// merges into each `BENCH_experiments.json` run record.
+pub fn summaries_json(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (name, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", json_string(name), v);
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in snap.hists.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let min = if h.count == 0 { 0 } else { h.min };
+        let _ = write!(
+            out,
+            "{}:{{\"count\":{},\"mean\":{:.3},\"min\":{},\"max\":{},\
+             \"p50\":{},\"p90\":{},\"p99\":{}}}",
+            json_string(name),
+            h.count,
+            h.mean(),
+            min,
+            h.max,
+            h.p50(),
+            h.p90(),
+            h.p99()
+        );
+    }
+    let _ = write!(
+        out,
+        "}},\"spans\":{},\"dropped_spans\":{}}}",
+        snap.spans.len(),
+        snap.dropped_spans
+    );
+    out
+}
+
+/// Writes the span ring as a Chrome trace-event JSON file.
+pub fn write_chrome_trace(snap: &TelemetrySnapshot, out: &mut impl Write) -> io::Result<()> {
+    out.write_all(chrome_trace_json(&snap.spans).as_bytes())
+}
+
+/// Writes the full snapshot into `dir`: `metrics.jsonl`, `metrics.csv`,
+/// `summary.json` (counters + histogram percentiles), and
+/// `trace_events.json`. Creates the directory if needed.
+pub fn export_dir(snap: &TelemetrySnapshot, dir: &Path) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let mut jsonl = io::BufWriter::new(fs::File::create(dir.join("metrics.jsonl"))?);
+    write_series_jsonl(&snap.series, &mut jsonl)?;
+    jsonl.flush()?;
+    let mut csv = io::BufWriter::new(fs::File::create(dir.join("metrics.csv"))?);
+    write_series_csv(&snap.series, &mut csv)?;
+    csv.flush()?;
+    fs::write(dir.join("summary.json"), summaries_json(snap))?;
+    let mut trace = io::BufWriter::new(fs::File::create(dir.join("trace_events.json"))?);
+    write_chrome_trace(snap, &mut trace)?;
+    trace.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    fn sample_snapshot() -> TelemetrySnapshot {
+        let rec = Recorder::enabled();
+        rec.counter("renders").add(2);
+        let h = rec.histogram("lat");
+        h.record(0);
+        h.record(1);
+        h.record(300);
+        let s = rec.series("runA", &["frame", "hits"]);
+        s.push_row(&[0, 10]);
+        s.push_row(&[1, 12]);
+        let t = rec.series("runB", &["frame", "misses"]);
+        t.push_row(&[0, 3]);
+        rec.span("work").end();
+        rec.snapshot()
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_row() {
+        let snap = sample_snapshot();
+        let mut buf = Vec::new();
+        write_series_jsonl(&snap.series, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("{\"series\":\"runA\",\"seq\":0"));
+        assert!(lines[0].contains("\"hits\":10"));
+        assert!(lines[2].contains("\"misses\":3"));
+        for l in lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn csv_unions_columns_with_blanks() {
+        let snap = sample_snapshot();
+        let mut buf = Vec::new();
+        write_series_csv(&snap.series, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "series,seq,frame,hits,misses");
+        assert_eq!(lines[1], "runA,0,0,10,");
+        assert_eq!(lines[3], "runB,0,0,,3");
+    }
+
+    #[test]
+    fn single_series_csv_has_plain_header() {
+        let snap = sample_snapshot();
+        let mut buf = Vec::new();
+        write_single_series_csv(&snap.series[0], &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().next().unwrap(), "frame,hits");
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn summaries_json_carries_percentiles() {
+        let snap = sample_snapshot();
+        let json = summaries_json(&snap);
+        assert!(json.contains("\"counters\":{\"renders\":2}"));
+        assert!(json.contains("\"lat\":{\"count\":3"));
+        assert!(json.contains("\"p50\":1"));
+        assert!(json.contains("\"spans\":1"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn export_dir_writes_all_four_files() {
+        let dir = std::env::temp_dir().join(format!("mltc_tel_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let snap = sample_snapshot();
+        export_dir(&snap, &dir).unwrap();
+        for f in [
+            "metrics.jsonl",
+            "metrics.csv",
+            "summary.json",
+            "trace_events.json",
+        ] {
+            assert!(dir.join(f).is_file(), "{f} missing");
+        }
+        let trace = std::fs::read_to_string(dir.join("trace_events.json")).unwrap();
+        assert!(trace.contains("\"traceEvents\""));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,56 @@
+//! # mltc-telemetry — near-zero-overhead instrumentation
+//!
+//! Counters, log2-bucketed histograms, hierarchical timed spans and
+//! per-frame time series for the MLTC simulator, with three exporters:
+//! JSONL/CSV time series, histogram summaries (p50/p90/p99, mean) as a JSON
+//! fragment for `BENCH_experiments.json`, and Chrome trace-event JSON
+//! loadable in `chrome://tracing`.
+//!
+//! ## The overhead contract
+//!
+//! Every handle — [`Recorder`], [`Counter`], [`Histogram`], [`Series`],
+//! [`Span`] — is an `Option` around shared state. A **disabled** handle is
+//! `None`, so each operation on it compiles to a single predictable
+//! not-taken branch; the simulator's per-texel path pays exactly one such
+//! branch per dynamic exit (guarded by a criterion bench and an assertion
+//! test in the workspace). An **enabled** handle records with relaxed
+//! atomics; the only mutexes are taken on span close and series row push —
+//! per frame or per store operation, never per texel. Telemetry only
+//! observes: simulator counters are bit-identical with recording on or off.
+//!
+//! ## Shape
+//!
+//! ```
+//! use mltc_telemetry::{export, Recorder};
+//!
+//! let rec = Recorder::enabled();
+//! let hits = rec.counter("l1_hits");
+//! let sweep = rec.histogram("clock_sweep");
+//! let frames = rec.series("run0", &["frame", "l1_hits"]);
+//! {
+//!     let _span = rec.span("frame/0");
+//!     hits.add(7);
+//!     sweep.record(3);
+//!     frames.push_row(&[0, hits.get()]);
+//! }
+//! let snap = rec.snapshot();
+//! assert_eq!(snap.counters["l1_hits"], 7);
+//! assert_eq!(snap.spans.len(), 1);
+//! let json = export::summaries_json(&snap);
+//! assert!(json.contains("\"l1_hits\":7"));
+//! ```
+//!
+//! [`ReuseDistance`] is the odd one out: it is *not* thread-shared (the
+//! engine owns one per instance) and always computes when present — the
+//! enable/disable decision is whether the engine holds one at all.
+
+pub mod export;
+mod hist;
+mod recorder;
+mod reuse;
+mod span;
+
+pub use hist::{bucket_of, bucket_upper_bound, HistSnapshot, Histogram, BUCKETS};
+pub use recorder::{Counter, Recorder, Series, SeriesSnapshot, Span, TelemetrySnapshot};
+pub use reuse::ReuseDistance;
+pub use span::{chrome_trace_json, current_span_depth, SpanEvent, DEFAULT_SPAN_CAPACITY};

@@ -3,19 +3,38 @@
 //!
 //! ```text
 //! tracetool <trace-file> [--per-frame]
+//! tracetool stats <trace-file> [--per-frame] [--out <file>]
 //! ```
+//!
+//! The bare form prints a human summary. `stats` is machine-oriented: with
+//! `--per-frame` it dumps one CSV row per frame (request count, nominal
+//! texel-tap count at the recorded filter mode, distinct textures) through
+//! the shared `mltc-telemetry` time-series exporter, so the columns match
+//! the engine's own telemetry exports byte for byte.
 
-use mltc_trace::codec::TraceReader;
+use mltc_telemetry::{export, SeriesSnapshot};
+use mltc_trace::codec::{CodecError, TraceFileReader, TraceReader};
 use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 use std::fs::File;
-use std::io::BufReader;
+use std::io::{BufReader, Write};
 use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tracetool <trace-file> [--per-frame]\n\
+         \x20      tracetool stats <trace-file> [--per-frame] [--out <file>]"
+    );
+    ExitCode::from(2)
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("stats") {
+        return stats_main(&args[1..]);
+    }
     let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
-        eprintln!("usage: tracetool <trace-file> [--per-frame]");
-        return ExitCode::from(2);
+        return usage();
     };
     let per_frame = args.iter().any(|a| a == "--per-frame");
 
@@ -95,4 +114,105 @@ fn main() -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+/// `tracetool stats`: machine-readable per-frame counts.
+fn stats_main(args: &[String]) -> ExitCode {
+    let mut path = None;
+    let mut per_frame = false;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--per-frame" => per_frame = true,
+            "--out" => match it.next() {
+                Some(f) => out = Some(f.clone()),
+                None => return usage(),
+            },
+            other if !other.starts_with("--") && path.is_none() => path = Some(other.to_string()),
+            _ => return usage(),
+        }
+    }
+    let Some(path) = path else {
+        return usage();
+    };
+
+    let series = match per_frame_series(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if per_frame {
+        let written = match out {
+            Some(ref f) => File::create(f)
+                .and_then(|file| {
+                    let mut w = std::io::BufWriter::new(file);
+                    export::write_single_series_csv(&series, &mut w)?;
+                    w.flush()
+                })
+                .map(|()| eprintln!("wrote {f}")),
+            None => {
+                let stdout = std::io::stdout();
+                export::write_single_series_csv(&series, &mut stdout.lock())
+            }
+        };
+        if let Err(e) = written {
+            eprintln!("cannot write per-frame CSV: {e}");
+            return ExitCode::FAILURE;
+        }
+    } else {
+        let frames = series.rows.len();
+        let requests: u64 = series.rows.iter().map(|r| r[1]).sum();
+        let taps: u64 = series.rows.iter().map(|r| r[2]).sum();
+        println!("{path}: {frames} frames, {requests} requests, {taps} taps");
+    }
+    ExitCode::SUCCESS
+}
+
+fn invalid(e: impl std::fmt::Display) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+}
+
+/// Decodes `path` into one row per frame: request count, nominal tap count
+/// (requests × the filter mode's maximum taps — point 1, bilinear 4,
+/// trilinear 8), and distinct textures touched. Understands both the
+/// versioned `.mltct` container (`MLTS` header, as the trace store writes)
+/// and a bare `MLTC` frame stream (as `examples/record_replay.rs` writes).
+fn per_frame_series(path: &str) -> std::io::Result<SeriesSnapshot> {
+    let mut series = SeriesSnapshot {
+        label: path.to_string(),
+        columns: ["frame", "requests", "taps", "distinct_textures"]
+            .iter()
+            .map(|c| c.to_string())
+            .collect(),
+        rows: Vec::new(),
+    };
+    let push = |series: &mut SeriesSnapshot, t: &mltc_trace::FrameTrace| {
+        let requests = t.requests.len() as u64;
+        let tids: BTreeSet<u32> = t.requests.iter().map(|r| r.tid.index()).collect();
+        series.rows.push(vec![
+            u64::from(t.frame),
+            requests,
+            requests * t.filter.max_taps() as u64,
+            tids.len() as u64,
+        ]);
+    };
+    match TraceFileReader::new(BufReader::new(File::open(path)?)) {
+        Ok(mut container) => {
+            for _ in 0..container.frame_count() {
+                push(&mut series, &container.read_frame().map_err(invalid)?);
+            }
+        }
+        // Not a container: re-open and read it as a bare frame stream.
+        Err(CodecError::BadFileMagic(_)) => {
+            let mut reader = TraceReader::new(BufReader::new(File::open(path)?));
+            while let Some(t) = reader.read_frame().map_err(invalid)? {
+                push(&mut series, &t);
+            }
+        }
+        Err(e) => return Err(invalid(e)),
+    }
+    Ok(series)
 }

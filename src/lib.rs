@@ -20,6 +20,8 @@
 //!   texture page table + block replacement list (paper §5), the L1 cache,
 //!   push/pull baselines and the analytic models (§4.1, §5.4).
 //! * [`trace`] — texture access tracing and per-frame statistics (§3.2, §4).
+//! * [`telemetry`] — opt-in spans, counters, log2 histograms and per-frame
+//!   time-series export; one not-taken branch per texel when disabled.
 //! * [`experiments`] — the harness that regenerates every table and figure.
 //!
 //! # Quickstart
@@ -52,5 +54,6 @@ pub use mltc_experiments as experiments;
 pub use mltc_math as math;
 pub use mltc_raster as raster;
 pub use mltc_scene as scene;
+pub use mltc_telemetry as telemetry;
 pub use mltc_texture as texture;
 pub use mltc_trace as trace;

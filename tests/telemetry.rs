@@ -1,0 +1,172 @@
+//! Cross-crate telemetry guarantees: the JSONL export is a faithful view
+//! of what the engine reports, and a detached recorder costs (next to)
+//! nothing on the texel path.
+
+use mltc::core::{EngineConfig, L1Config, L2Config, SimEngine, FRAME_SERIES_COLUMNS};
+use mltc::raster::FilterMode;
+use mltc::scene::{Workload, WorkloadParams};
+use mltc::telemetry::{export, Recorder};
+
+fn tiny_village() -> Workload {
+    Workload::village(&WorkloadParams::tiny())
+}
+
+fn cfg() -> EngineConfig {
+    EngineConfig {
+        l1: L1Config::kb(2),
+        l2: Some(L2Config::mb(2)),
+        ..EngineConfig::default()
+    }
+}
+
+fn run_animation(engine: &mut SimEngine, w: &Workload, filter: FilterMode) {
+    for i in 0..w.frame_count {
+        let trace = w.trace_frame(i, filter);
+        engine.run_frame(&trace);
+    }
+}
+
+/// Pulls `"key":<int>` out of one JSONL line.
+fn field(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Golden round-trip: export the per-frame series as JSONL, parse it back,
+/// and check the column sums equal the totals the engine itself reports.
+#[test]
+fn jsonl_export_round_trips_engine_totals() {
+    let w = tiny_village();
+    let rec = Recorder::enabled();
+    let mut engine = SimEngine::new(cfg(), w.scene().registry());
+    engine.attach_telemetry(&rec, "golden-run", "village");
+    run_animation(&mut engine, &w, FilterMode::Bilinear);
+    let totals = engine.totals();
+
+    let snap = rec.snapshot();
+    let mut jsonl = Vec::new();
+    export::write_series_jsonl(&snap.series, &mut jsonl).unwrap();
+    let jsonl = String::from_utf8(jsonl).unwrap();
+
+    let rows: Vec<&str> = jsonl
+        .lines()
+        .filter(|l| l.contains("\"series\":\"golden-run\""))
+        .collect();
+    assert_eq!(rows.len(), w.frame_count as usize, "one line per frame");
+
+    let sum = |key: &str| -> u64 {
+        rows.iter()
+            .map(|l| field(l, key).unwrap_or_else(|| panic!("no {key} in {l}")))
+            .sum()
+    };
+    assert_eq!(sum("l1_accesses"), totals.l1_accesses);
+    assert_eq!(sum("l1_hits"), totals.l1_hits);
+    assert_eq!(sum("l2_full_hits"), totals.l2_full_hits);
+    assert_eq!(sum("l2_partial_hits"), totals.l2_partial_hits);
+    assert_eq!(sum("l2_full_misses"), totals.l2_full_misses);
+    assert_eq!(sum("host_bytes"), totals.host_bytes);
+    assert_eq!(sum("l2_local_bytes"), totals.l2_local_bytes);
+    // Frame numbers come through in order, and every declared column is
+    // present on every line.
+    for (i, line) in rows.iter().enumerate() {
+        assert_eq!(field(line, "frame"), Some(i as u64));
+        for col in FRAME_SERIES_COLUMNS {
+            assert!(field(line, col).is_some(), "line {i} lacks {col}");
+        }
+    }
+}
+
+/// The CSV exporter agrees with the JSONL exporter on the same snapshot.
+#[test]
+fn csv_export_matches_engine_row_count() {
+    let w = tiny_village();
+    let rec = Recorder::enabled();
+    let mut engine = SimEngine::new(cfg(), w.scene().registry());
+    engine.attach_telemetry(&rec, "csv-run", "village");
+    run_animation(&mut engine, &w, FilterMode::Bilinear);
+
+    let snap = rec.snapshot();
+    let mut csv = Vec::new();
+    export::write_series_csv(&snap.series, &mut csv).unwrap();
+    let csv = String::from_utf8(csv).unwrap();
+    let data_rows = csv.lines().skip(1).filter(|l| !l.is_empty()).count();
+    assert_eq!(data_rows, w.frame_count as usize);
+    let header = csv.lines().next().unwrap();
+    for col in FRAME_SERIES_COLUMNS {
+        assert!(header.contains(col), "CSV header lacks {col}");
+    }
+}
+
+/// The overhead contract, as an assertion: a detached engine and one whose
+/// attach was refused by a disabled recorder run the same code, produce
+/// bit-identical counters, and stay within a (very generous) factor of
+/// each other in wall time. A real regression here — say an unconditional
+/// format! or lock on the texel path — blows past 4x immediately.
+#[test]
+fn disabled_recorder_costs_nothing_measurable() {
+    let w = tiny_village();
+    let filter = FilterMode::Bilinear;
+    // Warm up: render all traces once so timing measures simulation only.
+    let traces: Vec<_> = (0..w.frame_count)
+        .map(|i| w.trace_frame(i, filter))
+        .collect();
+
+    let mut plain = SimEngine::new(cfg(), w.scene().registry());
+    let t0 = std::time::Instant::now();
+    for t in &traces {
+        plain.run_frame(t);
+    }
+    let plain_time = t0.elapsed();
+
+    let disabled = Recorder::disabled();
+    let mut gated = SimEngine::new(cfg(), w.scene().registry());
+    gated.attach_telemetry(&disabled, "unused", "village");
+    assert!(
+        !gated.telemetry_attached(),
+        "a disabled recorder must refuse attachment"
+    );
+    let t1 = std::time::Instant::now();
+    for t in &traces {
+        gated.run_frame(t);
+    }
+    let gated_time = t1.elapsed();
+
+    assert_eq!(plain.totals(), gated.totals(), "identical counters");
+    assert_eq!(plain.frames(), gated.frames());
+    assert!(
+        gated_time < plain_time * 4 + std::time::Duration::from_millis(50),
+        "disabled-telemetry run took {gated_time:?} vs {plain_time:?} plain"
+    );
+    // And the disabled recorder itself gathered nothing.
+    let snap = disabled.snapshot();
+    assert!(snap.counters.is_empty());
+    assert!(snap.series.is_empty());
+    assert!(snap.spans.is_empty());
+}
+
+/// Counters are bit-identical whether telemetry observes the run or not —
+/// the integration-level version of the core crate's equivalence test.
+#[test]
+fn enabled_recorder_only_observes() {
+    let w = tiny_village();
+    let mut plain = SimEngine::new(cfg(), w.scene().registry());
+    run_animation(&mut plain, &w, FilterMode::Trilinear);
+
+    let rec = Recorder::enabled();
+    let mut observed = SimEngine::new(cfg(), w.scene().registry());
+    observed.attach_telemetry(&rec, "observed", "village");
+    run_animation(&mut observed, &w, FilterMode::Trilinear);
+
+    assert_eq!(plain.totals(), observed.totals());
+    assert_eq!(plain.frames(), observed.frames());
+    let snap = rec.snapshot();
+    assert_eq!(
+        snap.counters["engine/village/l1_hits"],
+        plain.totals().l1_hits
+    );
+}
