@@ -166,6 +166,14 @@ impl ClockList {
         }
     }
 
+    /// Current hand position (the entry the next victim search examines
+    /// first). Exposed for conformance checking: a reference model must
+    /// agree on the hand after every operation, or victim choices diverge.
+    #[inline]
+    pub fn hand(&self) -> usize {
+        self.hand
+    }
+
     /// Victim-search statistics.
     #[inline]
     pub fn stats(&self) -> ClockStats {
@@ -265,6 +273,18 @@ mod tests {
             v, 1,
             "released block should be found (hand order permitting)"
         );
+    }
+
+    #[test]
+    fn hand_advances_past_the_victim() {
+        let mut brl = ClockList::new(3);
+        assert_eq!(brl.hand(), 0);
+        let v = brl.find_victim();
+        assert_eq!(v, 0);
+        assert_eq!(brl.hand(), 1, "hand moved past the victim");
+        brl.assign(v, 1);
+        let _ = brl.find_victim();
+        assert_eq!(brl.hand(), 2);
     }
 
     #[test]

@@ -102,9 +102,9 @@ impl FrameCounters {
         rate(self.l1_hits, self.l1_accesses)
     }
 
-    /// L1 miss rate.
+    /// L1 miss rate (0.0 when no accesses happened, like every other rate).
     pub fn l1_miss_rate(&self) -> f64 {
-        1.0 - self.l1_hit_rate()
+        rate(self.l1_accesses - self.l1_hits, self.l1_accesses)
     }
 
     /// L2 full-hit rate given an L1 miss.
@@ -156,6 +156,37 @@ fn rate(num: u64, den: u64) -> f64 {
     } else {
         num as f64 / den as f64
     }
+}
+
+/// What happened to a single texel access, step by step.
+///
+/// Returned by [`SimEngine::access_texel_traced`] so an external reference
+/// model (`mltc-oracle`) can compare the engine's decisions in lockstep:
+/// classification at every level, the physical L2 block involved, the
+/// eviction victim (if any) and the bytes that crossed the host link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessTrace {
+    /// The access hit in L1 (nothing below L1 was consulted).
+    pub l1_hit: bool,
+    /// TLB outcome; `None` when no TLB is modelled or L1 hit.
+    pub tlb_hit: Option<bool>,
+    /// L2 classification; `None` without an L2 or on an L1 hit.
+    pub l2: Option<L2Outcome>,
+    /// Physical L2 block that served (or was allocated for) the access.
+    pub l2_block: Option<u32>,
+    /// Page-table index whose block was evicted to make room, if the access
+    /// caused a replacement.
+    pub evicted_page: Option<u32>,
+    /// Bytes actually delivered over the host link by this access.
+    pub host_bytes: u64,
+    /// Host-link re-attempts beyond the first try.
+    pub retries: u32,
+    /// The host transfer exhausted its retry budget.
+    pub failed: bool,
+    /// Failed tap served from a coarser resident mip level.
+    pub degraded: bool,
+    /// Failed tap lost entirely.
+    pub dropped: bool,
 }
 
 /// The simulator: one architecture configuration replaying texel accesses.
@@ -295,13 +326,23 @@ impl SimEngine {
     /// [`try_access_texel`](Self::try_access_texel) for untrusted input.
     #[inline]
     pub fn access_texel(&mut self, tid: TextureId, m: u32, u: u32, v: u32) {
+        let _ = self.access_texel_traced(tid, m, u, v);
+    }
+
+    /// [`access_texel`](Self::access_texel), additionally reporting what
+    /// happened as an [`AccessTrace`] (counters are updated identically —
+    /// the plain form merely discards the trace). This is the lockstep
+    /// introspection hook the differential oracle compares against.
+    pub fn access_texel_traced(&mut self, tid: TextureId, m: u32, u: u32, v: u32) -> AccessTrace {
+        let mut trace = AccessTrace::default();
         self.current.l1_accesses += 1;
         if self.l1.access(tid, m, u, v) {
             self.current.l1_hits += 1;
+            trace.l1_hit = true;
             if let Some(tel) = &mut self.tel {
                 tel.l1_hits.incr();
             }
-            return;
+            return trace;
         }
 
         let l1_bytes = self.cfg.l1.line_bytes() as u64;
@@ -312,6 +353,8 @@ impl SimEngine {
                     Transfer::Delivered { retries } => {
                         self.current.retries += retries as u64;
                         self.current.host_bytes += l1_bytes;
+                        trace.retries = retries;
+                        trace.host_bytes = l1_bytes;
                         if let Some(tel) = &mut self.tel {
                             tel.l1_misses.incr();
                             tel.host_delivered.incr();
@@ -326,6 +369,9 @@ impl SimEngine {
                         self.current.failed_transfers += 1;
                         self.l1.invalidate(tid, m, u, v);
                         self.current.dropped_taps += 1;
+                        trace.retries = retries;
+                        trace.failed = true;
+                        trace.dropped = true;
                         if let Some(tel) = &mut self.tel {
                             tel.l1_misses.incr();
                             tel.host_failed.incr();
@@ -350,8 +396,13 @@ impl SimEngine {
                     }
                     tlb_hit = Some(hit);
                 }
+                trace.tlb_hit = tlb_hit;
                 let l2_block_bytes = self.cfg.tiling.l2().cache_bytes() as u64;
-                let outcome = l2.access(pt_index, addr.l1);
+                let l2_trace = l2.access_traced(pt_index, addr.l1);
+                let outcome = l2_trace.outcome;
+                trace.l2 = Some(outcome);
+                trace.l2_block = Some(l2_trace.block);
+                trace.evicted_page = l2_trace.evicted_page;
                 let dl = match outcome {
                     L2Outcome::FullHit => {
                         // Served from local memory; no host transfer at all.
@@ -361,7 +412,7 @@ impl SimEngine {
                             tel.on_l2_access(pt_index as u64, tlb_hit);
                             tel.l2_full_hits.incr();
                         }
-                        return;
+                        return trace;
                     }
                     L2Outcome::PartialHit => {
                         self.current.l2_partial_hits += 1;
@@ -382,6 +433,8 @@ impl SimEngine {
                         // Downloaded into L2 and L1 in parallel (step F).
                         self.current.host_bytes += dl;
                         self.current.l2_local_bytes += dl;
+                        trace.retries = retries;
+                        trace.host_bytes = dl;
                         if let Some(tel) = &mut self.tel {
                             tel.on_l2_access(pt_index as u64, tlb_hit);
                             match outcome {
@@ -400,6 +453,8 @@ impl SimEngine {
                     Transfer::Failed { retries } => {
                         self.current.retries += retries as u64;
                         self.current.failed_transfers += 1;
+                        trace.retries = retries;
+                        trace.failed = true;
                         // Roll back the residency the download would have
                         // backed; failed attempts move no bytes.
                         l2.fail_download(pt_index, addr.l1);
@@ -427,8 +482,10 @@ impl SimEngine {
                         if served {
                             self.current.degraded_taps += 1;
                             self.current.l2_local_bytes += l1_bytes;
+                            trace.degraded = true;
                         } else {
                             self.current.dropped_taps += 1;
+                            trace.dropped = true;
                         }
                         if let Some(tel) = &mut self.tel {
                             tel.on_l2_access(pt_index as u64, tlb_hit);
@@ -452,6 +509,7 @@ impl SimEngine {
                 }
             }
         }
+        trace
     }
 
     /// [`access_texel`](Self::access_texel) with full validation: unknown
@@ -1164,6 +1222,68 @@ mod tests {
         let sum_entries: u64 = series.rows.iter().map(|r| r[15]).sum();
         assert_eq!(sum_searches, cs.searches);
         assert_eq!(sum_entries, cs.entries_examined);
+    }
+
+    #[test]
+    fn zero_access_frame_rates_are_zero_not_nan() {
+        let f = FrameCounters::default();
+        assert_eq!(f.l1_hit_rate(), 0.0);
+        assert_eq!(f.l1_miss_rate(), 0.0, "no accesses is not a 100% miss rate");
+        assert_eq!(f.l2_full_hit_rate(), 0.0);
+        assert_eq!(f.l2_partial_hit_rate(), 0.0);
+        assert_eq!(f.tlb_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn traced_access_reports_the_same_story_as_the_counters() {
+        let reg = registry(1, 64);
+        let cfg = EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(2)),
+            tlb_entries: 2,
+            ..EngineConfig::default()
+        };
+        let mut e = SimEngine::new(cfg, &reg);
+        let t = TextureId::from_index(0);
+        let miss = e.access_texel_traced(t, 0, 0, 0);
+        assert!(!miss.l1_hit);
+        assert_eq!(miss.l2, Some(L2Outcome::FullMiss));
+        assert_eq!(miss.l2_block, Some(0));
+        assert_eq!(miss.evicted_page, None, "cold cache evicts nothing");
+        assert_eq!(miss.tlb_hit, Some(false));
+        assert_eq!(miss.host_bytes, 64);
+        let hit = e.access_texel_traced(t, 0, 0, 0);
+        assert!(hit.l1_hit);
+        assert_eq!(hit.l2, None, "L1 hits never consult the L2");
+        assert_eq!(hit.host_bytes, 0);
+        e.end_frame();
+        let f = e.frame_stats();
+        assert_eq!((f.l1_accesses, f.l1_hits), (2, 1));
+        assert_eq!(f.host_bytes, 64);
+    }
+
+    #[test]
+    fn plain_and_traced_access_update_counters_identically() {
+        let reg = registry(1, 128);
+        let cfg = EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(2)),
+            tlb_entries: 4,
+            fault: FaultPlan::with_rate(3, 300_000),
+            ..EngineConfig::default()
+        };
+        let mut plain = SimEngine::new(cfg, &reg);
+        let mut traced = SimEngine::new(cfg, &reg);
+        let t = TextureId::from_index(0);
+        for v in 0..128 {
+            for u in 0..128 {
+                plain.access_texel(t, 0, u, v);
+                let _ = traced.access_texel_traced(t, 0, u, v);
+            }
+        }
+        plain.end_frame();
+        traced.end_frame();
+        assert_eq!(plain.frame_stats(), traced.frame_stats());
     }
 
     #[test]

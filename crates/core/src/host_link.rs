@@ -318,4 +318,128 @@ mod tests {
         assert_eq!(FaultPlan::none(), FaultPlan::default());
         assert_ne!(FaultPlan::none(), FaultPlan::with_rate(0, 1));
     }
+
+    use proptest::prelude::*;
+
+    /// Independent SplitMix64 replica, so the property below re-derives the
+    /// fault schedule from the documented algorithm instead of trusting the
+    /// link's own state.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// For any plan and any transfer sequence, `retries` and
+        /// `failed_transfers` accounting matches the injected fault
+        /// schedule exactly: every single outcome equals what an
+        /// independent replay of the documented schedule (ordinal-keyed
+        /// burst/blackout windows, SplitMix64 per-attempt draws) predicts.
+        #[test]
+        fn accounting_matches_the_injected_schedule(
+            seed in any::<u64>(),
+            fail_ppm in 0u32..1_000_001,
+            max_attempts in 0u32..5,
+            burst_period in 0u32..8,
+            burst_len in 0u32..4,
+            black in any::<bool>(),
+            bfrom in 0u64..64,
+            blen in 0u64..64,
+            tids in proptest::collection::vec(0u32..3, 1..200usize),
+        ) {
+            let plan = FaultPlan {
+                seed,
+                fail_ppm,
+                max_attempts,
+                burst_period,
+                burst_len,
+                blackout: black.then_some(TextureBlackout {
+                    tid: 1,
+                    from: bfrom,
+                    until: bfrom + blen,
+                }),
+            };
+            let mut link = HostLink::new(plan);
+            let mut rng = seed;
+            let mut ordinal = 0u64;
+            let mut got = (0u64, 0u64); // (retries, failed)
+            let mut want = (0u64, 0u64);
+            let attempts = max_attempts.max(1);
+            for &i in &tids {
+                let out = link.transfer(t(i));
+                let predicted = if plan.is_none() {
+                    Transfer::Delivered { retries: 0 }
+                } else {
+                    let o = ordinal;
+                    ordinal += 1;
+                    let in_burst = burst_period > 0
+                        && (o % burst_period as u64) < (burst_len as u64);
+                    let in_black = plan
+                        .blackout
+                        .is_some_and(|b| b.tid == i && o >= b.from && o < b.until);
+                    if in_burst || in_black {
+                        Transfer::Failed { retries: attempts - 1 }
+                    } else {
+                        let mut res = Transfer::Failed { retries: attempts - 1 };
+                        for attempt in 0..attempts {
+                            let draw = (splitmix(&mut rng) % 1_000_000) as u32;
+                            if draw >= fail_ppm {
+                                res = Transfer::Delivered { retries: attempt };
+                                break;
+                            }
+                        }
+                        res
+                    }
+                };
+                prop_assert_eq!(out, predicted, "transfer for tid {}", i);
+                for (acc, o) in [(&mut got, out), (&mut want, predicted)] {
+                    match o {
+                        Transfer::Delivered { retries } => acc.0 += retries as u64,
+                        Transfer::Failed { retries } => {
+                            acc.0 += retries as u64;
+                            acc.1 += 1;
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(got, want);
+            let counted = if plan.is_none() { 0 } else { tids.len() as u64 };
+            prop_assert_eq!(link.transfers(), counted);
+        }
+
+        /// A plan that can never fail — whether it takes the `is_none` fast
+        /// path or the slow path (never-firing blackout forces the latter) —
+        /// is byte-identical to no fault wrapper at all: every transfer
+        /// delivers on the first try, for any seed.
+        #[test]
+        fn zero_fault_plans_are_identical_to_no_wrapper(
+            seed in any::<u64>(),
+            tids in proptest::collection::vec(0u32..4, 1..300usize),
+        ) {
+            let fast = FaultPlan::with_rate(seed, 0);
+            prop_assert!(fast.is_none());
+            let slow = FaultPlan {
+                blackout: Some(TextureBlackout {
+                    tid: 0,
+                    from: u64::MAX,
+                    until: u64::MAX,
+                }),
+                ..fast
+            };
+            prop_assert!(!slow.is_none());
+            let mut a = HostLink::new(fast);
+            let mut b = HostLink::new(slow);
+            for &i in &tids {
+                prop_assert_eq!(a.transfer(t(i)), Transfer::Delivered { retries: 0 });
+                prop_assert_eq!(b.transfer(t(i)), Transfer::Delivered { retries: 0 });
+            }
+            prop_assert_eq!(a.transfers(), 0, "fast path never counts");
+            prop_assert_eq!(b.transfers(), tids.len() as u64);
+        }
+    }
 }

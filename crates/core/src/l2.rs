@@ -123,6 +123,21 @@ impl L2Stats {
     }
 }
 
+/// What one [`L2Cache::access`] did, in full: the outcome plus the
+/// replacement decisions behind it. [`L2Cache::access_traced`] returns this
+/// so a reference model can be compared decision-by-decision, not just on
+/// aggregate counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L2AccessTrace {
+    /// Hit/miss classification.
+    pub outcome: L2Outcome,
+    /// Physical block serving the access (allocated on a full miss).
+    pub block: u32,
+    /// On a full miss that stole a live block: the 0-based page-table index
+    /// of the evicted owner.
+    pub evicted_page: Option<u32>,
+}
+
 /// A texture page table entry: the physical block number (`0` = none
 /// allocated, else 1-based) and the sector presence bits.
 #[derive(Debug, Clone, Copy, Default)]
@@ -325,6 +340,15 @@ impl L2Cache {
     /// Panics if `pt_index` is out of page-table range or `l1_sub` exceeds
     /// the tiling's sub-blocks-per-block.
     pub fn access(&mut self, pt_index: u32, l1_sub: u16) -> L2Outcome {
+        self.access_traced(pt_index, l1_sub).outcome
+    }
+
+    /// [`access`](Self::access) with the replacement decisions exposed:
+    /// which physical block served the access and, on a full miss, which
+    /// page (if any) lost its block. Behaviour and counters are identical
+    /// to `access` — this is the introspection hook the differential
+    /// oracle's lockstep comparison runs on.
+    pub fn access_traced(&mut self, pt_index: u32, l1_sub: u16) -> L2AccessTrace {
         assert!(
             (l1_sub as u32) < self.tiling.l1_per_l2(),
             "sub-block {l1_sub} out of range"
@@ -337,7 +361,7 @@ impl L2Cache {
             let b = (entry.l2_block - 1) as usize;
             let resident = !self.cfg.sector_mapping || entry.sector.get(l1_sub);
             self.replacer.touch(b);
-            if resident {
+            let outcome = if resident {
                 self.stats.full_hits += 1;
                 L2Outcome::FullHit
             } else {
@@ -345,14 +369,20 @@ impl L2Cache {
                 self.t_table[ti].sector.set(l1_sub);
                 self.stats.partial_hits += 1;
                 L2Outcome::PartialHit
+            };
+            L2AccessTrace {
+                outcome,
+                block: b as u32,
+                evicted_page: None,
             }
         } else {
             // Step E: find a victim, steal its block, allocate, download.
             let b = self.replacer.find_victim();
-            if let Some(old) = self.replacer.owner(b) {
+            let evicted_page = self.replacer.owner(b).map(|old| {
                 // Clear the victim's ownership via its t_index (1-based).
                 self.t_table[(old - 1) as usize] = PtEntry::default();
-            }
+                old - 1
+            });
             self.replacer.assign(b, pt_index + 1);
             let mut sector = SectorBits::empty();
             if self.cfg.sector_mapping {
@@ -365,7 +395,11 @@ impl L2Cache {
                 sector,
             };
             self.stats.full_misses += 1;
-            L2Outcome::FullMiss
+            L2AccessTrace {
+                outcome: L2Outcome::FullMiss,
+                block: b as u32,
+                evicted_page,
+            }
         }
     }
 
@@ -426,6 +460,17 @@ impl L2Cache {
         match &self.replacer {
             Replacer::Clock(c) => c.stats(),
             _ => ClockStats::default(),
+        }
+    }
+
+    /// Current clock-hand position (`None` for non-clock policies).
+    /// Conformance checking compares this against the reference model after
+    /// every operation — a drifted hand means future victims diverge even
+    /// while outcomes still agree.
+    pub fn clock_hand(&self) -> Option<usize> {
+        match &self.replacer {
+            Replacer::Clock(c) => Some(c.hand()),
+            _ => None,
         }
     }
 
@@ -678,5 +723,132 @@ mod tests {
         l2.deallocate_texture(0, 1); // free pt 0's block
         l2.access(2, 0); // must take the freed block, not evict pt 1
         assert_eq!(l2.access(1, 0), L2Outcome::FullHit);
+    }
+
+    #[test]
+    fn zero_access_rates_are_zero_not_nan() {
+        // Regression test: with no accesses both conditional rates must be
+        // exactly 0.0 (a plain division would yield NaN and poison every
+        // downstream aggregate).
+        let s = L2Stats::default();
+        assert_eq!(s.accesses(), 0);
+        assert_eq!(s.full_hit_rate(), 0.0);
+        assert_eq!(s.partial_hit_rate(), 0.0);
+        assert!(!s.full_hit_rate().is_nan());
+        assert!(!s.partial_hit_rate().is_nan());
+        // A freshly built cache reports the same.
+        let l2 = small_l2(2, ReplacementPolicy::Clock, 4);
+        assert_eq!(l2.stats().full_hit_rate(), 0.0);
+        assert_eq!(l2.stats().partial_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn access_traced_reports_blocks_and_victims() {
+        let mut l2 = small_l2(2, ReplacementPolicy::Lru, 16);
+        let a = l2.access_traced(0, 0);
+        assert_eq!(a.outcome, L2Outcome::FullMiss);
+        assert_eq!(a.block, 0);
+        assert_eq!(a.evicted_page, None, "free block, nobody evicted");
+        let b = l2.access_traced(1, 0);
+        assert_eq!(
+            (b.outcome, b.block, b.evicted_page),
+            (L2Outcome::FullMiss, 1, None)
+        );
+        // Cache full: pt 2 steals pt 0's block (LRU).
+        let c = l2.access_traced(2, 0);
+        assert_eq!(
+            (c.outcome, c.block, c.evicted_page),
+            (L2Outcome::FullMiss, 0, Some(0))
+        );
+        // Hits and partial hits report the serving block, no victim.
+        let d = l2.access_traced(2, 0);
+        assert_eq!(
+            (d.outcome, d.block, d.evicted_page),
+            (L2Outcome::FullHit, 0, None)
+        );
+        let e = l2.access_traced(2, 3);
+        assert_eq!(
+            (e.outcome, e.block, e.evicted_page),
+            (L2Outcome::PartialHit, 0, None)
+        );
+    }
+
+    #[test]
+    fn clock_hand_is_exposed_for_clock_only() {
+        let mut clock = small_l2(2, ReplacementPolicy::Clock, 8);
+        assert_eq!(clock.clock_hand(), Some(0));
+        clock.access(0, 0);
+        assert_eq!(clock.clock_hand(), Some(1), "hand advanced past victim");
+        assert_eq!(small_l2(2, ReplacementPolicy::Lru, 8).clock_hand(), None);
+        assert_eq!(small_l2(2, ReplacementPolicy::Fifo, 8).clock_hand(), None);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Satellite coverage: random interleavings of `access`,
+        /// `fail_download` and `deallocate_texture` must never leak blocks
+        /// or corrupt the replacement state. "No leak" is checked by
+        /// deallocating every page at the end — anything `blocks_in_use`
+        /// still reports is a block no page owns; "no corruption" by the
+        /// cache continuing to serve every later access without panicking
+        /// and by the clock hand staying in range throughout.
+        #[test]
+        fn fail_dealloc_interleavings_never_leak_blocks(
+            ops in proptest::collection::vec((0u32..3, 0u32..16, 0u32..16), 1..120usize),
+            policy_pick in 0u32..3,
+            blocks in 1usize..5,
+            sector in any::<bool>(),
+        ) {
+            let policy = match policy_pick {
+                0 => ReplacementPolicy::Clock,
+                1 => ReplacementPolicy::Lru,
+                _ => ReplacementPolicy::Fifo,
+            };
+            let entries = 16u32;
+            let mut l2 = L2Cache::new(
+                L2Config {
+                    size_bytes: blocks * 1024,
+                    policy,
+                    sector_mapping: sector,
+                },
+                TilingConfig::PAPER_DEFAULT,
+                entries,
+            );
+            for (kind, a, b) in ops {
+                match kind {
+                    0 => {
+                        let _ = l2.access(a % entries, (b % 16) as u16);
+                    }
+                    1 => l2.fail_download(a % entries, (b % 16) as u16),
+                    _ => {
+                        let tstart = a % entries;
+                        let tlen = (b % (entries - tstart)).max(1);
+                        l2.deallocate_texture(tstart, tlen);
+                    }
+                }
+                prop_assert!(l2.blocks_in_use() <= l2.block_count());
+                if let Some(hand) = l2.clock_hand() {
+                    prop_assert!(hand < l2.block_count(), "clock hand out of range");
+                }
+            }
+            // The replacement state must still be able to cycle through
+            // every page without panicking or double-allocating.
+            for pt in 0..entries {
+                let _ = l2.access(pt, 0);
+                prop_assert!(l2.blocks_in_use() <= l2.block_count());
+            }
+            // Deallocating everything must return every block: anything
+            // left in use afterwards is a leaked block.
+            l2.deallocate_texture(0, entries);
+            prop_assert_eq!(l2.blocks_in_use(), 0, "leaked physical blocks");
+            // And the freed cache is fully reusable.
+            for pt in 0..entries {
+                let _ = l2.access(pt, 0);
+            }
+            prop_assert_eq!(l2.blocks_in_use(), l2.block_count().min(entries as usize));
+        }
     }
 }

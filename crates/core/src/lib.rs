@@ -62,10 +62,10 @@ pub mod model;
 mod push;
 mod telemetry;
 
-pub use engine::{EngineConfig, FrameCounters, SimEngine};
+pub use engine::{AccessTrace, EngineConfig, FrameCounters, SimEngine};
 pub use error::EngineError;
 pub use host_link::{FaultPlan, HostLink, TextureBlackout, Transfer};
 pub use l1::{L1Config, L1TextureCache, StorageFormat};
-pub use l2::{L2Cache, L2Config, L2Outcome, L2Stats, ReplacementPolicy};
+pub use l2::{L2AccessTrace, L2Cache, L2Config, L2Outcome, L2Stats, ReplacementPolicy};
 pub use push::PushArchitecture;
 pub use telemetry::{EngineTelemetry, FRAME_SERIES_COLUMNS};

@@ -1,0 +1,278 @@
+//! Conformance front-end for the differential oracle.
+//!
+//! Replays every cached `.mltct` trace in a directory through
+//! `mltc-oracle`'s [`DiffHarness`] across a matrix of engine
+//! configurations (L2 off / 1 MB / 4 MB × clock / LRU / FIFO × TLB on/off,
+//! plus eviction-stress, sector-off and fault-injected variants), exiting
+//! nonzero if the optimized engine and the naive oracle disagree anywhere.
+//! Divergences are delta-minimized and written as self-contained repro
+//! JSON files.
+//!
+//! ```text
+//! conformance [--traces <dir>] [--repros <dir>] [--render-tiny] [--filter <mode>]
+//! ```
+//!
+//! `--render-tiny` first renders the tiny Village and City workloads into
+//! the trace directory (via the shared trace store), so a cold CI checkout
+//! can bootstrap its own inputs.
+
+use mltc_core::{EngineConfig, FaultPlan, L1Config, L2Config, ReplacementPolicy};
+use mltc_experiments::TraceStore;
+use mltc_oracle::{expand_frame, DiffHarness, Repro, TexelAccess, TraceKey};
+use mltc_raster::Traversal;
+use mltc_scene::{Workload, WorkloadParams};
+use mltc_trace::codec::TraceFileReader;
+use mltc_trace::FilterMode;
+use std::fs::File;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: conformance [--traces <dir>] [--repros <dir>] [--render-tiny] [--filter <mode>]"
+    );
+    ExitCode::from(2)
+}
+
+/// The configuration matrix. Tiny traces never fill a 1 MB L2, so the
+/// matrix adds 64 KB (64-block) variants where replacement actually runs,
+/// a sector-off ablation, and one deterministic fault plan exercising the
+/// retry/degrade paths.
+fn matrix() -> Vec<(String, EngineConfig)> {
+    let l1 = L1Config::kb(2);
+    let base = EngineConfig {
+        l1,
+        l2: None,
+        ..EngineConfig::default()
+    };
+    let mut out = Vec::new();
+    for tlb in [0usize, 8] {
+        out.push((
+            format!("l2=off tlb={tlb}"),
+            EngineConfig {
+                l2: None,
+                tlb_entries: tlb,
+                ..base
+            },
+        ));
+    }
+    let policies = [
+        ReplacementPolicy::Clock,
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Fifo,
+    ];
+    for mb in [1usize, 4] {
+        for policy in policies {
+            for tlb in [0usize, 8] {
+                out.push((
+                    format!("l2={mb}MB policy={policy} tlb={tlb}"),
+                    EngineConfig {
+                        l2: Some(L2Config {
+                            policy,
+                            ..L2Config::mb(mb)
+                        }),
+                        tlb_entries: tlb,
+                        ..base
+                    },
+                ));
+            }
+        }
+    }
+    for policy in policies {
+        out.push((
+            format!("l2=64KB policy={policy} tlb=8 (eviction stress)"),
+            EngineConfig {
+                l2: Some(L2Config {
+                    size_bytes: 64 * 1024,
+                    policy,
+                    ..L2Config::mb(1)
+                }),
+                tlb_entries: 8,
+                ..base
+            },
+        ));
+    }
+    out.push((
+        "l2=64KB policy=clock sector=off tlb=8".into(),
+        EngineConfig {
+            l2: Some(L2Config {
+                size_bytes: 64 * 1024,
+                sector_mapping: false,
+                ..L2Config::mb(1)
+            }),
+            tlb_entries: 8,
+            ..base
+        },
+    ));
+    out.push((
+        "l2=64KB policy=clock tlb=8 fault=20%+burst".into(),
+        EngineConfig {
+            l2: Some(L2Config {
+                size_bytes: 64 * 1024,
+                ..L2Config::mb(1)
+            }),
+            tlb_entries: 8,
+            fault: FaultPlan {
+                burst_period: 11,
+                burst_len: 3,
+                ..FaultPlan::with_rate(0xc0f0_0d5eed, 200_000)
+            },
+            ..base
+        },
+    ));
+    out
+}
+
+fn render_tiny(dir: &Path) {
+    let store = TraceStore::persistent(dir);
+    for workload in [
+        Workload::village(&WorkloadParams::tiny()),
+        Workload::city(&WorkloadParams::tiny()),
+    ] {
+        store.get_or_render(&workload, false, Traversal::Scanline);
+    }
+}
+
+struct TraceInput {
+    path: PathBuf,
+    /// The rebuilt workload; owns the registry the stream indexes into.
+    workload: Workload,
+    stream: Vec<TexelAccess>,
+}
+
+fn load_trace(path: &Path, filter_override: Option<FilterMode>) -> Result<TraceInput, String> {
+    let mut reader =
+        TraceFileReader::new(BufReader::new(File::open(path).map_err(|e| e.to_string())?))
+            .map_err(|e| format!("not a .mltct container: {e}"))?;
+    let key = TraceKey::parse(reader.key())?;
+    let workload = key.workload();
+    let mut stream = Vec::new();
+    for _ in 0..reader.frame_count() {
+        let frame = reader.read_frame().map_err(|e| e.to_string())?;
+        let filter = filter_override.unwrap_or(frame.filter);
+        expand_frame(&frame, filter, workload.scene().registry(), &mut stream)
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(TraceInput {
+        path: path.to_path_buf(),
+        workload,
+        stream,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut traces_dir = PathBuf::from("results/traces");
+    let mut repros_dir = PathBuf::from("results/repros");
+    let mut render = false;
+    let mut filter_override = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--traces" => match it.next() {
+                Some(d) => traces_dir = PathBuf::from(d),
+                None => return usage(),
+            },
+            "--repros" => match it.next() {
+                Some(d) => repros_dir = PathBuf::from(d),
+                None => return usage(),
+            },
+            "--render-tiny" => render = true,
+            "--filter" => match it.next().map(String::as_str) {
+                Some("point") => filter_override = Some(FilterMode::Point),
+                Some("bilinear") => filter_override = Some(FilterMode::Bilinear),
+                Some("trilinear") => filter_override = Some(FilterMode::Trilinear),
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    if render {
+        render_tiny(&traces_dir);
+    }
+
+    let mut trace_paths: Vec<PathBuf> = match std::fs::read_dir(&traces_dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "mltct"))
+            .collect(),
+        Err(e) => {
+            eprintln!("cannot read trace dir {}: {e}", traces_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    trace_paths.sort();
+    if trace_paths.is_empty() {
+        eprintln!(
+            "no .mltct traces under {} (try --render-tiny)",
+            traces_dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let configs = matrix();
+    let mut divergences = 0usize;
+    let mut replays = 0usize;
+    for path in trace_paths {
+        let input = match load_trace(&path, filter_override) {
+            Ok(i) => i,
+            Err(e) => {
+                eprintln!("{}: {e}", path.display());
+                divergences += 1; // unreadable input fails the run too
+                continue;
+            }
+        };
+        let registry = input.workload.scene().registry();
+        println!(
+            "{}: {} accesses x {} configs",
+            input.path.display(),
+            input.stream.len(),
+            configs.len()
+        );
+        for (label, cfg) in &configs {
+            replays += 1;
+            let harness = match DiffHarness::new(*cfg, registry) {
+                Ok(h) => h,
+                Err(e) => {
+                    eprintln!("  {label}: invalid config: {e}");
+                    divergences += 1;
+                    continue;
+                }
+            };
+            match harness.replay(&input.stream) {
+                Ok(()) => println!("  {label}: ok"),
+                Err(div) => {
+                    divergences += 1;
+                    let shrunk = harness.shrink(&input.stream);
+                    let detail = harness
+                        .replay(&shrunk)
+                        .expect_err("shrunk stream still diverges")
+                        .to_string();
+                    let note = format!("{}: {label}: {detail}", input.path.display());
+                    let repro = Repro::capture(&note, *cfg, registry, &shrunk);
+                    match repro.write(&repros_dir) {
+                        Ok(p) => eprintln!(
+                            "  {label}: DIVERGENCE — {div}\n    shrunk to {} accesses, repro: {}",
+                            shrunk.len(),
+                            p.display()
+                        ),
+                        Err(e) => eprintln!(
+                            "  {label}: DIVERGENCE — {div}\n    (failed to write repro: {e})"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    if divergences == 0 {
+        println!("conformance: {replays} replays, no divergences");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("conformance: {divergences} divergence(s) across {replays} replays");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,42 @@
+//! Differential oracle for the texture-cache hierarchy.
+//!
+//! The simulator in `mltc-core` is optimized: packed tags, shift-based
+//! addressing, intrusive replacement lists. This crate holds a second,
+//! deliberately naive implementation of the same architecture — flat maps,
+//! linear scans, textbook replacement policies — and a harness that replays
+//! access streams through **both** models in lockstep, asserting per-access
+//! agreement on:
+//!
+//! - L1 hit/miss classification,
+//! - TLB hit/miss classification,
+//! - L2 outcome (full hit / partial hit / full miss) and the block chosen,
+//! - the eviction victim (page index), including the clock hand position,
+//! - host-link byte counts, retries and fault outcomes.
+//!
+//! Because the two implementations share no code, a bug has to be made
+//! *twice, identically* to escape: the oracle turns the paper's
+//! architectural contract into an executable invariant.
+//!
+//! When the models disagree, [`DiffHarness::shrink`] delta-minimizes the
+//! access stream and [`Repro`] persists it (with the engine configuration
+//! and texture geometry) as a self-contained JSON file under
+//! `results/repros/` — reproducible with `tracetool shrink` or a four-line
+//! test.
+//!
+//! The conformance front-end (`conformance` binary in `mltc-experiments`)
+//! replays every cached `.mltct` trace through this harness across a
+//! configuration matrix; [`TraceKey`] rebuilds each trace's workload from
+//! the key string embedded in the file, so conformance runs need no
+//! rendering.
+
+mod diff;
+mod json;
+mod key;
+mod model;
+mod repro;
+
+pub use diff::{expand_frame, replay_pair, DiffHarness, Divergence, TexelAccess};
+pub use json::Json;
+pub use key::TraceKey;
+pub use model::OracleEngine;
+pub use repro::{config_from_json, config_to_json, Repro};

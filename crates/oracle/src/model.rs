@@ -1,0 +1,691 @@
+//! The deliberately-naive reference model of the full cache hierarchy.
+//!
+//! Every structure here is written the *obvious* way — flat maps, linear
+//! scans, bit-by-bit loops — with none of the packing, 6D-index or intrusive
+//! -list tricks the engine uses. The point is independence: the oracle and
+//! [`mltc_core::SimEngine`] should only agree because they implement the
+//! same architecture, not because they share code. The one thing they *do*
+//! share is the architectural contract itself: the L1 set-hash constants,
+//! the coarsest-first L2 block numbering, the replacement policies' victim
+//! order and the host link's SplitMix64 fault schedule are all part of the
+//! specification being checked, and are restated here from the paper /
+//! design doc rather than imported.
+
+use mltc_core::{AccessTrace, EngineConfig, L2Outcome, ReplacementPolicy, Transfer};
+use mltc_texture::{TextureId, TextureRegistry};
+
+/// Naive L1: a vector of sets, each a vector of lines, scanned linearly.
+struct NaiveL1 {
+    sets: Vec<Vec<NaiveLine>>,
+    tick: u64,
+    tile_shift: u32,
+    linear_storage: bool,
+}
+
+#[derive(Clone, Copy)]
+struct NaiveLine {
+    valid: bool,
+    tag: u64,
+    stamp: u64,
+}
+
+/// Interleaves the low 16 bits of `x` and `y`, one bit at a time.
+fn morton_bit_by_bit(x: u32, y: u32) -> u32 {
+    let mut out = 0u32;
+    for bit in 0..16 {
+        out |= ((x >> bit) & 1) << (2 * bit);
+        out |= ((y >> bit) & 1) << (2 * bit + 1);
+    }
+    out
+}
+
+impl NaiveL1 {
+    fn new(cfg: &EngineConfig) -> Self {
+        let sets = cfg.l1.sets();
+        let ways = cfg.l1.ways;
+        Self {
+            sets: vec![
+                vec![
+                    NaiveLine {
+                        valid: false,
+                        tag: 0,
+                        stamp: 0
+                    };
+                    ways
+                ];
+                sets
+            ],
+            tick: 0,
+            tile_shift: cfg.l1.tile.shift(),
+            linear_storage: matches!(cfg.l1.storage, mltc_core::StorageFormat::Linear),
+        }
+    }
+
+    fn block_coords(&self, u: u32, v: u32) -> (u32, u32) {
+        if self.linear_storage {
+            (u >> (2 * self.tile_shift), v)
+        } else {
+            (u >> self.tile_shift, v >> self.tile_shift)
+        }
+    }
+
+    /// The architecture's set hash (design contract, restated): Morton
+    /// coordinates perturbed by level and texture id, XOR-folded down to
+    /// the set bits.
+    fn set_index(&self, tid: u32, m: u32, bx: u32, by: u32) -> usize {
+        let set_count = self.sets.len() as u32;
+        let mut h = morton_bit_by_bit(bx, by)
+            ^ m.wrapping_mul(0x85eb_ca6b)
+            ^ tid.wrapping_mul(0x9e37_79b1).rotate_right(16);
+        let bits = set_count.trailing_zeros().max(1);
+        let mut shift = bits;
+        while shift < 32 {
+            h ^= h >> shift;
+            shift += bits;
+        }
+        (h & (set_count - 1)) as usize
+    }
+
+    fn locate(&self, tid: u32, m: u32, u: u32, v: u32) -> (u64, usize) {
+        let (bx, by) = self.block_coords(u, v);
+        // ⟨tid, m, bx, by⟩ packed exactly as the L1BlockKey contract.
+        let tag = ((tid as u64) << 28) | ((m as u64) << 24) | ((bx as u64) << 12) | by as u64;
+        (tag, self.set_index(tid, m, bx, by))
+    }
+
+    fn access(&mut self, tid: u32, m: u32, u: u32, v: u32) -> bool {
+        let (tag, set) = self.locate(tid, m, u, v);
+        self.tick += 1;
+        let lines = &mut self.sets[set];
+        let mut victim = 0usize;
+        let mut victim_stamp = u64::MAX;
+        for (i, line) in lines.iter_mut().enumerate() {
+            if line.valid && line.tag == tag {
+                line.stamp = self.tick;
+                return true;
+            }
+            // Invalid lines rank as stamp 0; first minimum wins.
+            let key = if line.valid { line.stamp } else { 0 };
+            if key < victim_stamp {
+                victim_stamp = key;
+                victim = i;
+            }
+        }
+        lines[victim] = NaiveLine {
+            valid: true,
+            tag,
+            stamp: self.tick,
+        };
+        false
+    }
+
+    fn invalidate(&mut self, tid: u32, m: u32, u: u32, v: u32) {
+        let (tag, set) = self.locate(tid, m, u, v);
+        for line in &mut self.sets[set] {
+            if line.valid && line.tag == tag {
+                line.valid = false;
+            }
+        }
+    }
+}
+
+/// Flat page table: one slot per level of every live texture, bases
+/// assigned coarsest level first within a texture, textures in registry
+/// iteration order — the paper's Fig. 2 numbering, recomputed from scratch.
+struct FlatPageTable {
+    /// Indexed by tid; `None` for deleted or never-issued slots.
+    textures: Vec<Option<FlatTexture>>,
+    l2_shift: u32,
+    l2_texels: u32,
+    l1_shift: u32,
+    sub_edge: u32,
+}
+
+struct FlatTexture {
+    tstart: u32,
+    /// Per level, finest first: (width, height, grid_w, base).
+    levels: Vec<(u32, u32, u32, u32)>,
+}
+
+impl FlatPageTable {
+    fn new(cfg: &EngineConfig, registry: &TextureRegistry) -> Self {
+        let l2_texels = cfg.tiling.l2().texels();
+        let mut textures: Vec<Option<FlatTexture>> =
+            (0..registry.issued_count()).map(|_| None).collect();
+        let mut next_start = 0u32;
+        for (tid, pyr) in registry.iter() {
+            let dims: Vec<(u32, u32)> = pyr.iter().map(|img| (img.width(), img.height())).collect();
+            let mut bases = vec![0u32; dims.len()];
+            let mut next = 0u32;
+            for i in (0..dims.len()).rev() {
+                bases[i] = next;
+                next += dims[i].0.div_ceil(l2_texels) * dims[i].1.div_ceil(l2_texels);
+            }
+            let levels = dims
+                .iter()
+                .zip(&bases)
+                .map(|(&(w, h), &base)| (w, h, w.div_ceil(l2_texels), base))
+                .collect();
+            textures[tid.index() as usize] = Some(FlatTexture {
+                tstart: next_start,
+                levels,
+            });
+            next_start += next;
+        }
+        Self {
+            textures,
+            l2_shift: cfg.tiling.l2().shift(),
+            l2_texels,
+            l1_shift: cfg.tiling.l1().shift(),
+            sub_edge: cfg.tiling.l1_per_l2_edge(),
+        }
+    }
+
+    fn level_count(&self, tid: u32) -> u32 {
+        self.textures
+            .get(tid as usize)
+            .and_then(|t| t.as_ref())
+            .map_or(0, |t| t.levels.len() as u32)
+    }
+
+    fn level_dims(&self, tid: u32, m: u32) -> Option<(u32, u32)> {
+        let t = self.textures.get(tid as usize)?.as_ref()?;
+        let &(w, h, _, _) = t.levels.get(m as usize)?;
+        Some((w, h))
+    }
+
+    /// ⟨u,v,m⟩ → (page-table index, L1 sub-block number).
+    fn locate(&self, tid: u32, m: u32, u: u32, v: u32) -> Option<(u32, u16)> {
+        let t = self.textures.get(tid as usize)?.as_ref()?;
+        let &(_, _, grid_w, base) = t.levels.get(m as usize)?;
+        let l2 = base + (v >> self.l2_shift) * grid_w + (u >> self.l2_shift);
+        let su = (u % self.l2_texels) >> self.l1_shift;
+        let sv = (v % self.l2_texels) >> self.l1_shift;
+        let sub = (sv * self.sub_edge + su) as u16;
+        Some((t.tstart + l2, sub))
+    }
+}
+
+/// Naive L2: a flat page vector, a flat owner vector, and textbook
+/// replacement (clock sweep over a bool vector, O(n) LRU order vector,
+/// FIFO queue).
+struct NaiveL2 {
+    /// Per page-table entry: the physical block (if any) and which
+    /// sub-blocks are resident.
+    pages: Vec<NaivePage>,
+    /// Per physical block: the 0-based page-table index owning it.
+    owners: Vec<Option<u32>>,
+    policy: ReplacementPolicy,
+    sector_mapping: bool,
+    subs: usize,
+    // Clock state: one "recently used" bit per block plus the hand.
+    active: Vec<bool>,
+    hand: usize,
+    // LRU state: block indices, front = least recently used.
+    lru_order: Vec<usize>,
+    // FIFO state: free blocks (popped from the back) and allocation order.
+    fifo_free: Vec<usize>,
+    fifo_queue: Vec<usize>,
+}
+
+#[derive(Clone)]
+struct NaivePage {
+    block: Option<usize>,
+    sectors: Vec<bool>,
+}
+
+impl NaiveL2 {
+    fn new(cfg: &EngineConfig, page_table_entries: usize) -> Option<Self> {
+        let l2cfg = cfg.l2?;
+        let blocks = l2cfg.size_bytes / cfg.tiling.l2().cache_bytes();
+        let subs = cfg.tiling.l1_per_l2() as usize;
+        Some(Self {
+            pages: vec![
+                NaivePage {
+                    block: None,
+                    sectors: vec![false; subs]
+                };
+                page_table_entries
+            ],
+            owners: vec![None; blocks],
+            policy: l2cfg.policy,
+            sector_mapping: l2cfg.sector_mapping,
+            subs,
+            active: vec![false; blocks],
+            hand: 0,
+            lru_order: (0..blocks).collect(),
+            fifo_free: (0..blocks).rev().collect(),
+            fifo_queue: Vec::with_capacity(blocks),
+        })
+    }
+
+    fn touch(&mut self, b: usize) {
+        match self.policy {
+            ReplacementPolicy::Clock => self.active[b] = true,
+            ReplacementPolicy::Lru => {
+                // Move to the back (most recently used) — unless already there.
+                if *self.lru_order.last().unwrap() != b {
+                    self.lru_order.retain(|&x| x != b);
+                    self.lru_order.push(b);
+                }
+            }
+            ReplacementPolicy::Fifo => {}
+        }
+    }
+
+    fn find_victim(&mut self) -> usize {
+        match self.policy {
+            ReplacementPolicy::Clock => loop {
+                let i = self.hand;
+                self.hand = (self.hand + 1) % self.active.len();
+                if self.active[i] {
+                    self.active[i] = false;
+                } else {
+                    return i;
+                }
+            },
+            ReplacementPolicy::Lru => self.lru_order[0],
+            ReplacementPolicy::Fifo => match self.fifo_free.pop() {
+                Some(b) => b,
+                None => self.fifo_queue.remove(0),
+            },
+        }
+    }
+
+    /// Registers ownership after a victim was chosen (the "assign" half of
+    /// the replacement contract; also counts as a touch).
+    fn assign(&mut self, b: usize, pt: u32) {
+        self.owners[b] = Some(pt);
+        match self.policy {
+            ReplacementPolicy::Clock => self.active[b] = true,
+            ReplacementPolicy::Lru => {
+                self.lru_order.retain(|&x| x != b);
+                self.lru_order.push(b);
+            }
+            ReplacementPolicy::Fifo => self.fifo_queue.push(b),
+        }
+    }
+
+    fn release(&mut self, b: usize) {
+        self.owners[b] = None;
+        match self.policy {
+            ReplacementPolicy::Clock => self.active[b] = false,
+            ReplacementPolicy::Lru => {
+                // Freed blocks move to the front so they are reused first.
+                if self.lru_order[0] != b {
+                    self.lru_order.retain(|&x| x != b);
+                    self.lru_order.insert(0, b);
+                }
+            }
+            ReplacementPolicy::Fifo => {
+                self.fifo_queue.retain(|&x| x != b);
+                self.fifo_free.push(b);
+            }
+        }
+    }
+
+    /// Fig. 7 steps C–F, naively. Returns (outcome, serving block, evicted
+    /// page).
+    fn access(&mut self, pt: u32, sub: u16) -> (L2Outcome, u32, Option<u32>) {
+        let ti = pt as usize;
+        let sub = sub as usize;
+        assert!(sub < self.subs, "sub-block out of range");
+        if let Some(b) = self.pages[ti].block {
+            self.touch(b);
+            let resident = !self.sector_mapping || self.pages[ti].sectors[sub];
+            if resident {
+                (L2Outcome::FullHit, b as u32, None)
+            } else {
+                self.pages[ti].sectors[sub] = true;
+                (L2Outcome::PartialHit, b as u32, None)
+            }
+        } else {
+            let b = self.find_victim();
+            let evicted = self.owners[b];
+            if let Some(old) = evicted {
+                self.pages[old as usize].block = None;
+                self.pages[old as usize].sectors.fill(false);
+            }
+            self.assign(b, pt);
+            self.pages[ti].block = Some(b);
+            self.pages[ti].sectors.fill(!self.sector_mapping);
+            if self.sector_mapping {
+                self.pages[ti].sectors[sub] = true;
+            }
+            (L2Outcome::FullMiss, b as u32, evicted)
+        }
+    }
+
+    fn is_resident(&self, pt: u32, sub: u16) -> bool {
+        let page = &self.pages[pt as usize];
+        page.block.is_some() && (!self.sector_mapping || page.sectors[sub as usize])
+    }
+
+    fn fail_download(&mut self, pt: u32, sub: u16) {
+        let ti = pt as usize;
+        let Some(b) = self.pages[ti].block else {
+            return;
+        };
+        if self.sector_mapping {
+            self.pages[ti].sectors[sub as usize] = false;
+        } else {
+            self.release(b);
+            self.pages[ti].block = None;
+            self.pages[ti].sectors.fill(false);
+        }
+    }
+
+    fn clock_hand(&self) -> Option<usize> {
+        matches!(self.policy, ReplacementPolicy::Clock).then_some(self.hand)
+    }
+
+    /// Structural invariants any correct run must preserve; returns a
+    /// description of the first violation found.
+    fn check_invariants(&self) -> Result<(), String> {
+        for (ti, page) in self.pages.iter().enumerate() {
+            if let Some(b) = page.block {
+                if self.owners.get(b).copied().flatten() != Some(ti as u32) {
+                    return Err(format!(
+                        "page {ti} claims block {b} but owners[{b}] = {:?}",
+                        self.owners.get(b)
+                    ));
+                }
+            } else if page.sectors.iter().any(|&s| s) {
+                return Err(format!("page {ti} has resident sectors but no block"));
+            }
+        }
+        for (b, owner) in self.owners.iter().enumerate() {
+            if let Some(pt) = owner {
+                if self.pages[*pt as usize].block != Some(b) {
+                    return Err(format!(
+                        "owners[{b}] = {pt} but that page maps {:?}",
+                        self.pages[*pt as usize].block
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Independent replica of the host link's deterministic fault schedule.
+struct NaiveHost {
+    plan: mltc_core::FaultPlan,
+    rng: u64,
+    ordinal: u64,
+}
+
+impl NaiveHost {
+    fn new(plan: mltc_core::FaultPlan) -> Self {
+        Self {
+            plan,
+            rng: plan.seed,
+            ordinal: 0,
+        }
+    }
+
+    fn splitmix(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn transfer(&mut self, tid: u32) -> Transfer {
+        if self.plan.is_none() {
+            return Transfer::Delivered { retries: 0 };
+        }
+        let ordinal = self.ordinal;
+        self.ordinal += 1;
+        let attempts = self.plan.max_attempts.max(1);
+        let in_burst = self.plan.burst_period > 0
+            && (ordinal % self.plan.burst_period as u64) < self.plan.burst_len as u64;
+        let in_blackout = self
+            .plan
+            .blackout
+            .is_some_and(|b| b.tid == tid && ordinal >= b.from && ordinal < b.until);
+        if in_burst || in_blackout {
+            return Transfer::Failed {
+                retries: attempts - 1,
+            };
+        }
+        for attempt in 0..attempts {
+            let draw = (self.splitmix() % 1_000_000) as u32;
+            if draw >= self.plan.fail_ppm {
+                return Transfer::Delivered { retries: attempt };
+            }
+        }
+        Transfer::Failed {
+            retries: attempts - 1,
+        }
+    }
+}
+
+/// The reference model of a whole [`mltc_core::SimEngine`]: replays texel
+/// accesses through naive L1 → TLB → L2 → host models and reports each one
+/// as an [`AccessTrace`], directly comparable with
+/// [`SimEngine::access_texel_traced`](mltc_core::SimEngine::access_texel_traced).
+pub struct OracleEngine {
+    cfg: EngineConfig,
+    l1: NaiveL1,
+    table: FlatPageTable,
+    l2: Option<NaiveL2>,
+    /// Naive TLB: an Option vector scanned linearly, round-robin refill.
+    tlb_entries: Vec<Option<u64>>,
+    tlb_next: usize,
+    host: NaiveHost,
+}
+
+impl OracleEngine {
+    /// Builds the oracle for the same `(config, registry)` pair an engine
+    /// would be built from. Invalid configurations are the engine's concern
+    /// (`SimEngine::try_new`); the oracle assumes a buildable one.
+    pub fn new(cfg: EngineConfig, registry: &TextureRegistry) -> Self {
+        let table = FlatPageTable::new(&cfg, registry);
+        let total: u32 = table
+            .textures
+            .iter()
+            .flatten()
+            .map(|t| {
+                t.levels
+                    .iter()
+                    .map(|&(_, h, gw, _)| gw * h.div_ceil(cfg.tiling.l2().texels()))
+                    .sum::<u32>()
+            })
+            .sum();
+        let l2 = NaiveL2::new(&cfg, total as usize);
+        Self {
+            cfg,
+            l1: NaiveL1::new(&cfg),
+            table,
+            l2,
+            tlb_entries: vec![None; cfg.tlb_entries],
+            tlb_next: 0,
+            host: NaiveHost::new(cfg.fault),
+        }
+    }
+
+    /// One texel access through the whole hierarchy, mirroring the engine's
+    /// Fig. 7 control flow step by step.
+    pub fn access_texel(&mut self, tid: TextureId, m: u32, u: u32, v: u32) -> AccessTrace {
+        let tid = tid.index();
+        let mut trace = AccessTrace::default();
+        if self.l1.access(tid, m, u, v) {
+            trace.l1_hit = true;
+            return trace;
+        }
+        let l1_bytes = self.cfg.l1.line_bytes() as u64;
+        match &mut self.l2 {
+            None => match self.host.transfer(tid) {
+                Transfer::Delivered { retries } => {
+                    trace.retries = retries;
+                    trace.host_bytes = l1_bytes;
+                }
+                Transfer::Failed { retries } => {
+                    trace.retries = retries;
+                    trace.failed = true;
+                    trace.dropped = true;
+                    self.l1.invalidate(tid, m, u, v);
+                }
+            },
+            Some(l2) => {
+                let (pt, sub) = self
+                    .table
+                    .locate(tid, m, u, v)
+                    .expect("texel access to texture unknown to the oracle");
+                if !self.tlb_entries.is_empty() {
+                    let hit = {
+                        let hit = self.tlb_entries.contains(&Some(pt as u64));
+                        if !hit {
+                            self.tlb_entries[self.tlb_next] = Some(pt as u64);
+                            self.tlb_next = (self.tlb_next + 1) % self.tlb_entries.len();
+                        }
+                        hit
+                    };
+                    trace.tlb_hit = Some(hit);
+                }
+                let (outcome, block, evicted) = l2.access(pt, sub);
+                trace.l2 = Some(outcome);
+                trace.l2_block = Some(block);
+                trace.evicted_page = evicted;
+                let dl = match outcome {
+                    L2Outcome::FullHit => return trace,
+                    L2Outcome::PartialHit => l1_bytes,
+                    L2Outcome::FullMiss => {
+                        if l2.sector_mapping {
+                            l1_bytes
+                        } else {
+                            self.cfg.tiling.l2().cache_bytes() as u64
+                        }
+                    }
+                };
+                match self.host.transfer(tid) {
+                    Transfer::Delivered { retries } => {
+                        trace.retries = retries;
+                        trace.host_bytes = dl;
+                    }
+                    Transfer::Failed { retries } => {
+                        trace.retries = retries;
+                        trace.failed = true;
+                        l2.fail_download(pt, sub);
+                        self.l1.invalidate(tid, m, u, v);
+                        // Degrade to the nearest coarser resident mip level.
+                        let mut served = false;
+                        for cm in (m + 1)..self.table.level_count(tid) {
+                            let Some((cw, ch)) = self.table.level_dims(tid, cm) else {
+                                continue;
+                            };
+                            let cu = (u >> (cm - m)).min(cw.saturating_sub(1));
+                            let cv = (v >> (cm - m)).min(ch.saturating_sub(1));
+                            if let Some((cpt, csub)) = self.table.locate(tid, cm, cu, cv) {
+                                if l2.is_resident(cpt, csub) {
+                                    served = true;
+                                    break;
+                                }
+                            }
+                        }
+                        if served {
+                            trace.degraded = true;
+                        } else {
+                            trace.dropped = true;
+                        }
+                    }
+                }
+            }
+        }
+        trace
+    }
+
+    /// Clock-hand position of the naive L2 (`None` without an L2 or for
+    /// non-clock policies) — compared against
+    /// [`L2Cache::clock_hand`](mltc_core::L2Cache::clock_hand) each step.
+    pub fn clock_hand(&self) -> Option<usize> {
+        self.l2.as_ref().and_then(|l2| l2.clock_hand())
+    }
+
+    /// Whether sub-block `sub` of page `pt` is resident (read-only).
+    pub fn is_resident(&self, pt: u32, sub: u16) -> bool {
+        self.l2.as_ref().is_some_and(|l2| l2.is_resident(pt, sub))
+    }
+
+    /// Number of page-table entries the model derived (for cross-checking
+    /// against [`PageTableLayout::entry_count`](mltc_texture::PageTableLayout)).
+    pub fn page_table_entries(&self) -> usize {
+        self.l2.as_ref().map_or(0, |l2| l2.pages.len())
+    }
+
+    /// Structural self-check: page↔block ownership is a bijection and no
+    /// sector is resident without a backing block. These are the *inclusion*
+    /// invariants of the design — sector residency ⊆ page residency ⊆
+    /// physical allocation.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        match &self.l2 {
+            Some(l2) => l2.check_invariants(),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mltc_core::{L1Config, L2Config};
+    use mltc_texture::{synth, MipPyramid};
+
+    fn registry(n: usize, dim: u32) -> TextureRegistry {
+        let mut reg = TextureRegistry::new();
+        for i in 0..n {
+            reg.load(
+                format!("t{i}"),
+                MipPyramid::from_image(synth::checkerboard(dim, 4, [0; 3], [255; 3])),
+            );
+        }
+        reg
+    }
+
+    #[test]
+    fn morton_matches_closed_form() {
+        // The naive loop against a couple of hand-computed values.
+        assert_eq!(morton_bit_by_bit(0, 0), 0);
+        assert_eq!(morton_bit_by_bit(1, 0), 1);
+        assert_eq!(morton_bit_by_bit(0, 1), 2);
+        assert_eq!(morton_bit_by_bit(3, 3), 0b1111);
+        assert_eq!(morton_bit_by_bit(0xffff, 0), 0x5555_5555);
+    }
+
+    #[test]
+    fn page_table_entry_count_matches_layout() {
+        let reg = registry(3, 64);
+        let cfg = EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(1)),
+            ..EngineConfig::default()
+        };
+        let oracle = OracleEngine::new(cfg, &reg);
+        let layout = mltc_texture::PageTableLayout::new(&reg, cfg.tiling);
+        assert_eq!(oracle.page_table_entries(), layout.entry_count() as usize);
+    }
+
+    #[test]
+    fn cold_access_is_a_full_miss_with_download() {
+        let reg = registry(1, 64);
+        let cfg = EngineConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(1)),
+            tlb_entries: 2,
+            ..EngineConfig::default()
+        };
+        let mut oracle = OracleEngine::new(cfg, &reg);
+        let t = TextureId::from_index(0);
+        let a = oracle.access_texel(t, 0, 0, 0);
+        assert!(!a.l1_hit);
+        assert_eq!(a.l2, Some(L2Outcome::FullMiss));
+        assert_eq!(a.tlb_hit, Some(false));
+        assert_eq!(a.host_bytes, 64);
+        let b = oracle.access_texel(t, 0, 0, 0);
+        assert!(b.l1_hit);
+        assert_eq!(b.l2, None);
+        oracle.check_invariants().unwrap();
+    }
+}

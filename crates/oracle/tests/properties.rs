@@ -1,0 +1,271 @@
+//! Property and metamorphic tests over the differential oracle.
+//!
+//! Access streams are generated from raw integer tuples and shaped in-body
+//! (the vendored proptest supports the `proptest!` macro with basic
+//! strategies only): skewed texture ids (texture 0 is hot), mip-level
+//! walks, and frame-coherent re-touch (the whole stream optionally replays
+//! a second time, modelling the next frame touching the same texels).
+
+use mltc_core::{
+    EngineConfig, FaultPlan, L1Config, L2Config, L2Outcome, ReplacementPolicy, SimEngine,
+};
+use mltc_oracle::{DiffHarness, OracleEngine, TexelAccess};
+use mltc_texture::{synth, MipPyramid, TextureId, TextureRegistry};
+use proptest::prelude::*;
+
+const TEX_DIM: u32 = 64;
+const TEX_COUNT: u32 = 3;
+
+fn registry() -> TextureRegistry {
+    let mut reg = TextureRegistry::new();
+    for i in 0..TEX_COUNT {
+        reg.load(
+            format!("t{i}"),
+            MipPyramid::from_image(synth::checkerboard(TEX_DIM, 4, [0; 3], [255; 3])),
+        );
+    }
+    reg
+}
+
+/// Shapes raw tuples into a valid access stream. `tid_sel` is skewed so
+/// texture 0 dominates (cache contention on a hot texture); `walk` turns an
+/// access into a short mip-level walk (the trilinear pattern); `retouch`
+/// replays the whole stream once more, frame-coherently.
+fn shape_stream(raw: &[(u8, u8, u32, u32, u8)], retouch: bool) -> Vec<TexelAccess> {
+    let mut stream = Vec::new();
+    for &(tid_sel, m_raw, u_raw, v_raw, walk) in raw {
+        // Skew: 0..=4 -> texture 0, 5..=6 -> 1, 7 -> 2.
+        let tid = match tid_sel % 8 {
+            0..=4 => 0,
+            5 | 6 => 1,
+            _ => 2,
+        };
+        let m0 = (m_raw % 4) as u32; // dims 64,32,16,8 at m 0..=3
+        let walk_len = if walk % 4 == 0 { 2 } else { 1 };
+        for step in 0..walk_len {
+            let m = (m0 + step).min(3);
+            let dim = TEX_DIM >> m;
+            stream.push(TexelAccess {
+                tid,
+                m,
+                u: u_raw % dim,
+                v: v_raw % dim,
+            });
+        }
+    }
+    if retouch {
+        let first: Vec<TexelAccess> = stream.clone();
+        stream.extend(first);
+    }
+    stream
+}
+
+fn config(l2_sel: u8, policy_sel: u8, tlb_sel: u8, sector: bool, fault_sel: u8) -> EngineConfig {
+    // Small L2 sizes keep eviction pressure high: 4 KB is 4 blocks.
+    let l2 = match l2_sel % 4 {
+        0 => None,
+        1 => Some(4 * 1024),
+        2 => Some(8 * 1024),
+        _ => Some(32 * 1024),
+    };
+    let policy = match policy_sel % 3 {
+        0 => ReplacementPolicy::Clock,
+        1 => ReplacementPolicy::Lru,
+        _ => ReplacementPolicy::Fifo,
+    };
+    let fault = match fault_sel % 3 {
+        0 => FaultPlan::none(),
+        1 => FaultPlan::with_rate(0x0bad_5eed, 200_000), // 20 % per attempt
+        _ => FaultPlan {
+            burst_period: 7,
+            burst_len: 2,
+            ..FaultPlan::with_rate(0xfeed_face, 50_000)
+        },
+    };
+    EngineConfig {
+        l1: L1Config::kb(2),
+        l2: l2.map(|size_bytes| L2Config {
+            size_bytes,
+            policy,
+            sector_mapping: sector,
+        }),
+        tlb_entries: [0usize, 2, 8][(tlb_sel % 3) as usize],
+        fault,
+        ..EngineConfig::default()
+    }
+}
+
+fn full_hits(cfg: EngineConfig, reg: &TextureRegistry, stream: &[TexelAccess]) -> u64 {
+    let mut engine = SimEngine::new(cfg, reg);
+    let mut hits = 0;
+    for a in stream {
+        let t = engine.access_texel_traced(TextureId::from_index(a.tid), a.m, a.u, a.v);
+        if t.l2 == Some(L2Outcome::FullHit) {
+            hits += 1;
+        }
+    }
+    hits
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The tentpole invariant: for any configuration in the modelled space
+    /// and any shaped access stream, the optimized engine and the naive
+    /// oracle agree access-by-access (classification, bytes, victims, clock
+    /// hand). A divergence here is a real bug in one of the two models.
+    #[test]
+    fn engine_matches_oracle_on_random_configs_and_streams(
+        raw in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u32>(), any::<u32>(), any::<u8>()), 1..120),
+        retouch in any::<bool>(),
+        l2_sel in any::<u8>(),
+        policy_sel in any::<u8>(),
+        tlb_sel in any::<u8>(),
+        sector in any::<bool>(),
+        fault_sel in any::<u8>(),
+    ) {
+        let reg = registry();
+        let stream = shape_stream(&raw, retouch);
+        let cfg = config(l2_sel, policy_sel, tlb_sel, sector, fault_sel);
+        let harness = DiffHarness::new(cfg, &reg).expect("generated configs are valid");
+        if let Err(div) = harness.replay(&stream) {
+            let shrunk = harness.shrink(&stream);
+            prop_assert!(false, "{div}\nshrunk to {} accesses", shrunk.len());
+        }
+    }
+
+    /// Metamorphic: under LRU, the L2 full-hit count is monotone
+    /// non-decreasing in L2 size on a fixed trace (the stack/inclusion
+    /// property of LRU). Deliberately restricted to LRU — clock and FIFO
+    /// exhibit Belady's anomaly, where more capacity can hit *less*.
+    #[test]
+    fn lru_full_hits_monotone_in_l2_size(
+        raw in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u32>(), any::<u32>(), any::<u8>()), 1..150),
+        retouch in any::<bool>(),
+        sector in any::<bool>(),
+        tlb_sel in any::<u8>(),
+    ) {
+        let reg = registry();
+        let stream = shape_stream(&raw, retouch);
+        let sizes = [4 * 1024usize, 8 * 1024, 16 * 1024, 64 * 1024];
+        let mut prev = None;
+        for size in sizes {
+            let cfg = EngineConfig {
+                l1: L1Config::kb(2),
+                l2: Some(L2Config {
+                    size_bytes: size,
+                    policy: ReplacementPolicy::Lru,
+                    sector_mapping: sector,
+                }),
+                tlb_entries: [0usize, 2, 8][(tlb_sel % 3) as usize],
+                ..EngineConfig::default()
+            };
+            let hits = full_hits(cfg, &reg, &stream);
+            if let Some(prev) = prev {
+                prop_assert!(
+                    hits >= prev,
+                    "LRU full hits dropped from {prev} to {hits} when L2 grew to {size} bytes"
+                );
+            }
+            prev = Some(hits);
+        }
+    }
+
+    /// Structural invariant: after any replay, every resident sector's page
+    /// owns a block, and the page table and block-owner maps agree
+    /// (sector ⊆ page residency inclusion), checked on the oracle's flat
+    /// state where the relation is explicit.
+    #[test]
+    fn sector_residency_implies_page_residency(
+        raw in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u32>(), any::<u32>(), any::<u8>()), 1..120),
+        l2_sel in 1u8..4,
+        policy_sel in any::<u8>(),
+        sector in any::<bool>(),
+        fault_sel in any::<u8>(),
+    ) {
+        let reg = registry();
+        let stream = shape_stream(&raw, false);
+        let cfg = config(l2_sel, policy_sel, 0, sector, fault_sel);
+        let mut oracle = OracleEngine::new(cfg, &reg);
+        for a in &stream {
+            oracle.access_texel(TextureId::from_index(a.tid), a.m, a.u, a.v);
+            if let Err(e) = oracle.check_invariants() {
+                prop_assert!(false, "invariant broken mid-stream: {e}");
+            }
+        }
+    }
+
+    /// Conservation: with a perfect host link, every byte the engine
+    /// reports downloading is explained by its own per-access
+    /// classification — L1-line-sized pulls on partial hits (and no-L2
+    /// misses), block- or line-sized downloads on full misses depending on
+    /// sector mapping — and the per-access sum equals the frame totals.
+    #[test]
+    fn bytes_downloaded_match_miss_classification_without_faults(
+        raw in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u32>(), any::<u32>(), any::<u8>()), 1..150),
+        retouch in any::<bool>(),
+        l2_sel in any::<u8>(),
+        policy_sel in any::<u8>(),
+        tlb_sel in any::<u8>(),
+        sector in any::<bool>(),
+    ) {
+        let reg = registry();
+        let stream = shape_stream(&raw, retouch);
+        let cfg = config(l2_sel, policy_sel, tlb_sel, sector, 0);
+        let line = cfg.l1.line_bytes() as u64;
+        let block = cfg.tiling.l2().cache_bytes() as u64;
+        let mut engine = SimEngine::new(cfg, &reg);
+        let mut summed = 0u64;
+        for a in &stream {
+            let t = engine.access_texel_traced(TextureId::from_index(a.tid), a.m, a.u, a.v);
+            let expected = match (t.l1_hit, t.l2) {
+                (true, _) => 0,
+                (false, Some(L2Outcome::FullHit)) => 0,
+                (false, Some(L2Outcome::PartialHit)) => line,
+                (false, Some(L2Outcome::FullMiss)) => if sector { line } else { block },
+                (false, None) => line, // no L2: every L1 miss pulls a line
+            };
+            prop_assert_eq!(
+                t.host_bytes, expected,
+                "access ({}, {}, {}, {}) classified {:?}", a.tid, a.m, a.u, a.v, t.l2
+            );
+            summed += t.host_bytes;
+        }
+        engine.end_frame();
+        prop_assert_eq!(engine.totals().host_bytes, summed);
+    }
+
+    /// Conservation: L2 outcomes partition L1 misses — full hits + partial
+    /// hits + full misses add up to exactly the L1 misses (when an L2 is
+    /// present), and the engine counted every access we issued.
+    #[test]
+    fn l2_outcomes_partition_l1_misses(
+        raw in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u32>(), any::<u32>(), any::<u8>()), 1..150),
+        retouch in any::<bool>(),
+        l2_sel in 1u8..4,
+        policy_sel in any::<u8>(),
+        tlb_sel in any::<u8>(),
+        sector in any::<bool>(),
+        fault_sel in any::<u8>(),
+    ) {
+        let reg = registry();
+        let stream = shape_stream(&raw, retouch);
+        let cfg = config(l2_sel, policy_sel, tlb_sel, sector, fault_sel);
+        let mut engine = SimEngine::new(cfg, &reg);
+        for a in &stream {
+            engine.access_texel_traced(TextureId::from_index(a.tid), a.m, a.u, a.v);
+        }
+        engine.end_frame();
+        let t = engine.totals();
+        prop_assert_eq!(t.l1_accesses, stream.len() as u64);
+        prop_assert_eq!(
+            t.l2_full_hits + t.l2_partial_hits + t.l2_full_misses,
+            t.l1_accesses - t.l1_hits,
+            "L2 outcomes must partition L1 misses"
+        );
+        // TLB lookups happen exactly once per L1 miss when modelled.
+        if cfg.tlb_entries > 0 {
+            prop_assert_eq!(t.tlb_accesses, t.l1_accesses - t.l1_hits);
+        }
+    }
+}
