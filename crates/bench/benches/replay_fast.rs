@@ -1,0 +1,90 @@
+//! The monomorphized replay fast path against the canonical per-tap
+//! traced path, over identical inputs: a per-tap (`access_texel`) group
+//! replaying one frame's pre-expanded tap stream, and a per-frame
+//! (`run_frame`) group replaying the frame through the public entry
+//! points. The two paths are bit-identical by contract (see DESIGN.md §8);
+//! these benchmarks measure what the specialization buys.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mltc_core::{EngineConfig, L1Config, L2Config, SimEngine};
+use mltc_scene::{Workload, WorkloadParams};
+use mltc_texture::TextureId;
+use mltc_trace::{filter_taps, FilterMode, FrameTrace};
+
+fn village() -> Workload {
+    Workload::village(&WorkloadParams::quick())
+}
+
+fn ml_cfg() -> EngineConfig {
+    EngineConfig {
+        l1: L1Config::kb(2),
+        l2: Some(L2Config::mb(2)),
+        tlb_entries: 16,
+        ..EngineConfig::default()
+    }
+}
+
+/// Pre-expands one frame's requests into the flat tap stream both paths
+/// will replay, using the engine's own authoritative expansion.
+fn expand(w: &Workload, frame: &FrameTrace, filter: FilterMode) -> Vec<(u32, u32, u32, u32)> {
+    let registry = w.registry();
+    let mut taps = Vec::new();
+    for req in &frame.requests {
+        let pyr = registry.pyramid(req.tid).expect("trace tid exists");
+        let dims: Vec<(u32, u32)> = pyr.iter().map(|l| (l.width(), l.height())).collect();
+        for tap in &filter_taps(req, filter, dims.len() as u32, |m| dims[m as usize]) {
+            taps.push((req.tid.index(), tap.m, tap.u, tap.v));
+        }
+    }
+    taps
+}
+
+fn bench_access_texel(c: &mut Criterion) {
+    let w = village();
+    let frame = w.trace_frame(7, FilterMode::Point);
+    let taps = expand(&w, &frame, FilterMode::Trilinear);
+    let registry = w.registry();
+    let mut g = c.benchmark_group("access_texel");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(taps.len() as u64));
+    g.bench_function("traced_slow_path", |b| {
+        let mut e = SimEngine::try_new(ml_cfg(), registry).expect("valid config");
+        b.iter(|| {
+            for &(tid, m, u, v) in &taps {
+                black_box(e.access_texel_traced(TextureId::from_index(tid), m, u, v));
+            }
+        })
+    });
+    g.bench_function("monomorphized_fast_path", |b| {
+        let mut e = SimEngine::try_new(ml_cfg(), registry).expect("valid config");
+        b.iter(|| e.replay_taps(black_box(&taps)))
+    });
+    g.finish();
+}
+
+fn bench_run_frame(c: &mut Criterion) {
+    let w = village();
+    let frame = w.trace_frame(7, FilterMode::Point);
+    let registry = w.registry();
+    let mut g = c.benchmark_group("run_frame");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(frame.requests.len() as u64));
+    g.bench_function("traced_slow_path", |b| {
+        let mut e = SimEngine::try_new(ml_cfg(), registry).expect("valid config");
+        b.iter(|| {
+            e.try_run_frame_as_traced(black_box(&frame), FilterMode::Trilinear)
+                .expect("replay")
+        })
+    });
+    g.bench_function("monomorphized_fast_path", |b| {
+        let mut e = SimEngine::try_new(ml_cfg(), registry).expect("valid config");
+        b.iter(|| {
+            e.try_run_frame_as(black_box(&frame), FilterMode::Trilinear)
+                .expect("replay")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_access_texel, bench_run_frame);
+criterion_main!(benches);

@@ -11,14 +11,6 @@ pub struct AccessResult {
     pub evicted: Option<u64>,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    /// LRU timestamp; larger = more recently used.
-    stamp: u64,
-}
-
 /// An N-way set-associative cache holding `u64` tags, with true LRU
 /// replacement within each set.
 ///
@@ -27,6 +19,14 @@ struct Line {
 /// cache indexes with bit-interleaved block coordinates (Hakura's "6D
 /// blocked representation"), which `mltc-core` implements on top of this
 /// type.
+///
+/// Storage is two flat `u64` arrays (tags and LRU stamps) rather than an
+/// array of line structs: the per-access probe loop touches contiguous
+/// words with no `Option` or bool decoding. Stamp `0` doubles as the
+/// invalid marker — `tick` pre-increments, so a resident line's stamp is
+/// always ≥ 1, and the LRU victim scan's "prefer invalid, else oldest"
+/// rule collapses to a plain minimum over the raw stamp words (preserving
+/// the exact first-minimum victim order of the struct-based layout).
 ///
 /// ```
 /// use mltc_cache::SetAssocCache;
@@ -39,11 +39,19 @@ struct Line {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
-    lines: Vec<Line>,
+    tags: Vec<u64>,
+    /// LRU timestamps; larger = more recently used, `0` = invalid line.
+    stamps: Vec<u64>,
     sets: usize,
     ways: usize,
     tick: u64,
     stats: HitStats,
+    /// Flat index of the most recently touched line (`usize::MAX` before
+    /// the first access). Consecutive accesses to the same line — the
+    /// common case for filter-tap streams — skip the way scan; the memo
+    /// never changes outcomes, because a matching valid tag at this slot
+    /// *is* the hit the scan would find, and the stamp update is the same.
+    last_slot: usize,
 }
 
 impl SetAssocCache {
@@ -55,18 +63,13 @@ impl SetAssocCache {
     pub fn new(sets: usize, ways: usize) -> Self {
         assert!(sets > 0 && ways > 0, "cache must have at least one line");
         Self {
-            lines: vec![
-                Line {
-                    tag: 0,
-                    valid: false,
-                    stamp: 0
-                };
-                sets * ways
-            ],
+            tags: vec![0; sets * ways],
+            stamps: vec![0; sets * ways],
             sets,
             ways,
             tick: 0,
             stats: HitStats::default(),
+            last_slot: usize::MAX,
         }
     }
 
@@ -85,7 +88,7 @@ impl SetAssocCache {
     /// Total line count.
     #[inline]
     pub fn line_count(&self) -> usize {
-        self.lines.len()
+        self.tags.len()
     }
 
     /// Looks up `tag` in set `set` and installs it on a miss (LRU victim).
@@ -98,35 +101,47 @@ impl SetAssocCache {
         debug_assert!(set < self.sets, "set index {set} out of range");
         self.tick += 1;
         let base = set * self.ways;
-        let set_lines = &mut self.lines[base..base + self.ways];
 
+        // Same line as last time: the scan would find exactly this slot
+        // (tags are unique within a set), so touch it and return.
+        let ls = self.last_slot;
+        if ls.wrapping_sub(base) < self.ways && self.stamps[ls] != 0 && self.tags[ls] == tag {
+            self.stamps[ls] = self.tick;
+            self.stats.record(true);
+            return AccessResult {
+                hit: true,
+                evicted: None,
+            };
+        }
+
+        let tags = &mut self.tags[base..base + self.ways];
+        let stamps = &mut self.stamps[base..base + self.ways];
         let mut victim = 0usize;
         let mut victim_stamp = u64::MAX;
-        for (i, line) in set_lines.iter_mut().enumerate() {
-            if line.valid && line.tag == tag {
-                line.stamp = self.tick;
+        for i in 0..tags.len() {
+            let stamp = stamps[i];
+            if stamp != 0 && tags[i] == tag {
+                stamps[i] = self.tick;
                 self.stats.record(true);
+                self.last_slot = base + i;
                 return AccessResult {
                     hit: true,
                     evicted: None,
                 };
             }
-            // Prefer invalid lines; otherwise the oldest stamp.
-            let key = if line.valid { line.stamp } else { 0 };
-            if key < victim_stamp {
-                victim_stamp = key;
+            // Invalid lines carry stamp 0, so the plain minimum prefers
+            // them, then the oldest resident line (first minimum wins).
+            if stamp < victim_stamp {
+                victim_stamp = stamp;
                 victim = i;
             }
         }
 
-        let line = &mut set_lines[victim];
-        let evicted = line.valid.then_some(line.tag);
-        *line = Line {
-            tag,
-            valid: true,
-            stamp: self.tick,
-        };
+        let evicted = (stamps[victim] != 0).then_some(tags[victim]);
+        tags[victim] = tag;
+        stamps[victim] = self.tick;
         self.stats.record(false);
+        self.last_slot = base + victim;
         AccessResult {
             hit: false,
             evicted,
@@ -136,9 +151,10 @@ impl SetAssocCache {
     /// Non-mutating lookup: is `tag` resident in `set`?
     pub fn probe(&self, tag: u64, set: usize) -> bool {
         let base = set * self.ways;
-        self.lines[base..base + self.ways]
+        self.tags[base..base + self.ways]
             .iter()
-            .any(|l| l.valid && l.tag == tag)
+            .zip(&self.stamps[base..base + self.ways])
+            .any(|(&t, &s)| s != 0 && t == tag)
     }
 
     /// Invalidates `tag` in `set` if resident, returning whether a line was
@@ -146,9 +162,9 @@ impl SetAssocCache {
     /// whose download failed, not a cache access.
     pub fn invalidate(&mut self, tag: u64, set: usize) -> bool {
         let base = set * self.ways;
-        for line in &mut self.lines[base..base + self.ways] {
-            if line.valid && line.tag == tag {
-                line.valid = false;
+        for i in base..base + self.ways {
+            if self.stamps[i] != 0 && self.tags[i] == tag {
+                self.stamps[i] = 0;
                 return true;
             }
         }
@@ -160,9 +176,9 @@ impl SetAssocCache {
     /// the paper's design is non-inclusive, so this exists for ablations).
     pub fn invalidate_matching<F: Fn(u64) -> bool>(&mut self, pred: F) -> usize {
         let mut n = 0;
-        for line in &mut self.lines {
-            if line.valid && pred(line.tag) {
-                line.valid = false;
+        for i in 0..self.tags.len() {
+            if self.stamps[i] != 0 && pred(self.tags[i]) {
+                self.stamps[i] = 0;
                 n += 1;
             }
         }
@@ -171,9 +187,7 @@ impl SetAssocCache {
 
     /// Invalidates everything.
     pub fn flush(&mut self) {
-        for line in &mut self.lines {
-            line.valid = false;
-        }
+        self.stamps.fill(0);
     }
 
     /// Lifetime hit/miss counters.

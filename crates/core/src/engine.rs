@@ -7,8 +7,10 @@ use crate::{
 };
 use mltc_cache::RoundRobinTlb;
 use mltc_telemetry::Recorder;
-use mltc_texture::{PageTableLayout, TextureId, TextureRegistry, TilingConfig};
-use mltc_trace::{filter_taps, FilterMode, FrameTrace};
+use mltc_texture::{
+    PageTableLayout, TextureId, TextureRegistry, TilingConfig, TranslationMemo, TranslationTables,
+};
+use mltc_trace::{filter_taps, FilterMode, FrameTrace, PixelRequest};
 
 /// Full configuration of a simulated architecture.
 ///
@@ -463,22 +465,8 @@ impl SimEngine {
                         // mip texel already resident in L2. The probe is
                         // read-only so a degraded serve does not perturb
                         // replacement state.
-                        let dims = self.dims.get(tid.index() as usize).and_then(|d| d.as_ref());
-                        let mut served = false;
-                        if let Some(dims) = dims {
-                            for cm in (m + 1)..dims.len() as u32 {
-                                let (cw, ch) = dims[cm as usize];
-                                let cu = (u >> (cm - m)).min(cw.saturating_sub(1));
-                                let cv = (v >> (cm - m)).min(ch.saturating_sub(1));
-                                if let Some(caddr) = self.layout.translate(tid, cu, cv, cm) {
-                                    let cpt = self.layout.page_table_index(&caddr);
-                                    if l2.is_resident(cpt, caddr.l1) {
-                                        served = true;
-                                        break;
-                                    }
-                                }
-                            }
-                        }
+                        let served =
+                            degraded_probe(self.layout.tables(), &self.dims, l2, tid, m, u, v);
                         if served {
                             self.current.degraded_taps += 1;
                             self.current.l2_local_bytes += l1_bytes;
@@ -582,6 +570,48 @@ impl SimEngine {
         trace: &FrameTrace,
         filter: FilterMode,
     ) -> Result<(), EngineError> {
+        self.try_run_frame_requests(filter, trace.requests.iter().copied())
+    }
+
+    /// Replays one frame's pixel requests from any source — e.g. a
+    /// [`FrameCursor`](mltc_trace::codec::FrameCursor) decoding straight
+    /// out of a reused read buffer — expanding taps through `filter` and
+    /// closing the frame. This is the batch fast path: the per-tap dynamic
+    /// branches of [`access_texel_traced`](Self::access_texel_traced) are
+    /// resolved once here and the loop runs monomorphized.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`try_run_frame`](Self::try_run_frame).
+    pub fn try_run_frame_requests<I>(
+        &mut self,
+        filter: FilterMode,
+        requests: I,
+    ) -> Result<(), EngineError>
+    where
+        I: IntoIterator<Item = PixelRequest>,
+    {
+        match filter {
+            FilterMode::Point => self.replay_frame::<0, _>(requests),
+            FilterMode::Bilinear => self.replay_frame::<1, _>(requests),
+            FilterMode::Trilinear => self.replay_frame::<2, _>(requests),
+        }
+    }
+
+    /// [`try_run_frame_as`](Self::try_run_frame_as) routed tap-by-tap
+    /// through [`access_texel_traced`](Self::access_texel_traced), the
+    /// canonical slow path. Counters, cache state and telemetry are
+    /// bit-identical to the monomorphized fast path — the golden replay
+    /// tests assert exactly that on every committed trace.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`try_run_frame`](Self::try_run_frame).
+    pub fn try_run_frame_as_traced(
+        &mut self,
+        trace: &FrameTrace,
+        filter: FilterMode,
+    ) -> Result<(), EngineError> {
         for req in &trace.requests {
             let dims = self
                 .dims
@@ -591,8 +621,164 @@ impl SimEngine {
             let levels = dims.len() as u32;
             let taps = filter_taps(req, filter, levels, |m| dims[m as usize]);
             for tap in &taps {
-                self.access_texel(req.tid, tap.m, tap.u, tap.v);
+                let _ = self.access_texel_traced(req.tid, tap.m, tap.u, tap.v);
             }
+        }
+        self.end_frame();
+        Ok(())
+    }
+
+    /// Replays pre-expanded `(tid, m, u, v)` taps through the monomorphized
+    /// fast path without closing the frame (the differential oracle's
+    /// batch-replay hook; call [`end_frame`](Self::end_frame) yourself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tap references a texture unknown to the engine (same
+    /// contract as [`access_texel`](Self::access_texel)).
+    pub fn replay_taps(&mut self, taps: &[(u32, u32, u32, u32)]) {
+        let Self {
+            cfg,
+            layout,
+            dims,
+            l1,
+            l2,
+            tlb,
+            host,
+            current,
+            tel,
+            ..
+        } = self;
+        let tables = layout.tables();
+        let l1_bytes = cfg.l1.line_bytes() as u64;
+        let l2_block_bytes = cfg.tiling.l2().cache_bytes() as u64;
+        macro_rules! pull {
+            ($tel:expr) => {{
+                let mut tel = $tel;
+                for &(tid, m, u, v) in taps {
+                    tap_pull(
+                        TextureId::from_index(tid),
+                        m,
+                        u,
+                        v,
+                        l1_bytes,
+                        l1,
+                        host,
+                        current,
+                        &mut tel,
+                    );
+                }
+            }};
+        }
+        macro_rules! ml {
+            ($l2:expr, $tlb:expr, $tel:expr) => {{
+                let (l2, mut tlb, mut tel) = ($l2, $tlb, $tel);
+                let dl_full_miss = if l2.config().sector_mapping {
+                    l1_bytes
+                } else {
+                    l2_block_bytes
+                };
+                let mut memo = TranslationMemo::default();
+                for &(tid, m, u, v) in taps {
+                    tap_ml(
+                        TextureId::from_index(tid),
+                        m,
+                        u,
+                        v,
+                        l1_bytes,
+                        dl_full_miss,
+                        tables,
+                        &mut memo,
+                        dims,
+                        l1,
+                        l2,
+                        host,
+                        current,
+                        &mut tlb,
+                        &mut tel,
+                    );
+                }
+            }};
+        }
+        match (l2.as_mut(), tlb.as_mut(), tel.as_deref_mut()) {
+            (None, _, None) => pull!(TelOff),
+            (None, _, Some(t)) => pull!(TelOn(t)),
+            (Some(l2), None, None) => ml!(l2, TlbOff, TelOff),
+            (Some(l2), None, Some(t)) => ml!(l2, TlbOff, TelOn(t)),
+            (Some(l2), Some(tlb), None) => ml!(l2, TlbOn(tlb), TelOff),
+            (Some(l2), Some(tlb), Some(t)) => ml!(l2, TlbOn(tlb), TelOn(t)),
+        }
+    }
+
+    /// The monomorphized frame replay: one instantiation per
+    /// (filter, L2 present, TLB present, telemetry attached) combination,
+    /// so the million-tap loop carries no dynamic branches. `F` encodes the
+    /// filter mode (0 = point, 1 = bilinear, 2 = trilinear).
+    fn replay_frame<const F: u8, I>(&mut self, requests: I) -> Result<(), EngineError>
+    where
+        I: IntoIterator<Item = PixelRequest>,
+    {
+        {
+            let Self {
+                cfg,
+                layout,
+                dims,
+                l1,
+                l2,
+                tlb,
+                host,
+                current,
+                tel,
+                ..
+            } = self;
+            let tables = layout.tables();
+            match (l2.as_mut(), tlb.as_mut(), tel.as_deref_mut()) {
+                (None, _, None) => {
+                    replay_pull::<F, _, _>(requests, cfg, dims, l1, host, current, TelOff)
+                }
+                (None, _, Some(t)) => {
+                    replay_pull::<F, _, _>(requests, cfg, dims, l1, host, current, TelOn(t))
+                }
+                (Some(l2), None, None) => replay_ml::<F, _, _, _>(
+                    requests, cfg, tables, dims, l1, l2, host, current, TlbOff, TelOff,
+                ),
+                (Some(l2), None, Some(t)) => replay_ml::<F, _, _, _>(
+                    requests,
+                    cfg,
+                    tables,
+                    dims,
+                    l1,
+                    l2,
+                    host,
+                    current,
+                    TlbOff,
+                    TelOn(t),
+                ),
+                (Some(l2), Some(tlb), None) => replay_ml::<F, _, _, _>(
+                    requests,
+                    cfg,
+                    tables,
+                    dims,
+                    l1,
+                    l2,
+                    host,
+                    current,
+                    TlbOn(tlb),
+                    TelOff,
+                ),
+                (Some(l2), Some(tlb), Some(t)) => replay_ml::<F, _, _, _>(
+                    requests,
+                    cfg,
+                    tables,
+                    dims,
+                    l1,
+                    l2,
+                    host,
+                    current,
+                    TlbOn(tlb),
+                    TelOn(t),
+                ),
+            }?;
         }
         self.end_frame();
         Ok(())
@@ -651,6 +837,351 @@ impl SimEngine {
             l2.deallocate_texture(tstart, tlen);
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Monomorphized replay fast path.
+//
+// `access_texel_traced` above is the canonical per-tap slow path: every
+// dynamic decision (`Option<L2Cache>`, `Option<Tlb>`, attached telemetry,
+// filter mode) is re-examined per texel. The batch replay entry points
+// resolve those decisions once per frame and instantiate a specialized
+// loop per combination; the tap bodies below are shared verbatim between
+// the specializations, so counters, cache state, host-link draws and
+// telemetry stay bit-identical to the slow path (the differential oracle
+// and the golden trace tests enforce this).
+// ---------------------------------------------------------------------------
+
+/// Compile-time telemetry switch: `TelOn` forwards to the attached
+/// [`EngineTelemetry`], `TelOff` erases the observation closures entirely.
+trait TelemetryMode {
+    fn with(&mut self, f: impl FnOnce(&mut EngineTelemetry));
+}
+
+struct TelOn<'a>(&'a mut EngineTelemetry);
+
+impl TelemetryMode for TelOn<'_> {
+    #[inline(always)]
+    fn with(&mut self, f: impl FnOnce(&mut EngineTelemetry)) {
+        f(self.0);
+    }
+}
+
+struct TelOff;
+
+impl TelemetryMode for TelOff {
+    #[inline(always)]
+    fn with(&mut self, _f: impl FnOnce(&mut EngineTelemetry)) {}
+}
+
+/// Compile-time TLB switch mirroring the slow path's `Option<Tlb>` probe:
+/// `TlbOff::access` is a constant `None`, so the hit bookkeeping folds away.
+trait TlbMode {
+    fn access(&mut self, key: u64) -> Option<bool>;
+}
+
+struct TlbOn<'a>(&'a mut RoundRobinTlb);
+
+impl TlbMode for TlbOn<'_> {
+    #[inline(always)]
+    fn access(&mut self, key: u64) -> Option<bool> {
+        Some(self.0.access(key))
+    }
+}
+
+struct TlbOff;
+
+impl TlbMode for TlbOff {
+    #[inline(always)]
+    fn access(&mut self, _key: u64) -> Option<bool> {
+        None
+    }
+}
+
+/// Maps the replay loops' filter const back to the runtime enum (resolved
+/// at monomorphization time, so `filter_taps` sees a literal).
+#[inline(always)]
+const fn const_filter<const F: u8>() -> FilterMode {
+    match F {
+        0 => FilterMode::Point,
+        1 => FilterMode::Bilinear,
+        _ => FilterMode::Trilinear,
+    }
+}
+
+/// Pull-architecture frame loop (no L2, hence no translation and no TLB).
+fn replay_pull<const F: u8, I, Te>(
+    requests: I,
+    cfg: &EngineConfig,
+    dims: &[Option<Vec<(u32, u32)>>],
+    l1: &mut L1TextureCache,
+    host: &mut HostLink,
+    current: &mut FrameCounters,
+    mut tel: Te,
+) -> Result<(), EngineError>
+where
+    I: IntoIterator<Item = PixelRequest>,
+    Te: TelemetryMode,
+{
+    let l1_bytes = cfg.l1.line_bytes() as u64;
+    for req in requests {
+        let d = dims
+            .get(req.tid.index() as usize)
+            .and_then(|d| d.as_ref())
+            .ok_or(EngineError::UnknownTexture(req.tid))?;
+        let levels = d.len() as u32;
+        let taps = filter_taps(&req, const_filter::<F>(), levels, |m| d[m as usize]);
+        for tap in &taps {
+            tap_pull(
+                req.tid, tap.m, tap.u, tap.v, l1_bytes, l1, host, current, &mut tel,
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Multi-level frame loop: per-frame constants (line/block bytes, full-miss
+/// download size) and the translation memo are hoisted out of the tap loop.
+#[allow(clippy::too_many_arguments)]
+fn replay_ml<const F: u8, I, Tl, Te>(
+    requests: I,
+    cfg: &EngineConfig,
+    tables: &TranslationTables,
+    dims: &[Option<Vec<(u32, u32)>>],
+    l1: &mut L1TextureCache,
+    l2: &mut L2Cache,
+    host: &mut HostLink,
+    current: &mut FrameCounters,
+    mut tlb: Tl,
+    mut tel: Te,
+) -> Result<(), EngineError>
+where
+    I: IntoIterator<Item = PixelRequest>,
+    Tl: TlbMode,
+    Te: TelemetryMode,
+{
+    let l1_bytes = cfg.l1.line_bytes() as u64;
+    let l2_block_bytes = cfg.tiling.l2().cache_bytes() as u64;
+    let dl_full_miss = if l2.config().sector_mapping {
+        l1_bytes
+    } else {
+        l2_block_bytes
+    };
+    let mut memo = TranslationMemo::default();
+    for req in requests {
+        let d = dims
+            .get(req.tid.index() as usize)
+            .and_then(|d| d.as_ref())
+            .ok_or(EngineError::UnknownTexture(req.tid))?;
+        let levels = d.len() as u32;
+        let taps = filter_taps(&req, const_filter::<F>(), levels, |m| d[m as usize]);
+        for tap in &taps {
+            tap_ml(
+                req.tid,
+                tap.m,
+                tap.u,
+                tap.v,
+                l1_bytes,
+                dl_full_miss,
+                tables,
+                &mut memo,
+                dims,
+                l1,
+                l2,
+                host,
+                current,
+                &mut tlb,
+                &mut tel,
+            );
+        }
+    }
+    Ok(())
+}
+
+/// One pull-architecture tap; mirrors the `None` L2 arm of
+/// [`SimEngine::access_texel_traced`] line for line.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn tap_pull<Te: TelemetryMode>(
+    tid: TextureId,
+    m: u32,
+    u: u32,
+    v: u32,
+    l1_bytes: u64,
+    l1: &mut L1TextureCache,
+    host: &mut HostLink,
+    current: &mut FrameCounters,
+    tel: &mut Te,
+) {
+    current.l1_accesses += 1;
+    if l1.access(tid, m, u, v) {
+        current.l1_hits += 1;
+        tel.with(|t| t.l1_hits.incr());
+        return;
+    }
+    match host.transfer(tid) {
+        Transfer::Delivered { retries } => {
+            current.retries += retries as u64;
+            current.host_bytes += l1_bytes;
+            tel.with(|t| {
+                t.l1_misses.incr();
+                t.host_delivered.incr();
+                t.host_retries.add(retries as u64);
+                t.transfer_bytes.record(l1_bytes);
+            });
+        }
+        Transfer::Failed { retries } => {
+            current.retries += retries as u64;
+            current.failed_transfers += 1;
+            l1.invalidate(tid, m, u, v);
+            current.dropped_taps += 1;
+            tel.with(|t| {
+                t.l1_misses.incr();
+                t.host_failed.incr();
+                t.host_retries.add(retries as u64);
+                t.dropped_taps.incr();
+            });
+        }
+    }
+}
+
+/// One multi-level tap; mirrors the `Some(l2)` arm of
+/// [`SimEngine::access_texel_traced`] line for line, with translation
+/// served by the shift/mask tables and the one-entry memo.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn tap_ml<Tl: TlbMode, Te: TelemetryMode>(
+    tid: TextureId,
+    m: u32,
+    u: u32,
+    v: u32,
+    l1_bytes: u64,
+    dl_full_miss: u64,
+    tables: &TranslationTables,
+    memo: &mut TranslationMemo,
+    dims: &[Option<Vec<(u32, u32)>>],
+    l1: &mut L1TextureCache,
+    l2: &mut L2Cache,
+    host: &mut HostLink,
+    current: &mut FrameCounters,
+    tlb: &mut Tl,
+    tel: &mut Te,
+) {
+    current.l1_accesses += 1;
+    if l1.access(tid, m, u, v) {
+        current.l1_hits += 1;
+        tel.with(|t| t.l1_hits.incr());
+        return;
+    }
+    let (pt_index, l1_sub) = tables.lookup(memo, tid.index(), m, u, v);
+    let tlb_hit = tlb.access(pt_index as u64);
+    if let Some(hit) = tlb_hit {
+        current.tlb_accesses += 1;
+        current.tlb_hits += hit as u64;
+    }
+    let outcome = l2.access(pt_index, l1_sub);
+    let dl = match outcome {
+        L2Outcome::FullHit => {
+            current.l2_full_hits += 1;
+            current.l2_local_bytes += l1_bytes;
+            tel.with(|t| {
+                t.on_l2_access(pt_index as u64, tlb_hit);
+                t.l2_full_hits.incr();
+            });
+            return;
+        }
+        L2Outcome::PartialHit => {
+            current.l2_partial_hits += 1;
+            l1_bytes
+        }
+        L2Outcome::FullMiss => {
+            current.l2_full_misses += 1;
+            dl_full_miss
+        }
+    };
+    match host.transfer(tid) {
+        Transfer::Delivered { retries } => {
+            current.retries += retries as u64;
+            current.host_bytes += dl;
+            current.l2_local_bytes += dl;
+            tel.with(|t| {
+                t.on_l2_access(pt_index as u64, tlb_hit);
+                match outcome {
+                    L2Outcome::PartialHit => t.l2_partial_hits.incr(),
+                    L2Outcome::FullMiss => {
+                        t.l2_full_misses.incr();
+                        t.on_full_miss_sweep(l2.clock_stats());
+                    }
+                    L2Outcome::FullHit => unreachable!("full hits return above"),
+                }
+                t.host_delivered.incr();
+                t.host_retries.add(retries as u64);
+                t.transfer_bytes.record(dl);
+            });
+        }
+        Transfer::Failed { retries } => {
+            current.retries += retries as u64;
+            current.failed_transfers += 1;
+            l2.fail_download(pt_index, l1_sub);
+            l1.invalidate(tid, m, u, v);
+            let served = degraded_probe(tables, dims, l2, tid, m, u, v);
+            if served {
+                current.degraded_taps += 1;
+                current.l2_local_bytes += l1_bytes;
+            } else {
+                current.dropped_taps += 1;
+            }
+            tel.with(|t| {
+                t.on_l2_access(pt_index as u64, tlb_hit);
+                match outcome {
+                    L2Outcome::PartialHit => t.l2_partial_hits.incr(),
+                    L2Outcome::FullMiss => {
+                        t.l2_full_misses.incr();
+                        t.on_full_miss_sweep(l2.clock_stats());
+                    }
+                    L2Outcome::FullHit => unreachable!("full hits return above"),
+                }
+                t.host_failed.incr();
+                t.host_retries.add(retries as u64);
+                if served {
+                    t.degraded_taps.incr();
+                } else {
+                    t.dropped_taps.incr();
+                }
+            });
+        }
+    }
+}
+
+/// Read-only search for the nearest coarser mip level whose covering texel
+/// is resident in L2 (graceful degradation after a failed download). Shared
+/// by the slow and fast paths; geometry comes from the precomputed layout
+/// tables instead of a full `translate` per candidate level.
+#[inline]
+fn degraded_probe(
+    tables: &TranslationTables,
+    dims: &[Option<Vec<(u32, u32)>>],
+    l2: &L2Cache,
+    tid: TextureId,
+    m: u32,
+    u: u32,
+    v: u32,
+) -> bool {
+    let Some(dims) = dims.get(tid.index() as usize).and_then(|d| d.as_ref()) else {
+        return false;
+    };
+    for cm in (m + 1)..dims.len() as u32 {
+        let (cw, ch) = dims[cm as usize];
+        let cu = (u >> (cm - m)).min(cw.saturating_sub(1));
+        let cv = (v >> (cm - m)).min(ch.saturating_sub(1));
+        if let Some(e) = tables.entry(tid.index(), cm) {
+            let (cpt, csub) = tables.pt_and_sub(e, cu, cv);
+            if l2.is_resident(cpt, csub) {
+                return true;
+            }
+        }
+    }
+    false
 }
 
 #[cfg(test)]

@@ -121,6 +121,13 @@ pub struct L1TextureCache {
     cache: SetAssocCache,
     cfg: L1Config,
     set_mask: u32,
+    /// One-entry tag → set memo: the packed key of the most recently
+    /// located line and its set. `last_set == usize::MAX` until the first
+    /// access. The key → set mapping is a pure function, so a key match
+    /// can reuse the set without rehashing (Morton interleave + XOR fold
+    /// skipped) — consecutive filter taps hit the same tile constantly.
+    last_key: u64,
+    last_set: usize,
 }
 
 impl L1TextureCache {
@@ -141,6 +148,8 @@ impl L1TextureCache {
             cache: SetAssocCache::new(sets, cfg.ways),
             cfg,
             set_mask: sets as u32 - 1,
+            last_key: 0,
+            last_set: usize::MAX,
         }
     }
 
@@ -174,7 +183,7 @@ impl L1TextureCache {
 
     /// Tag and set of the line holding texel `(u, v)` of level `m` of `tid`.
     #[inline]
-    fn locate(&self, tid: TextureId, m: u32, u: u32, v: u32) -> (u64, usize) {
+    fn locate(&mut self, tid: TextureId, m: u32, u: u32, v: u32) -> (u64, usize) {
         let (bx, by) = match self.cfg.storage {
             StorageFormat::Tiled => {
                 let s = self.cfg.tile.shift();
@@ -184,7 +193,15 @@ impl L1TextureCache {
             StorageFormat::Linear => (u >> (2 * self.cfg.tile.shift()), v),
         };
         let tag = L1BlockKey::from_block_coords(tid, m, bx, by).packed();
-        (tag, self.set_index(tid, m, bx, by))
+        // The packed key determines the set (pure function of the same
+        // inputs), so a repeat of the previous key skips the hash.
+        if tag == self.last_key && self.last_set != usize::MAX {
+            return (tag, self.last_set);
+        }
+        let set = self.set_index(tid, m, bx, by);
+        self.last_key = tag;
+        self.last_set = set;
+        (tag, set)
     }
 
     /// Looks up the texel `(u, v)` of mip level `m` of `tid` (texel

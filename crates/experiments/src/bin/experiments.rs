@@ -14,7 +14,9 @@
 //! `<out>/BENCH_experiments.json`. Delete `<out>/traces/` to force a
 //! cold re-render (for example after changing the renderer).
 
-use mltc_experiments::{find_experiment, Outputs, Scale, TraceStore, EXPERIMENTS};
+use mltc_experiments::{
+    find_experiment, set_max_replay_jobs, Outputs, Scale, TraceStore, EXPERIMENTS,
+};
 use mltc_raster::Traversal;
 use mltc_telemetry::{export, Recorder};
 use std::path::{Path, PathBuf};
@@ -24,11 +26,13 @@ use std::time::Duration;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments <id>... [--tiny|--quick|--default|--full] [--out <dir>] \
-         [--no-store] [--expect-warm] [--telemetry <dir>] [--trace-events <file>] \
-         [--heartbeat <secs>]\n\
+         [--no-store] [--expect-warm] [--jobs <n>] [--telemetry <dir>] \
+         [--trace-events <file>] [--heartbeat <secs>]\n\
          \n\
          --no-store           do not persist traces under <out>/traces/\n\
          --expect-warm        fail if anything had to be rasterized (CI warm-run check)\n\
+         --jobs <n>           replay at most <n> configurations concurrently\n\
+         \x20                    (default: one per available core)\n\
          --telemetry <dir>    record spans/counters/histograms; export JSONL, CSV and\n\
          \x20                    summary JSON into <dir>\n\
          --trace-events <f>   write a chrome://tracing (Perfetto) trace-event file\n\
@@ -70,6 +74,10 @@ fn main() -> ExitCode {
             },
             "--no-store" => persist = false,
             "--expect-warm" => expect_warm = true,
+            "--jobs" => match it.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n > 0 => set_max_replay_jobs(n),
+                _ => return usage(),
+            },
             "--telemetry" => match it.next() {
                 Some(d) => telemetry_dir = Some(PathBuf::from(d)),
                 None => return usage(),

@@ -59,8 +59,8 @@ pub use exp_tlb::{fig11, table8};
 pub use exp_visual::fig12;
 pub use outputs::{Outputs, TextTable};
 pub use runner::{
-    engine_run, engine_run_all, engine_run_traversal, engine_run_traversal_all, replay_run,
-    stats_run, RunError,
+    engine_run, engine_run_all, engine_run_traversal, engine_run_traversal_all, max_replay_jobs,
+    replay_run, set_max_replay_jobs, stats_run, RunError,
 };
 pub use scale::Scale;
 pub use store::{

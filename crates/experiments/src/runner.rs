@@ -17,17 +17,85 @@
 //! [store docs](crate::store)), replays apply the requested filter via
 //! [`SimEngine::try_run_frame_as`].
 
-use crate::store::{stream_trace_file, trav_tag, StatsBundle, TraceHandle, TraceStore};
+use crate::store::{stream_trace_file_raw, trav_tag, StatsBundle, TraceHandle, TraceStore};
 use mltc_core::{EngineConfig, EngineError, SimEngine};
 use mltc_scene::Workload;
 use mltc_telemetry::Recorder;
 use mltc_texture::TextureRegistry;
+use mltc_trace::codec::frame_cursor;
 use mltc_trace::{FilterMode, FrameTrace};
 use std::fmt;
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
 use std::sync::mpsc::{sync_channel, SyncSender};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
+
+/// Cap on concurrently replaying configurations; `0` means "ask the OS"
+/// (see [`max_replay_jobs`]).
+static MAX_REPLAY_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Caps the number of configurations replayed concurrently (the `--jobs`
+/// flag). `0` restores the default: one worker per available core.
+pub fn set_max_replay_jobs(jobs: usize) {
+    MAX_REPLAY_JOBS.store(jobs, Relaxed);
+}
+
+/// The effective concurrency cap: the value of [`set_max_replay_jobs`],
+/// or the machine's available parallelism when unset.
+pub fn max_replay_jobs() -> usize {
+    match MAX_REPLAY_JOBS.load(Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// A counting semaphore bounding how many configuration workers simulate
+/// a frame at any instant (the `--jobs` cap).
+///
+/// Every worker thread is still spawned up front — the producer side
+/// (disk streamer, live renderer) runs exactly once and fans frames out
+/// to all of them — but workers take a permit per *frame*, so at most
+/// `jobs` of them burn CPU simultaneously while the rest sit parked in
+/// `acquire` or on their bounded channel. Gating per frame (not per
+/// whole replay) is what keeps the single producer safe: an ungated
+/// worker whose channel filled up would block the producer, which the
+/// permit holders are waiting on.
+struct Gate {
+    permits: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new(permits: usize) -> Self {
+        Self {
+            permits: Mutex::new(permits.max(1)),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a permit is free; the guard returns it on drop (also
+    /// on panic, so a dying worker never strands the others).
+    fn acquire(&self) -> GateGuard<'_> {
+        let mut p = self.permits.lock().unwrap();
+        while *p == 0 {
+            p = self.cv.wait(p).unwrap();
+        }
+        *p -= 1;
+        GateGuard(self)
+    }
+}
+
+struct GateGuard<'a>(&'a Gate);
+
+impl Drop for GateGuard<'_> {
+    fn drop(&mut self) {
+        *self.0.permits.lock().unwrap() += 1;
+        self.0.cv.notify_one();
+    }
+}
 
 /// Why one configuration's replay produced no finished engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -235,7 +303,8 @@ fn engine_run_traversal_with(
 }
 
 /// Memory-resident replay: no channels — every worker walks the shared
-/// frame list at its own pace.
+/// frame list at its own pace, taking a [`Gate`] permit per frame so at
+/// most [`max_replay_jobs`] configurations simulate at any instant.
 fn replay_with(
     registry: &TextureRegistry,
     frames: &[Arc<FrameTrace>],
@@ -244,16 +313,19 @@ fn replay_with(
     rec: &Recorder,
     factory: &EngineFactory<'_>,
 ) -> Vec<Result<SimEngine, RunError>> {
+    let gate = Gate::new(max_replay_jobs());
     std::thread::scope(|scope| {
         let handles: Vec<_> = configs
             .iter()
             .map(|cfg| {
                 let cfg = *cfg;
                 let rec = rec.clone();
+                let gate = &gate;
                 scope.spawn(move || -> Result<SimEngine, RunError> {
                     let _span = rec.span(&format!("replay/{}", cfg.label()));
                     let mut engine = factory(cfg, registry).map_err(RunError::Engine)?;
                     for trace in frames {
+                        let _permit = gate.acquire();
                         engine
                             .try_run_frame_as(trace, filter)
                             .map_err(RunError::Engine)?;
@@ -266,10 +338,17 @@ fn replay_with(
     })
 }
 
-/// Disk streaming replay: one reader decodes the persisted file and fans
-/// frames out over bounded channels. A codec failure mid-stream taints
-/// every still-successful configuration with [`RunError::Trace`] — their
-/// engines only saw a prefix of the animation.
+/// Disk streaming replay: one reader validates each encoded frame and fans
+/// the *raw bytes* out over bounded channels; workers decode in place with
+/// [`frame_cursor`] and feed the borrowed request iterator straight into
+/// the engine — no per-frame `Vec<PixelRequest>` is ever materialized, and
+/// the reader recycles frame buffers once every worker drops them.
+///
+/// A codec failure mid-stream taints every still-successful configuration
+/// with [`RunError::Trace`] — their engines only saw a prefix of the
+/// animation. The file is streamed and validated exactly once no matter
+/// how many configurations replay it; the [`Gate`] keeps at most
+/// [`max_replay_jobs`] of them simulating at any instant.
 fn stream_replay_with(
     registry: &TextureRegistry,
     path: &Path,
@@ -278,29 +357,35 @@ fn stream_replay_with(
     rec: &Recorder,
     factory: &EngineFactory<'_>,
 ) -> Vec<Result<SimEngine, RunError>> {
+    let gate = Gate::new(max_replay_jobs());
     std::thread::scope(|scope| {
-        let mut senders: Vec<Option<SyncSender<Arc<FrameTrace>>>> =
-            Vec::with_capacity(configs.len());
+        let mut senders: Vec<Option<SyncSender<Arc<Vec<u8>>>>> = Vec::with_capacity(configs.len());
         let mut handles = Vec::with_capacity(configs.len());
         for cfg in configs {
-            let (tx, rx) = sync_channel::<Arc<FrameTrace>>(4);
+            let (tx, rx) = sync_channel::<Arc<Vec<u8>>>(4);
             senders.push(Some(tx));
             let cfg = *cfg;
             let rec = rec.clone();
+            let gate = &gate;
             handles.push(scope.spawn(move || -> Result<SimEngine, RunError> {
                 let _span = rec.span(&format!("replay/{}", cfg.label()));
                 let mut engine = factory(cfg, registry).map_err(RunError::Engine)?;
-                for trace in rx {
+                for bytes in rx {
+                    let _permit = gate.acquire();
+                    // The streamer already validated the frame end to
+                    // end, so a decode error here is a logic bug, but
+                    // report it as a tainted replay rather than panic.
+                    let (cursor, _) = frame_cursor(&bytes)
+                        .map_err(|e| RunError::Trace(format!("re-decode: {e}")))?;
                     engine
-                        .try_run_frame_as(&trace, filter)
+                        .try_run_frame_requests(filter, cursor.requests())
                         .map_err(RunError::Engine)?;
                 }
                 Ok(engine)
             }));
         }
         let stream_span = rec.span("replay/disk-stream");
-        let streamed = stream_trace_file(path, |t| {
-            let shared = Arc::new(t);
+        let streamed = stream_trace_file_raw(path, |shared| {
             for slot in &mut senders {
                 if let Some(tx) = slot {
                     if tx.send(shared.clone()).is_err() {
@@ -327,7 +412,9 @@ fn stream_replay_with(
 
 /// Live-render replay for uncached traces: the pre-store code path,
 /// rendering with the requested filter and streaming frames to workers as
-/// they finish.
+/// they finish. The animation is rasterized exactly once no matter how
+/// many configurations consume it; the [`Gate`] keeps at most
+/// [`max_replay_jobs`] of them simulating at any instant.
 fn run_live(
     workload: &Workload,
     filter: FilterMode,
@@ -337,6 +424,7 @@ fn run_live(
     rec: &Recorder,
     factory: &EngineFactory<'_>,
 ) -> Vec<Result<SimEngine, RunError>> {
+    let gate = Gate::new(max_replay_jobs());
     std::thread::scope(|scope| {
         let mut senders: Vec<Option<SyncSender<Arc<FrameTrace>>>> =
             Vec::with_capacity(configs.len());
@@ -347,10 +435,12 @@ fn run_live(
             let registry = workload.registry();
             let cfg = *cfg;
             let rec = rec.clone();
+            let gate = &gate;
             handles.push(scope.spawn(move || -> Result<SimEngine, RunError> {
                 let _span = rec.span(&format!("replay/{}", cfg.label()));
                 let mut engine = factory(cfg, registry).map_err(RunError::Engine)?;
                 for trace in rx {
+                    let _permit = gate.acquire();
                     engine.try_run_frame(&trace).map_err(RunError::Engine)?;
                 }
                 Ok(engine)
@@ -360,8 +450,9 @@ fn run_live(
         workload.render_animation_traversal(filter, zprepass, traversal, |t| {
             let shared = Arc::new(t);
             for slot in &mut senders {
-                // A failed worker closes its receiver. Drop its sender and
-                // keep feeding the survivors; join() reports the failure.
+                // A failed worker closes its receiver. Drop its sender
+                // and keep feeding the survivors; join() reports the
+                // failure.
                 if let Some(tx) = slot {
                     if tx.send(shared.clone()).is_err() {
                         *slot = None;
@@ -705,6 +796,41 @@ mod tests {
         assert_eq!(a[0].frames(), b[0].frames());
         assert!(plain.recorder().snapshot().series.is_empty());
         assert!(!rec.snapshot().series.is_empty());
+    }
+
+    #[test]
+    fn jobs_cap_serializes_replay_without_changing_results() {
+        let store = TraceStore::in_memory();
+        let w = tiny_village();
+        let configs = [
+            EngineConfig {
+                l1: L1Config::kb(2),
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                l1: L1Config::kb(4),
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                l1: L1Config::kb(16),
+                ..EngineConfig::default()
+            },
+        ];
+        let unbounded = engine_run_all(&store, &w, FilterMode::Bilinear, &configs, false).unwrap();
+        set_max_replay_jobs(1);
+        let serial = engine_run_all(&store, &w, FilterMode::Bilinear, &configs, false).unwrap();
+        set_max_replay_jobs(0);
+        assert_eq!(serial.len(), unbounded.len());
+        for (a, b) in unbounded.iter().zip(&serial) {
+            assert_eq!(a.config().l1.size_bytes, b.config().l1.size_bytes);
+            assert_eq!(
+                a.totals(),
+                b.totals(),
+                "jobs cap must only affect scheduling"
+            );
+            assert_eq!(a.frames(), b.frames());
+        }
+        assert!(max_replay_jobs() >= 1);
     }
 
     #[test]

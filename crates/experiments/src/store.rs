@@ -798,6 +798,8 @@ impl TraceStore {
 
 /// Streams every frame of a persisted trace file through `visit`.
 /// Crate-internal: the replay machinery uses this for over-budget traces.
+/// One scratch buffer holds each encoded frame in turn; only the decoded
+/// [`FrameTrace`] handed to `visit` is allocated per frame.
 pub(crate) fn stream_trace_file(
     path: &Path,
     mut visit: impl FnMut(FrameTrace),
@@ -805,8 +807,37 @@ pub(crate) fn stream_trace_file(
     let file = File::open(path).map_err(CodecError::Io)?;
     let mut reader = TraceFileReader::new(BufReader::new(file))?;
     let n = reader.frame_count();
+    let mut scratch = Vec::new();
     for _ in 0..n {
-        visit(reader.read_frame()?);
+        visit(reader.read_frame_into(&mut scratch)?.into_frame());
+    }
+    Ok(n)
+}
+
+/// [`stream_trace_file`] without materializing frames at all: `visit`
+/// receives each frame's raw encoded bytes (already validated end to end),
+/// to be decoded in place by [`mltc_trace::codec::frame_cursor`] wherever
+/// they are consumed. Buffers are recycled through a small pool once every
+/// holder of a frame's `Arc` drops it, so a replay that keeps up allocates
+/// a handful of buffers total instead of one per frame.
+pub(crate) fn stream_trace_file_raw(
+    path: &Path,
+    mut visit: impl FnMut(&Arc<Vec<u8>>),
+) -> Result<u32, CodecError> {
+    let file = File::open(path).map_err(CodecError::Io)?;
+    let mut reader = TraceFileReader::new(BufReader::new(file))?;
+    let n = reader.frame_count();
+    let mut pool: Vec<Arc<Vec<u8>>> = Vec::new();
+    for _ in 0..n {
+        // Reclaim a buffer nobody else holds any more, if there is one.
+        let mut buf = match pool.iter().position(|a| Arc::strong_count(a) == 1) {
+            Some(i) => Arc::try_unwrap(pool.swap_remove(i)).expect("sole owner"),
+            None => Vec::new(),
+        };
+        reader.read_frame_into(&mut buf)?;
+        let shared = Arc::new(buf);
+        visit(&shared);
+        pool.push(shared);
     }
     Ok(n)
 }

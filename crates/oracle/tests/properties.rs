@@ -113,7 +113,9 @@ proptest! {
     /// The tentpole invariant: for any configuration in the modelled space
     /// and any shaped access stream, the optimized engine and the naive
     /// oracle agree access-by-access (classification, bytes, victims, clock
-    /// hand). A divergence here is a real bug in one of the two models.
+    /// hand) — and, on roughly half the cases, the monomorphized batch fast
+    /// path replays to the same end state as the per-tap traced path. A
+    /// divergence here is a real bug in one of the three models.
     #[test]
     fn engine_matches_oracle_on_random_configs_and_streams(
         raw in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u32>(), any::<u32>(), any::<u8>()), 1..120),
@@ -123,12 +125,13 @@ proptest! {
         tlb_sel in any::<u8>(),
         sector in any::<bool>(),
         fault_sel in any::<u8>(),
+        check_fast in any::<bool>(),
     ) {
         let reg = registry();
         let stream = shape_stream(&raw, retouch);
         let cfg = config(l2_sel, policy_sel, tlb_sel, sector, fault_sel);
         let harness = DiffHarness::new(cfg, &reg).expect("generated configs are valid");
-        if let Err(div) = harness.replay(&stream) {
+        if let Err(div) = harness.replay_mode(&stream, check_fast) {
             let shrunk = harness.shrink(&stream);
             prop_assert!(false, "{div}\nshrunk to {} accesses", shrunk.len());
         }

@@ -119,7 +119,7 @@ impl Histogram {
 }
 
 /// A point-in-time copy of a histogram.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistSnapshot {
     /// Per-bucket sample counts (see [`bucket_of`]).
     pub buckets: [u64; BUCKETS],

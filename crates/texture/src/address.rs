@@ -216,6 +216,170 @@ impl TextureLayout {
     }
 }
 
+/// One row of [`TranslationTables`]: everything needed to turn an
+/// in-bounds `(u, v)` of one mip level of one texture into a page-table
+/// index with shifts, masks and a single multiply — the per-level base and
+/// the texture's `tstart` are folded into `pt_base` so no per-access table
+/// walk or `Option` probe remains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MipEntry {
+    /// `tstart + level base`: `pt_index = pt_base + by * grid_w + bx`.
+    pub pt_base: u32,
+    /// L2 block-grid width of the level.
+    pub grid_w: u32,
+    /// Level width in texels.
+    pub width: u32,
+    /// Level height in texels.
+    pub height: u32,
+}
+
+/// Flattened shift/mask translation tables over a whole
+/// [`PageTableLayout`]: a dense per-(texture, mip) [`MipEntry`] array plus
+/// the layout-wide tiling shifts. Equivalent to
+/// [`PageTableLayout::translate`] + [`PageTableLayout::page_table_index`]
+/// but branch-free on the hot path (no nested `Option`s, no
+/// `VirtualBlockAddr` construction, no division anywhere).
+#[derive(Debug, Clone)]
+pub struct TranslationTables {
+    /// log2 of the L2 tile edge in texels.
+    l2_shift: u32,
+    /// log2 of the L1 tile edge in texels.
+    l1_shift: u32,
+    /// log2 of L1 tiles per L2 tile edge (`l2_shift - l1_shift`).
+    sub_shift: u32,
+    /// `l2 texels - 1`: masks a coordinate down to its offset in the tile.
+    l2_mask: u32,
+    /// Per tid: (start index into `mips`, level count); `(0, 0)` for
+    /// deleted or never-issued textures.
+    slots: Vec<(u32, u32)>,
+    mips: Vec<MipEntry>,
+}
+
+/// One-entry last-translation memo for [`TranslationTables::lookup`]: the
+/// 4–8 taps of a bilinear/trilinear footprint almost always land in the
+/// same L2 page, so caching the last `(tid, m, bx, by) → pt_index` mapping
+/// skips the slot/entry loads and the `by * grid_w` multiply for the
+/// common tap.
+#[derive(Debug, Clone)]
+pub struct TranslationMemo {
+    /// Packed `(tid, m, bx, by)`; `u64::MAX` = empty (unreachable as a
+    /// real key: it would need tid `u32::MAX` *and* a mip-15 block grid
+    /// 2¹⁴ blocks wide, far beyond the packing limits asserted below).
+    key: u64,
+    pt_index: u32,
+}
+
+impl Default for TranslationMemo {
+    fn default() -> Self {
+        Self {
+            key: u64::MAX,
+            pt_index: 0,
+        }
+    }
+}
+
+impl TranslationTables {
+    fn new(tiling: TilingConfig) -> Self {
+        let l2_shift = tiling.l2().shift();
+        let l1_shift = tiling.l1().shift();
+        Self {
+            l2_shift,
+            l1_shift,
+            sub_shift: l2_shift - l1_shift,
+            l2_mask: tiling.l2().texels() - 1,
+            slots: Vec::new(),
+            mips: Vec::new(),
+        }
+    }
+
+    fn push_texture(&mut self, tid: u32, tstart: u32, layout: &TextureLayout) {
+        let idx = tid as usize;
+        if self.slots.len() <= idx {
+            self.slots.resize(idx + 1, (0, 0));
+        }
+        self.slots[idx] = (self.mips.len() as u32, layout.levels.len() as u32);
+        for lvl in &layout.levels {
+            self.mips.push(MipEntry {
+                pt_base: tstart + lvl.base,
+                grid_w: lvl.grid_w,
+                width: lvl.width,
+                height: lvl.height,
+            });
+        }
+    }
+
+    /// All levels of texture `tid` (finest first); empty for textures
+    /// unknown to the layout.
+    #[inline]
+    pub fn levels(&self, tid: u32) -> &[MipEntry] {
+        match self.slots.get(tid as usize) {
+            Some(&(start, count)) => &self.mips[start as usize..(start + count) as usize],
+            None => &[],
+        }
+    }
+
+    /// The entry for mip level `m` of texture `tid`, if the texture is
+    /// known and has that level.
+    #[inline]
+    pub fn entry(&self, tid: u32, m: u32) -> Option<&MipEntry> {
+        self.levels(tid).get(m as usize)
+    }
+
+    /// `(page-table index, L1 sub-block number)` of the block containing
+    /// texel `(u, v)` of the level described by `e` — pure shifts, masks
+    /// and one multiply. Matches
+    /// `page_table_index(&translate(tid, u, v, m))` bit for bit.
+    #[inline]
+    pub fn pt_and_sub(&self, e: &MipEntry, u: u32, v: u32) -> (u32, u16) {
+        debug_assert!(u < e.width && v < e.height);
+        let bx = u >> self.l2_shift;
+        let by = v >> self.l2_shift;
+        let pt = e.pt_base + by * e.grid_w + bx;
+        (pt, self.sub(u, v))
+    }
+
+    /// The L1 sub-block number alone (row-major within the L2 tile).
+    #[inline]
+    pub fn sub(&self, u: u32, v: u32) -> u16 {
+        let su = (u & self.l2_mask) >> self.l1_shift;
+        let sv = (v & self.l2_mask) >> self.l1_shift;
+        ((sv << self.sub_shift) | su) as u16
+    }
+
+    /// Memoized translation: `(page-table index, L1 sub-block number)` for
+    /// texel `(u, v)` of mip `m` of texture `tid`, reusing `memo` when the
+    /// tap lands in the same L2 block as the previous one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the texture is unknown to the layout (same contract as
+    /// the engine's canonical translate-then-index path).
+    #[inline]
+    pub fn lookup(
+        &self,
+        memo: &mut TranslationMemo,
+        tid: u32,
+        m: u32,
+        u: u32,
+        v: u32,
+    ) -> (u32, u16) {
+        let bx = u >> self.l2_shift;
+        let by = v >> self.l2_shift;
+        debug_assert!(m < 16 && bx < (1 << 14) && by < (1 << 14));
+        let key = ((tid as u64) << 32) | ((m as u64) << 28) | ((bx as u64) << 14) | by as u64;
+        let sub = self.sub(u, v);
+        if memo.key == key {
+            return (memo.pt_index, sub);
+        }
+        let e = self
+            .entry(tid, m)
+            .expect("texel access to texture unknown to the engine");
+        let pt = e.pt_base + by * e.grid_w + bx;
+        *memo = TranslationMemo { key, pt_index: pt };
+        (pt, sub)
+    }
+}
+
 /// Page-table layout across a whole [`TextureRegistry`]: each live texture
 /// gets a contiguous run of page-table entries `tstart .. tstart + tlen`
 /// (one per L2 block), allocated by "host driver software" as in §5.2.
@@ -234,6 +398,7 @@ pub struct PageTableLayout {
     /// Indexed by `tid`; `None` for deleted textures.
     textures: Vec<Option<(u32, TextureLayout)>>,
     entry_count: u32,
+    tables: TranslationTables,
 }
 
 impl PageTableLayout {
@@ -241,11 +406,13 @@ impl PageTableLayout {
     pub fn new(registry: &TextureRegistry, tiling: TilingConfig) -> Self {
         let mut textures: Vec<Option<(u32, TextureLayout)>> =
             (0..registry.issued_count()).map(|_| None).collect();
+        let mut tables = TranslationTables::new(tiling);
         let mut next = 0u32;
         for (tid, pyr) in registry.iter() {
             let dims: Vec<(u32, u32)> = pyr.iter().map(|img| (img.width(), img.height())).collect();
             let layout = TextureLayout::new(tid, &dims, tiling);
             let tlen = layout.l2_block_count();
+            tables.push_texture(tid.index(), next, &layout);
             textures[tid.index() as usize] = Some((next, layout));
             next += tlen;
         }
@@ -253,7 +420,15 @@ impl PageTableLayout {
             tiling,
             textures,
             entry_count: next,
+            tables,
         }
+    }
+
+    /// The precomputed shift/mask translation tables over this layout (the
+    /// replay fast path's and degraded-serve probe's view of translation).
+    #[inline]
+    pub fn tables(&self) -> &TranslationTables {
+        &self.tables
     }
 
     /// The tiling this layout was built for.
@@ -469,6 +644,94 @@ mod tests {
             a,
             L1BlockKey::new(TextureId::from_index(3), 0, 0, 0, TileSize::X4)
         );
+    }
+
+    #[test]
+    fn translation_tables_match_translate_everywhere() {
+        for tiling in [
+            TilingConfig::new(TileSize::X8, TileSize::X4).unwrap(),
+            TilingConfig::PAPER_DEFAULT,
+            TilingConfig::new(TileSize::X32, TileSize::X8).unwrap(),
+        ] {
+            let mut reg = TextureRegistry::new();
+            let a = reg.load(
+                "a",
+                MipPyramid::from_image(synth::checkerboard(128, 4, [0; 3], [255; 3])),
+            );
+            let b = reg.load(
+                "b",
+                MipPyramid::from_image(synth::checkerboard(64, 4, [0; 3], [255; 3])),
+            );
+            let layout = PageTableLayout::new(&reg, tiling);
+            let tables = layout.tables();
+            for tid in [a, b] {
+                let tl = layout.texture_layout(tid).unwrap();
+                let levels = tables.levels(tid.index());
+                assert_eq!(levels.len(), tl.level_count());
+                let mut memo = TranslationMemo::default();
+                for m in 0..tl.level_count() as u32 {
+                    let (w, h) = tl.level_dims(m);
+                    for v in 0..h {
+                        for u in 0..w {
+                            let addr = layout.translate(tid, u, v, m).unwrap();
+                            let want = (layout.page_table_index(&addr), addr.l1);
+                            let e = &levels[m as usize];
+                            assert_eq!(tables.pt_and_sub(e, u, v), want, "tiling {tiling}");
+                            assert_eq!(
+                                tables.lookup(&mut memo, tid.index(), m, u, v),
+                                want,
+                                "memoized lookup, tiling {tiling}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn translation_tables_skip_deleted_textures() {
+        let mut reg = TextureRegistry::new();
+        let a = reg.load(
+            "a",
+            MipPyramid::from_image(synth::checkerboard(32, 4, [0; 3], [255; 3])),
+        );
+        let b = reg.load(
+            "b",
+            MipPyramid::from_image(synth::checkerboard(32, 4, [0; 3], [255; 3])),
+        );
+        reg.delete(a);
+        let layout = PageTableLayout::new(&reg, TilingConfig::PAPER_DEFAULT);
+        let tables = layout.tables();
+        assert!(tables.levels(a.index()).is_empty());
+        assert!(tables.entry(a.index(), 0).is_none());
+        assert!(tables.entry(99, 0).is_none(), "never-issued tid");
+        assert!(!tables.levels(b.index()).is_empty());
+        // The survivor's entries still agree with the canonical path.
+        let addr = layout.translate(b, 17, 5, 0).unwrap();
+        let e = tables.entry(b.index(), 0).unwrap();
+        assert_eq!(
+            tables.pt_and_sub(e, 17, 5),
+            (layout.page_table_index(&addr), addr.l1)
+        );
+    }
+
+    #[test]
+    fn translation_memo_survives_block_changes() {
+        let (_reg, tid, layout) = layout_for(64, TilingConfig::PAPER_DEFAULT);
+        let tables = layout.tables();
+        let mut memo = TranslationMemo::default();
+        // Same block twice (second is the memo hit), then a different
+        // block, a different level, then back: every answer must match the
+        // memo-free path.
+        for (u, v, m) in [(0, 0, 0), (3, 3, 0), (16, 0, 0), (0, 0, 1), (3, 3, 0)] {
+            let addr = layout.translate(tid, u, v, m).unwrap();
+            assert_eq!(
+                tables.lookup(&mut memo, tid.index(), m, u, v),
+                (layout.page_table_index(&addr), addr.l1),
+                "({u},{v},{m})"
+            );
+        }
     }
 
     #[test]

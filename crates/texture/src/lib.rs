@@ -40,7 +40,10 @@ mod registry;
 pub mod synth;
 mod tiling;
 
-pub use address::{L1BlockKey, PageTableLayout, TextureLayout, VirtualBlockAddr};
+pub use address::{
+    L1BlockKey, MipEntry, PageTableLayout, TextureLayout, TranslationMemo, TranslationTables,
+    VirtualBlockAddr,
+};
 pub use format::{pack_rgba, unpack_rgba, TexelFormat};
 pub use image::Image;
 pub use mip::{mip_level_count, MipPyramid};

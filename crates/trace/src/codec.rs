@@ -178,6 +178,132 @@ pub fn encode_frame(t: &FrameTrace) -> Bytes {
     buf.freeze()
 }
 
+/// Borrowed view of one encoded frame: header fields decoded, request
+/// payload left in place and decoded lazily by [`requests`]
+/// (`FrameCursor::requests`). This is the zero-allocation decode path — a
+/// caller replaying a trace streams requests straight out of its reusable
+/// read buffer and never materializes a `Vec<PixelRequest>` per frame.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameCursor<'a> {
+    /// Frame number.
+    pub frame: u32,
+    /// Framebuffer width the trace was rendered at.
+    pub width: u32,
+    /// Framebuffer height.
+    pub height: u32,
+    /// Filter mode recorded with the frame.
+    pub filter: FilterMode,
+    /// Fragments the rasterizer produced for this frame.
+    pub pixels_rendered: u64,
+    /// Raw little-endian request payload, 16 bytes per request.
+    payload: &'a [u8],
+}
+
+impl<'a> FrameCursor<'a> {
+    /// Number of requests in the frame.
+    #[inline]
+    pub fn request_count(&self) -> u32 {
+        (self.payload.len() / 16) as u32
+    }
+
+    /// Iterates the requests, decoding each from the payload in place.
+    #[inline]
+    pub fn requests(&self) -> FrameRequests<'a> {
+        FrameRequests {
+            payload: self.payload,
+        }
+    }
+
+    /// Materializes an owned [`FrameTrace`] (the allocating path callers
+    /// use when the frame must outlive the read buffer).
+    pub fn into_frame(self) -> FrameTrace {
+        FrameTrace {
+            frame: self.frame,
+            width: self.width,
+            height: self.height,
+            filter: self.filter,
+            pixels_rendered: self.pixels_rendered,
+            requests: self.requests().collect(),
+        }
+    }
+}
+
+/// In-place request iterator of a [`FrameCursor`].
+#[derive(Debug, Clone)]
+pub struct FrameRequests<'a> {
+    payload: &'a [u8],
+}
+
+impl Iterator for FrameRequests<'_> {
+    type Item = PixelRequest;
+
+    #[inline]
+    fn next(&mut self) -> Option<PixelRequest> {
+        let (raw, rest) = self.payload.split_first_chunk::<16>()?;
+        self.payload = rest;
+        Some(PixelRequest {
+            tid: TextureId::from_index(u32::from_le_bytes(raw[0..4].try_into().unwrap())),
+            u: f32::from_le_bytes(raw[4..8].try_into().unwrap()),
+            v: f32::from_le_bytes(raw[8..12].try_into().unwrap()),
+            lod: f32::from_le_bytes(raw[12..16].try_into().unwrap()),
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.payload.len() / 16;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for FrameRequests<'_> {}
+
+/// Decodes one frame's header from the front of `buf`, returning a borrowed
+/// [`FrameCursor`] over its request payload plus the remainder of `buf`
+/// after the frame. Validation is identical to [`decode_frame`]; nothing is
+/// allocated.
+///
+/// # Errors
+///
+/// Same contract as [`decode_frame`].
+pub fn frame_cursor(buf: &[u8]) -> Result<(FrameCursor<'_>, &[u8]), CodecError> {
+    if buf.len() < 29 {
+        return Err(CodecError::Truncated);
+    }
+    let (mut header, body) = buf.split_at(29);
+    let magic = header.get_u32_le();
+    if magic != MAGIC {
+        return Err(CodecError::BadMagic(magic));
+    }
+    let frame = header.get_u32_le();
+    let width = header.get_u32_le();
+    let height = header.get_u32_le();
+    let filter = filter_from_byte(header.get_u8())?;
+    let pixels_rendered = header.get_u64_le();
+    let raw_count = header.get_u32_le();
+    if raw_count > MAX_FRAME_REQUESTS {
+        return Err(CodecError::Oversized {
+            count: raw_count,
+            max: MAX_FRAME_REQUESTS,
+        });
+    }
+    // u64 math: count * 16 could wrap on a 32-bit usize.
+    if (body.len() as u64) < raw_count as u64 * 16 {
+        return Err(CodecError::Truncated);
+    }
+    let (payload, rest) = body.split_at(raw_count as usize * 16);
+    Ok((
+        FrameCursor {
+            frame,
+            width,
+            height,
+            filter,
+            pixels_rendered,
+            payload,
+        },
+        rest,
+    ))
+}
+
 /// Decodes one frame from the front of `buf`, advancing it.
 ///
 /// # Errors
@@ -526,6 +652,24 @@ impl<R: Read> TraceFileReader<R> {
     /// disagree, [`CodecError::Truncated`] when the file ends early, plus
     /// the frame decoder's own errors.
     pub fn read_frame(&mut self) -> Result<FrameTrace, CodecError> {
+        let mut scratch = Vec::new();
+        self.read_frame_into(&mut scratch)
+            .map(FrameCursor::into_frame)
+    }
+
+    /// [`read_frame`](Self::read_frame) without the per-frame allocations:
+    /// the encoded frame is read into `scratch` (cleared and grown as
+    /// needed — pass the same buffer every call and it stops allocating
+    /// once it has seen the largest frame) and decoded in place as a
+    /// borrowed [`FrameCursor`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`read_frame`](Self::read_frame).
+    pub fn read_frame_into<'b>(
+        &mut self,
+        scratch: &'b mut Vec<u8>,
+    ) -> Result<FrameCursor<'b>, CodecError> {
         if self.read == self.frame_count {
             return Err(CodecError::Truncated);
         }
@@ -540,20 +684,20 @@ impl<R: Read> TraceFileReader<R> {
                 max: MAX_FRAME_BYTES,
             });
         }
-        let mut payload = vec![0u8; declared as usize];
-        if read_exact_or_eof(&mut self.inner, &mut payload)? != payload.len() {
+        scratch.clear();
+        scratch.resize(declared as usize, 0);
+        if read_exact_or_eof(&mut self.inner, scratch)? != scratch.len() {
             return Err(CodecError::Truncated);
         }
-        let mut buf = payload.as_slice();
-        let frame = decode_frame(&mut buf)?;
-        if !buf.is_empty() {
+        let (cursor, rest) = frame_cursor(scratch)?;
+        if !rest.is_empty() {
             return Err(CodecError::FrameLengthMismatch {
                 declared,
-                decoded: declared - buf.len() as u32,
+                decoded: declared - rest.len() as u32,
             });
         }
         self.read += 1;
-        Ok(frame)
+        Ok(cursor)
     }
 }
 
@@ -827,6 +971,47 @@ mod tests {
         let mut buf = Vec::new();
         let w = TraceFileWriter::new(&mut buf, "k", 2).unwrap();
         assert!(w.finish().is_err(), "short file must not finish cleanly");
+    }
+
+    #[test]
+    fn frame_cursor_matches_decode_frame() {
+        let t = sample_trace(37);
+        let enc = encode_frame(&t);
+        let (cursor, rest) = frame_cursor(&enc).unwrap();
+        assert!(rest.is_empty());
+        assert_eq!(cursor.request_count() as usize, t.requests.len());
+        let streamed: Vec<PixelRequest> = cursor.requests().collect();
+        assert_eq!(streamed, t.requests);
+        assert_eq!(cursor.into_frame(), t);
+        // And the cursor rejects exactly what decode_frame rejects.
+        assert!(matches!(
+            frame_cursor(&enc[..enc.len() - 1]),
+            Err(CodecError::Truncated)
+        ));
+        let mut bad = enc.to_vec();
+        bad[0] ^= 0xff;
+        assert!(matches!(frame_cursor(&bad), Err(CodecError::BadMagic(_))));
+    }
+
+    #[test]
+    fn read_frame_into_reuses_one_scratch_buffer() {
+        let file = sample_file("scratch", 4);
+        let mut by_value = TraceFileReader::new(file.as_slice()).unwrap();
+        let mut by_cursor = TraceFileReader::new(file.as_slice()).unwrap();
+        let mut scratch = Vec::new();
+        let mut peak_capacity = 0;
+        for _ in 0..4 {
+            let owned = by_value.read_frame().unwrap();
+            let cursor = by_cursor.read_frame_into(&mut scratch).unwrap();
+            assert_eq!(cursor.into_frame(), owned);
+            peak_capacity = peak_capacity.max(scratch.capacity());
+        }
+        assert_eq!(
+            scratch.capacity(),
+            peak_capacity,
+            "one buffer serves every frame"
+        );
+        assert!(by_cursor.read_frame_into(&mut scratch).is_err());
     }
 
     #[test]

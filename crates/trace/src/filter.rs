@@ -124,9 +124,16 @@ impl<'a> IntoIterator for &'a TapList {
 
 /// Wraps a (possibly negative / out-of-range) texel coordinate into
 /// `[0, size)` — repeat addressing, the mode both workloads use.
+///
+/// Almost every tap is already in range, so the general `rem_euclid`
+/// (a hardware divide) only runs for coordinates that actually crossed an
+/// edge; the fast path is a compare. The value is identical either way.
 #[inline]
 pub(crate) fn wrap(x: i64, size: u32) -> u32 {
     debug_assert!(size > 0);
+    if (x as u64) < size as u64 {
+        return x as u32;
+    }
     x.rem_euclid(size as i64) as u32
 }
 
@@ -145,6 +152,7 @@ pub(crate) fn wrap(x: i64, size: u32) -> u32 {
 /// assert_eq!(taps.len(), 1);
 /// assert_eq!(taps.as_slice()[0].weight, 1.0);
 /// ```
+#[inline]
 pub fn filter_taps(
     req: &PixelRequest,
     filter: FilterMode,
@@ -187,6 +195,7 @@ fn to_level(req: &PixelRequest, (w, h): (u32, u32), (w0, h0): (u32, u32)) -> (f3
     (req.u * w as f32 / w0 as f32, req.v * h as f32 / h0 as f32)
 }
 
+#[inline]
 fn point_tap(
     out: &mut TapList,
     req: &PixelRequest,
@@ -204,6 +213,7 @@ fn point_tap(
     });
 }
 
+#[inline]
 fn bilinear_taps(
     out: &mut TapList,
     req: &PixelRequest,

@@ -1,0 +1,49 @@
+//! Timing probe: fast vs traced replay throughput, min-of-7 per variant
+//! so scheduler/multi-tenant interference doesn't drown the comparison
+//! (see DESIGN.md §8). Run with
+//! `cargo run --release --example replay_timing`.
+use mltc_core::{EngineConfig, L1Config, L2Config, SimEngine};
+use mltc_scene::{Workload, WorkloadParams};
+use mltc_trace::{FilterMode, FrameTrace};
+use std::time::Instant;
+
+fn main() {
+    let w = Workload::village(&WorkloadParams::quick());
+    let mut frames: Vec<FrameTrace> = Vec::new();
+    w.render_animation(FilterMode::Point, false, |t| frames.push(t));
+    let ml = EngineConfig {
+        l1: L1Config::kb(2),
+        l2: Some(L2Config::mb(2)),
+        tlb_entries: 16,
+        ..EngineConfig::default()
+    };
+    let pull = EngineConfig {
+        l1: L1Config::kb(2),
+        ..EngineConfig::default()
+    };
+    for (cname, cfg) in [("ml  ", ml), ("pull", pull)] {
+        for filter in [FilterMode::Bilinear, FilterMode::Trilinear] {
+            for (label, traced) in [("fast  ", false), ("traced", true)] {
+                let mut best = f64::MAX;
+                let mut taps = 0u64;
+                for _ in 0..7 {
+                    let mut e = SimEngine::try_new(cfg, w.registry()).unwrap();
+                    let t0 = Instant::now();
+                    for f in &frames {
+                        if traced {
+                            e.try_run_frame_as_traced(f, filter).unwrap();
+                        } else {
+                            e.try_run_frame_as(f, filter).unwrap();
+                        }
+                    }
+                    best = best.min(t0.elapsed().as_secs_f64());
+                    taps = e.totals().l1_accesses;
+                }
+                println!(
+                    "{cname} {filter:?} {label}: best {best:6.3}s  {:.1} Mtaps/s",
+                    taps as f64 / best / 1e6
+                );
+            }
+        }
+    }
+}

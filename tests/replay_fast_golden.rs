@@ -1,0 +1,164 @@
+//! Golden bit-identity: every committed trace, replayed through the
+//! monomorphized batch fast path and through the canonical per-tap traced
+//! path, must produce identical per-frame counters, identical cache/host
+//! end state, and identical telemetry — across every specialization the
+//! fast path monomorphizes over (L2 on/off, TLB on/off, telemetry on/off,
+//! all three filters).
+
+use mltc_core::{EngineConfig, L1Config, L2Config, ReplacementPolicy, SimEngine};
+use mltc_oracle::TraceKey;
+use mltc_telemetry::Recorder;
+use mltc_trace::codec::TraceFileReader;
+use mltc_trace::{FilterMode, FrameTrace};
+use std::fs::File;
+use std::io::BufReader;
+use std::path::PathBuf;
+
+fn traces_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("results/traces")
+}
+
+/// Every committed trace, decoded in full, with its rebuilt workload
+/// (which owns the registry the engines need).
+fn committed_traces() -> Vec<(String, mltc_scene::Workload, Vec<FrameTrace>)> {
+    let mut out = Vec::new();
+    let mut names: Vec<_> = std::fs::read_dir(traces_dir())
+        .expect("committed traces directory exists")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "mltct"))
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "no committed .mltct traces found");
+    for path in names {
+        let mut reader = TraceFileReader::new(BufReader::new(
+            File::open(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display())),
+        ))
+        .expect("committed trace is a valid container");
+        let key = TraceKey::parse(reader.key()).expect("committed trace has a parseable key");
+        let workload = key.workload();
+        let frames: Vec<FrameTrace> = (0..reader.frame_count())
+            .map(|_| reader.read_frame().expect("committed trace decodes"))
+            .collect();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        out.push((name, workload, frames));
+    }
+    out
+}
+
+/// The specialization matrix: one configuration per fast-path arm shape.
+fn matrix() -> Vec<(&'static str, EngineConfig)> {
+    let base = EngineConfig {
+        l1: L1Config::kb(2),
+        ..EngineConfig::default()
+    };
+    vec![
+        // No L2: the pull-architecture arm.
+        ("pull", base),
+        // L2 + TLB, small enough that replacement and the TLB both churn.
+        (
+            "ml-tlb",
+            EngineConfig {
+                l2: Some(L2Config {
+                    size_bytes: 64 * 1024,
+                    ..L2Config::mb(1)
+                }),
+                tlb_entries: 4,
+                ..base
+            },
+        ),
+        // L2 without a TLB, clock replacement, sector mapping on.
+        (
+            "ml-sector",
+            EngineConfig {
+                l2: Some(L2Config {
+                    size_bytes: 64 * 1024,
+                    policy: ReplacementPolicy::Clock,
+                    ..L2Config::mb(1)
+                }),
+                tlb_entries: 0,
+                ..base
+            },
+        ),
+    ]
+}
+
+fn replay(
+    cfg: EngineConfig,
+    workload: &mltc_scene::Workload,
+    frames: &[FrameTrace],
+    filter: FilterMode,
+    traced: bool,
+    rec: &Recorder,
+) -> SimEngine {
+    let registry = workload.scene().registry();
+    let mut engine = SimEngine::try_new(cfg, registry).expect("matrix configs are valid");
+    if rec.is_enabled() {
+        engine.attach_telemetry(rec, "golden", "golden");
+    }
+    for t in frames {
+        if traced {
+            engine.try_run_frame_as_traced(t, filter).expect("replay");
+        } else {
+            engine.try_run_frame_as(t, filter).expect("replay");
+        }
+    }
+    engine
+}
+
+#[test]
+fn fast_path_is_bit_identical_to_traced_path_on_every_committed_trace() {
+    for (name, workload, frames) in committed_traces() {
+        for (label, cfg) in matrix() {
+            for filter in [
+                FilterMode::Point,
+                FilterMode::Bilinear,
+                FilterMode::Trilinear,
+            ] {
+                for telemetry in [false, true] {
+                    let (rec_fast, rec_traced) = if telemetry {
+                        (Recorder::enabled(), Recorder::enabled())
+                    } else {
+                        (Recorder::disabled(), Recorder::disabled())
+                    };
+                    let fast = replay(cfg, &workload, &frames, filter, false, &rec_fast);
+                    let slow = replay(cfg, &workload, &frames, filter, true, &rec_traced);
+                    let ctx = format!("{name} / {label} / {filter:?} / telemetry={telemetry}");
+                    assert_eq!(fast.frames(), slow.frames(), "{ctx}: frame counters");
+                    assert_eq!(fast.totals(), slow.totals(), "{ctx}: totals");
+                    assert_eq!(
+                        fast.l2().and_then(|l2| l2.clock_hand()),
+                        slow.l2().and_then(|l2| l2.clock_hand()),
+                        "{ctx}: clock hand"
+                    );
+                    assert_eq!(
+                        fast.host().transfers(),
+                        slow.host().transfers(),
+                        "{ctx}: host transfer draws"
+                    );
+                    let (sf, st) = (rec_fast.snapshot(), rec_traced.snapshot());
+                    assert_eq!(sf.counters, st.counters, "{ctx}: telemetry counters");
+                    assert_eq!(sf.hists, st.hists, "{ctx}: telemetry histograms");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fast_path_totals_are_nonzero_on_committed_traces() {
+    // Guard against the golden test passing vacuously (empty traces or a
+    // replay that silently does nothing).
+    let (_, workload, frames) = committed_traces().remove(0);
+    let (_, cfg) = matrix().remove(1);
+    let fast = replay(
+        cfg,
+        &workload,
+        &frames,
+        FilterMode::Bilinear,
+        false,
+        &Recorder::disabled(),
+    );
+    assert!(fast.totals().l1_accesses > 0);
+    assert!(fast.frames().len() == frames.len());
+}
