@@ -46,5 +46,5 @@ pub use clock::{ClockList, ClockStats};
 pub use lru::LruList;
 pub use sector::SectorBits;
 pub use setassoc::{AccessResult, SetAssocCache};
-pub use stats::HitStats;
+pub use stats::{jain_fairness, HitStats};
 pub use tlb::RoundRobinTlb;

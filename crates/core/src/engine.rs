@@ -1,5 +1,9 @@
 //! The transaction-accurate multi-level cache simulator (paper §3.3, §5.3).
 
+use crate::tap::{
+    const_filter, degraded_probe, tap_ml, tap_pull, TelOff, TelOn, TelemetryMode, TlbMode, TlbOff,
+    TlbOn,
+};
 use crate::telemetry::EngineTelemetry;
 use crate::{
     EngineError, FaultPlan, HostLink, L1Config, L1TextureCache, L2Cache, L2Config, L2Outcome,
@@ -60,6 +64,45 @@ impl EngineConfig {
             None => format!("{l1kb} KB L1, no L2"),
             Some(l2) => format!("{l1kb} KB L1, {} MB L2", l2.size_bytes >> 20),
         }
+    }
+
+    /// Validates the cache geometry (shared by [`SimEngine::try_new`] and
+    /// the multi-client [`TextureService`](crate::TextureService), which
+    /// applies it to each per-client L2 partition).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidGeometry`] for an L1 with zero ways, zero sets
+    /// or a non-power-of-two set count, or an L2 smaller than one block.
+    pub fn validate_geometry(&self) -> Result<(), EngineError> {
+        if self.l1.ways == 0 {
+            return Err(EngineError::InvalidGeometry(
+                "L1 must have at least one way".into(),
+            ));
+        }
+        let sets = self.l1.sets();
+        if sets == 0 {
+            return Err(EngineError::InvalidGeometry(format!(
+                "L1 of {} bytes has no sets",
+                self.l1.size_bytes
+            )));
+        }
+        if !sets.is_power_of_two() {
+            return Err(EngineError::InvalidGeometry(format!(
+                "L1 set count {sets} must be a power of two"
+            )));
+        }
+        if let Some(l2) = self.l2 {
+            let block_bytes = self.tiling.l2().cache_bytes();
+            if l2.size_bytes < block_bytes {
+                return Err(EngineError::InvalidGeometry(format!(
+                    "L2 of {} bytes holds no {} blocks",
+                    l2.size_bytes,
+                    self.tiling.l2()
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -236,33 +279,7 @@ impl SimEngine {
     /// block; [`EngineError::EmptyPageTable`] when an L2 is configured but
     /// the registry holds no textures.
     pub fn try_new(cfg: EngineConfig, registry: &TextureRegistry) -> Result<Self, EngineError> {
-        if cfg.l1.ways == 0 {
-            return Err(EngineError::InvalidGeometry(
-                "L1 must have at least one way".into(),
-            ));
-        }
-        let sets = cfg.l1.sets();
-        if sets == 0 {
-            return Err(EngineError::InvalidGeometry(format!(
-                "L1 of {} bytes has no sets",
-                cfg.l1.size_bytes
-            )));
-        }
-        if !sets.is_power_of_two() {
-            return Err(EngineError::InvalidGeometry(format!(
-                "L1 set count {sets} must be a power of two"
-            )));
-        }
-        if let Some(l2) = cfg.l2 {
-            let block_bytes = cfg.tiling.l2().cache_bytes();
-            if l2.size_bytes < block_bytes {
-                return Err(EngineError::InvalidGeometry(format!(
-                    "L2 of {} bytes holds no {} blocks",
-                    l2.size_bytes,
-                    cfg.tiling.l2()
-                )));
-            }
-        }
+        cfg.validate_geometry()?;
         let layout = PageTableLayout::new(registry, cfg.tiling);
         if cfg.l2.is_some() && layout.entry_count() == 0 {
             return Err(EngineError::EmptyPageTable);
@@ -846,68 +863,12 @@ impl SimEngine {
 // dynamic decision (`Option<L2Cache>`, `Option<Tlb>`, attached telemetry,
 // filter mode) is re-examined per texel. The batch replay entry points
 // resolve those decisions once per frame and instantiate a specialized
-// loop per combination; the tap bodies below are shared verbatim between
-// the specializations, so counters, cache state, host-link draws and
-// telemetry stay bit-identical to the slow path (the differential oracle
-// and the golden trace tests enforce this).
+// loop per combination; the tap bodies (crate::tap) are shared verbatim
+// between the specializations — and with the multi-client service layer —
+// so counters, cache state, host-link draws and telemetry stay
+// bit-identical to the slow path (the differential oracle and the golden
+// trace tests enforce this).
 // ---------------------------------------------------------------------------
-
-/// Compile-time telemetry switch: `TelOn` forwards to the attached
-/// [`EngineTelemetry`], `TelOff` erases the observation closures entirely.
-trait TelemetryMode {
-    fn with(&mut self, f: impl FnOnce(&mut EngineTelemetry));
-}
-
-struct TelOn<'a>(&'a mut EngineTelemetry);
-
-impl TelemetryMode for TelOn<'_> {
-    #[inline(always)]
-    fn with(&mut self, f: impl FnOnce(&mut EngineTelemetry)) {
-        f(self.0);
-    }
-}
-
-struct TelOff;
-
-impl TelemetryMode for TelOff {
-    #[inline(always)]
-    fn with(&mut self, _f: impl FnOnce(&mut EngineTelemetry)) {}
-}
-
-/// Compile-time TLB switch mirroring the slow path's `Option<Tlb>` probe:
-/// `TlbOff::access` is a constant `None`, so the hit bookkeeping folds away.
-trait TlbMode {
-    fn access(&mut self, key: u64) -> Option<bool>;
-}
-
-struct TlbOn<'a>(&'a mut RoundRobinTlb);
-
-impl TlbMode for TlbOn<'_> {
-    #[inline(always)]
-    fn access(&mut self, key: u64) -> Option<bool> {
-        Some(self.0.access(key))
-    }
-}
-
-struct TlbOff;
-
-impl TlbMode for TlbOff {
-    #[inline(always)]
-    fn access(&mut self, _key: u64) -> Option<bool> {
-        None
-    }
-}
-
-/// Maps the replay loops' filter const back to the runtime enum (resolved
-/// at monomorphization time, so `filter_taps` sees a literal).
-#[inline(always)]
-const fn const_filter<const F: u8>() -> FilterMode {
-    match F {
-        0 => FilterMode::Point,
-        1 => FilterMode::Bilinear,
-        _ => FilterMode::Trilinear,
-    }
-}
 
 /// Pull-architecture frame loop (no L2, hence no translation and no TLB).
 fn replay_pull<const F: u8, I, Te>(
@@ -996,192 +957,6 @@ where
         }
     }
     Ok(())
-}
-
-/// One pull-architecture tap; mirrors the `None` L2 arm of
-/// [`SimEngine::access_texel_traced`] line for line.
-#[inline(always)]
-#[allow(clippy::too_many_arguments)]
-fn tap_pull<Te: TelemetryMode>(
-    tid: TextureId,
-    m: u32,
-    u: u32,
-    v: u32,
-    l1_bytes: u64,
-    l1: &mut L1TextureCache,
-    host: &mut HostLink,
-    current: &mut FrameCounters,
-    tel: &mut Te,
-) {
-    current.l1_accesses += 1;
-    if l1.access(tid, m, u, v) {
-        current.l1_hits += 1;
-        tel.with(|t| t.l1_hits.incr());
-        return;
-    }
-    match host.transfer(tid) {
-        Transfer::Delivered { retries } => {
-            current.retries += retries as u64;
-            current.host_bytes += l1_bytes;
-            tel.with(|t| {
-                t.l1_misses.incr();
-                t.host_delivered.incr();
-                t.host_retries.add(retries as u64);
-                t.transfer_bytes.record(l1_bytes);
-            });
-        }
-        Transfer::Failed { retries } => {
-            current.retries += retries as u64;
-            current.failed_transfers += 1;
-            l1.invalidate(tid, m, u, v);
-            current.dropped_taps += 1;
-            tel.with(|t| {
-                t.l1_misses.incr();
-                t.host_failed.incr();
-                t.host_retries.add(retries as u64);
-                t.dropped_taps.incr();
-            });
-        }
-    }
-}
-
-/// One multi-level tap; mirrors the `Some(l2)` arm of
-/// [`SimEngine::access_texel_traced`] line for line, with translation
-/// served by the shift/mask tables and the one-entry memo.
-#[inline(always)]
-#[allow(clippy::too_many_arguments)]
-fn tap_ml<Tl: TlbMode, Te: TelemetryMode>(
-    tid: TextureId,
-    m: u32,
-    u: u32,
-    v: u32,
-    l1_bytes: u64,
-    dl_full_miss: u64,
-    tables: &TranslationTables,
-    memo: &mut TranslationMemo,
-    dims: &[Option<Vec<(u32, u32)>>],
-    l1: &mut L1TextureCache,
-    l2: &mut L2Cache,
-    host: &mut HostLink,
-    current: &mut FrameCounters,
-    tlb: &mut Tl,
-    tel: &mut Te,
-) {
-    current.l1_accesses += 1;
-    if l1.access(tid, m, u, v) {
-        current.l1_hits += 1;
-        tel.with(|t| t.l1_hits.incr());
-        return;
-    }
-    let (pt_index, l1_sub) = tables.lookup(memo, tid.index(), m, u, v);
-    let tlb_hit = tlb.access(pt_index as u64);
-    if let Some(hit) = tlb_hit {
-        current.tlb_accesses += 1;
-        current.tlb_hits += hit as u64;
-    }
-    let outcome = l2.access(pt_index, l1_sub);
-    let dl = match outcome {
-        L2Outcome::FullHit => {
-            current.l2_full_hits += 1;
-            current.l2_local_bytes += l1_bytes;
-            tel.with(|t| {
-                t.on_l2_access(pt_index as u64, tlb_hit);
-                t.l2_full_hits.incr();
-            });
-            return;
-        }
-        L2Outcome::PartialHit => {
-            current.l2_partial_hits += 1;
-            l1_bytes
-        }
-        L2Outcome::FullMiss => {
-            current.l2_full_misses += 1;
-            dl_full_miss
-        }
-    };
-    match host.transfer(tid) {
-        Transfer::Delivered { retries } => {
-            current.retries += retries as u64;
-            current.host_bytes += dl;
-            current.l2_local_bytes += dl;
-            tel.with(|t| {
-                t.on_l2_access(pt_index as u64, tlb_hit);
-                match outcome {
-                    L2Outcome::PartialHit => t.l2_partial_hits.incr(),
-                    L2Outcome::FullMiss => {
-                        t.l2_full_misses.incr();
-                        t.on_full_miss_sweep(l2.clock_stats());
-                    }
-                    L2Outcome::FullHit => unreachable!("full hits return above"),
-                }
-                t.host_delivered.incr();
-                t.host_retries.add(retries as u64);
-                t.transfer_bytes.record(dl);
-            });
-        }
-        Transfer::Failed { retries } => {
-            current.retries += retries as u64;
-            current.failed_transfers += 1;
-            l2.fail_download(pt_index, l1_sub);
-            l1.invalidate(tid, m, u, v);
-            let served = degraded_probe(tables, dims, l2, tid, m, u, v);
-            if served {
-                current.degraded_taps += 1;
-                current.l2_local_bytes += l1_bytes;
-            } else {
-                current.dropped_taps += 1;
-            }
-            tel.with(|t| {
-                t.on_l2_access(pt_index as u64, tlb_hit);
-                match outcome {
-                    L2Outcome::PartialHit => t.l2_partial_hits.incr(),
-                    L2Outcome::FullMiss => {
-                        t.l2_full_misses.incr();
-                        t.on_full_miss_sweep(l2.clock_stats());
-                    }
-                    L2Outcome::FullHit => unreachable!("full hits return above"),
-                }
-                t.host_failed.incr();
-                t.host_retries.add(retries as u64);
-                if served {
-                    t.degraded_taps.incr();
-                } else {
-                    t.dropped_taps.incr();
-                }
-            });
-        }
-    }
-}
-
-/// Read-only search for the nearest coarser mip level whose covering texel
-/// is resident in L2 (graceful degradation after a failed download). Shared
-/// by the slow and fast paths; geometry comes from the precomputed layout
-/// tables instead of a full `translate` per candidate level.
-#[inline]
-fn degraded_probe(
-    tables: &TranslationTables,
-    dims: &[Option<Vec<(u32, u32)>>],
-    l2: &L2Cache,
-    tid: TextureId,
-    m: u32,
-    u: u32,
-    v: u32,
-) -> bool {
-    let Some(dims) = dims.get(tid.index() as usize).and_then(|d| d.as_ref()) else {
-        return false;
-    };
-    for cm in (m + 1)..dims.len() as u32 {
-        let (cw, ch) = dims[cm as usize];
-        let cu = (u >> (cm - m)).min(cw.saturating_sub(1));
-        let cv = (v >> (cm - m)).min(ch.saturating_sub(1));
-        if let Some(e) = tables.entry(tid.index(), cm) {
-            let (cpt, csub) = tables.pt_and_sub(e, cu, cv);
-            if l2.is_resident(cpt, csub) {
-                return true;
-            }
-        }
-    }
-    false
 }
 
 #[cfg(test)]

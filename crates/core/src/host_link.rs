@@ -101,6 +101,27 @@ impl FaultPlan {
         self
     }
 
+    /// Derives the plan a multi-client service scopes to one client: the
+    /// same rates, windows and retry budget, but a seed mixed (SplitMix64
+    /// finalizer) with the client id.
+    ///
+    /// Each client then owns an independent [`HostLink`] whose fault
+    /// schedule depends only on `(plan, client)` and the client's **own**
+    /// transfer ordinals — never on how clients interleave on the shared
+    /// link — which is what keeps multi-client runs reproducible under any
+    /// `--jobs` level and lets a survivor replay bit-identically solo.
+    /// Client 0 keeps the base seed, so a single-client service is
+    /// byte-identical to a plain engine running the base plan.
+    pub const fn for_client(mut self, client: u32) -> Self {
+        if client != 0 {
+            let mut z = self.seed ^ (client as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            self.seed = z ^ (z >> 31);
+        }
+        self
+    }
+
     /// True when the plan can never produce a failure.
     pub fn is_none(&self) -> bool {
         self.fail_ppm == 0
@@ -410,6 +431,50 @@ mod tests {
             prop_assert_eq!(got, want);
             let counted = if plan.is_none() { 0 } else { tids.len() as u64 };
             prop_assert_eq!(link.transfers(), counted);
+        }
+
+        /// Multi-client scoping (the service containment contract): each
+        /// client's fault sequence depends only on `(base plan, client)`
+        /// and that client's own transfer ordinals. Replaying any
+        /// interleaving of clients over their scoped links yields, per
+        /// client, exactly the sequence that client sees running alone —
+        /// so fault schedules are reproducible under any `--jobs` level or
+        /// thread interleaving, and client 0 keeps the base plan.
+        #[test]
+        fn per_client_schedules_survive_any_interleaving(
+            seed in any::<u64>(),
+            fail_ppm in 0u32..1_000_001,
+            burst_period in 0u32..8,
+            burst_len in 0u32..4,
+            schedule in proptest::collection::vec((0u32..4, 0u32..3), 1..300usize),
+        ) {
+            let base = FaultPlan {
+                seed,
+                fail_ppm,
+                max_attempts: 3,
+                burst_period,
+                burst_len,
+                blackout: None,
+            };
+            prop_assert_eq!(base.for_client(0), base, "client 0 keeps the base plan");
+            // Interleaved run: one scoped link per client, transfers in an
+            // arbitrary (proptest-chosen) global order.
+            let mut links: Vec<HostLink> =
+                (0..4).map(|c| HostLink::new(base.for_client(c))).collect();
+            let mut got: Vec<Vec<Transfer>> = vec![Vec::new(); 4];
+            for &(c, tid) in &schedule {
+                got[c as usize].push(links[c as usize].transfer(t(tid)));
+            }
+            // Solo replay: each client alone, same per-client order.
+            for c in 0..4u32 {
+                let mut solo = HostLink::new(base.for_client(c));
+                let want: Vec<Transfer> = schedule
+                    .iter()
+                    .filter(|&&(cc, _)| cc == c)
+                    .map(|&(_, tid)| solo.transfer(t(tid)))
+                    .collect();
+                prop_assert_eq!(&got[c as usize], &want, "client {}", c);
+            }
         }
 
         /// A plan that can never fail — whether it takes the `is_none` fast

@@ -60,6 +60,8 @@ mod l1;
 mod l2;
 pub mod model;
 mod push;
+pub mod service;
+mod tap;
 mod telemetry;
 
 pub use engine::{AccessTrace, EngineConfig, FrameCounters, SimEngine};
@@ -68,4 +70,8 @@ pub use host_link::{FaultPlan, HostLink, TextureBlackout, Transfer};
 pub use l1::{L1Config, L1TextureCache, StorageFormat};
 pub use l2::{L2AccessTrace, L2Cache, L2Config, L2Outcome, L2Stats, ReplacementPolicy};
 pub use push::PushArchitecture;
+pub use service::{
+    AdmissionControl, ClientEngine, ClientServiceStats, DegradeTier, L2PartitionMode,
+    QuarantineReason, ServiceConfig, ServiceError, SharedL2, SharedL2Contention, TextureService,
+};
 pub use telemetry::{EngineTelemetry, FRAME_SERIES_COLUMNS};

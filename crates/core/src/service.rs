@@ -1,0 +1,1215 @@
+//! Fault-isolated multi-client texture service substrate.
+//!
+//! The paper models a single renderer in front of the hierarchy; the
+//! ROADMAP's north star is a texture *service* multiplexing many camera
+//! streams through one shared L2. This module is the shardable core of
+//! that service: per-client L1s (and TLBs) in front of a shared,
+//! partition-configurable L2, with per-client host-link fault scoping and
+//! admission control. Everything here is `Send`, so a service layer can
+//! hand each [`ClientEngine`] to its own worker thread.
+//!
+//! # Containment contract
+//!
+//! * **Fault scoping** — each client's [`HostLink`] runs
+//!   [`FaultPlan::for_client`], so its fault schedule depends only on
+//!   `(base plan, client id)` and the client's own transfer ordinals,
+//!   never on how clients interleave.
+//! * **Partitioned isolation** — under
+//!   [`L2PartitionMode::Partitioned`] each client owns a private L2
+//!   partition; a client's counters are then bit-identical to a solo
+//!   [`SimEngine`](crate::SimEngine) run of
+//!   [`TextureService::solo_config`] (the tap bodies are shared verbatim
+//!   with the engine), no matter what other clients do — including
+//!   panicking or running a 100 %-failure fault plan.
+//! * **Graceful degradation tiers** — [`AdmissionControl`] bounds each
+//!   client's per-frame host transfers: over the soft budget the client's
+//!   misses are served read-degraded from resident L2 data instead of
+//!   touching the host link (tier 1, *degrade taps*); over the hard
+//!   budget the rest of the frame is shed (tier 2, *shed frames*); too
+//!   many consecutive shed frames quarantine the client (tier 3), turning
+//!   every further [`ClientEngine::run_frame`] into
+//!   [`ServiceError::Quarantined`].
+//!
+//! [`L2PartitionMode::Unified`] shares one L2 (and one page table) among
+//! all clients behind a single arbitration point, measured by
+//! [`SharedL2::contention`]; results then genuinely depend on client
+//! interleaving, which is why the conformance gates run partitioned.
+
+use crate::engine::FrameCounters;
+use crate::tap::{
+    degraded_probe, tap_ml, tap_pull, TelOff, TelOn, TelemetryMode, TlbMode, TlbOff, TlbOn,
+};
+use crate::telemetry::EngineTelemetry;
+use crate::{
+    EngineConfig, EngineError, FaultPlan, HostLink, L1Config, L1TextureCache, L2Cache, L2Config,
+    L2Outcome,
+};
+use mltc_cache::RoundRobinTlb;
+use mltc_telemetry::Recorder;
+use mltc_texture::{
+    PageTableLayout, TextureRegistry, TilingConfig, TranslationMemo, TranslationTables,
+};
+use mltc_trace::{filter_taps, FilterMode, FrameTrace};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, TryLockError};
+use std::time::Instant;
+
+/// Mip-chain dimensions per texture id (`None` where no texture is
+/// registered), shared read-only by every client of a service.
+type SharedMipDims = Arc<Vec<Option<Vec<(u32, u32)>>>>;
+
+/// How the shared L2 capacity is divided among clients.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum L2PartitionMode {
+    /// Each client owns a private `total/N` partition (its own page table
+    /// and replacement state): zero cross-client interference, and the
+    /// basis of the bit-identical containment guarantee.
+    #[default]
+    Partitioned,
+    /// All clients share one full-size L2 and page table behind a single
+    /// arbitration point: maximal capacity sharing, measurable contention,
+    /// results dependent on client interleaving.
+    Unified,
+}
+
+/// Per-client admission control: deterministic per-frame host-transfer
+/// budgets driving the degradation tiers. All budgets count *attempted*
+/// transfers (delivered, failed **or denied**), so tier decisions depend
+/// only on the client's own stream. `0` disables a budget.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionControl {
+    /// Tier-1 budget: once a frame has attempted this many transfers,
+    /// further misses are denied host access and served degraded (coarser
+    /// resident mip) or dropped — exactly the failed-download fallback,
+    /// minus the link traffic.
+    pub soft_transfers_per_frame: u64,
+    /// Tier-2 budget: once reached, the remainder of the frame is shed
+    /// (taps counted, caches untouched).
+    pub hard_transfers_per_frame: u64,
+    /// Tier-3 trigger: this many *consecutive* shed frames quarantine the
+    /// client.
+    pub quarantine_after_shed_frames: u32,
+}
+
+impl AdmissionControl {
+    /// No budgets: every transfer is admitted (the default).
+    pub const fn unlimited() -> Self {
+        Self {
+            soft_transfers_per_frame: 0,
+            hard_transfers_per_frame: 0,
+            quarantine_after_shed_frames: 0,
+        }
+    }
+}
+
+/// Configuration of a [`TextureService`]. `l2` is the **total** budget
+/// shared by all clients; `fault` is the base plan scoped per client via
+/// [`FaultPlan::for_client`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Per-client on-chip L1.
+    pub l1: L1Config,
+    /// Total shared L2 budget; `None` = per-client pull architecture.
+    pub l2: Option<L2Config>,
+    /// How the L2 budget is divided.
+    pub partition: L2PartitionMode,
+    /// Per-client TLB entries (`0` disables).
+    pub tlb_entries: usize,
+    /// L2 block / L1 sub-block tiling (shared page-table geometry).
+    pub tiling: TilingConfig,
+    /// Base host-link fault plan.
+    pub fault: FaultPlan,
+    /// Per-client admission control.
+    pub admission: AdmissionControl,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            l1: L1Config::default(),
+            l2: None,
+            partition: L2PartitionMode::Partitioned,
+            tlb_entries: 0,
+            tiling: TilingConfig::PAPER_DEFAULT,
+            fault: FaultPlan::none(),
+            admission: AdmissionControl::unlimited(),
+        }
+    }
+}
+
+/// Why a client was quarantined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// The client's worker panicked (isolated by the service layer's
+    /// per-client `catch_unwind`); the payload message is preserved.
+    Panicked(String),
+    /// The client exhausted its shed-frame budget
+    /// ([`AdmissionControl::quarantine_after_shed_frames`]).
+    ShedBudget {
+        /// Consecutive shed frames at the moment of quarantine.
+        consecutive_shed_frames: u32,
+    },
+}
+
+impl std::fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Panicked(msg) => write!(f, "worker panicked: {msg}"),
+            Self::ShedBudget {
+                consecutive_shed_frames,
+            } => write!(f, "shed {consecutive_shed_frames} consecutive frames"),
+        }
+    }
+}
+
+/// A client-scoped failure: either a plain engine error or the client
+/// crossing into quarantine. Never fatal to the service — survivors keep
+/// running.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The underlying engine rejected the stream (e.g. unknown texture).
+    Engine(EngineError),
+    /// The client is quarantined; no further frames will run.
+    Quarantined {
+        /// Which client.
+        client: u32,
+        /// Why.
+        reason: QuarantineReason,
+    },
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Engine(e) => write!(f, "{e}"),
+            Self::Quarantined { client, reason } => {
+                write!(f, "client {client} quarantined: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<EngineError> for ServiceError {
+    fn from(e: EngineError) -> Self {
+        Self::Engine(e)
+    }
+}
+
+/// The degradation tier a client has reached (monotonic per run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradeTier {
+    /// All transfers admitted.
+    #[default]
+    Normal = 0,
+    /// Tier 1: soft budget hit, misses served degraded without the host.
+    DegradedTaps = 1,
+    /// Tier 2: hard budget hit, frames partially shed.
+    ShedFrames = 2,
+    /// Tier 3: client quarantined.
+    Quarantined = 3,
+}
+
+/// Service-level per-client statistics, on top of [`FrameCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientServiceStats {
+    /// Host transfers denied by the soft budget (served degraded/dropped).
+    pub denied_transfers: u64,
+    /// Taps shed by the hard budget (caches untouched).
+    pub shed_taps: u64,
+    /// Frames that shed at least one tap.
+    pub shed_frames: u64,
+    /// Frames run to completion (shed or not).
+    pub frames_run: u64,
+    /// Highest degradation tier reached.
+    pub peak_tier: DegradeTier,
+}
+
+fn bump_tier(svc: &mut ClientServiceStats, tier: DegradeTier) {
+    if tier > svc.peak_tier {
+        svc.peak_tier = tier;
+    }
+}
+
+/// Cross-client contention on the shared L2 arbitration point.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedL2Contention {
+    /// Lock acquisitions (one per frame per client).
+    pub acquisitions: u64,
+    /// Acquisitions that found the lock held.
+    pub contended: u64,
+    /// Nanoseconds spent waiting on held locks (wall clock; observe-only,
+    /// never fed back into simulation state).
+    pub contended_nanos: u64,
+}
+
+/// The shared L2 level: one [`L2Cache`] per partition (or a single unified
+/// one), each behind its own mutex. Lock poisoning is deliberately
+/// recovered — a panicked client must never wedge the survivors — and in
+/// partitioned mode a poisoned partition belongs only to the client that
+/// poisoned it.
+#[derive(Debug)]
+pub struct SharedL2 {
+    partitions: Vec<Mutex<L2Cache>>,
+    unified: bool,
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+    contended_nanos: AtomicU64,
+}
+
+impl SharedL2 {
+    fn new(partitions: Vec<Mutex<L2Cache>>, unified: bool) -> Self {
+        Self {
+            partitions,
+            unified,
+            acquisitions: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+            contended_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of partitions (`0` = no L2 at all, `1` = unified).
+    pub fn partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Whether all clients share one cache.
+    pub fn is_unified(&self) -> bool {
+        self.unified
+    }
+
+    /// Locks the partition serving `client` (`None` without an L2),
+    /// recovering from poisoning and accounting contention.
+    pub fn lock_for(&self, client: u32) -> Option<MutexGuard<'_, L2Cache>> {
+        if self.partitions.is_empty() {
+            return None;
+        }
+        let idx = if self.unified {
+            0
+        } else {
+            client as usize % self.partitions.len()
+        };
+        let m = &self.partitions[idx];
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        match m.try_lock() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(TryLockError::WouldBlock) => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                let start = Instant::now();
+                let g = m.lock().unwrap_or_else(PoisonError::into_inner);
+                self.contended_nanos
+                    .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                Some(g)
+            }
+        }
+    }
+
+    /// Contention counters so far.
+    pub fn contention(&self) -> SharedL2Contention {
+        SharedL2Contention {
+            acquisitions: self.acquisitions.load(Ordering::Relaxed),
+            contended: self.contended.load(Ordering::Relaxed),
+            contended_nanos: self.contended_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Factory for a fixed population of [`ClientEngine`]s over one texture
+/// registry: owns the shared L2 and the (read-only, shared) page-table
+/// layout. `Sync`, so worker threads borrow it directly.
+#[derive(Debug)]
+pub struct TextureService {
+    cfg: ServiceConfig,
+    clients: u32,
+    layout: Arc<PageTableLayout>,
+    dims: SharedMipDims,
+    l2: SharedL2,
+}
+
+impl TextureService {
+    /// Builds a service for `clients` clients over `registry`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidGeometry`] when `clients == 0`, when the
+    /// per-client cache geometry is invalid, or when a partitioned share
+    /// (`total/N`) holds no L2 block; [`EngineError::EmptyPageTable`] when
+    /// an L2 is configured over an empty registry.
+    pub fn try_new(
+        cfg: ServiceConfig,
+        registry: &TextureRegistry,
+        clients: u32,
+    ) -> Result<Self, EngineError> {
+        if clients == 0 {
+            return Err(EngineError::InvalidGeometry(
+                "service needs at least one client".into(),
+            ));
+        }
+        let share = Self::client_l2(&cfg, clients);
+        EngineConfig {
+            l1: cfg.l1,
+            l2: share,
+            tlb_entries: cfg.tlb_entries,
+            tiling: cfg.tiling,
+            fault: cfg.fault,
+        }
+        .validate_geometry()?;
+        let layout = PageTableLayout::new(registry, cfg.tiling);
+        if cfg.l2.is_some() && layout.entry_count() == 0 {
+            return Err(EngineError::EmptyPageTable);
+        }
+        let mut dims = vec![None; registry.issued_count()];
+        for (tid, pyr) in registry.iter() {
+            dims[tid.index() as usize] =
+                Some(pyr.iter().map(|l| (l.width(), l.height())).collect());
+        }
+        let entries = layout.entry_count();
+        let (partitions, unified) = match (cfg.l2, cfg.partition) {
+            (None, _) => (Vec::new(), false),
+            (Some(_), L2PartitionMode::Partitioned) => {
+                let share = share.expect("partition share exists when l2 does");
+                let parts = (0..clients)
+                    .map(|_| Mutex::new(L2Cache::new(share, cfg.tiling, entries)))
+                    .collect();
+                (parts, false)
+            }
+            (Some(total), L2PartitionMode::Unified) => (
+                vec![Mutex::new(L2Cache::new(total, cfg.tiling, entries))],
+                true,
+            ),
+        };
+        Ok(Self {
+            cfg,
+            clients,
+            layout: Arc::new(layout),
+            dims: Arc::new(dims),
+            l2: SharedL2::new(partitions, unified),
+        })
+    }
+
+    /// The per-client L2 share: `total/N` when partitioned, the full cache
+    /// when unified (a unified client can in principle use all of it).
+    fn client_l2(cfg: &ServiceConfig, clients: u32) -> Option<L2Config> {
+        cfg.l2.map(|total| match cfg.partition {
+            L2PartitionMode::Partitioned => L2Config {
+                size_bytes: total.size_bytes / clients as usize,
+                ..total
+            },
+            L2PartitionMode::Unified => total,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> ServiceConfig {
+        self.cfg
+    }
+
+    /// Number of clients the service was built for.
+    pub fn clients(&self) -> u32 {
+        self.clients
+    }
+
+    /// The shared L2 level (pass to [`ClientEngine::run_frame`]).
+    pub fn shared_l2(&self) -> &SharedL2 {
+        &self.l2
+    }
+
+    /// The solo-baseline engine configuration for `client`: the exact
+    /// [`EngineConfig`] under which a plain [`SimEngine`](crate::SimEngine)
+    /// reproduces this client's partitioned counters bit for bit (its L2
+    /// share, its scoped fault plan). This is the containment oracle.
+    pub fn solo_config(&self, client: u32) -> EngineConfig {
+        EngineConfig {
+            l1: self.cfg.l1,
+            l2: Self::client_l2(&self.cfg, self.clients),
+            tlb_entries: self.cfg.tlb_entries,
+            tiling: self.cfg.tiling,
+            fault: self.cfg.fault.for_client(client),
+        }
+    }
+
+    /// Builds the engine for `client`, with its scoped fault plan.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidGeometry`] for a client id outside the
+    /// service's population.
+    pub fn client(&self, client: u32) -> Result<ClientEngine, EngineError> {
+        self.client_with_fault(client, self.cfg.fault.for_client(client))
+    }
+
+    /// [`client`](Self::client) with the fault plan overridden (chaos
+    /// testing: e.g. a 100 %-failure plan for one client). The override is
+    /// used as-is — not re-scoped — so tests can inject exact plans.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidGeometry`] for a client id outside the
+    /// service's population.
+    pub fn client_with_fault(
+        &self,
+        client: u32,
+        fault: FaultPlan,
+    ) -> Result<ClientEngine, EngineError> {
+        if client >= self.clients {
+            return Err(EngineError::InvalidGeometry(format!(
+                "client {client} outside service population {}",
+                self.clients
+            )));
+        }
+        Ok(ClientEngine {
+            id: client,
+            admission: self.cfg.admission,
+            l1_bytes: self.cfg.l1.line_bytes() as u64,
+            dl_full_miss: Self::client_l2(&self.cfg, self.clients)
+                .map(|l2| {
+                    if l2.sector_mapping {
+                        self.cfg.l1.line_bytes() as u64
+                    } else {
+                        self.cfg.tiling.l2().cache_bytes() as u64
+                    }
+                })
+                .unwrap_or(0),
+            layout: Arc::clone(&self.layout),
+            dims: Arc::clone(&self.dims),
+            l1: L1TextureCache::new(self.cfg.l1),
+            tlb: (self.cfg.tlb_entries > 0).then(|| RoundRobinTlb::new(self.cfg.tlb_entries)),
+            host: HostLink::new(fault),
+            current: FrameCounters::default(),
+            frames: Vec::new(),
+            svc: ClientServiceStats::default(),
+            consecutive_shed: 0,
+            quarantine: None,
+            tel: None,
+        })
+    }
+}
+
+/// One client's private half of the hierarchy: its L1, TLB, scoped host
+/// link and counters. `Send` — hand it to a worker thread and drive it
+/// with [`run_frame`](Self::run_frame) against the service's [`SharedL2`].
+#[derive(Debug)]
+pub struct ClientEngine {
+    id: u32,
+    admission: AdmissionControl,
+    l1_bytes: u64,
+    dl_full_miss: u64,
+    layout: Arc<PageTableLayout>,
+    dims: SharedMipDims,
+    l1: L1TextureCache,
+    tlb: Option<RoundRobinTlb>,
+    host: HostLink,
+    current: FrameCounters,
+    frames: Vec<FrameCounters>,
+    svc: ClientServiceStats,
+    consecutive_shed: u32,
+    quarantine: Option<QuarantineReason>,
+    tel: Option<Box<EngineTelemetry>>,
+}
+
+impl ClientEngine {
+    /// The client id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Attaches per-client telemetry (see
+    /// [`SimEngine::attach_telemetry`](crate::SimEngine::attach_telemetry);
+    /// pass a [`Recorder::scoped`] recorder to key everything per client).
+    pub fn attach_telemetry(&mut self, recorder: &Recorder, label: &str, group: &str) {
+        self.tel = recorder
+            .is_enabled()
+            .then(|| Box::new(EngineTelemetry::new(recorder, label, group)));
+    }
+
+    /// Per-frame counters for all completed frames.
+    pub fn frames(&self) -> &[FrameCounters] {
+        &self.frames
+    }
+
+    /// Sum of all completed frames.
+    pub fn totals(&self) -> FrameCounters {
+        let mut t = FrameCounters::default();
+        for f in &self.frames {
+            t.merge(f);
+        }
+        t
+    }
+
+    /// Service-level statistics (tiers, shed/denied work).
+    pub fn service_stats(&self) -> ClientServiceStats {
+        self.svc
+    }
+
+    /// The host link (for fault statistics).
+    pub fn host(&self) -> &HostLink {
+        &self.host
+    }
+
+    /// Why this client is quarantined, if it is.
+    pub fn quarantined(&self) -> Option<&QuarantineReason> {
+        self.quarantine.as_ref()
+    }
+
+    /// Quarantines the client externally (the service layer calls this
+    /// after catching a worker panic, preserving the payload).
+    pub fn quarantine(&mut self, reason: QuarantineReason) {
+        bump_tier(&mut self.svc, DegradeTier::Quarantined);
+        self.quarantine = Some(reason);
+    }
+
+    /// Replays one frame through this client's slice of the hierarchy,
+    /// holding the client's L2 partition lock for the duration of the
+    /// frame, then closes the frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Quarantined`] when the client is (or just became)
+    /// quarantined; [`ServiceError::Engine`] for unknown textures — in
+    /// that case the frame is left open, exactly like
+    /// [`SimEngine::try_run_frame`](crate::SimEngine::try_run_frame).
+    pub fn run_frame(
+        &mut self,
+        shared: &SharedL2,
+        trace: &FrameTrace,
+        filter: FilterMode,
+    ) -> Result<(), ServiceError> {
+        if let Some(reason) = self.quarantine.clone() {
+            return Err(ServiceError::Quarantined {
+                client: self.id,
+                reason,
+            });
+        }
+        let mut shed_frame = false;
+        let mut guard = shared.lock_for(self.id);
+        match guard.as_deref_mut() {
+            None => self.frame_pull(trace, filter, &mut shed_frame)?,
+            Some(l2) => self.frame_ml(l2, trace, filter, &mut shed_frame)?,
+        }
+        let clock = guard.as_deref().map(|l2| l2.clock_stats());
+        if let Some(tel) = &mut self.tel {
+            tel.on_frame_end(self.frames.len() as u64, &self.current, clock);
+        }
+        drop(guard);
+        self.frames.push(self.current);
+        self.current = FrameCounters::default();
+        self.svc.frames_run += 1;
+        if shed_frame {
+            self.svc.shed_frames += 1;
+            self.consecutive_shed += 1;
+            bump_tier(&mut self.svc, DegradeTier::ShedFrames);
+        } else {
+            self.consecutive_shed = 0;
+        }
+        let quota = self.admission.quarantine_after_shed_frames;
+        if quota > 0 && self.consecutive_shed >= quota {
+            let reason = QuarantineReason::ShedBudget {
+                consecutive_shed_frames: self.consecutive_shed,
+            };
+            self.quarantine(reason.clone());
+            return Err(ServiceError::Quarantined {
+                client: self.id,
+                reason,
+            });
+        }
+        Ok(())
+    }
+
+    fn frame_ml(
+        &mut self,
+        l2: &mut L2Cache,
+        trace: &FrameTrace,
+        filter: FilterMode,
+        shed_frame: &mut bool,
+    ) -> Result<(), EngineError> {
+        let Self {
+            admission,
+            l1_bytes,
+            dl_full_miss,
+            layout,
+            dims,
+            l1,
+            tlb,
+            host,
+            current,
+            svc,
+            tel,
+            ..
+        } = self;
+        let tables = layout.tables();
+        let dims: &[Option<Vec<(u32, u32)>>] = dims;
+        match (tlb.as_mut(), tel.as_deref_mut()) {
+            (None, None) => ml_loop(
+                trace,
+                filter,
+                admission,
+                tables,
+                dims,
+                *l1_bytes,
+                *dl_full_miss,
+                l1,
+                l2,
+                host,
+                current,
+                svc,
+                shed_frame,
+                TlbOff,
+                TelOff,
+            ),
+            (None, Some(t)) => ml_loop(
+                trace,
+                filter,
+                admission,
+                tables,
+                dims,
+                *l1_bytes,
+                *dl_full_miss,
+                l1,
+                l2,
+                host,
+                current,
+                svc,
+                shed_frame,
+                TlbOff,
+                TelOn(t),
+            ),
+            (Some(tlb), None) => ml_loop(
+                trace,
+                filter,
+                admission,
+                tables,
+                dims,
+                *l1_bytes,
+                *dl_full_miss,
+                l1,
+                l2,
+                host,
+                current,
+                svc,
+                shed_frame,
+                TlbOn(tlb),
+                TelOff,
+            ),
+            (Some(tlb), Some(t)) => ml_loop(
+                trace,
+                filter,
+                admission,
+                tables,
+                dims,
+                *l1_bytes,
+                *dl_full_miss,
+                l1,
+                l2,
+                host,
+                current,
+                svc,
+                shed_frame,
+                TlbOn(tlb),
+                TelOn(t),
+            ),
+        }
+    }
+
+    fn frame_pull(
+        &mut self,
+        trace: &FrameTrace,
+        filter: FilterMode,
+        shed_frame: &mut bool,
+    ) -> Result<(), EngineError> {
+        let Self {
+            admission,
+            l1_bytes,
+            dims,
+            l1,
+            host,
+            current,
+            svc,
+            tel,
+            ..
+        } = self;
+        let dims: &[Option<Vec<(u32, u32)>>] = dims;
+        match tel.as_deref_mut() {
+            None => pull_loop(
+                trace, filter, admission, dims, *l1_bytes, l1, host, current, svc, shed_frame,
+                TelOff,
+            ),
+            Some(t) => pull_loop(
+                trace,
+                filter,
+                admission,
+                dims,
+                *l1_bytes,
+                l1,
+                host,
+                current,
+                svc,
+                shed_frame,
+                TelOn(t),
+            ),
+        }
+    }
+}
+
+/// Multi-level frame loop with admission tiers. Under budget, every tap is
+/// the engine's own [`tap_ml`] — the bit-identity anchor. Over the soft
+/// budget, a miss is denied host access: the speculative install is rolled
+/// back exactly like a failed download and the tap is served degraded or
+/// dropped. Over the hard budget, taps are shed outright.
+#[allow(clippy::too_many_arguments)]
+fn ml_loop<Tl: TlbMode, Te: TelemetryMode>(
+    trace: &FrameTrace,
+    filter: FilterMode,
+    admission: &AdmissionControl,
+    tables: &TranslationTables,
+    dims: &[Option<Vec<(u32, u32)>>],
+    l1_bytes: u64,
+    dl_full_miss: u64,
+    l1: &mut L1TextureCache,
+    l2: &mut L2Cache,
+    host: &mut HostLink,
+    current: &mut FrameCounters,
+    svc: &mut ClientServiceStats,
+    shed_frame: &mut bool,
+    mut tlb: Tl,
+    mut tel: Te,
+) -> Result<(), EngineError> {
+    let mut memo = TranslationMemo::default();
+    for req in &trace.requests {
+        let d = dims
+            .get(req.tid.index() as usize)
+            .and_then(|d| d.as_ref())
+            .ok_or(EngineError::UnknownTexture(req.tid))?;
+        let levels = d.len() as u32;
+        let taps = filter_taps(req, filter, levels, |m| d[m as usize]);
+        for tap in &taps {
+            let transfers = current.l2_partial_hits + current.l2_full_misses;
+            if admission.hard_transfers_per_frame > 0
+                && transfers >= admission.hard_transfers_per_frame
+            {
+                svc.shed_taps += 1;
+                *shed_frame = true;
+                continue;
+            }
+            if admission.soft_transfers_per_frame > 0
+                && transfers >= admission.soft_transfers_per_frame
+            {
+                bump_tier(svc, DegradeTier::DegradedTaps);
+                current.l1_accesses += 1;
+                if l1.access(req.tid, tap.m, tap.u, tap.v) {
+                    current.l1_hits += 1;
+                    tel.with(|t| t.l1_hits.incr());
+                    continue;
+                }
+                let (pt_index, l1_sub) =
+                    tables.lookup(&mut memo, req.tid.index(), tap.m, tap.u, tap.v);
+                let tlb_hit = tlb.access(pt_index as u64);
+                if let Some(hit) = tlb_hit {
+                    current.tlb_accesses += 1;
+                    current.tlb_hits += hit as u64;
+                }
+                let outcome = l2.access(pt_index, l1_sub);
+                if outcome == L2Outcome::FullHit {
+                    current.l2_full_hits += 1;
+                    current.l2_local_bytes += l1_bytes;
+                    tel.with(|t| {
+                        t.on_l2_access(pt_index as u64, tlb_hit);
+                        t.l2_full_hits.incr();
+                    });
+                    continue;
+                }
+                // The transfer the miss needs is denied: roll back the
+                // speculative install exactly like a failed download and
+                // fall back to resident coarser data.
+                match outcome {
+                    L2Outcome::PartialHit => current.l2_partial_hits += 1,
+                    L2Outcome::FullMiss => current.l2_full_misses += 1,
+                    L2Outcome::FullHit => unreachable!("full hits continue above"),
+                }
+                svc.denied_transfers += 1;
+                l2.fail_download(pt_index, l1_sub);
+                l1.invalidate(req.tid, tap.m, tap.u, tap.v);
+                let served = degraded_probe(tables, dims, l2, req.tid, tap.m, tap.u, tap.v);
+                if served {
+                    current.degraded_taps += 1;
+                    current.l2_local_bytes += l1_bytes;
+                } else {
+                    current.dropped_taps += 1;
+                }
+                tel.with(|t| {
+                    t.on_l2_access(pt_index as u64, tlb_hit);
+                    match outcome {
+                        L2Outcome::PartialHit => t.l2_partial_hits.incr(),
+                        L2Outcome::FullMiss => {
+                            t.l2_full_misses.incr();
+                            t.on_full_miss_sweep(l2.clock_stats());
+                        }
+                        L2Outcome::FullHit => unreachable!("full hits continue above"),
+                    }
+                    if served {
+                        t.degraded_taps.incr();
+                    } else {
+                        t.dropped_taps.incr();
+                    }
+                });
+                continue;
+            }
+            tap_ml(
+                req.tid,
+                tap.m,
+                tap.u,
+                tap.v,
+                l1_bytes,
+                dl_full_miss,
+                tables,
+                &mut memo,
+                dims,
+                l1,
+                l2,
+                host,
+                current,
+                &mut tlb,
+                &mut tel,
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Pull-architecture frame loop with admission tiers: without an L2 there
+/// is nothing to degrade to, so a denied transfer drops the tap.
+#[allow(clippy::too_many_arguments)]
+fn pull_loop<Te: TelemetryMode>(
+    trace: &FrameTrace,
+    filter: FilterMode,
+    admission: &AdmissionControl,
+    dims: &[Option<Vec<(u32, u32)>>],
+    l1_bytes: u64,
+    l1: &mut L1TextureCache,
+    host: &mut HostLink,
+    current: &mut FrameCounters,
+    svc: &mut ClientServiceStats,
+    shed_frame: &mut bool,
+    mut tel: Te,
+) -> Result<(), EngineError> {
+    for req in &trace.requests {
+        let d = dims
+            .get(req.tid.index() as usize)
+            .and_then(|d| d.as_ref())
+            .ok_or(EngineError::UnknownTexture(req.tid))?;
+        let levels = d.len() as u32;
+        let taps = filter_taps(req, filter, levels, |m| d[m as usize]);
+        for tap in &taps {
+            let transfers = current.l1_accesses - current.l1_hits;
+            if admission.hard_transfers_per_frame > 0
+                && transfers >= admission.hard_transfers_per_frame
+            {
+                svc.shed_taps += 1;
+                *shed_frame = true;
+                continue;
+            }
+            if admission.soft_transfers_per_frame > 0
+                && transfers >= admission.soft_transfers_per_frame
+            {
+                bump_tier(svc, DegradeTier::DegradedTaps);
+                current.l1_accesses += 1;
+                if l1.access(req.tid, tap.m, tap.u, tap.v) {
+                    current.l1_hits += 1;
+                    tel.with(|t| t.l1_hits.incr());
+                    continue;
+                }
+                svc.denied_transfers += 1;
+                l1.invalidate(req.tid, tap.m, tap.u, tap.v);
+                current.dropped_taps += 1;
+                tel.with(|t| {
+                    t.l1_misses.incr();
+                    t.dropped_taps.incr();
+                });
+                continue;
+            }
+            tap_pull(
+                req.tid, tap.m, tap.u, tap.v, l1_bytes, l1, host, current, &mut tel,
+            );
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimEngine;
+    use mltc_texture::{synth, MipPyramid, TextureId};
+    use mltc_trace::PixelRequest;
+
+    fn registry(n: usize, dim: u32) -> TextureRegistry {
+        let mut reg = TextureRegistry::new();
+        for i in 0..n {
+            reg.load(
+                format!("t{i}"),
+                MipPyramid::from_image(synth::checkerboard(dim, 4, [0; 3], [255; 3])),
+            );
+        }
+        reg
+    }
+
+    /// Deterministic pseudo-random request stream, distinct per seed.
+    fn frames(
+        seed: u64,
+        n_frames: u32,
+        per_frame: usize,
+        textures: u32,
+        dim: u32,
+    ) -> Vec<FrameTrace> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        (0..n_frames)
+            .map(|f| {
+                let mut t = FrameTrace::new(f, dim, dim, FilterMode::Trilinear);
+                for _ in 0..per_frame {
+                    let r = next();
+                    t.push(PixelRequest {
+                        tid: TextureId::from_index((r % textures as u64) as u32),
+                        u: ((r >> 8) % dim as u64) as f32,
+                        v: ((r >> 24) % dim as u64) as f32,
+                        lod: ((r >> 40) % 300) as f32 / 100.0,
+                    });
+                }
+                t
+            })
+            .collect()
+    }
+
+    fn ml_service_cfg() -> ServiceConfig {
+        ServiceConfig {
+            l1: L1Config::kb(2),
+            l2: Some(L2Config::mb(2)),
+            tlb_entries: 4,
+            fault: FaultPlan::with_rate(0x4d4c_5443, 50_000),
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn service_types_are_send_and_sync() {
+        fn send<T: Send>() {}
+        fn sync<T: Sync>() {}
+        send::<ClientEngine>();
+        send::<TextureService>();
+        sync::<TextureService>();
+        sync::<SharedL2>();
+    }
+
+    #[test]
+    fn partitioned_client_matches_solo_engine_bit_for_bit() {
+        let reg = registry(3, 64);
+        let svc = TextureService::try_new(ml_service_cfg(), &reg, 4).unwrap();
+        for c in 0..4 {
+            let stream = frames(1000 + c as u64, 3, 400, 3, 64);
+            let mut client = svc.client(c).unwrap();
+            for f in &stream {
+                client
+                    .run_frame(svc.shared_l2(), f, FilterMode::Trilinear)
+                    .unwrap();
+            }
+            let mut solo = SimEngine::try_new(svc.solo_config(c), &reg).unwrap();
+            for f in &stream {
+                solo.try_run_frame_as(f, FilterMode::Trilinear).unwrap();
+            }
+            assert_eq!(client.frames(), solo.frames(), "client {c}");
+            assert!(client.totals().retries > 0, "fault plan must have fired");
+        }
+    }
+
+    #[test]
+    fn client_zero_of_one_keeps_the_base_plan() {
+        let reg = registry(1, 64);
+        let svc = TextureService::try_new(ml_service_cfg(), &reg, 1).unwrap();
+        assert_eq!(svc.solo_config(0).fault, ml_service_cfg().fault);
+        assert_eq!(
+            svc.solo_config(0).l2.unwrap().size_bytes,
+            L2Config::mb(2).size_bytes,
+            "single client owns the whole budget"
+        );
+    }
+
+    #[test]
+    fn unified_mode_shares_one_partition_and_counts_contention() {
+        let reg = registry(2, 64);
+        let cfg = ServiceConfig {
+            partition: L2PartitionMode::Unified,
+            ..ml_service_cfg()
+        };
+        let svc = TextureService::try_new(cfg, &reg, 3).unwrap();
+        assert!(svc.shared_l2().is_unified());
+        assert_eq!(svc.shared_l2().partitions(), 1);
+        let stream = frames(7, 2, 200, 2, 64);
+        for c in 0..3 {
+            let mut client = svc.client(c).unwrap();
+            for f in &stream {
+                client
+                    .run_frame(svc.shared_l2(), f, FilterMode::Bilinear)
+                    .unwrap();
+            }
+        }
+        let cont = svc.shared_l2().contention();
+        assert_eq!(cont.acquisitions, 6, "one acquisition per client frame");
+    }
+
+    #[test]
+    fn admission_tiers_degrade_then_shed_then_quarantine() {
+        let reg = registry(2, 64);
+        let cfg = ServiceConfig {
+            admission: AdmissionControl {
+                soft_transfers_per_frame: 8,
+                hard_transfers_per_frame: 16,
+                quarantine_after_shed_frames: 2,
+            },
+            fault: FaultPlan::none(),
+            ..ml_service_cfg()
+        };
+        let svc = TextureService::try_new(cfg, &reg, 1).unwrap();
+        let mut client = svc.client(0).unwrap();
+        let stream = frames(42, 3, 500, 2, 64);
+        let r0 = client.run_frame(svc.shared_l2(), &stream[0], FilterMode::Trilinear);
+        assert!(r0.is_ok(), "first shed frame only escalates: {r0:?}");
+        let r1 = client.run_frame(svc.shared_l2(), &stream[1], FilterMode::Trilinear);
+        assert!(
+            matches!(
+                r1,
+                Err(ServiceError::Quarantined {
+                    client: 0,
+                    reason: QuarantineReason::ShedBudget {
+                        consecutive_shed_frames: 2
+                    }
+                })
+            ),
+            "second consecutive shed frame quarantines: {r1:?}"
+        );
+        let r2 = client.run_frame(svc.shared_l2(), &stream[2], FilterMode::Trilinear);
+        assert!(matches!(r2, Err(ServiceError::Quarantined { .. })));
+        assert_eq!(client.frames().len(), 2, "quarantined frame never ran");
+        let svc_stats = client.service_stats();
+        assert!(svc_stats.denied_transfers > 0, "soft tier fired");
+        assert!(svc_stats.shed_taps > 0, "hard tier fired");
+        assert_eq!(svc_stats.shed_frames, 2);
+        assert_eq!(svc_stats.peak_tier, DegradeTier::Quarantined);
+        for f in client.frames() {
+            assert!(
+                f.l2_partial_hits + f.l2_full_misses <= 16,
+                "hard budget bounds attempted transfers"
+            );
+        }
+        assert_eq!(
+            client.totals().host_bytes / client.l1_bytes,
+            client
+                .frames()
+                .iter()
+                .map(|f| f.l2_partial_hits + f.l2_full_misses)
+                .sum::<u64>()
+                - svc_stats.denied_transfers,
+            "denied transfers moved no host bytes"
+        );
+    }
+
+    #[test]
+    fn admission_without_budgets_is_inert() {
+        let reg = registry(1, 64);
+        let svc = TextureService::try_new(ml_service_cfg(), &reg, 2).unwrap();
+        let stream = frames(5, 2, 300, 1, 64);
+        let mut client = svc.client(1).unwrap();
+        for f in &stream {
+            client
+                .run_frame(svc.shared_l2(), f, FilterMode::Trilinear)
+                .unwrap();
+        }
+        let s = client.service_stats();
+        assert_eq!((s.denied_transfers, s.shed_taps, s.shed_frames), (0, 0, 0));
+        assert_eq!(s.peak_tier, DegradeTier::Normal);
+        assert_eq!(s.frames_run, 2);
+    }
+
+    #[test]
+    fn pull_service_drops_denied_taps() {
+        let reg = registry(1, 64);
+        let cfg = ServiceConfig {
+            l1: L1Config::kb(2),
+            l2: None,
+            admission: AdmissionControl {
+                soft_transfers_per_frame: 4,
+                hard_transfers_per_frame: 0,
+                quarantine_after_shed_frames: 0,
+            },
+            ..ServiceConfig::default()
+        };
+        let svc = TextureService::try_new(cfg, &reg, 1).unwrap();
+        let mut client = svc.client(0).unwrap();
+        let stream = frames(9, 1, 300, 1, 64);
+        client
+            .run_frame(svc.shared_l2(), &stream[0], FilterMode::Point)
+            .unwrap();
+        let s = client.service_stats();
+        assert!(s.denied_transfers > 0);
+        assert_eq!(s.denied_transfers, client.totals().dropped_taps);
+        assert_eq!(
+            client.totals().host_bytes / client.l1_bytes,
+            4,
+            "only the admitted transfers moved bytes"
+        );
+    }
+
+    #[test]
+    fn invalid_populations_are_rejected() {
+        let reg = registry(1, 64);
+        assert!(matches!(
+            TextureService::try_new(ml_service_cfg(), &reg, 0),
+            Err(EngineError::InvalidGeometry(_))
+        ));
+        // 2 MB over 4096 clients: 512-byte shares hold no 1 KB block.
+        assert!(matches!(
+            TextureService::try_new(ml_service_cfg(), &reg, 4096),
+            Err(EngineError::InvalidGeometry(_))
+        ));
+        let svc = TextureService::try_new(ml_service_cfg(), &reg, 2).unwrap();
+        assert!(matches!(
+            svc.client(2),
+            Err(EngineError::InvalidGeometry(_))
+        ));
+        assert!(matches!(
+            TextureService::try_new(ml_service_cfg(), &TextureRegistry::new(), 1),
+            Err(EngineError::EmptyPageTable)
+        ));
+    }
+
+    #[test]
+    fn quarantine_is_sticky_and_reported() {
+        let reg = registry(1, 64);
+        let svc = TextureService::try_new(ml_service_cfg(), &reg, 2).unwrap();
+        let mut client = svc.client(0).unwrap();
+        client.quarantine(QuarantineReason::Panicked("boom".into()));
+        let stream = frames(3, 1, 10, 1, 64);
+        let r = client.run_frame(svc.shared_l2(), &stream[0], FilterMode::Point);
+        assert!(matches!(
+            r,
+            Err(ServiceError::Quarantined {
+                client: 0,
+                reason: QuarantineReason::Panicked(_)
+            })
+        ));
+        assert_eq!(
+            client.quarantined(),
+            Some(&QuarantineReason::Panicked("boom".into()))
+        );
+        assert_eq!(
+            r.unwrap_err().to_string(),
+            "client 0 quarantined: worker panicked: boom"
+        );
+    }
+}

@@ -14,8 +14,10 @@
 //! `<out>/BENCH_experiments.json`. Delete `<out>/traces/` to force a
 //! cold re-render (for example after changing the renderer).
 
+use mltc_core::L2PartitionMode;
 use mltc_experiments::{
-    find_experiment, set_max_replay_jobs, Outputs, Scale, TraceStore, EXPERIMENTS,
+    find_experiment, set_max_replay_jobs, set_multiclient_clients, set_multiclient_partition,
+    Outputs, Scale, TraceStore, EXPERIMENTS,
 };
 use mltc_raster::Traversal;
 use mltc_telemetry::{export, Recorder};
@@ -37,6 +39,8 @@ fn usage() -> ExitCode {
          \x20                    summary JSON into <dir>\n\
          --trace-events <f>   write a chrome://tracing (Perfetto) trace-event file\n\
          --heartbeat <secs>   print store throughput every <secs> seconds\n\
+         --clients <n>        pin the multiclient experiment to one population\n\
+         --partition <m>      multiclient L2 mode: partitioned, unified or both\n\
          \n\
          ids: all, list, {}",
         EXPERIMENTS
@@ -89,6 +93,18 @@ fn main() -> ExitCode {
             "--heartbeat" => match it.next().and_then(|s| s.parse().ok()) {
                 Some(secs) => heartbeat_secs = secs,
                 None => return usage(),
+            },
+            "--clients" => match it.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n > 0 => set_multiclient_clients(n),
+                _ => return usage(),
+            },
+            "--partition" => match it.next().as_deref() {
+                Some("partitioned") => {
+                    set_multiclient_partition(Some(L2PartitionMode::Partitioned))
+                }
+                Some("unified") => set_multiclient_partition(Some(L2PartitionMode::Unified)),
+                Some("both") => set_multiclient_partition(None),
+                _ => return usage(),
             },
             "list" => {
                 for (n, _) in EXPERIMENTS {

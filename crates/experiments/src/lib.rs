@@ -42,6 +42,7 @@ mod exp_fault;
 mod exp_stats;
 mod exp_tlb;
 mod exp_visual;
+mod multiclient;
 mod outputs;
 mod runner;
 mod scale;
@@ -57,6 +58,11 @@ pub use exp_fault::exp_fault;
 pub use exp_stats::{calibrate, fig4, fig5, fig6, table1};
 pub use exp_tlb::{fig11, table8};
 pub use exp_visual::fig12;
+pub use multiclient::{
+    collect_frames, experiment_service_config, multiclient, run_multi_client,
+    set_multiclient_clients, set_multiclient_partition, solo_baseline, ClientReport, ClientSpec,
+    MultiClientConfig, MultiClientReport,
+};
 pub use outputs::{Outputs, TextTable};
 pub use runner::{
     engine_run, engine_run_all, engine_run_traversal, engine_run_traversal_all, max_replay_jobs,
@@ -98,6 +104,7 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("l2-tile-sweep", l2_tile_sweep),
     ("l1-assoc-sweep", l1_assoc_sweep),
     ("fault", exp_fault),
+    ("multiclient", multiclient),
     ("perf-model", perf_model),
     ("calibrate", calibrate),
 ];

@@ -28,7 +28,7 @@ use std::fmt;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
 use std::sync::mpsc::{sync_channel, SyncSender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 /// Cap on concurrently replaying configurations; `0` means "ask the OS"
@@ -50,6 +50,15 @@ pub fn max_replay_jobs() -> usize {
             .unwrap_or(1),
         n => n,
     }
+}
+
+/// Locks `m`, recovering from poisoning. State under the harness's locks
+/// is plain bookkeeping (permit counts, memo maps, counters) that stays
+/// consistent even when a holder panicked mid-update, and one poisoned
+/// worker must never cascade a panic into every other thread — worker
+/// failures are reported as typed [`RunError`]s instead.
+pub(crate) fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// A counting semaphore bounding how many configuration workers simulate
@@ -79,9 +88,9 @@ impl Gate {
     /// Blocks until a permit is free; the guard returns it on drop (also
     /// on panic, so a dying worker never strands the others).
     fn acquire(&self) -> GateGuard<'_> {
-        let mut p = self.permits.lock().unwrap();
+        let mut p = lock_clean(&self.permits);
         while *p == 0 {
-            p = self.cv.wait(p).unwrap();
+            p = self.cv.wait(p).unwrap_or_else(PoisonError::into_inner);
         }
         *p -= 1;
         GateGuard(self)
@@ -92,7 +101,7 @@ struct GateGuard<'a>(&'a Gate);
 
 impl Drop for GateGuard<'_> {
     fn drop(&mut self) {
-        *self.0.permits.lock().unwrap() += 1;
+        *lock_clean(&self.0.permits) += 1;
         self.0.cv.notify_one();
     }
 }
@@ -107,6 +116,10 @@ pub enum RunError {
     /// A persisted trace file failed mid-replay (corruption detected
     /// after streaming began), so the replay's counters are unusable.
     Trace(String),
+    /// A service client was quarantined mid-run (multi-client replays);
+    /// the payload is the rendered [`QuarantineReason`]
+    /// (`mltc_core::QuarantineReason`).
+    Quarantined(String),
 }
 
 impl fmt::Display for RunError {
@@ -115,6 +128,7 @@ impl fmt::Display for RunError {
             RunError::Engine(e) => write!(f, "engine error: {e}"),
             RunError::Panicked(msg) => write!(f, "engine worker panicked: {msg}"),
             RunError::Trace(msg) => write!(f, "trace replay failed: {msg}"),
+            RunError::Quarantined(msg) => write!(f, "client quarantined: {msg}"),
         }
     }
 }
@@ -123,7 +137,7 @@ impl std::error::Error for RunError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RunError::Engine(e) => Some(e),
-            RunError::Panicked(_) | RunError::Trace(_) => None,
+            RunError::Panicked(_) | RunError::Trace(_) | RunError::Quarantined(_) => None,
         }
     }
 }
@@ -475,7 +489,7 @@ fn join_worker(
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -843,6 +857,9 @@ mod tests {
         assert!(RunError::Trace("bad file".into())
             .to_string()
             .contains("bad file"));
+        assert!(RunError::Quarantined("client 3: worker panicked".into())
+            .to_string()
+            .contains("quarantined"));
         assert_eq!(RunError::from(EngineError::EmptyPageTable), e);
     }
 

@@ -41,6 +41,7 @@
 //! reports a typed [`CodecError`], the store counts it and silently
 //! re-renders.
 
+use crate::runner::lock_clean;
 use mltc_raster::Traversal;
 use mltc_scene::{Workload, WorkloadKind, WorkloadParams};
 use mltc_telemetry::Recorder;
@@ -51,7 +52,7 @@ use std::fs::{self, File};
 use std::io::{BufReader, BufWriter};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Instant;
 
 /// Default in-memory budget: 4 GiB of decoded trace data.
@@ -156,7 +157,7 @@ struct BuildGuard<'a> {
 impl Drop for BuildGuard<'_> {
     fn drop(&mut self) {
         if self.armed {
-            *self.cell.state.lock().unwrap() = CellState::Empty;
+            *lock_clean(&self.cell.state) = CellState::Empty;
             self.cell.cv.notify_all();
         }
     }
@@ -318,14 +319,14 @@ impl TraceStore {
     /// store instruments its engines through it. The default (a disabled
     /// recorder) records nothing.
     pub fn with_recorder(self, recorder: Recorder) -> Self {
-        *self.inner.recorder.lock().unwrap() = recorder;
+        *lock_clean(&self.inner.recorder) = recorder;
         self
     }
 
     /// The attached telemetry recorder (disabled unless
     /// [`with_recorder`](Self::with_recorder) was called).
     pub fn recorder(&self) -> Recorder {
-        self.inner.recorder.lock().unwrap().clone()
+        lock_clean(&self.inner.recorder).clone()
     }
 
     /// The directory traces persist to, when persistence is enabled.
@@ -368,16 +369,13 @@ impl TraceStore {
     /// most once per process (scenes carry full texture pyramids, so
     /// rebuilding them per experiment was measurable).
     pub fn workload(&self, kind: WorkloadKind, params: &WorkloadParams) -> Arc<Workload> {
-        if let Some(w) = self.inner.workloads.lock().unwrap().get(&(kind, *params)) {
+        if let Some(w) = lock_clean(&self.inner.workloads).get(&(kind, *params)) {
             return w.clone();
         }
         // Build outside the lock; a concurrent duplicate build loses the
         // race below and is dropped.
         let built = Arc::new(kind.build(params));
-        self.inner
-            .workloads
-            .lock()
-            .unwrap()
+        lock_clean(&self.inner.workloads)
             .entry((kind, *params))
             .or_insert(built)
             .clone()
@@ -405,7 +403,7 @@ impl TraceStore {
     pub fn get_or_render(&self, w: &Workload, zprepass: bool, traversal: Traversal) -> TraceHandle {
         let key = TraceKey::of(w, zprepass, traversal);
         let cell = {
-            let mut entries = self.inner.entries.lock().unwrap();
+            let mut entries = lock_clean(&self.inner.entries);
             entries
                 .entry(key)
                 .or_insert_with(|| Arc::new(KeyCell::new()))
@@ -414,7 +412,7 @@ impl TraceStore {
         cell.last_used
             .store(self.inner.clock.fetch_add(1, Relaxed) + 1, Relaxed);
         {
-            let mut st = cell.state.lock().unwrap();
+            let mut st = lock_clean(&cell.state);
             loop {
                 match &*st {
                     CellState::Ready(h) => {
@@ -430,7 +428,9 @@ impl TraceStore {
                         };
                         return h.clone();
                     }
-                    CellState::Building => st = cell.cv.wait(st).unwrap(),
+                    CellState::Building => {
+                        st = cell.cv.wait(st).unwrap_or_else(PoisonError::into_inner)
+                    }
                     CellState::Empty => {
                         *st = CellState::Building;
                         break;
@@ -443,7 +443,7 @@ impl TraceStore {
             armed: true,
         };
         let handle = self.produce(&key, w);
-        *cell.state.lock().unwrap() = CellState::Ready(handle.clone());
+        *lock_clean(&cell.state) = CellState::Ready(handle.clone());
         guard.armed = false;
         drop(guard);
         cell.cv.notify_all();
@@ -472,7 +472,7 @@ impl TraceStore {
     /// render).
     pub fn stats_bundle(&self, w: &Workload) -> Arc<StatsBundle> {
         let id = (w.kind, w.params);
-        if let Some(b) = self.inner.bundles.lock().unwrap().get(&id) {
+        if let Some(b) = lock_clean(&self.inner.bundles).get(&id) {
             return b.clone();
         }
         let handle = self.get_or_render(w, false, Traversal::Scanline);
@@ -497,10 +497,7 @@ impl TraceStore {
         let frames = state.1;
         let summary = WorkloadSummary::from_frames(&frames, w.width, w.height);
         let bundle = Arc::new(StatsBundle { frames, summary });
-        self.inner
-            .bundles
-            .lock()
-            .unwrap()
+        lock_clean(&self.inner.bundles)
             .entry(id)
             .or_insert(bundle)
             .clone()
@@ -651,7 +648,7 @@ impl TraceStore {
         c.renders.fetch_add(1, Relaxed);
         let start = Instant::now();
         let budget = self.inner.budget.load(Relaxed);
-        let final_path = self.file_path(key);
+        let mut final_path = self.file_path(key);
 
         let mut writer = None;
         let mut tmp_path: Option<PathBuf> = None;
@@ -718,20 +715,21 @@ impl TraceStore {
         c.render_nanos
             .fetch_add(start.elapsed().as_nanos() as u64, Relaxed);
 
-        let mut persisted = false;
-        if let Some(wr) = writer {
+        // A writer only exists alongside its tmp and final paths (set as
+        // one unit above), so destructure the trio instead of unwrapping.
+        let mut persisted_path = None;
+        if let (Some(wr), Some(tmp), Some(path)) = (writer, tmp_path.take(), final_path.take()) {
             match wr.finish() {
                 Ok(_) => {
-                    let (tmp, path) = (tmp_path.take().unwrap(), final_path.as_ref().unwrap());
-                    if fs::rename(&tmp, path).is_ok() {
-                        persisted = true;
+                    if fs::rename(&tmp, &path).is_ok() {
                         if healing {
                             c.healed_files.fetch_add(1, Relaxed);
                             rec.counter("store/healed_files").incr();
                         }
-                        if let Ok(meta) = fs::metadata(path) {
+                        if let Ok(meta) = fs::metadata(&path) {
                             c.bytes_written.fetch_add(meta.len(), Relaxed);
                         }
+                        persisted_path = Some(path);
                     } else {
                         c.io_errors.fetch_add(1, Relaxed);
                         let _ = fs::remove_file(&tmp);
@@ -739,6 +737,7 @@ impl TraceStore {
                 }
                 Err(_) => {
                     c.io_errors.fetch_add(1, Relaxed);
+                    let _ = fs::remove_file(&tmp);
                 }
             }
         }
@@ -748,8 +747,8 @@ impl TraceStore {
 
         if keep_in_memory {
             TraceHandle::Memory(Arc::new(TraceSet { frames, bytes }))
-        } else if persisted {
-            TraceHandle::Disk(final_path.unwrap())
+        } else if let Some(path) = persisted_path {
+            TraceHandle::Disk(path)
         } else {
             // Nowhere to put it: callers render live, as before the store.
             TraceHandle::Uncached
@@ -765,7 +764,7 @@ impl TraceStore {
             return;
         }
         let mut candidates: Vec<(u64, TraceKey, Arc<KeyCell>)> = {
-            let entries = self.inner.entries.lock().unwrap();
+            let entries = lock_clean(&self.inner.entries);
             entries
                 .iter()
                 .filter(|(k, _)| *k != keep)
@@ -777,7 +776,7 @@ impl TraceStore {
             if self.inner.mem_bytes.load(Relaxed) <= budget {
                 break;
             }
-            let mut st = cell.state.lock().unwrap();
+            let mut st = lock_clean(&cell.state);
             if let CellState::Ready(TraceHandle::Memory(set)) = &*st {
                 let freed = set.bytes;
                 *st = match self.file_path(&key) {
@@ -831,7 +830,8 @@ pub(crate) fn stream_trace_file_raw(
     for _ in 0..n {
         // Reclaim a buffer nobody else holds any more, if there is one.
         let mut buf = match pool.iter().position(|a| Arc::strong_count(a) == 1) {
-            Some(i) => Arc::try_unwrap(pool.swap_remove(i)).expect("sole owner"),
+            // A lost race on the refcount just costs one pooled buffer.
+            Some(i) => Arc::try_unwrap(pool.swap_remove(i)).unwrap_or_default(),
             None => Vec::new(),
         };
         reader.read_frame_into(&mut buf)?;

@@ -139,12 +139,20 @@ struct Inner {
 /// The instrumentation entry point. See the module docs for the
 /// enabled/disabled contract.
 #[derive(Debug, Clone, Default)]
-pub struct Recorder(Option<Arc<Inner>>);
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+    /// Scope applied to every name this handle vends (see
+    /// [`scoped`](Self::scoped)); `None` = root.
+    prefix: Option<Arc<str>>,
+}
 
 impl Recorder {
     /// A recorder that records nothing; every operation is one branch.
     pub fn disabled() -> Self {
-        Self(None)
+        Self {
+            inner: None,
+            prefix: None,
+        }
     }
 
     /// An active recorder with the default span-ring capacity.
@@ -154,29 +162,55 @@ impl Recorder {
 
     /// An active recorder keeping at most `capacity` closed spans.
     pub fn with_span_capacity(capacity: usize) -> Self {
-        Self(Some(Arc::new(Inner {
-            epoch: Instant::now(),
-            counters: Mutex::new(BTreeMap::new()),
-            hists: Mutex::new(BTreeMap::new()),
-            series: Mutex::new(BTreeMap::new()),
-            ring: SpanRing::new(capacity),
-        })))
+        Self {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                counters: Mutex::new(BTreeMap::new()),
+                hists: Mutex::new(BTreeMap::new()),
+                series: Mutex::new(BTreeMap::new()),
+                ring: SpanRing::new(capacity),
+            })),
+            prefix: None,
+        }
     }
 
     /// Whether this recorder keeps anything.
     #[inline]
     pub fn is_enabled(&self) -> bool {
-        self.0.is_some()
+        self.inner.is_some()
+    }
+
+    /// A handle onto the same registries with every vended name (counters,
+    /// histograms, series labels, spans) prefixed by `scope` + `/`: the
+    /// per-client keying used by multi-client runs, so one shared recorder
+    /// yields `client3/engine/village/l1_hits` without any consumer
+    /// changes. Scopes nest; a disabled recorder stays disabled.
+    pub fn scoped(&self, scope: &str) -> Recorder {
+        Recorder {
+            inner: self.inner.clone(),
+            prefix: Some(match &self.prefix {
+                None => Arc::from(scope),
+                Some(p) => Arc::from(format!("{p}/{scope}").as_str()),
+            }),
+        }
+    }
+
+    /// `name` under this handle's scope.
+    fn scoped_name(&self, name: &str) -> String {
+        match &self.prefix {
+            None => name.to_string(),
+            Some(p) => format!("{p}/{name}"),
+        }
     }
 
     /// The named counter, created on first use. Same name → same counter.
     pub fn counter(&self, name: &str) -> Counter {
-        match &self.0 {
+        match &self.inner {
             None => Counter::disabled(),
             Some(inner) => {
                 let mut map = inner.counters.lock().unwrap();
                 let c = map
-                    .entry(name.to_string())
+                    .entry(self.scoped_name(name))
                     .or_insert_with(|| Arc::new(AtomicU64::new(0)));
                 Counter(Some(Arc::clone(c)))
             }
@@ -186,12 +220,12 @@ impl Recorder {
     /// The named histogram, created on first use. Same name → same
     /// histogram, so parallel runs of one workload merge naturally.
     pub fn histogram(&self, name: &str) -> Histogram {
-        match &self.0 {
+        match &self.inner {
             None => Histogram::disabled(),
             Some(inner) => {
                 let mut map = inner.hists.lock().unwrap();
                 let h = map
-                    .entry(name.to_string())
+                    .entry(self.scoped_name(name))
                     .or_insert_with(|| Arc::new(AtomicHistogram::new()));
                 Histogram(Some(Arc::clone(h)))
             }
@@ -201,11 +235,12 @@ impl Recorder {
     /// Registers a fresh time series. Labels are unique: a taken label gets
     /// a `#2`, `#3`, … suffix so concurrent runs never interleave rows.
     pub fn series(&self, label: &str, columns: &[&str]) -> Series {
-        match &self.0 {
+        match &self.inner {
             None => Series::disabled(),
             Some(inner) => {
                 let mut map = inner.series.lock().unwrap();
-                let mut unique = label.to_string();
+                let label = self.scoped_name(label);
+                let mut unique = label.clone();
                 let mut n = 1usize;
                 while map.contains_key(&unique) {
                     n += 1;
@@ -225,12 +260,12 @@ impl Recorder {
     /// Opens a timed span; it closes (and lands in the ring) when the
     /// returned guard drops or [`Span::end`] is called.
     pub fn span(&self, name: &str) -> Span {
-        match &self.0 {
+        match &self.inner {
             None => Span { active: None },
             Some(inner) => Span {
                 active: Some(ActiveSpan {
                     inner: Arc::clone(inner),
-                    name: name.to_string(),
+                    name: self.scoped_name(name),
                     start: Instant::now(),
                     depth: enter_span(),
                 }),
@@ -240,7 +275,7 @@ impl Recorder {
 
     /// A point-in-time copy of everything recorded (empty when disabled).
     pub fn snapshot(&self) -> TelemetrySnapshot {
-        let Some(inner) = &self.0 else {
+        let Some(inner) = &self.inner else {
             return TelemetrySnapshot::default();
         };
         let counters = inner
@@ -358,6 +393,40 @@ mod tests {
         rec.counter("hits").add(3);
         rec.counter("hits").add(4);
         assert_eq!(rec.snapshot().counters["hits"], 7);
+    }
+
+    #[test]
+    fn scoped_handles_share_the_registry_under_a_prefix() {
+        let rec = Recorder::enabled();
+        let c0 = rec.scoped("c0");
+        let c1 = rec.scoped("c1");
+        rec.counter("hits").add(1);
+        c0.counter("hits").add(2);
+        c0.counter("hits").add(3);
+        c1.counter("hits").add(4);
+        c1.histogram("lat").record(9);
+        c0.series("frames", &["v"]).push_row(&[7]);
+        c1.span("frame").end();
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["hits"], 1);
+        assert_eq!(snap.counters["c0/hits"], 5);
+        assert_eq!(snap.counters["c1/hits"], 4);
+        assert_eq!(snap.hists["c1/lat"].count, 1);
+        assert_eq!(snap.series[0].label, "c0/frames");
+        assert_eq!(snap.spans[0].name, "c1/frame");
+    }
+
+    #[test]
+    fn scopes_nest_and_disabled_scopes_stay_disabled() {
+        let rec = Recorder::enabled();
+        let nested = rec.scoped("svc").scoped("c3");
+        nested.counter("taps").add(2);
+        assert_eq!(rec.snapshot().counters["svc/c3/taps"], 2);
+
+        let off = Recorder::disabled().scoped("c9");
+        assert!(!off.is_enabled());
+        off.counter("x").add(1);
+        assert!(off.snapshot().counters.is_empty());
     }
 
     #[test]

@@ -169,3 +169,48 @@ fn foreign_key_in_the_right_file_name_is_stale_not_wrong() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn crashed_writer_leftovers_are_swept_and_torn_files_healed() {
+    let dir = temp_dir("crash");
+    let w = tiny_village();
+    let (cold, _) = run_totals(&dir, &w);
+
+    // Simulate a writer that died mid-flight: a stale partial `.tmp` next
+    // to the container (from a PID that is long gone), plus a torn tail on
+    // the container itself — the on-disk shape an unclean shutdown leaves.
+    let files = trace_files(&dir);
+    assert!(!files.is_empty());
+    let mut tmp_paths = Vec::new();
+    for f in &files {
+        let mut name = f.file_name().unwrap().to_os_string();
+        name.push(".tmp.424242");
+        let tmp = f.with_file_name(name);
+        std::fs::write(&tmp, b"partial bytes from a dead writer").unwrap();
+        tmp_paths.push(tmp);
+
+        let bytes = std::fs::read(f).unwrap();
+        std::fs::write(f, &bytes[..bytes.len() - 7]).unwrap();
+    }
+
+    let (healed, stats) = run_totals(&dir, &w);
+    for tmp in &tmp_paths {
+        assert!(!tmp.exists(), "stale tmp files are swept at store startup");
+    }
+    assert!(stats.corrupt_files >= 1, "the torn container is Damaged");
+    assert_eq!(stats.renders, 1, "damage forces exactly one re-render");
+    assert!(
+        stats.healed_files >= 1,
+        "the re-render re-persists the file"
+    );
+    assert_eq!(cold, healed, "results survive the crash damage");
+
+    // After healing, a brand-new store over the directory is pristine.
+    let (reloaded, stats) = run_totals(&dir, &w);
+    assert_eq!(stats.renders, 0, "healed file loads without rasterizing");
+    assert_eq!(stats.corrupt_files, 0);
+    assert_eq!(stats.healed_files, 0);
+    assert_eq!(cold, reloaded);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
